@@ -1,0 +1,120 @@
+// A1 — Ablation of the owner-driven pruning bounds.
+//
+// DESIGN.md calls out three design choices in the exact search: (1) the
+// [d_LB, d_UB] distance filter on candidate owner pairs, (2) best-first
+// processing of pairs by cost lower bound with early exit, (3) the
+// [r_LB, r_UB] ring filter on query-owner candidates. This harness disables
+// them one at a time (and all together) on the Hotel-like dataset and
+// reports running time and owner pairs examined. All variants return the
+// same optimal costs (asserted); only the work changes.
+// See EXPERIMENTS.md (A1).
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/table.h"
+#include "core/owner_driven_exact.h"
+#include "util/logging.h"
+
+namespace coskq {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf(
+      "== A1: pruning ablation for the owner-driven exact search (GN) ==\n");
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  BenchWorkload workload = MakeGnWorkload(config);
+  const CoskqContext context = workload.context();
+
+  struct Variant {
+    const char* label;
+    OwnerDrivenExact::Options options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full pruning", {}});
+  {
+    OwnerDrivenExact::Options o;
+    o.seed_with_appro = false;
+    variants.push_back({"- appro seeding", o});
+  }
+  {
+    OwnerDrivenExact::Options o;
+    o.use_pair_distance_bounds = false;
+    variants.push_back({"- pair distance bounds", o});
+  }
+  {
+    OwnerDrivenExact::Options o;
+    o.use_cost_lb_ordering = false;
+    variants.push_back({"- cost-LB ordering", o});
+  }
+  {
+    OwnerDrivenExact::Options o;
+    o.use_owner_ring_bounds = false;
+    variants.push_back({"- owner ring bounds", o});
+  }
+  {
+    OwnerDrivenExact::Options o;
+    o.use_pair_distance_bounds = false;
+    o.use_cost_lb_ordering = false;
+    o.use_owner_ring_bounds = false;
+    variants.push_back({"no pruning", o});
+  }
+  for (Variant& v : variants) {
+    v.options.deadline_ms = config.cell_budget_s * 500.0;
+  }
+
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    std::printf("-- cost_%s --\n", std::string(CostTypeName(type)).c_str());
+    for (size_t k : {size_t{6}, size_t{9}, size_t{12}}) {
+      const std::vector<CoskqQuery> queries =
+          MakeQueries(workload, k, config);
+      TablePrinter table({"variant", "avg time", "avg pairs examined",
+                          "avg cost"});
+      double baseline_cost = -1.0;
+      for (const Variant& variant : variants) {
+        OwnerDrivenExact solver(context, type, variant.options);
+        RunningStat time_ms;
+        RunningStat pairs;
+        RunningStat cost;
+        bool truncated = false;
+        for (const CoskqQuery& q : queries) {
+          const CoskqResult result = solver.Solve(q);
+          time_ms.Add(result.stats.elapsed_ms);
+          pairs.Add(static_cast<double>(result.stats.pairs_examined));
+          truncated |= result.stats.truncated;
+          if (result.feasible) {
+            cost.Add(result.cost);
+          }
+        }
+        if (baseline_cost < 0.0) {
+          baseline_cost = cost.mean();
+        } else if (!truncated) {
+          // Ablations must not change the answers.
+          COSKQ_CHECK_LE(std::abs(cost.mean() - baseline_cost),
+                         1e-6 * (1.0 + baseline_cost));
+        }
+        std::string time = FormatMillis(time_ms.mean());
+        if (truncated) {
+          time = ">= " + time;
+        }
+        table.AddRow({variant.label, time, FormatDouble(pairs.mean(), 1),
+                      FormatDouble(cost.mean(), 5)});
+      }
+      std::printf("|q.psi| = %zu\n", k);
+      table.Print();
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// T1 — "Table 1: datasets used in the experiments".
+//
+// Prints the statistics of the three synthesized evaluation datasets next to
+// the published statistics of the real Hotel / GN / Web datasets they stand
+// in for, plus IR-tree construction metrics. See EXPERIMENTS.md (T1).
+
+#include <cstdio>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/table.h"
+#include "util/string_util.h"
+
+namespace coskq {
+namespace {
+
+struct PublishedStats {
+  const char* name;
+  uint64_t objects;
+  uint64_t unique_words;
+  uint64_t total_words;
+};
+
+// Statistics of the real datasets as reported in the paper.
+constexpr PublishedStats kPublished[] = {
+    {"Hotel", 20790, 602, 80645},
+    {"GN", 1868821, 222409, 18374228},
+    {"Web", 579727, 2899175, 249132883},
+};
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== T1: dataset statistics (paper Table 1) ==\n");
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  BenchWorkload workloads[] = {MakeHotelWorkload(config),
+                               MakeGnWorkload(config),
+                               MakeWebWorkload(config)};
+
+  TablePrinter table({"Dataset", "Objects (paper)", "Objects (ours)",
+                      "Unique words (paper)", "Unique words (ours)",
+                      "Words (paper)", "Words (ours)", "avg |o.psi|",
+                      "IR-tree build", "IR-tree height", "IR-tree nodes"});
+  for (size_t i = 0; i < 3; ++i) {
+    const BenchWorkload& w = workloads[i];
+    const PublishedStats& p = kPublished[i];
+    table.AddRow({w.name, FormatWithCommas(p.objects),
+                  FormatWithCommas(w.dataset.NumObjects()),
+                  FormatWithCommas(p.unique_words),
+                  FormatWithCommas(w.dataset.vocabulary().size()),
+                  FormatWithCommas(p.total_words),
+                  FormatWithCommas(w.dataset.TotalKeywordCount()),
+                  FormatDouble(w.dataset.AverageKeywordsPerObject(), 2),
+                  FormatMillis(w.index_build_ms),
+                  std::to_string(w.index->Height()),
+                  FormatWithCommas(w.index->NodeCount())});
+  }
+  table.Print();
+  std::printf(
+      "\nNote: \"ours\" are synthetic stand-ins generated at scale=%g with\n"
+      "matched keywords-per-object and Zipf keyword frequencies; the real\n"
+      "datasets are not redistributable (see EXPERIMENTS.md).\n",
+      config.scale);
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// E2 — "Effect of |q.ψ| on Dia-CoSKQ" (Hotel / GN / Web).
+//
+// Regenerates the paper's Dia figures: running time of Dia-Exact vs the Cao
+// et al. baseline, running time of Dia-Appro vs Cao-Appro1/2, and
+// approximation ratios, sweeping |q.ψ| over {3, 6, 9, 12, 15}.
+// See EXPERIMENTS.md (E2).
+
+#include "benchlib/bench_config.h"
+#include "benchlib/experiments.h"
+#include "core/cost.h"
+
+int main() {
+  coskq::RunVaryQueryKeywordsExperiment(coskq::CostType::kDia,
+                                        coskq::BenchConfig::FromEnv());
+  return 0;
+}

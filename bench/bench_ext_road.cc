@@ -1,0 +1,111 @@
+// X1 — Extension experiment: CoSKQ under network distance (the paper's
+// stated future direction, built in src/road).
+//
+// Measures, on synthetic road networks of growing size: (a) the running
+// time of the exact and greedy network solvers, and (b) how much the
+// network-optimal cost exceeds the Euclidean-optimal cost evaluated under
+// network distance (the "detour factor" — the reason Euclidean answers are
+// wrong on roads). See EXPERIMENTS.md (X1).
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/table.h"
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "road/road_coskq.h"
+#include "road/road_generator.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace coskq {
+namespace {
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== X1: road-network CoSKQ extension ==\n");
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  const size_t grid_sizes[] = {10, 20, 30};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    TablePrinter table({"grid", "nodes", "objects", "RoadExact time",
+                        "RoadGreedy time", "greedy/exact cost",
+                        "Euclidean-set detour factor"});
+    for (size_t grid : grid_sizes) {
+      RoadNetworkSpec spec;
+      spec.grid_size = grid;
+      spec.num_objects = grid * grid * 3;
+      spec.vocab_size = 100;
+      Rng rng(config.seed + grid);
+      RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+
+      // Euclidean twin for the detour comparison.
+      IrTree euclidean_index(&w.dataset);
+      CoskqContext euclidean_ctx{&w.dataset, &euclidean_index};
+      OwnerDrivenExact euclidean_exact(euclidean_ctx, type);
+
+      RunningStat exact_ms;
+      RunningStat greedy_ms;
+      RunningStat greedy_ratio;
+      RunningStat detour;
+      const size_t queries = std::min<size_t>(config.queries, 15);
+      for (size_t i = 0; i < queries; ++i) {
+        RoadCoskqQuery q;
+        q.node =
+            static_cast<RoadNodeId>(rng.UniformUint64(w.graph.NumNodes()));
+        TermSet kw;
+        while (kw.size() < 4) {
+          kw.push_back(static_cast<TermId>(rng.UniformUint64(100)));
+          NormalizeTermSet(&kw);
+        }
+        q.keywords = kw;
+        const CoskqResult exact = SolveRoadCoskqExact(w, q, type);
+        const CoskqResult greedy = SolveRoadCoskqGreedy(w, q, type);
+        if (!exact.feasible || exact.cost <= 0.0) {
+          continue;
+        }
+        exact_ms.Add(exact.stats.elapsed_ms);
+        greedy_ms.Add(greedy.stats.elapsed_ms);
+        greedy_ratio.Add(greedy.cost / exact.cost);
+
+        // Solve the same query under Euclidean distance, then price the
+        // Euclidean answer with network distances.
+        CoskqQuery eq;
+        eq.location = w.graph.location(q.node);
+        eq.keywords = q.keywords;
+        const CoskqResult euclidean = euclidean_exact.Solve(eq);
+        if (euclidean.feasible) {
+          RoadDistanceOracle oracle(&w.graph);
+          const double network_price = EvaluateRoadCost(
+              type, w, &oracle, q.node, euclidean.set);
+          detour.Add(network_price / exact.cost);
+        }
+      }
+      table.AddRow({std::to_string(grid),
+                    std::to_string(w.graph.NumNodes()),
+                    std::to_string(w.dataset.NumObjects()),
+                    FormatMillis(exact_ms.mean()),
+                    FormatMillis(greedy_ms.mean()),
+                    FormatDouble(greedy_ratio.mean(), 4),
+                    FormatDouble(detour.mean(), 4) + " [" +
+                        FormatDouble(detour.min(), 3) + ", " +
+                        FormatDouble(detour.max(), 3) + "]"});
+    }
+    std::printf("-- cost_%s --\n", std::string(CostTypeName(type)).c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "detour factor = network cost of the Euclidean-optimal set / network\n"
+      "cost of the network-optimal set (>= 1; > 1 means Euclidean answers\n"
+      "are suboptimal on the road network).\n");
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// E1 — "Effect of |q.ψ| on MaxSum-CoSKQ" (Hotel / GN / Web).
+//
+// Regenerates the paper's MaxSum figures: running time of the exact
+// algorithms (MaxSum-Exact vs the Cao et al. baseline), running time of the
+// approximate algorithms (MaxSum-Appro vs Cao-Appro1/2), and approximation
+// ratios (avg/min/max bars plus the fraction of queries answered optimally),
+// sweeping |q.ψ| over {3, 6, 9, 12, 15}. See EXPERIMENTS.md (E1).
+
+#include "benchlib/bench_config.h"
+#include "benchlib/experiments.h"
+#include "core/cost.h"
+
+int main() {
+  coskq::RunVaryQueryKeywordsExperiment(coskq::CostType::kMaxSum,
+                                        coskq::BenchConfig::FromEnv());
+  return 0;
+}

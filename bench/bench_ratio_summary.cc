@@ -1,0 +1,100 @@
+// E5 — Approximation-quality summary.
+//
+// The paper repeatedly reports, alongside the ratio bars, the fraction of
+// queries each approximate algorithm answers *exactly* (e.g. "the
+// approximation ratio of MaxSum-Appro is exactly 1 for more than 90% of
+// queries"). This harness pools queries across the |q.ψ| sweep on the
+// Hotel-like dataset and prints, per cost function and algorithm, the mean,
+// max, and 95th-percentile ratio and the optimal fraction.
+// See EXPERIMENTS.md (E5).
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/experiments.h"
+#include "benchlib/table.h"
+#include "core/cao_appro.h"
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+#include "util/stats.h"
+
+namespace coskq {
+namespace {
+
+struct Pooled {
+  RunningStat ratio;
+  std::vector<double> ratios;
+  size_t optimal = 0;
+
+  void Add(double r) {
+    ratio.Add(r);
+    ratios.push_back(r);
+    if (r <= 1.0 + 1e-9) {
+      ++optimal;
+    }
+  }
+};
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== E5: approximation-quality summary (Hotel-like) ==\n");
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  BenchWorkload workload = MakeHotelWorkload(config);
+  const CoskqContext context = workload.context();
+
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact exact(context, type);
+    OwnerDrivenAppro appro(context, type);
+    CaoAppro1 cao1(context, type);
+    CaoAppro2 cao2(context, type);
+    struct Entry {
+      CoskqSolver* solver;
+      Pooled pooled;
+    };
+    Entry entries[] = {{&appro, {}}, {&cao1, {}}, {&cao2, {}}};
+
+    for (size_t k : QueryKeywordSweep()) {
+      const std::vector<CoskqQuery> queries =
+          MakeQueries(workload, k, config);
+      for (const CoskqQuery& q : queries) {
+        const CoskqResult opt = exact.Solve(q);
+        if (!opt.feasible || opt.cost <= 0.0) {
+          continue;
+        }
+        for (Entry& entry : entries) {
+          const CoskqResult got = entry.solver->Solve(q);
+          entry.pooled.Add(got.cost / opt.cost);
+        }
+      }
+    }
+
+    std::printf("-- cost_%s (pooled over |q.psi| in {3,6,9,12,15}, %zu "
+                "queries/point) --\n",
+                std::string(CostTypeName(type)).c_str(), config.queries);
+    TablePrinter table({"Algorithm", "avg ratio", "p95 ratio", "max ratio",
+                        "% optimal", "proven bound"});
+    for (Entry& entry : entries) {
+      const Pooled& p = entry.pooled;
+      const double n = static_cast<double>(p.ratio.count());
+      table.AddRow(
+          {entry.solver->name(), FormatDouble(p.ratio.mean(), 4),
+           FormatDouble(Percentile(p.ratios, 95.0), 4),
+           FormatDouble(p.ratio.max(), 4),
+           FormatDouble(n == 0 ? 0.0 : 100.0 * p.optimal / n, 1) + "%",
+           entry.solver == &appro ? FormatDouble(ApproRatioBound(type), 4)
+                                  : std::string("-")});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E4 — "Scalability test".
+//
+// The paper grows the GN dataset to {2M, 4M, 6M, 8M, 10M} objects by adding
+// objects at the location of a random existing object with the keyword
+// document of another random object, then measures all algorithms at
+// |q.ψ| = 10. This harness applies the same construction with the sizes
+// multiplied by the configured scale. See EXPERIMENTS.md (E4).
+
+#include <cstdio>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/experiments.h"
+#include "benchlib/table.h"
+#include "data/augment.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace coskq {
+namespace {
+
+constexpr size_t kQueryKeywords = 10;
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== E4: scalability on GN-augmented datasets ==\n");
+  std::printf("config: %s, |q.psi|=%zu\n", config.ToString().c_str(),
+              kQueryKeywords);
+  const size_t paper_sizes[] = {2000000, 4000000, 6000000, 8000000,
+                                10000000};
+  std::printf("paper sizes {2M..10M} x scale=%g\n\n", config.scale);
+
+  // Base GN-like dataset, grown per step.
+  BenchWorkload base = MakeGnWorkload(config);
+
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    std::printf("-- cost_%s --\n", std::string(CostTypeName(type)).c_str());
+    TablePrinter time_table({"|O|", "Exact(paper) time", "Cao-Exact time",
+                             "Appro(paper) time", "Cao-Appro1 time",
+                             "Cao-Appro2 time", "index build"});
+    TablePrinter ratio_table(
+        {"|O|", "Appro(paper) ratio", "Cao-Appro1 ratio",
+         "Cao-Appro2 ratio"});
+    for (size_t paper_size : paper_sizes) {
+      const size_t target = static_cast<size_t>(
+          static_cast<double>(paper_size) * config.scale);
+      Dataset derived = base.dataset.Clone();
+      Rng rng(config.seed + paper_size);
+      AugmentToSize(&derived, target, &rng);
+      BenchWorkload workload = MakeWorkload(
+          "GN-" + FormatWithCommas(target), std::move(derived));
+      const std::vector<CoskqQuery> queries =
+          MakeQueries(workload, kQueryKeywords, config);
+      const SweepPointResult r =
+          RunSweepPoint(workload, type, queries, config);
+      time_table.AddRow({FormatWithCommas(workload.dataset.NumObjects()),
+                         FormatCellTime(r.exact_owner),
+                         FormatCellTime(r.exact_cao),
+                         FormatCellTime(r.appro_owner),
+                         FormatCellTime(r.appro_cao1),
+                         FormatCellTime(r.appro_cao2),
+                         FormatMillis(workload.index_build_ms)});
+      ratio_table.AddRow({FormatWithCommas(workload.dataset.NumObjects()),
+                          FormatCellRatio(r.appro_owner),
+                          FormatCellRatio(r.appro_cao1),
+                          FormatCellRatio(r.appro_cao2)});
+    }
+    std::printf("(a) running time\n");
+    time_table.Print();
+    std::printf("(b) approximation ratios avg [min, max]\n");
+    ratio_table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E3 — "Effect of average |o.ψ|".
+//
+// Derives datasets with average keyword-set sizes {4, 8, 16, 24, 32} from
+// the Hotel-like base by merging random objects' keyword sets (the paper's
+// construction), then reports the same five-algorithm comparison as E1/E2
+// for both cost functions at the default |q.ψ| = 10 (|q.ψ| = 8 for MaxSum
+// exact at the largest sizes in the paper; we keep 10 and rely on the cell
+// budget). See EXPERIMENTS.md (E3).
+
+#include <cstdio>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/experiments.h"
+#include "benchlib/table.h"
+#include "data/augment.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+constexpr size_t kQueryKeywords = 10;
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== E3: effect of average |o.psi| (Hotel-like base) ==\n");
+  std::printf("config: %s, |q.psi|=%zu\n\n", config.ToString().c_str(),
+              kQueryKeywords);
+
+  const double targets[] = {4, 8, 16, 24, 32};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    std::printf("-- cost_%s --\n", std::string(CostTypeName(type)).c_str());
+    TablePrinter time_table({"avg |o.psi|", "Exact(paper) time",
+                             "Cao-Exact time", "Appro(paper) time",
+                             "Cao-Appro1 time", "Cao-Appro2 time"});
+    TablePrinter ratio_table({"avg |o.psi|", "Appro(paper) ratio",
+                              "Cao-Appro1 ratio", "Cao-Appro2 ratio"});
+    for (double target : targets) {
+      BenchWorkload base = MakeHotelWorkload(config);
+      Dataset derived = base.dataset.Clone();
+      Rng rng(config.seed + static_cast<uint64_t>(target));
+      AugmentAverageKeywords(&derived, target, &rng);
+      BenchWorkload workload =
+          MakeWorkload(base.name + "-okw" + FormatDouble(target, 0),
+                       std::move(derived));
+      const std::vector<CoskqQuery> queries =
+          MakeQueries(workload, kQueryKeywords, config);
+      const SweepPointResult r =
+          RunSweepPoint(workload, type, queries, config);
+      const std::string label =
+          FormatDouble(workload.dataset.AverageKeywordsPerObject(), 1);
+      time_table.AddRow({label, FormatCellTime(r.exact_owner),
+                         FormatCellTime(r.exact_cao),
+                         FormatCellTime(r.appro_owner),
+                         FormatCellTime(r.appro_cao1),
+                         FormatCellTime(r.appro_cao2)});
+      ratio_table.AddRow({label, FormatCellRatio(r.appro_owner),
+                          FormatCellRatio(r.appro_cao1),
+                          FormatCellRatio(r.appro_cao2)});
+    }
+    std::printf("(a) running time\n");
+    time_table.Print();
+    std::printf("(b) approximation ratios avg [min, max]\n");
+    ratio_table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a tiny geo-textual dataset, index it with an IR-tree,
+// and answer one collective spatial keyword query with every algorithm in
+// the library.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/solvers.h"
+#include "data/dataset.h"
+#include "index/irtree.h"
+
+int main() {
+  using namespace coskq;
+
+  // 1. A dataset of points of interest around a small town. Coordinates are
+  //    kilometres; keywords describe what each place offers.
+  Dataset town;
+  town.AddObject({0.2, 0.3}, {"cafe", "wifi"});
+  town.AddObject({0.4, 0.1}, {"museum"});
+  town.AddObject({0.5, 0.6}, {"restaurant", "bar"});
+  town.AddObject({1.8, 1.9}, {"cafe", "museum", "restaurant"});
+  town.AddObject({0.1, 0.7}, {"bakery"});
+  town.AddObject({0.9, 0.4}, {"museum", "cafe"});
+  town.AddObject({0.3, 0.5}, {"restaurant"});
+
+  // 2. Index it. The IR-tree answers keyword-aware spatial queries and is
+  //    the substrate every CoSKQ algorithm runs on.
+  IrTree index(&town);
+  CoskqContext context{&town, &index};
+
+  // 3. A query: "find a set of places, close to my hotel at (0.25, 0.35),
+  //    that together offer a cafe, a museum, and a restaurant".
+  CoskqQuery query;
+  query.location = {0.25, 0.35};
+  query.keywords = {town.vocabulary().Find("cafe"),
+                    town.vocabulary().Find("museum"),
+                    town.vocabulary().Find("restaurant")};
+  NormalizeTermSet(&query.keywords);
+
+  // 4. Solve with each registered algorithm and print the answers.
+  std::printf("%-20s %-10s %s\n", "algorithm", "cost", "set");
+  for (const std::string& name : AvailableSolverNames()) {
+    auto solver = MakeSolver(name, context);
+    const CoskqResult result = solver->Solve(query);
+    std::printf("%-20s %-10.4f {", solver->name().c_str(), result.cost);
+    for (size_t i = 0; i < result.set.size(); ++i) {
+      const SpatialObject& obj = town.object(result.set[i]);
+      std::printf("%s#%u(%.1f,%.1f)", i ? ", " : "", obj.id, obj.location.x,
+                  obj.location.y);
+    }
+    std::printf("}\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Road trip — CoSKQ under *network* distance (the extension module): find
+// a set of stops on a road network that collectively covers the shopping
+// list, minimizing network-distance cost from the driver's position, and
+// contrast it with the (possibly wrong) Euclidean answer.
+//
+//   $ ./build/examples/road_trip
+
+#include <cstdio>
+
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "road/road_coskq.h"
+#include "road/road_generator.h"
+#include "util/random.h"
+
+int main() {
+  using namespace coskq;
+  Rng rng(1234);
+  RoadNetworkSpec spec;
+  spec.grid_size = 25;
+  spec.removal_probability = 0.25;  // A sparse city with detours.
+  spec.num_objects = 1800;
+  spec.vocab_size = 40;
+  RoadWorkload city = GenerateRoadWorkload(spec, &rng);
+
+  std::printf("Road network: %zu nodes, %zu edges, %zu places\n\n",
+              city.graph.NumNodes(), city.graph.NumEdges(),
+              city.dataset.NumObjects());
+
+  RoadCoskqQuery errand;
+  errand.node = city.graph.NearestNode(Point{0.5, 0.5});
+  errand.keywords = {24, 31, 37};  // Three rarer kinds of stops to cover.
+  NormalizeTermSet(&errand.keywords);
+
+  const CoskqResult by_road =
+      SolveRoadCoskqExact(city, errand, CostType::kMaxSum);
+  const CoskqResult quick =
+      SolveRoadCoskqGreedy(city, errand, CostType::kMaxSum);
+
+  // The Euclidean answer for the same query, priced under network distance.
+  IrTree index(&city.dataset);
+  CoskqContext euclidean_ctx{&city.dataset, &index};
+  CoskqQuery as_euclidean;
+  as_euclidean.location = city.graph.location(errand.node);
+  as_euclidean.keywords = errand.keywords;
+  OwnerDrivenExact euclidean(euclidean_ctx, CostType::kMaxSum);
+  const CoskqResult straight_line = euclidean.Solve(as_euclidean);
+
+  auto show = [&](const char* label, const CoskqResult& result) {
+    if (!result.feasible) {
+      std::printf("%-28s infeasible\n", label);
+      return;
+    }
+    RoadDistanceOracle oracle(&city.graph);
+    const double network_cost = EvaluateRoadCost(
+        CostType::kMaxSum, city, &oracle, errand.node, result.set);
+    std::printf("%-28s stops:", label);
+    for (ObjectId id : result.set) {
+      std::printf(" #%u", id);
+    }
+    std::printf("  network cost %.4f\n", network_cost);
+  };
+
+  show("network-optimal (exact)", by_road);
+  show("network greedy", quick);
+  show("Euclidean-optimal set", straight_line);
+  std::printf(
+      "\nIf the last line costs more than the first, the straight-line\n"
+      "answer sends the driver across missing road segments — the reason\n"
+      "the paper lists road networks as the next metric to support.\n");
+  return 0;
+}

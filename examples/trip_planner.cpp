@@ -1,0 +1,133 @@
+// Trip planner — the paper's motivating scenario: a tourist at a hotel
+// wants a set of nearby POIs that collectively cover "attraction",
+// "shopping", and "dining", and compares what the two cost functions
+// optimize for:
+//
+//  * MaxSum favors sets that are close to the hotel AND mutually close;
+//  * Dia minimizes the overall span of the outing (the diameter of the
+//    chosen places together with the hotel).
+//
+// The city is synthetic (clustered POIs with category keywords), the
+// query keywords and hotel location are configurable via argv:
+//
+//   $ ./build/examples/trip_planner [x y [keyword...]]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+#include "data/dataset.h"
+#include "ext/topk_coskq.h"
+#include "index/irtree.h"
+#include "util/random.h"
+
+namespace {
+
+// Builds a synthetic city: POIs clustered into neighborhoods, each tagged
+// with one primary category and occasional secondary ones.
+coskq::Dataset BuildCity(coskq::Rng* rng) {
+  using coskq::Dataset;
+  using coskq::Point;
+  const std::vector<std::string> categories = {
+      "attraction", "shopping", "dining", "park",
+      "theatre",    "cafe",     "hotel",  "viewpoint"};
+  Dataset city;
+  const int kNeighborhoods = 12;
+  std::vector<Point> centers;
+  for (int i = 0; i < kNeighborhoods; ++i) {
+    centers.push_back(Point{rng->UniformDouble(0.1, 0.9),
+                            rng->UniformDouble(0.1, 0.9)});
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const Point& c = centers[rng->UniformUint64(centers.size())];
+    const Point location{
+        std::clamp(c.x + 0.04 * rng->Gaussian(), 0.0, 1.0),
+        std::clamp(c.y + 0.04 * rng->Gaussian(), 0.0, 1.0)};
+    std::vector<std::string> words;
+    words.push_back(categories[rng->UniformUint64(categories.size())]);
+    if (rng->Bernoulli(0.3)) {
+      words.push_back(categories[rng->UniformUint64(categories.size())]);
+    }
+    city.AddObject(location, words);
+  }
+  return city;
+}
+
+void PrintSet(const coskq::Dataset& city,
+              const std::vector<coskq::ObjectId>& set, double cost,
+              const char* label) {
+  std::printf("  %-12s cost=%.4f  places:", label, cost);
+  for (coskq::ObjectId id : set) {
+    const auto& obj = city.object(id);
+    std::printf("  #%u(%.3f, %.3f)[", obj.id, obj.location.x,
+                obj.location.y);
+    for (size_t i = 0; i < obj.keywords.size(); ++i) {
+      std::printf("%s%s", i ? "," : "",
+                  city.vocabulary().TermString(obj.keywords[i]).c_str());
+    }
+    std::printf("]");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coskq;
+  Rng rng(2013);
+  Dataset city = BuildCity(&rng);
+  IrTree index(&city);
+  CoskqContext context{&city, &index};
+
+  CoskqQuery query;
+  query.location = Point{0.5, 0.5};
+  std::vector<std::string> wanted = {"attraction", "shopping", "dining"};
+  if (argc >= 3) {
+    query.location.x = std::atof(argv[1]);
+    query.location.y = std::atof(argv[2]);
+  }
+  if (argc > 3) {
+    wanted.assign(argv + 3, argv + argc);
+  }
+  std::printf("Hotel at (%.3f, %.3f); looking for:", query.location.x,
+              query.location.y);
+  for (const std::string& w : wanted) {
+    const TermId t = city.vocabulary().Find(w);
+    if (t == Vocabulary::kInvalidTermId) {
+      std::printf(" %s(unknown!)", w.c_str());
+      continue;
+    }
+    std::printf(" %s", w.c_str());
+    query.keywords.push_back(t);
+  }
+  std::printf("\n\n");
+  NormalizeTermSet(&query.keywords);
+
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    std::printf("cost_%s:\n", std::string(CostTypeName(type)).c_str());
+    OwnerDrivenExact exact(context, type);
+    OwnerDrivenAppro appro(context, type);
+    const CoskqResult best = exact.Solve(query);
+    if (!best.feasible) {
+      std::printf("  no feasible plan (some category has no POI)\n");
+      continue;
+    }
+    PrintSet(city, best.set, best.cost, "optimal");
+    const CoskqResult quick = appro.Solve(query);
+    PrintSet(city, quick.set, quick.cost, "approximate");
+
+    // Alternatives: the runner-up plans via top-k CoSKQ.
+    const TopkCoskqResult alternatives =
+        SolveTopkCoskq(context, query, type, 3);
+    for (size_t i = 1; i < alternatives.answers.size(); ++i) {
+      PrintSet(city, alternatives.answers[i].set,
+               alternatives.answers[i].cost,
+               ("alt #" + std::to_string(i)).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "benchlib/bench_config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace coskq {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  double parsed = 0.0;
+  return ParseDouble(value, &parsed) ? parsed : fallback;
+}
+
+uint64_t EnvUint64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  uint64_t parsed = 0;
+  return ParseUint64(value, &parsed) ? parsed : fallback;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  config.scale = EnvDouble("COSKQ_BENCH_SCALE", config.scale);
+  config.queries = EnvUint64("COSKQ_BENCH_QUERIES", config.queries);
+  config.cell_budget_s =
+      EnvDouble("COSKQ_BENCH_BUDGET_S", config.cell_budget_s);
+  config.seed = EnvUint64("COSKQ_BENCH_SEED", config.seed);
+  return config;
+}
+
+std::string BenchConfig::ToString() const {
+  std::ostringstream os;
+  os << "scale=" << scale << " queries/cell=" << queries
+     << " cell-budget=" << cell_budget_s << "s seed=" << seed;
+  return os.str();
+}
+
+}  // namespace coskq

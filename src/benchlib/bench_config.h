@@ -1,0 +1,39 @@
+#ifndef COSKQ_BENCHLIB_BENCH_CONFIG_H_
+#define COSKQ_BENCHLIB_BENCH_CONFIG_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <string>
+
+namespace coskq {
+
+/// Knobs shared by every figure/table harness. All values can be overridden
+/// through environment variables so a single machine class does not bake
+/// itself into the binaries:
+///
+///   COSKQ_BENCH_SCALE      dataset scale relative to the published dataset
+///                          sizes (default 0.02; 1.0 reproduces the paper's
+///                          2013 sizes and needs hours + tens of GB)
+///   COSKQ_BENCH_QUERIES    queries per experimental cell (paper: 500;
+///                          default here: 20)
+///   COSKQ_BENCH_BUDGET_S   wall-clock budget per (algorithm, setting) cell
+///                          in seconds; slow baselines report a truncated
+///                          ">= avg" once they exceed it (default 20)
+///   COSKQ_BENCH_SEED       RNG seed for datasets and queries
+struct BenchConfig {
+  double scale = 0.02;
+  size_t queries = 20;
+  double cell_budget_s = 20.0;
+  uint64_t seed = 20130622;
+
+  /// Reads the environment overrides.
+  static BenchConfig FromEnv();
+
+  /// One-line rendering printed at the top of every bench report.
+  std::string ToString() const;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_BENCHLIB_BENCH_CONFIG_H_

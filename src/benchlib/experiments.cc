@@ -1,0 +1,106 @@
+#include "benchlib/experiments.h"
+
+#include <cstdio>
+
+#include "benchlib/table.h"
+#include "core/cao_appro.h"
+#include "core/cao_exact.h"
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+
+namespace coskq {
+
+SweepPointResult RunSweepPoint(const BenchWorkload& workload, CostType type,
+                               const std::vector<CoskqQuery>& queries,
+                               const BenchConfig& config) {
+  const CoskqContext context = workload.context();
+  const double budget = config.cell_budget_s;
+  // Exact solvers additionally get a per-query deadline of half the cell
+  // budget so a single adversarial query cannot stall the whole bench.
+  OwnerDrivenExact::Options owner_options;
+  owner_options.deadline_ms = budget * 500.0;
+  CaoExact::Options cao_options;
+  cao_options.deadline_ms = budget * 500.0;
+
+  SweepPointResult result;
+  std::vector<double> reference;
+
+  OwnerDrivenExact owner_exact(context, type, owner_options);
+  result.exact_owner = RunCell(&owner_exact, queries, budget, nullptr,
+                               &reference);
+
+  CaoExact cao_exact(context, type, cao_options);
+  result.exact_cao = RunCell(&cao_exact, queries, budget, &reference);
+
+  OwnerDrivenAppro owner_appro(context, type);
+  result.appro_owner = RunCell(&owner_appro, queries, budget, &reference);
+
+  CaoAppro1 cao_appro1(context, type);
+  result.appro_cao1 = RunCell(&cao_appro1, queries, budget, &reference);
+
+  CaoAppro2 cao_appro2(context, type);
+  result.appro_cao2 = RunCell(&cao_appro2, queries, budget, &reference);
+
+  return result;
+}
+
+void RunVaryQueryKeywordsExperiment(CostType type,
+                                    const BenchConfig& config) {
+  const char* cost_name = CostType::kMaxSum == type ? "MaxSum" : "Dia";
+  std::printf("== Effect of |q.psi| on cost_%s (paper Figs. 4-6 style) ==\n",
+              cost_name);
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  BenchWorkload workloads[] = {MakeHotelWorkload(config),
+                               MakeGnWorkload(config),
+                               MakeWebWorkload(config)};
+  const std::string exact_owner_name = std::string(cost_name) + "-Exact";
+  const std::string appro_owner_name = std::string(cost_name) + "-Appro";
+
+  for (const BenchWorkload& workload : workloads) {
+    std::printf("-- dataset %s (%zu objects) --\n", workload.name.c_str(),
+                workload.dataset.NumObjects());
+    TablePrinter exact_table(
+        {"|q.psi|", exact_owner_name + " time", "Cao-Exact time"});
+    TablePrinter appro_table({"|q.psi|", appro_owner_name + " time",
+                              "Cao-Appro1 time", "Cao-Appro2 time"});
+    TablePrinter ratio_table(
+        {"|q.psi|", appro_owner_name + " ratio", "Cao-Appro1 ratio",
+         "Cao-Appro2 ratio", appro_owner_name + " %opt", "Cao-Appro1 %opt",
+         "Cao-Appro2 %opt"});
+
+    for (size_t k : QueryKeywordSweep()) {
+      const std::vector<CoskqQuery> queries =
+          MakeQueries(workload, k, config);
+      const SweepPointResult r =
+          RunSweepPoint(workload, type, queries, config);
+      exact_table.AddRow({std::to_string(k), FormatCellTime(r.exact_owner),
+                          FormatCellTime(r.exact_cao)});
+      appro_table.AddRow({std::to_string(k), FormatCellTime(r.appro_owner),
+                          FormatCellTime(r.appro_cao1),
+                          FormatCellTime(r.appro_cao2)});
+      auto pct = [](const CellResult& cell) {
+        if (cell.ratio.count() == 0) {
+          return std::string("-");
+        }
+        return FormatDouble(100.0 * static_cast<double>(cell.optimal_count) /
+                                static_cast<double>(cell.ratio.count()),
+                            1) +
+               "%";
+      };
+      ratio_table.AddRow({std::to_string(k), FormatCellRatio(r.appro_owner),
+                          FormatCellRatio(r.appro_cao1),
+                          FormatCellRatio(r.appro_cao2), pct(r.appro_owner),
+                          pct(r.appro_cao1), pct(r.appro_cao2)});
+    }
+    std::printf("(a) exact algorithms, running time\n");
+    exact_table.Print();
+    std::printf("(b) approximate algorithms, running time\n");
+    appro_table.Print();
+    std::printf("(c) approximation ratios avg [min, max] and %% optimal\n");
+    ratio_table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace coskq

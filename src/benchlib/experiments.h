@@ -1,0 +1,43 @@
+#ifndef COSKQ_BENCHLIB_EXPERIMENTS_H_
+#define COSKQ_BENCHLIB_EXPERIMENTS_H_
+
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "core/cost.h"
+
+namespace coskq {
+
+/// Runs one full "figure" for a (workload, |q.ψ| or derived-dataset) sweep
+/// point: times the two exact algorithms (the paper's owner-driven exact and
+/// the Cao et al. branch-and-bound) and the three approximate algorithms
+/// (the paper's, Cao-Appro1, Cao-Appro2), with approximation ratios measured
+/// against the owner-driven exact costs.
+struct SweepPointResult {
+  CellResult exact_owner;   // MaxSum-Exact / Dia-Exact
+  CellResult exact_cao;     // Cao-Exact
+  CellResult appro_owner;   // MaxSum-Appro / Dia-Appro
+  CellResult appro_cao1;    // Cao-Appro1
+  CellResult appro_cao2;    // Cao-Appro2
+};
+
+/// Evaluates all five algorithms on `queries` over `workload`.
+SweepPointResult RunSweepPoint(const BenchWorkload& workload, CostType type,
+                               const std::vector<CoskqQuery>& queries,
+                               const BenchConfig& config);
+
+/// The paper's "effect of |q.ψ|" figure for one cost function: for each of
+/// the three datasets, sweeps |q.ψ| over {3, 6, 9, 12, 15} and prints the
+/// exact-time, approximate-time, and approximation-ratio series.
+void RunVaryQueryKeywordsExperiment(CostType type, const BenchConfig& config);
+
+/// The |q.ψ| sweep used across the evaluation.
+inline const std::vector<size_t>& QueryKeywordSweep() {
+  static const std::vector<size_t> kSweep{3, 6, 9, 12, 15};
+  return kSweep;
+}
+
+}  // namespace coskq
+
+#endif  // COSKQ_BENCHLIB_EXPERIMENTS_H_

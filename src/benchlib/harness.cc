@@ -1,0 +1,137 @@
+#include "benchlib/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <functional>
+
+#include "benchlib/table.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+BenchWorkload MakeWorkload(std::string name, Dataset dataset) {
+  BenchWorkload workload;
+  workload.name = std::move(name);
+  workload.dataset = std::move(dataset);
+  WallTimer timer;
+  workload.index = std::make_unique<IrTree>(&workload.dataset);
+  workload.index_build_ms = timer.ElapsedMillis();
+  return workload;
+}
+
+namespace {
+
+BenchWorkload MakeFromSpec(const SyntheticSpec& spec,
+                           const BenchConfig& config) {
+  Rng rng(config.seed ^ std::hash<std::string>{}(spec.name));
+  Dataset dataset = GenerateSynthetic(spec, &rng);
+  return MakeWorkload(spec.name, std::move(dataset));
+}
+
+}  // namespace
+
+BenchWorkload MakeHotelWorkload(const BenchConfig& config) {
+  // Hotel is small enough to synthesize at its published size regardless of
+  // the scale knob (the paper's smallest dataset, 20,790 objects).
+  return MakeFromSpec(HotelLikeSpec(std::max(config.scale, 1.0)), config);
+}
+
+BenchWorkload MakeGnWorkload(const BenchConfig& config) {
+  return MakeFromSpec(GnLikeSpec(config.scale), config);
+}
+
+BenchWorkload MakeWebWorkload(const BenchConfig& config) {
+  return MakeFromSpec(WebLikeSpec(config.scale), config);
+}
+
+std::vector<CoskqQuery> MakeQueries(const BenchWorkload& workload,
+                                    size_t num_keywords,
+                                    const BenchConfig& config) {
+  QueryGenerator gen(&workload.dataset);
+  Rng rng(config.seed * 7919 + num_keywords);
+  std::vector<CoskqQuery> queries;
+  queries.reserve(config.queries);
+  for (size_t i = 0; i < config.queries; ++i) {
+    queries.push_back(gen.Generate(num_keywords, &rng));
+  }
+  return queries;
+}
+
+CellResult RunCell(CoskqSolver* solver,
+                   const std::vector<CoskqQuery>& queries, double budget_s,
+                   const std::vector<double>* reference_costs,
+                   std::vector<double>* costs_out) {
+  COSKQ_CHECK(solver != nullptr);
+  CellResult cell;
+  WallTimer budget;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (budget_s > 0.0 && budget.ElapsedSeconds() > budget_s &&
+        cell.completed > 0) {
+      cell.truncated = true;
+      break;
+    }
+    const CoskqResult result = solver->Solve(queries[i]);
+    ++cell.completed;
+    cell.time_ms.Add(result.stats.elapsed_ms);
+    cell.truncated |= result.stats.truncated;
+    if (costs_out != nullptr) {
+      // A truncated (deadline-hit) solve is not a valid reference optimum:
+      // record NaN so downstream ratio statistics skip the query.
+      costs_out->push_back(result.stats.truncated
+                               ? std::numeric_limits<double>::quiet_NaN()
+                               : result.cost);
+    }
+    if (!result.feasible) {
+      continue;
+    }
+    cell.cost.Add(result.cost);
+    if (reference_costs != nullptr && i < reference_costs->size()) {
+      const double opt = (*reference_costs)[i];
+      if (opt > 0.0 && std::isfinite(opt)) {
+        const double ratio = result.cost / opt;
+        cell.ratio.Add(ratio);
+        if (ratio <= 1.0 + 1e-9) {
+          ++cell.optimal_count;
+        }
+      }
+    }
+  }
+  return cell;
+}
+
+std::vector<double> ReferenceCosts(CoskqSolver* solver,
+                                   const std::vector<CoskqQuery>& queries) {
+  std::vector<double> costs;
+  costs.reserve(queries.size());
+  for (const CoskqQuery& query : queries) {
+    costs.push_back(solver->Solve(query).cost);
+  }
+  return costs;
+}
+
+std::string FormatCellTime(const CellResult& cell) {
+  if (cell.completed == 0) {
+    return "-";
+  }
+  std::string rendered = FormatMillis(cell.time_ms.mean());
+  if (cell.truncated) {
+    rendered = ">= " + rendered;
+  }
+  return rendered;
+}
+
+std::string FormatCellRatio(const CellResult& cell) {
+  if (cell.ratio.count() == 0) {
+    return "-";
+  }
+  return FormatDouble(cell.ratio.mean(), 4) + " [" +
+         FormatDouble(cell.ratio.min(), 4) + ", " +
+         FormatDouble(cell.ratio.max(), 4) + "]";
+}
+
+}  // namespace coskq

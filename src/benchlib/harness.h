@@ -1,0 +1,86 @@
+#ifndef COSKQ_BENCHLIB_HARNESS_H_
+#define COSKQ_BENCHLIB_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "core/solver.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/irtree.h"
+#include "util/stats.h"
+
+namespace coskq {
+
+/// A benchmark workload: a dataset, its IR-tree, and its name.
+struct BenchWorkload {
+  std::string name;
+  Dataset dataset;
+  std::unique_ptr<IrTree> index;
+  double index_build_ms = 0.0;
+
+  CoskqContext context() const {
+    return CoskqContext{&dataset, index.get()};
+  }
+};
+
+/// Builds a workload over an already-generated dataset (times the IR-tree
+/// construction).
+BenchWorkload MakeWorkload(std::string name, Dataset dataset);
+
+/// The paper's three evaluation datasets, synthesized at the configured
+/// scale (see EXPERIMENTS.md for the substitution note).
+BenchWorkload MakeHotelWorkload(const BenchConfig& config);
+BenchWorkload MakeGnWorkload(const BenchConfig& config);
+BenchWorkload MakeWebWorkload(const BenchConfig& config);
+
+/// `config.queries` queries with `num_keywords` keywords each, generated the
+/// paper's way (uniform location in the MBR, keywords from the frequent
+/// band), deterministic in config.seed and num_keywords.
+std::vector<CoskqQuery> MakeQueries(const BenchWorkload& workload,
+                                    size_t num_keywords,
+                                    const BenchConfig& config);
+
+/// Aggregate outcome of running one solver over one query batch.
+struct CellResult {
+  RunningStat time_ms;
+  RunningStat cost;
+  /// Approximation ratio vs. reference costs (only if references given).
+  RunningStat ratio;
+  /// Queries answered optimally (ratio <= 1 + 1e-9).
+  size_t optimal_count = 0;
+  /// Queries actually executed before the cell budget ran out.
+  size_t completed = 0;
+  /// True iff the cell budget expired before all queries ran, or any
+  /// individual solve was internally truncated.
+  bool truncated = false;
+};
+
+/// Runs `solver` over `queries`, stopping early once `budget_s` of wall
+/// clock is spent (the current query always finishes; 0 = no budget). When
+/// `reference_costs` is non-null, ratio statistics are recorded for every
+/// executed query i with i < reference_costs->size(). When `costs_out` is
+/// non-null it receives the cost of each executed query, usable as the
+/// reference for later cells.
+CellResult RunCell(CoskqSolver* solver,
+                   const std::vector<CoskqQuery>& queries, double budget_s,
+                   const std::vector<double>* reference_costs,
+                   std::vector<double>* costs_out = nullptr);
+
+/// Solves every query with `solver` (meant to be an exact algorithm with a
+/// generous deadline) and returns the per-query costs, used as the ratio
+/// reference for approximate algorithms.
+std::vector<double> ReferenceCosts(CoskqSolver* solver,
+                                   const std::vector<CoskqQuery>& queries);
+
+/// "12.3 ms" or ">= 12.3 ms" when the cell was truncated; "-" when empty.
+std::string FormatCellTime(const CellResult& cell);
+
+/// "1.023 [1, 1.31]" avg/min/max ratio rendering; "-" when empty.
+std::string FormatCellRatio(const CellResult& cell);
+
+}  // namespace coskq
+
+#endif  // COSKQ_BENCHLIB_HARNESS_H_

@@ -1,0 +1,77 @@
+#include "benchlib/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  COSKQ_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  std::string s(buffer);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string FormatMillis(double ms) {
+  if (ms >= 1000.0) {
+    return FormatDouble(ms / 1000.0, 2) + " s";
+  }
+  if (ms >= 1.0) {
+    return FormatDouble(ms, 2) + " ms";
+  }
+  return FormatDouble(ms * 1000.0, 1) + " us";
+}
+
+}  // namespace coskq

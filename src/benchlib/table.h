@@ -1,0 +1,38 @@
+#ifndef COSKQ_BENCHLIB_TABLE_H_
+#define COSKQ_BENCHLIB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace coskq {
+
+/// Minimal aligned-column table printer for the figure/table harnesses.
+/// Output is markdown-ish: a header row, a rule, then data rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned table.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant-ish decimal places, trimming
+/// trailing zeros ("1.25", "0.001", "12").
+std::string FormatDouble(double value, int digits);
+
+/// Formats a milliseconds measurement: "12.3 ms", "1.25 s" when >= 1000.
+std::string FormatMillis(double ms);
+
+}  // namespace coskq
+
+#endif  // COSKQ_BENCHLIB_TABLE_H_

@@ -1,0 +1,100 @@
+#include "core/brute_force.h"
+
+#include <limits>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+BruteForceSolver::BruteForceSolver(const CoskqContext& context, CostType type)
+    : CoskqSolver(context), type_(type) {}
+
+std::string BruteForceSolver::name() const {
+  std::string result = "BruteForce-";
+  result += CostTypeName(type_);
+  return result;
+}
+
+CoskqResult BruteForceSolver::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeResult(query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  // Per-keyword candidate lists over the whole dataset (no index use: the
+  // oracle must not share code paths with the systems under test).
+  std::vector<std::vector<ObjectId>> lists(query.keywords.size());
+  for (const SpatialObject& obj : dataset().objects()) {
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      if (obj.ContainsTerm(query.keywords[k])) {
+        lists[k].push_back(obj.id);
+      }
+    }
+  }
+  for (const auto& list : lists) {
+    if (list.empty()) {
+      CoskqResult result = Infeasible(stats);
+      result.stats.elapsed_ms = timer.ElapsedMillis();
+      return result;
+    }
+    stats.candidates += list.size();
+  }
+
+  std::vector<ObjectId> best_set;
+  double best_cost = std::numeric_limits<double>::infinity();
+  SetCostTracker tracker(&dataset(), query.location, type_);
+
+  struct Search {
+    const Dataset& dataset;
+    const CoskqQuery& query;
+    const std::vector<std::vector<ObjectId>>& lists;
+    std::vector<ObjectId>& best_set;
+    double& best_cost;
+    SetCostTracker& tracker;
+    SolveStats& stats;
+
+    void Dfs(const TermSet& uncovered) {
+      if (tracker.cost() >= best_cost) {
+        return;
+      }
+      if (uncovered.empty()) {
+        ++stats.sets_evaluated;
+        best_cost = tracker.cost();
+        best_set = tracker.ids();
+        return;
+      }
+      // Branch on the uncovered keyword with the fewest candidates.
+      size_t best_k = query.keywords.size();
+      for (size_t k = 0; k < query.keywords.size(); ++k) {
+        if (!TermSetContains(uncovered, query.keywords[k])) {
+          continue;
+        }
+        if (best_k == query.keywords.size() ||
+            lists[k].size() < lists[best_k].size()) {
+          best_k = k;
+        }
+      }
+      COSKQ_CHECK_LT(best_k, query.keywords.size());
+      for (ObjectId id : lists[best_k]) {
+        tracker.Push(id);
+        Dfs(TermSetDifference(uncovered, dataset.object(id).keywords));
+        tracker.Pop();
+      }
+    }
+  };
+
+  Search search{dataset(), query,     lists, best_set,
+                best_cost, tracker,   stats};
+  search.Dfs(query.keywords);
+
+  COSKQ_CHECK(!best_set.empty());
+  CoskqResult result = MakeResult(query, std::move(best_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

@@ -1,0 +1,32 @@
+#ifndef COSKQ_CORE_BRUTE_FORCE_H_
+#define COSKQ_CORE_BRUTE_FORCE_H_
+
+#include <string>
+
+#include "core/cost.h"
+#include "core/solver.h"
+
+namespace coskq {
+
+/// Reference oracle: exhaustive search over irredundant keyword covers drawn
+/// from *all* relevant objects, with no index, no disk restriction, and no
+/// owner reasoning — only the (provably safe) monotone-cost cutoff against
+/// the running best. Exponential; intended for tests, where it validates
+/// every exact algorithm and measures true approximation ratios on small
+/// instances. Any optimal set can be reduced to an irredundant cover of no
+/// greater cost, so searching irredundant covers is exact.
+class BruteForceSolver : public CoskqSolver {
+ public:
+  BruteForceSolver(const CoskqContext& context, CostType type);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return type_; }
+
+ private:
+  CostType type_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_BRUTE_FORCE_H_

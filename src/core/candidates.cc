@@ -1,0 +1,31 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "geo/circle.h"
+
+namespace coskq {
+
+std::vector<Candidate> RelevantCandidatesInDisk(const CoskqContext& context,
+                                                const CoskqQuery& query,
+                                                double radius) {
+  std::vector<ObjectId> ids;
+  context.index->RangeRelevant(Circle(query.location, radius),
+                               query.keywords, &ids);
+  std::vector<Candidate> candidates;
+  candidates.reserve(ids.size());
+  for (ObjectId id : ids) {
+    const Point& p = context.dataset->object(id).location;
+    candidates.push_back(Candidate{id, p, Distance(query.location, p)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dist_q != b.dist_q) {
+                return a.dist_q < b.dist_q;
+              }
+              return a.id < b.id;
+            });
+  return candidates;
+}
+
+}  // namespace coskq

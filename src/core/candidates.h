@@ -1,0 +1,32 @@
+#ifndef COSKQ_CORE_CANDIDATES_H_
+#define COSKQ_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "core/solver.h"
+#include "data/object.h"
+#include "data/query.h"
+#include "geo/point.h"
+
+namespace coskq {
+
+/// A relevant object retrieved as a search candidate, with its location and
+/// distance to the query location cached (the algorithms consult both many
+/// times per candidate).
+struct Candidate {
+  ObjectId id = kInvalidObjectId;
+  Point location;
+  double dist_q = 0.0;
+};
+
+/// All relevant objects (covering at least one query keyword) within the
+/// closed disk C(q.λ, radius), sorted by ascending distance to q.λ (ties by
+/// id, so the order is deterministic). Retrieved with one keyword-filtered
+/// range query on the IR-tree.
+std::vector<Candidate> RelevantCandidatesInDisk(const CoskqContext& context,
+                                                const CoskqQuery& query,
+                                                double radius);
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_CANDIDATES_H_

@@ -1,0 +1,135 @@
+#include "core/cao_appro.h"
+
+#include <algorithm>
+
+#include "core/candidates.h"
+#include "core/nn_set.h"
+#include "geo/circle.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+CaoAppro1::CaoAppro1(const CoskqContext& context, CostType type)
+    : CoskqSolver(context), type_(type) {}
+
+std::string CaoAppro1::name() const {
+  std::string result = "Cao-Appro1-";
+  result += CostTypeName(type_);
+  return result;
+}
+
+CoskqResult CaoAppro1::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeResult(query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  stats.candidates = nn.set.size();
+  stats.sets_evaluated = 1;
+  CoskqResult result = MakeResult(query, nn.set, stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+CaoAppro2::CaoAppro2(const CoskqContext& context, CostType type)
+    : CoskqSolver(context), type_(type) {}
+
+std::string CaoAppro2::name() const {
+  std::string result = "Cao-Appro2-";
+  result += CostTypeName(type_);
+  return result;
+}
+
+CoskqResult CaoAppro2::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeResult(query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = nn.set;
+  double cur_cost = EvaluateCost(type_, dataset(), query.location, cur_set);
+  stats.sets_evaluated = 1;
+
+  // The farthest keyword t_f: the query keyword whose NN is farthest.
+  TermId t_f = query.keywords.front();
+  double far_dist = -1.0;
+  for (TermId t : query.keywords) {
+    double d = 0.0;
+    index().KeywordNn(query.location, t, &d);
+    if (d > far_dist) {
+      far_dist = d;
+      t_f = t;
+    }
+  }
+
+  // Anchor candidates: objects containing t_f within C(q, curCost). Every
+  // feasible set has a t_f-covering member, so anchors outside the disk
+  // cannot yield a better set.
+  std::vector<ObjectId> anchor_ids;
+  index().RangeRelevant(Circle(query.location, cur_cost), TermSet{t_f},
+                        &anchor_ids);
+  stats.candidates = anchor_ids.size();
+
+  std::vector<Candidate> anchors;
+  anchors.reserve(anchor_ids.size());
+  for (ObjectId id : anchor_ids) {
+    const Point& p = dataset().object(id).location;
+    anchors.push_back(Candidate{id, p, Distance(query.location, p)});
+  }
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist_q < b.dist_q;
+            });
+
+  std::vector<ObjectId> candidate_set;
+  for (const Candidate& anchor : anchors) {
+    if (anchor.dist_q >= cur_cost) {
+      break;
+    }
+    candidate_set.assign(1, anchor.id);
+    const TermSet missing = TermSetDifference(
+        query.keywords, dataset().object(anchor.id).keywords);
+    bool ok = true;
+    for (TermId t : missing) {
+      double d = 0.0;
+      const ObjectId id = index().KeywordNn(anchor.location, t, &d);
+      if (id == kInvalidObjectId) {
+        ok = false;
+        break;
+      }
+      candidate_set.push_back(id);
+    }
+    if (!ok) {
+      continue;
+    }
+    ++stats.sets_evaluated;
+    const double cost =
+        EvaluateCost(type_, dataset(), query.location, candidate_set);
+    if (cost < cur_cost) {
+      cur_cost = cost;
+      cur_set = candidate_set;
+    }
+  }
+
+  CoskqResult result = MakeResult(query, std::move(cur_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

@@ -1,0 +1,47 @@
+#ifndef COSKQ_CORE_CAO_APPRO_H_
+#define COSKQ_CORE_CAO_APPRO_H_
+
+#include <string>
+
+#include "core/cost.h"
+#include "core/solver.h"
+
+namespace coskq {
+
+/// Baseline approximate algorithm 1 of Cao et al. (SIGMOD 2011): return the
+/// nearest-neighbor set N(q). One keyword-NN query per query keyword; the
+/// fastest algorithm in the study and the weakest approximation (ratio 3
+/// under their MaxMax cost).
+class CaoAppro1 : public CoskqSolver {
+ public:
+  CaoAppro1(const CoskqContext& context, CostType type);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return type_; }
+
+ private:
+  CostType type_;
+};
+
+/// Baseline approximate algorithm 2 of Cao et al. (SIGMOD 2011): improve
+/// N(q) by pivoting on the *farthest keyword* t_f (the keyword whose NN is
+/// the farthest member of N(q)). Every object containing t_f within
+/// C(q, curCost) is tried as the anchor o; the candidate set is
+/// {o} ∪ { NN(o, t) : t ∈ q.ψ \ o.ψ } and the cheapest one wins (ratio 2
+/// under their MaxMax cost).
+class CaoAppro2 : public CoskqSolver {
+ public:
+  CaoAppro2(const CoskqContext& context, CostType type);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return type_; }
+
+ private:
+  CostType type_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_CAO_APPRO_H_

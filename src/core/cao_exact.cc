@@ -1,0 +1,145 @@
+#include "core/cao_exact.h"
+
+#include <algorithm>
+
+#include "core/candidates.h"
+#include "core/nn_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+namespace {
+
+// Branch-and-bound cover search over a fixed candidate pool.
+class CoverSearch {
+ public:
+  CoverSearch(const Dataset& dataset, const CoskqQuery& query, CostType type,
+              const std::vector<Candidate>& cands,
+              std::vector<ObjectId>* cur_set, double* cur_cost,
+              SolveStats* stats, const WallTimer* timer, double deadline_ms)
+      : dataset_(dataset),
+        cands_(cands),
+        cur_set_(cur_set),
+        cur_cost_(cur_cost),
+        stats_(stats),
+        timer_(timer),
+        deadline_ms_(deadline_ms),
+        tracker_(&dataset, query.location, type) {
+    for (TermId t : query.keywords) {
+      KeywordList list{t, {}};
+      for (uint32_t i = 0; i < cands.size(); ++i) {
+        if (dataset.object(cands[i].id).ContainsTerm(t)) {
+          list.indices.push_back(i);  // cands_ is distance-sorted already.
+        }
+      }
+      lists_.push_back(std::move(list));
+    }
+  }
+
+  void Run(const TermSet& keywords) { Dfs(keywords); }
+
+ private:
+  struct KeywordList {
+    TermId term;
+    std::vector<uint32_t> indices;
+  };
+
+  void Dfs(const TermSet& uncovered) {
+    if (stats_->truncated) {
+      return;
+    }
+    if (deadline_ms_ > 0.0 && (++nodes_ & 1023) == 0 &&
+        timer_->ElapsedMillis() > deadline_ms_) {
+      stats_->truncated = true;
+      return;
+    }
+    if (tracker_.cost() >= *cur_cost_) {
+      return;  // Monotone cost: no extension can beat the incumbent.
+    }
+    if (uncovered.empty()) {
+      ++stats_->sets_evaluated;
+      *cur_cost_ = tracker_.cost();
+      *cur_set_ = tracker_.ids();
+      return;
+    }
+    const KeywordList* best_list = nullptr;
+    for (const KeywordList& list : lists_) {
+      if (!TermSetContains(uncovered, list.term)) {
+        continue;
+      }
+      if (best_list == nullptr ||
+          list.indices.size() < best_list->indices.size()) {
+        best_list = &list;
+      }
+    }
+    COSKQ_CHECK(best_list != nullptr);
+    if (best_list->indices.empty()) {
+      return;  // Uncoverable within the candidate pool.
+    }
+    for (uint32_t index : best_list->indices) {
+      const Candidate& cand = cands_[index];
+      if (cand.dist_q >= *cur_cost_) {
+        break;  // Distance-sorted: the rest is at least as far.
+      }
+      tracker_.Push(cand.id);
+      Dfs(TermSetDifference(uncovered, dataset_.object(cand.id).keywords));
+      tracker_.Pop();
+    }
+  }
+
+  const Dataset& dataset_;
+  const std::vector<Candidate>& cands_;
+  std::vector<ObjectId>* cur_set_;
+  double* cur_cost_;
+  SolveStats* stats_;
+  const WallTimer* timer_;
+  double deadline_ms_;
+  uint64_t nodes_ = 0;
+  SetCostTracker tracker_;
+  std::vector<KeywordList> lists_;
+};
+
+}  // namespace
+
+CaoExact::CaoExact(const CoskqContext& context, CostType type,
+                   const Options& options)
+    : CoskqSolver(context), type_(type), options_(options) {}
+
+std::string CaoExact::name() const {
+  std::string result = "Cao-Exact-";
+  result += CostTypeName(type_);
+  return result;
+}
+
+CoskqResult CaoExact::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeResult(query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = nn.set;
+  double cur_cost = EvaluateCost(type_, dataset(), query.location, cur_set);
+
+  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
+      context_, query, cur_cost * (1.0 + 1e-12));
+  stats.candidates = cands.size();
+
+  CoverSearch search(dataset(), query, type_, cands, &cur_set, &cur_cost,
+                     &stats, &timer, options_.deadline_ms);
+  search.Run(query.keywords);
+
+  CoskqResult result = MakeResult(query, std::move(cur_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

@@ -1,0 +1,45 @@
+#ifndef COSKQ_CORE_CAO_EXACT_H_
+#define COSKQ_CORE_CAO_EXACT_H_
+
+#include <string>
+
+#include "core/cost.h"
+#include "core/solver.h"
+
+namespace coskq {
+
+/// Baseline exact algorithm in the style of Cao et al. (SIGMOD 2011):
+/// branch-and-bound over partial object sets. Seeded with the N(q) incumbent
+/// (their Appro1), it retrieves the relevant objects inside C(q, curCost)
+/// and grows partial covers keyword-by-keyword — always branching on the
+/// uncovered keyword with the fewest candidates, candidates ordered by
+/// ascending distance to q — pruning any branch whose exact running cost
+/// reaches the incumbent (both cost functions are monotone under set
+/// growth). Exact for MaxSum and Dia; its work grows exponentially with
+/// |q.ψ| (the branching depth), which is the scaling weakness the paper's
+/// owner-driven search removes.
+class CaoExact : public CoskqSolver {
+ public:
+  struct Options {
+    /// Optional wall-clock deadline in milliseconds (0 = none). When hit,
+    /// the search stops and the incumbent is returned with stats.truncated
+    /// set. Benchmark use only.
+    double deadline_ms = 0.0;
+  };
+
+  CaoExact(const CoskqContext& context, CostType type, const Options& options);
+  CaoExact(const CoskqContext& context, CostType type)
+      : CaoExact(context, type, Options()) {}
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return type_; }
+
+ private:
+  CostType type_;
+  Options options_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_CAO_EXACT_H_

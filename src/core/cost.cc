@@ -1,0 +1,136 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+std::string_view CostTypeName(CostType type) {
+  switch (type) {
+    case CostType::kMaxSum:
+      return "MaxSum";
+    case CostType::kDia:
+      return "Dia";
+  }
+  return "?";
+}
+
+double ApproRatioBound(CostType type) {
+  switch (type) {
+    case CostType::kMaxSum:
+      return 1.375;
+    case CostType::kDia:
+      return std::sqrt(3.0);
+  }
+  return 0.0;
+}
+
+double CombineCost(CostType type, const CostComponents& components) {
+  switch (type) {
+    case CostType::kMaxSum:
+      return components.max_query_dist + components.max_pairwise_dist;
+    case CostType::kDia:
+      return std::max(components.max_query_dist,
+                      components.max_pairwise_dist);
+  }
+  return 0.0;
+}
+
+CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
+                                 const std::vector<ObjectId>& set) {
+  CostComponents components;
+  for (size_t i = 0; i < set.size(); ++i) {
+    const Point& pi = dataset.object(set[i]).location;
+    components.max_query_dist =
+        std::max(components.max_query_dist, Distance(q, pi));
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      const Point& pj = dataset.object(set[j]).location;
+      components.max_pairwise_dist =
+          std::max(components.max_pairwise_dist, Distance(pi, pj));
+    }
+  }
+  return components;
+}
+
+double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
+                    const std::vector<ObjectId>& set) {
+  return CombineCost(type, ComputeComponents(dataset, q, set));
+}
+
+bool SetCoversKeywords(const Dataset& dataset, const TermSet& keywords,
+                       const std::vector<ObjectId>& set) {
+  TermSet covered;
+  for (ObjectId id : set) {
+    TermSetMergeInto(&covered, dataset.object(id).keywords);
+  }
+  return TermSetIsSubset(keywords, covered);
+}
+
+DistanceOwners FindDistanceOwners(const Dataset& dataset, const Point& q,
+                                  const std::vector<ObjectId>& set) {
+  COSKQ_CHECK(!set.empty());
+  DistanceOwners owners;
+  double best_query_dist = -1.0;
+  for (ObjectId id : set) {
+    const double d = Distance(q, dataset.object(id).location);
+    if (d > best_query_dist ||
+        (d == best_query_dist && id < owners.query_owner)) {
+      best_query_dist = d;
+      owners.query_owner = id;
+    }
+  }
+  owners.pair_first = set.front();
+  owners.pair_second = set.front();
+  double best_pair_dist = -1.0;
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t j = i; j < set.size(); ++j) {
+      const double d = Distance(dataset.object(set[i]).location,
+                                dataset.object(set[j]).location);
+      if (d > best_pair_dist) {
+        best_pair_dist = d;
+        owners.pair_first = std::min(set[i], set[j]);
+        owners.pair_second = std::max(set[i], set[j]);
+      }
+    }
+  }
+  return owners;
+}
+
+SetCostTracker::SetCostTracker(const Dataset* dataset, const Point& q,
+                               CostType type)
+    : dataset_(dataset), query_(q), type_(type) {
+  COSKQ_CHECK(dataset != nullptr);
+  stack_.push_back(CostComponents{});
+}
+
+void SetCostTracker::Push(ObjectId id) {
+  const Point& p = dataset_->object(id).location;
+  CostComponents next = stack_.back();
+  next.max_query_dist = std::max(next.max_query_dist, Distance(query_, p));
+  for (const Point& existing : points_) {
+    next.max_pairwise_dist =
+        std::max(next.max_pairwise_dist, Distance(existing, p));
+  }
+  ids_.push_back(id);
+  points_.push_back(p);
+  stack_.push_back(next);
+}
+
+void SetCostTracker::Pop() {
+  COSKQ_CHECK(!ids_.empty());
+  ids_.pop_back();
+  points_.pop_back();
+  stack_.pop_back();
+}
+
+double SetCostTracker::cost() const {
+  return CombineCost(type_, stack_.back());
+}
+
+bool SetCostTracker::Contains(ObjectId id) const {
+  return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+}
+
+}  // namespace coskq

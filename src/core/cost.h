@@ -1,0 +1,105 @@
+#ifndef COSKQ_CORE_COST_H_
+#define COSKQ_CORE_COST_H_
+
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/object.h"
+#include "data/query.h"
+#include "geo/point.h"
+
+namespace coskq {
+
+/// The two cost functions of the paper.
+///
+///  * kMaxSum: cost(S) = max_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2)
+///  * kDia:    cost(S) = max{ max_{o∈S} d(o,q), max_{o1,o2∈S} d(o1,o2) }
+///             (the diameter of S ∪ {q})
+///
+/// Both instantiate the distance owner-driven framework; minimizing either
+/// over feasible sets is NP-hard.
+enum class CostType {
+  kMaxSum,
+  kDia,
+};
+
+/// "MaxSum" / "Dia".
+std::string_view CostTypeName(CostType type);
+
+/// The proven approximation ratio of the paper's approximate algorithm for
+/// this cost: 1.375 for MaxSum, sqrt(3) for Dia.
+double ApproRatioBound(CostType type);
+
+/// The two distance components the cost functions combine.
+struct CostComponents {
+  double max_query_dist = 0.0;     // max_{o∈S} d(o, q)
+  double max_pairwise_dist = 0.0;  // max_{o1,o2∈S} d(o1, o2)
+};
+
+/// Combines the two components per the cost type.
+double CombineCost(CostType type, const CostComponents& components);
+
+/// Computes both components of `set` w.r.t. query location `q` in O(|S|^2).
+/// An empty set yields zero components.
+CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
+                                 const std::vector<ObjectId>& set);
+
+/// Full cost of `set` under `type`. Empty sets cost 0; callers guard
+/// feasibility separately.
+double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
+                    const std::vector<ObjectId>& set);
+
+/// True iff the keyword sets of `set` jointly cover `keywords`.
+bool SetCoversKeywords(const Dataset& dataset, const TermSet& keywords,
+                       const std::vector<ObjectId>& set);
+
+/// The distance owners of a set: the query distance owner (object farthest
+/// from q) and the pairwise distance owners (the farthest pair). For a
+/// singleton set the pair is (o, o).
+struct DistanceOwners {
+  ObjectId query_owner = kInvalidObjectId;
+  ObjectId pair_first = kInvalidObjectId;
+  ObjectId pair_second = kInvalidObjectId;
+};
+
+/// Extracts the distance owners of a non-empty set. Ties break toward the
+/// smallest object id, making the result deterministic.
+DistanceOwners FindDistanceOwners(const Dataset& dataset, const Point& q,
+                                  const std::vector<ObjectId>& set);
+
+/// Incremental cost tracker for branch-and-bound searches: push/pop objects
+/// in stack (LIFO) order while maintaining the exact cost components in
+/// O(|S|) per push and O(1) per pop. The running cost is monotone
+/// non-decreasing under Push for both cost types, so it is a valid lower
+/// bound on the cost of any superset — the pruning rule the exact searches
+/// rely on.
+class SetCostTracker {
+ public:
+  SetCostTracker(const Dataset* dataset, const Point& q, CostType type);
+
+  /// Adds `id` to the set. Duplicate pushes are allowed and harmless for
+  /// cost purposes (distance 0 to the twin).
+  void Push(ObjectId id);
+
+  /// Removes the most recently pushed object.
+  void Pop();
+
+  double cost() const;
+  const CostComponents& components() const { return stack_.back(); }
+  size_t size() const { return ids_.size(); }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  bool Contains(ObjectId id) const;
+
+ private:
+  const Dataset* dataset_;
+  Point query_;
+  CostType type_;
+  std::vector<ObjectId> ids_;
+  std::vector<Point> points_;
+  std::vector<CostComponents> stack_;  // stack_[k] = components of first k.
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_COST_H_

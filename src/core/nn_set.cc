@@ -1,0 +1,28 @@
+#include "core/nn_set.h"
+
+#include <algorithm>
+
+#include "geo/point.h"
+
+namespace coskq {
+
+NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query) {
+  NnSetInfo info;
+  TermSet missing;
+  info.set = context.index->NnSet(query.location, query.keywords, &missing);
+  if (!missing.empty() || query.keywords.empty()) {
+    info.feasible = query.keywords.empty();
+    info.set.clear();
+    return info;
+  }
+  info.feasible = true;
+  for (ObjectId id : info.set) {
+    info.max_dist =
+        std::max(info.max_dist,
+                 Distance(query.location,
+                          context.dataset->object(id).location));
+  }
+  return info;
+}
+
+}  // namespace coskq

@@ -1,0 +1,30 @@
+#ifndef COSKQ_CORE_NN_SET_H_
+#define COSKQ_CORE_NN_SET_H_
+
+#include <vector>
+
+#include "core/solver.h"
+#include "data/object.h"
+#include "data/query.h"
+
+namespace coskq {
+
+/// The paper's nearest-neighbor set N(q) = { NN(q, t) : t ∈ q.ψ } plus the
+/// quantity d_f = max_{o∈N(q)} d(o, q) that seeds every algorithm's bounds:
+/// any feasible set has max_{o∈S} d(o,q) >= d_f, and N(q) itself is feasible
+/// whenever the query is answerable at all.
+struct NnSetInfo {
+  /// True iff every query keyword matches at least one object.
+  bool feasible = false;
+  /// N(q), deduplicated and sorted by id. Empty when infeasible.
+  std::vector<ObjectId> set;
+  /// d_f = max_{o∈N(q)} d(o, q); 0 when infeasible.
+  double max_dist = 0.0;
+};
+
+/// Computes N(q) with one keyword-NN query per query keyword on the IR-tree.
+NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query);
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_NN_SET_H_

@@ -1,0 +1,156 @@
+#include "core/owner_driven_appro.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/candidates.h"
+#include "core/nn_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+OwnerDrivenAppro::OwnerDrivenAppro(const CoskqContext& context, CostType type)
+    : CoskqSolver(context), type_(type) {}
+
+std::string OwnerDrivenAppro::name() const {
+  std::string result(CostTypeName(type_));
+  result += "-Appro";
+  return result;
+}
+
+CoskqResult OwnerDrivenAppro::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeResult(query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = nn.set;
+  double cur_cost = EvaluateCost(type_, dataset(), query.location, cur_set);
+  const double d_f = nn.max_dist;
+
+  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
+      context_, query, cur_cost * (1.0 + 1e-12));
+  stats.candidates = cands.size();
+
+  // Per-query-keyword candidate lists; indices into `cands` in ascending
+  // distance order (cands is distance-sorted).
+  const size_t num_kw = query.keywords.size();
+  std::vector<std::vector<uint32_t>> lists(num_kw);
+  for (uint32_t idx = 0; idx < cands.size(); ++idx) {
+    const TermSet& kw = dataset().object(cands[idx].id).keywords;
+    for (size_t k = 0; k < num_kw; ++k) {
+      if (TermSetContains(kw, query.keywords[k])) {
+        lists[k].push_back(idx);
+      }
+    }
+  }
+
+  // Scratch buffers reused across anchors.
+  std::vector<double> nn_dist(num_kw);
+  std::vector<uint32_t> nn_index(num_kw);
+  std::vector<ObjectId> greedy_set;
+
+  size_t prefix_end = 0;  // cands[0, prefix_end) have dist_q <= o.dist_q.
+  for (size_t idx = 0; idx < cands.size(); ++idx) {
+    const Candidate& o = cands[idx];
+    while (prefix_end < cands.size() &&
+           cands[prefix_end].dist_q <= o.dist_q) {
+      ++prefix_end;
+    }
+    if (o.dist_q < d_f) {
+      continue;  // Cannot be the query distance owner of a feasible set.
+    }
+    if (o.dist_q >= cur_cost) {
+      break;  // Everything farther costs at least the incumbent.
+    }
+
+    // For each keyword not covered by the anchor o, find the candidate in
+    // the disk prefix nearest to o that covers it. Adding objects never
+    // shrinks the candidate pool, so these per-keyword nearest neighbors
+    // stay valid for the whole greedy construction.
+    const TermSet& anchor_kw = dataset().object(o.id).keywords;
+    bool failed = false;
+    for (size_t k = 0; k < num_kw && !failed; ++k) {
+      if (TermSetContains(anchor_kw, query.keywords[k])) {
+        nn_index[k] = kInvalidObjectId;  // Covered by the anchor itself.
+        continue;
+      }
+      double best_d = std::numeric_limits<double>::infinity();
+      uint32_t best = kInvalidObjectId;
+      for (uint32_t cand_idx : lists[k]) {
+        if (cand_idx >= prefix_end) {
+          break;  // List indices ascend with distance from q.
+        }
+        const double d = Distance(cands[cand_idx].location, o.location);
+        if (d < best_d) {
+          best_d = d;
+          best = cand_idx;
+        }
+      }
+      if (best == kInvalidObjectId) {
+        // N(q) lies inside every C(q, d(o,q)) with d(o,q) >= d_f, so every
+        // keyword always has a candidate; reaching here indicates a bug.
+        COSKQ_DCHECK(false) << "greedy construction found no candidate";
+        failed = true;
+        break;
+      }
+      nn_dist[k] = best_d;
+      nn_index[k] = best;
+    }
+    if (failed) {
+      continue;
+    }
+
+    // Greedy assembly: repeatedly take the uncovered keyword whose nearest
+    // cover (w.r.t. o) is closest; one object may cover several keywords.
+    greedy_set.assign(1, o.id);
+    std::vector<bool> covered(num_kw, false);
+    for (size_t k = 0; k < num_kw; ++k) {
+      covered[k] = nn_index[k] == kInvalidObjectId;
+    }
+    while (true) {
+      size_t pick = num_kw;
+      for (size_t k = 0; k < num_kw; ++k) {
+        if (!covered[k] &&
+            (pick == num_kw || nn_dist[k] < nn_dist[pick])) {
+          pick = k;
+        }
+      }
+      if (pick == num_kw) {
+        break;  // All keywords covered.
+      }
+      const Candidate& chosen = cands[nn_index[pick]];
+      greedy_set.push_back(chosen.id);
+      const TermSet& chosen_kw = dataset().object(chosen.id).keywords;
+      for (size_t k = 0; k < num_kw; ++k) {
+        if (!covered[k] && TermSetContains(chosen_kw, query.keywords[k])) {
+          covered[k] = true;
+        }
+      }
+    }
+
+    ++stats.sets_evaluated;
+    const double cost =
+        EvaluateCost(type_, dataset(), query.location, greedy_set);
+    if (cost < cur_cost) {
+      cur_cost = cost;
+      cur_set = greedy_set;
+    }
+  }
+
+  CoskqResult result = MakeResult(query, std::move(cur_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

@@ -1,0 +1,42 @@
+#ifndef COSKQ_CORE_OWNER_DRIVEN_APPRO_H_
+#define COSKQ_CORE_OWNER_DRIVEN_APPRO_H_
+
+#include <string>
+
+#include "core/cost.h"
+#include "core/solver.h"
+
+namespace coskq {
+
+/// The paper's approximate algorithms, MaxSum-Appro and Dia-Appro, in one
+/// engine. The search keeps the query-distance-owner iteration of the exact
+/// algorithm but replaces best-set construction with a cheap greedy:
+///
+///   1. Seed the incumbent with N(q).
+///   2. Stream relevant objects o in ascending d(o, q) through the ring
+///      d_f <= d(o, q) < curCost (objects closer than d_f cannot be the
+///      query distance owner of any feasible set; objects at curCost or
+///      farther cannot improve the incumbent).
+///   3. For each o, greedily build a feasible set inside the disk
+///      C(q, d(o, q)): repeatedly add the object *nearest to o* that covers
+///      an uncovered keyword, which keeps the pairwise spread small.
+///   4. Cost the set exactly; keep the best.
+///
+/// Guarantees: cost(answer) <= 1.375 · OPT for MaxSum and <= sqrt(3) · OPT
+/// for Dia (the geometry of the owner disk ∩ query disk bounds the spread of
+/// the greedy set relative to any optimal set sharing the same owner).
+class OwnerDrivenAppro : public CoskqSolver {
+ public:
+  OwnerDrivenAppro(const CoskqContext& context, CostType type);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return type_; }
+
+ private:
+  CostType type_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_OWNER_DRIVEN_APPRO_H_

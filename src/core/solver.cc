@@ -1,0 +1,30 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+CoskqResult CoskqSolver::MakeResult(const CoskqQuery& query,
+                                    std::vector<ObjectId> set,
+                                    SolveStats stats) const {
+  CoskqResult result;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  COSKQ_DCHECK(SetCoversKeywords(dataset(), query.keywords, set));
+  result.feasible = true;
+  result.cost =
+      EvaluateCost(cost_type(), dataset(), query.location, set);
+  result.set = std::move(set);
+  result.stats = stats;
+  return result;
+}
+
+CoskqResult CoskqSolver::Infeasible(SolveStats stats) {
+  CoskqResult result;
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace coskq

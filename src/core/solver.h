@@ -1,0 +1,89 @@
+#ifndef COSKQ_CORE_SOLVER_H_
+#define COSKQ_CORE_SOLVER_H_
+
+#include <stdint.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "data/dataset.h"
+#include "data/query.h"
+#include "index/irtree.h"
+
+namespace coskq {
+
+/// Per-query instrumentation every solver reports.
+struct SolveStats {
+  /// Wall-clock time of the Solve call, in milliseconds.
+  double elapsed_ms = 0.0;
+  /// Relevant objects retrieved as candidates.
+  uint64_t candidates = 0;
+  /// Candidate owner pairs examined (exact algorithms).
+  uint64_t pairs_examined = 0;
+  /// Complete feasible sets whose cost was evaluated.
+  uint64_t sets_evaluated = 0;
+  /// True iff the solver hit its optional deadline and returned its best
+  /// incumbent instead of finishing the search (benchmark use only; without
+  /// a deadline exact solvers always finish and this stays false).
+  bool truncated = false;
+};
+
+/// The answer to one CoSKQ query.
+struct CoskqResult {
+  /// False iff some query keyword matches no object at all, in which case
+  /// `set` is empty and `cost` is +infinity.
+  bool feasible = false;
+  /// The returned object set, sorted by id.
+  std::vector<ObjectId> set;
+  /// Cost of `set` under the solver's cost function.
+  double cost = std::numeric_limits<double>::infinity();
+  SolveStats stats;
+};
+
+/// Shared, immutable context handed to every solver: the dataset and its
+/// IR-tree. Both must outlive the solver.
+struct CoskqContext {
+  const Dataset* dataset = nullptr;
+  const IrTree* index = nullptr;
+};
+
+/// Interface implemented by every CoSKQ algorithm in this library: the
+/// paper's exact and approximate algorithms, the Cao et al. baselines, and
+/// the brute-force oracle.
+class CoskqSolver {
+ public:
+  explicit CoskqSolver(const CoskqContext& context) : context_(context) {}
+  virtual ~CoskqSolver() = default;
+
+  CoskqSolver(const CoskqSolver&) = delete;
+  CoskqSolver& operator=(const CoskqSolver&) = delete;
+
+  /// Answers one query. Thread-compatible: concurrent Solve calls on
+  /// distinct solver instances over the same context are safe.
+  virtual CoskqResult Solve(const CoskqQuery& query) = 0;
+
+  /// Stable identifier, e.g. "MaxSum-Exact".
+  virtual std::string name() const = 0;
+
+  /// The cost function this solver optimizes / evaluates.
+  virtual CostType cost_type() const = 0;
+
+ protected:
+  const Dataset& dataset() const { return *context_.dataset; }
+  const IrTree& index() const { return *context_.index; }
+
+  /// Finalizes a result: sorts the set, computes the cost, stamps stats.
+  CoskqResult MakeResult(const CoskqQuery& query, std::vector<ObjectId> set,
+                         SolveStats stats) const;
+
+  /// The canonical infeasible result.
+  static CoskqResult Infeasible(SolveStats stats);
+
+  CoskqContext context_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_SOLVER_H_

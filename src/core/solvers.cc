@@ -1,0 +1,52 @@
+#include "core/solvers.h"
+
+#include "core/brute_force.h"
+#include "core/cao_appro.h"
+#include "core/cao_exact.h"
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+
+namespace coskq {
+
+std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
+                                        const CoskqContext& context) {
+  const auto type_of = [&name]() {
+    return name.ends_with("-dia") ? CostType::kDia : CostType::kMaxSum;
+  };
+  if (name == "maxsum-exact") {
+    return std::make_unique<OwnerDrivenExact>(context, CostType::kMaxSum);
+  }
+  if (name == "dia-exact") {
+    return std::make_unique<OwnerDrivenExact>(context, CostType::kDia);
+  }
+  if (name == "maxsum-appro") {
+    return std::make_unique<OwnerDrivenAppro>(context, CostType::kMaxSum);
+  }
+  if (name == "dia-appro") {
+    return std::make_unique<OwnerDrivenAppro>(context, CostType::kDia);
+  }
+  if (name == "cao-exact-maxsum" || name == "cao-exact-dia") {
+    return std::make_unique<CaoExact>(context, type_of());
+  }
+  if (name == "cao-appro1-maxsum" || name == "cao-appro1-dia") {
+    return std::make_unique<CaoAppro1>(context, type_of());
+  }
+  if (name == "cao-appro2-maxsum" || name == "cao-appro2-dia") {
+    return std::make_unique<CaoAppro2>(context, type_of());
+  }
+  if (name == "brute-force-maxsum" || name == "brute-force-dia") {
+    return std::make_unique<BruteForceSolver>(context, type_of());
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AvailableSolverNames() {
+  return {
+      "maxsum-exact",      "maxsum-appro",      "dia-exact",
+      "dia-appro",         "cao-exact-maxsum",  "cao-exact-dia",
+      "cao-appro1-maxsum", "cao-appro1-dia",    "cao-appro2-maxsum",
+      "cao-appro2-dia",    "brute-force-maxsum", "brute-force-dia",
+  };
+}
+
+}  // namespace coskq

@@ -1,0 +1,27 @@
+#ifndef COSKQ_CORE_SOLVERS_H_
+#define COSKQ_CORE_SOLVERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace coskq {
+
+/// Creates a solver by its registry name. Available names:
+///   "maxsum-exact", "maxsum-appro", "dia-exact", "dia-appro"   (the paper)
+///   "cao-exact-maxsum",  "cao-exact-dia"                       (baseline)
+///   "cao-appro1-maxsum", "cao-appro1-dia"                      (baseline)
+///   "cao-appro2-maxsum", "cao-appro2-dia"                      (baseline)
+///   "brute-force-maxsum", "brute-force-dia"                    (oracle)
+/// Returns nullptr for an unknown name.
+std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
+                                        const CoskqContext& context);
+
+/// All registry names accepted by MakeSolver.
+std::vector<std::string> AvailableSolverNames();
+
+}  // namespace coskq
+
+#endif  // COSKQ_CORE_SOLVERS_H_

@@ -1,0 +1,44 @@
+#include "data/augment.h"
+
+#include "data/term_set.h"
+#include "util/logging.h"
+
+namespace coskq {
+
+void AugmentAverageKeywords(Dataset* dataset, double target_avg, Rng* rng) {
+  COSKQ_CHECK(dataset != nullptr);
+  const size_t n = dataset->NumObjects();
+  if (n < 2) {
+    return;
+  }
+  int rounds = 0;
+  while (dataset->AverageKeywordsPerObject() < target_avg && rounds < 64) {
+    ++rounds;
+    for (ObjectId id = 0; id < n; ++id) {
+      if (dataset->AverageKeywordsPerObject() >= target_avg) {
+        break;
+      }
+      ObjectId other = id;
+      while (other == id) {
+        other = static_cast<ObjectId>(rng->UniformUint64(n));
+      }
+      TermSet merged = TermSetUnion(dataset->object(id).keywords,
+                                    dataset->object(other).keywords);
+      dataset->ReplaceKeywords(id, std::move(merged));
+    }
+  }
+}
+
+void AugmentToSize(Dataset* dataset, size_t target_count, Rng* rng) {
+  COSKQ_CHECK(dataset != nullptr);
+  const size_t base = dataset->NumObjects();
+  COSKQ_CHECK_GT(base, 0u);
+  while (dataset->NumObjects() < target_count) {
+    const ObjectId loc_src = static_cast<ObjectId>(rng->UniformUint64(base));
+    const ObjectId doc_src = static_cast<ObjectId>(rng->UniformUint64(base));
+    dataset->AddObjectWithTerms(dataset->object(loc_src).location,
+                                dataset->object(doc_src).keywords);
+  }
+}
+
+}  // namespace coskq

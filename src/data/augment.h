@@ -1,0 +1,27 @@
+#ifndef COSKQ_DATA_AUGMENT_H_
+#define COSKQ_DATA_AUGMENT_H_
+
+#include <stddef.h>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace coskq {
+
+/// Dataset augmentations used by the paper's evaluation.
+
+/// Raises the average keyword-set size to (at least) `target_avg` by
+/// repeatedly merging into each object the keyword set of a uniformly random
+/// other object, exactly as the "effect of average |o.ψ|" experiment
+/// constructs its derived datasets. Mutates `dataset` in place.
+void AugmentAverageKeywords(Dataset* dataset, double target_avg, Rng* rng);
+
+/// Grows the dataset to `target_count` objects by adding objects whose
+/// location is that of a uniformly random existing object (preserving the
+/// spatial distribution) and whose keyword set is copied from a uniformly
+/// random existing object, exactly as the scalability experiment grows GN.
+void AugmentToSize(Dataset* dataset, size_t target_count, Rng* rng);
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_AUGMENT_H_

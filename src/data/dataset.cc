@@ -1,0 +1,184 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace coskq {
+
+TermId Vocabulary::GetOrAdd(const std::string& word) {
+  auto [it, inserted] =
+      word_to_id_.emplace(word, static_cast<TermId>(id_to_word_.size()));
+  if (inserted) {
+    id_to_word_.push_back(word);
+  }
+  return it->second;
+}
+
+TermId Vocabulary::Find(const std::string& word) const {
+  auto it = word_to_id_.find(word);
+  return it == word_to_id_.end() ? kInvalidTermId : it->second;
+}
+
+const std::string& Vocabulary::TermString(TermId id) const {
+  COSKQ_CHECK_LT(id, id_to_word_.size());
+  return id_to_word_[id];
+}
+
+Dataset Dataset::Clone() const {
+  Dataset copy;
+  copy.objects_ = objects_;
+  copy.vocab_ = vocab_;
+  copy.mbr_ = mbr_;
+  copy.term_frequency_ = term_frequency_;
+  copy.total_keyword_count_ = total_keyword_count_;
+  return copy;
+}
+
+ObjectId Dataset::AddObject(const Point& location,
+                            const std::vector<std::string>& words) {
+  TermSet terms;
+  terms.reserve(words.size());
+  for (const std::string& word : words) {
+    terms.push_back(vocab_.GetOrAdd(word));
+  }
+  return AddObjectWithTerms(location, std::move(terms));
+}
+
+ObjectId Dataset::AddObjectWithTerms(const Point& location, TermSet terms) {
+  NormalizeTermSet(&terms);
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  mbr_.ExpandToInclude(location);
+  total_keyword_count_ += terms.size();
+  for (TermId t : terms) {
+    if (t >= term_frequency_.size()) {
+      term_frequency_.resize(t + 1, 0);
+    }
+    ++term_frequency_[t];
+  }
+  objects_.push_back(SpatialObject{id, location, std::move(terms)});
+  return id;
+}
+
+const SpatialObject& Dataset::object(ObjectId id) const {
+  COSKQ_CHECK_LT(id, objects_.size());
+  return objects_[id];
+}
+
+uint32_t Dataset::TermFrequency(TermId t) const {
+  return t < term_frequency_.size() ? term_frequency_[t] : 0;
+}
+
+double Dataset::AverageKeywordsPerObject() const {
+  if (objects_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(total_keyword_count_) /
+         static_cast<double>(objects_.size());
+}
+
+std::vector<TermId> Dataset::TermsByFrequencyDesc() const {
+  std::vector<TermId> terms;
+  terms.reserve(term_frequency_.size());
+  for (TermId t = 0; t < term_frequency_.size(); ++t) {
+    if (term_frequency_[t] > 0) {
+      terms.push_back(t);
+    }
+  }
+  std::stable_sort(terms.begin(), terms.end(), [this](TermId a, TermId b) {
+    if (term_frequency_[a] != term_frequency_[b]) {
+      return term_frequency_[a] > term_frequency_[b];
+    }
+    return a < b;
+  });
+  return terms;
+}
+
+void Dataset::ReplaceKeywords(ObjectId id, TermSet terms) {
+  COSKQ_CHECK_LT(id, objects_.size());
+  NormalizeTermSet(&terms);
+  SpatialObject& obj = objects_[id];
+  total_keyword_count_ -= obj.keywords.size();
+  for (TermId t : obj.keywords) {
+    COSKQ_DCHECK(t < term_frequency_.size() && term_frequency_[t] > 0);
+    --term_frequency_[t];
+  }
+  total_keyword_count_ += terms.size();
+  for (TermId t : terms) {
+    if (t >= term_frequency_.size()) {
+      term_frequency_.resize(t + 1, 0);
+    }
+    ++term_frequency_[t];
+  }
+  obj.keywords = std::move(terms);
+}
+
+Status Dataset::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  // max_digits10 makes the coordinate round-trip bit-exact.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const SpatialObject& obj : objects_) {
+    out << obj.location.x << ' ' << obj.location.y;
+    for (TermId t : obj.keywords) {
+      out << ' ' << vocab_.TermString(t);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+StatusOr<Dataset> ParseLines(std::istream& in, const std::string& origin) {
+  Dataset dataset;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> fields = SplitString(trimmed, ' ');
+    if (fields.size() < 2) {
+      return Status::Corruption(origin + ":" + std::to_string(line_number) +
+                                ": expected 'x y [words...]'");
+    }
+    double x = 0.0;
+    double y = 0.0;
+    if (!ParseDouble(fields[0], &x) || !ParseDouble(fields[1], &y)) {
+      return Status::Corruption(origin + ":" + std::to_string(line_number) +
+                                ": malformed coordinates");
+    }
+    std::vector<std::string> words(fields.begin() + 2, fields.end());
+    dataset.AddObject(Point{x, y}, words);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+StatusOr<Dataset> Dataset::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return ParseLines(in, path);
+}
+
+StatusOr<Dataset> Dataset::ParseFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseLines(in, "<string>");
+}
+
+}  // namespace coskq

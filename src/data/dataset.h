@@ -1,0 +1,111 @@
+#ifndef COSKQ_DATA_DATASET_H_
+#define COSKQ_DATA_DATASET_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/object.h"
+#include "data/term_set.h"
+#include "geo/rect.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// Bidirectional mapping between keyword strings and dense TermIds.
+/// TermIds are assigned in first-seen order starting at 0.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `word`, interning it if unseen.
+  TermId GetOrAdd(const std::string& word);
+
+  /// Returns the id of `word`, or kInvalidTermId if unknown.
+  TermId Find(const std::string& word) const;
+
+  /// Returns the string for a valid id.
+  const std::string& TermString(TermId id) const;
+
+  size_t size() const { return id_to_word_.size(); }
+
+  static constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+ private:
+  std::unordered_map<std::string, TermId> word_to_id_;
+  std::vector<std::string> id_to_word_;
+};
+
+/// An in-memory collection of geo-textual objects plus derived statistics:
+/// the spatial MBR, per-term document frequencies, and the frequency-ranked
+/// vocabulary used by the paper's query generator. Objects are identified by
+/// their index (ObjectId == position), which the indexes rely on.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Movable but not copyable: datasets can be large, and accidental copies
+  // would dominate benchmark timings.
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Explicit deep copy for tests/tools that mutate a derived dataset.
+  Dataset Clone() const;
+
+  /// Appends an object with string keywords; returns its id.
+  ObjectId AddObject(const Point& location,
+                     const std::vector<std::string>& words);
+
+  /// Appends an object with pre-interned keyword ids (need not be sorted;
+  /// duplicates are removed); returns its id.
+  ObjectId AddObjectWithTerms(const Point& location, TermSet terms);
+
+  size_t NumObjects() const { return objects_.size(); }
+  const SpatialObject& object(ObjectId id) const;
+  const std::vector<SpatialObject>& objects() const { return objects_; }
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+  Vocabulary& mutable_vocabulary() { return vocab_; }
+
+  /// Minimum bounding rectangle of all object locations.
+  const Rect& mbr() const { return mbr_; }
+
+  /// Number of objects whose keyword set contains `t` (document frequency).
+  uint32_t TermFrequency(TermId t) const;
+
+  /// Total number of keyword occurrences across all objects (Σ |o.ψ|).
+  uint64_t TotalKeywordCount() const { return total_keyword_count_; }
+
+  /// Mean keyword-set size, the "average |o.ψ|" knob of the evaluation.
+  double AverageKeywordsPerObject() const;
+
+  /// Term ids sorted by descending document frequency (ties by id). This is
+  /// the ranking the paper's query generator draws keywords from.
+  std::vector<TermId> TermsByFrequencyDesc() const;
+
+  /// Replaces the keyword set of `id` (used by the dataset augmentation in
+  /// the "effect of average |o.ψ|" experiment). Updates statistics.
+  void ReplaceKeywords(ObjectId id, TermSet terms);
+
+  /// Serialization: one object per line, "x y word1 word2 ...".
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Dataset> LoadFromFile(const std::string& path);
+
+  /// Parses the SaveToFile format from a string (used by tests).
+  static StatusOr<Dataset> ParseFromString(const std::string& text);
+
+ private:
+  std::vector<SpatialObject> objects_;
+  Vocabulary vocab_;
+  Rect mbr_;
+  std::vector<uint32_t> term_frequency_;
+  uint64_t total_keyword_count_ = 0;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_DATASET_H_

@@ -1,0 +1,20 @@
+#include "data/object.h"
+
+#include <sstream>
+
+namespace coskq {
+
+std::string SpatialObject::ToString() const {
+  std::ostringstream os;
+  os << "o" << id << "@" << location.ToString() << " ψ={";
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << keywords[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace coskq

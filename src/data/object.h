@@ -1,0 +1,43 @@
+#ifndef COSKQ_DATA_OBJECT_H_
+#define COSKQ_DATA_OBJECT_H_
+
+#include <stdint.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/term_set.h"
+#include "geo/point.h"
+
+namespace coskq {
+
+/// Dense object identifier: the object's index in its owning Dataset.
+using ObjectId = uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// A geo-textual object: a spatial location `λ` plus a keyword set `ψ`.
+/// This is the `o ∈ O` of the CoSKQ problem definition.
+struct SpatialObject {
+  ObjectId id = kInvalidObjectId;
+  Point location;
+  /// Sorted, duplicate-free keyword ids (the TermSet invariant).
+  TermSet keywords;
+
+  /// True iff the object's keyword set contains `t`.
+  bool ContainsTerm(TermId t) const { return TermSetContains(keywords, t); }
+
+  /// True iff the object covers at least one of the given query keywords,
+  /// i.e. the object is *relevant* to a query with keyword set `terms`.
+  bool ContainsAnyOf(const TermSet& terms) const {
+    return TermSetsIntersect(keywords, terms);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_OBJECT_H_

@@ -1,0 +1,19 @@
+#ifndef COSKQ_DATA_QUERY_H_
+#define COSKQ_DATA_QUERY_H_
+
+#include "data/term_set.h"
+#include "geo/point.h"
+
+namespace coskq {
+
+/// A CoSKQ query q: a location q.λ and a keyword set q.ψ. The answer is a
+/// *feasible* object set (one covering q.ψ) of minimum cost.
+struct CoskqQuery {
+  Point location;
+  /// Sorted, duplicate-free query keywords (the TermSet invariant).
+  TermSet keywords;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_QUERY_H_

@@ -1,0 +1,52 @@
+#include "data/query_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+QueryGenerator::QueryGenerator(const Dataset* dataset, const Options& options)
+    : dataset_(dataset) {
+  COSKQ_CHECK(dataset != nullptr);
+  COSKQ_CHECK_GE(options.percentile_lo, 0.0);
+  COSKQ_CHECK_LE(options.percentile_hi, 1.0);
+  COSKQ_CHECK_LT(options.percentile_lo, options.percentile_hi);
+  const std::vector<TermId> ranked = dataset->TermsByFrequencyDesc();
+  const size_t lo = static_cast<size_t>(options.percentile_lo *
+                                        static_cast<double>(ranked.size()));
+  size_t hi = static_cast<size_t>(options.percentile_hi *
+                                  static_cast<double>(ranked.size()));
+  hi = std::max(hi, std::min(ranked.size(), lo + 1));
+  band_.assign(ranked.begin() + lo, ranked.begin() + hi);
+}
+
+CoskqQuery QueryGenerator::Generate(size_t num_keywords, Rng* rng) const {
+  CoskqQuery query;
+  const Rect& mbr = dataset_->mbr();
+  if (mbr.IsEmpty()) {
+    query.location = Point{0.0, 0.0};
+  } else {
+    // Degenerate (zero-width/height) MBRs pin the coordinate.
+    query.location.x = mbr.min_x < mbr.max_x
+                           ? rng->UniformDouble(mbr.min_x, mbr.max_x)
+                           : mbr.min_x;
+    query.location.y = mbr.min_y < mbr.max_y
+                           ? rng->UniformDouble(mbr.min_y, mbr.max_y)
+                           : mbr.min_y;
+  }
+  const size_t want = std::min(num_keywords, band_.size());
+  // Partial Fisher-Yates over a copy of the band: uniform without
+  // replacement.
+  TermSet pool = band_;
+  for (size_t i = 0; i < want; ++i) {
+    const size_t j = i + static_cast<size_t>(rng->UniformUint64(
+                             pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    query.keywords.push_back(pool[i]);
+  }
+  NormalizeTermSet(&query.keywords);
+  return query;
+}
+
+}  // namespace coskq

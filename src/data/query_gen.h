@@ -1,0 +1,45 @@
+#ifndef COSKQ_DATA_QUERY_GEN_H_
+#define COSKQ_DATA_QUERY_GEN_H_
+
+#include <stddef.h>
+
+#include "data/dataset.h"
+#include "data/query.h"
+#include "data/term_set.h"
+#include "geo/point.h"
+#include "util/random.h"
+
+namespace coskq {
+
+/// Generates queries the way the paper does: the location is drawn uniformly
+/// from the MBR of the dataset, and the keywords are drawn from a percentile
+/// band of the frequency-ranked vocabulary (default [0%, 40%] — the most
+/// frequent 40% of distinct keywords), without replacement.
+class QueryGenerator {
+ public:
+  struct Options {
+    /// Percentile band [lo, hi) of the descending-frequency term ranking to
+    /// draw keywords from, as fractions in [0, 1].
+    double percentile_lo = 0.0;
+    double percentile_hi = 0.4;
+  };
+
+  QueryGenerator(const Dataset* dataset, const Options& options);
+  explicit QueryGenerator(const Dataset* dataset)
+      : QueryGenerator(dataset, Options()) {}
+
+  /// Generates one query with `num_keywords` distinct keywords. If the band
+  /// holds fewer distinct terms than requested, all of them are used.
+  CoskqQuery Generate(size_t num_keywords, Rng* rng) const;
+
+  /// Number of distinct terms in the configured percentile band.
+  size_t BandSize() const { return band_.size(); }
+
+ private:
+  const Dataset* dataset_;
+  TermSet band_;  // Candidate terms (unsorted ranking slice).
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_QUERY_GEN_H_

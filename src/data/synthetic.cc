@@ -1,0 +1,140 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+namespace {
+
+// Draws a keyword-set size with mean `avg`, at least 1: 1 + Binomial-ish
+// spread implemented as a geometric mixture so small averages stay small.
+size_t SampleKeywordCount(double avg, Rng* rng) {
+  COSKQ_CHECK_GE(avg, 1.0);
+  const double extra_mean = avg - 1.0;
+  if (extra_mean <= 0.0) {
+    return 1;
+  }
+  // Geometric with mean extra_mean: p = 1 / (1 + mean).
+  const double p = 1.0 / (1.0 + extra_mean);
+  size_t extra = 0;
+  while (!rng->Bernoulli(p)) {
+    ++extra;
+    if (extra > 64 * static_cast<size_t>(std::ceil(avg))) {
+      break;  // Safety cap against pathological parameters.
+    }
+  }
+  return 1 + extra;
+}
+
+Point SampleLocation(const SyntheticSpec& spec,
+                     const std::vector<Point>& cluster_centers, Rng* rng) {
+  if (!cluster_centers.empty() && rng->Bernoulli(spec.cluster_fraction)) {
+    const Point& c =
+        cluster_centers[rng->UniformUint64(cluster_centers.size())];
+    double x = c.x + spec.cluster_sigma * rng->Gaussian();
+    double y = c.y + spec.cluster_sigma * rng->Gaussian();
+    x = std::clamp(x, 0.0, 1.0);
+    y = std::clamp(y, 0.0, 1.0);
+    return Point{x, y};
+  }
+  return Point{rng->UniformDouble(), rng->UniformDouble()};
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec, Rng* rng) {
+  COSKQ_CHECK_GT(spec.num_objects, 0u);
+  COSKQ_CHECK_GT(spec.vocab_size, 0u);
+
+  Dataset dataset;
+  // Pre-intern the whole vocabulary so TermId == Zipf rank: rank 0 is the
+  // most frequent keyword, matching the ranking the query generator uses.
+  for (size_t i = 0; i < spec.vocab_size; ++i) {
+    std::string word = "t";
+    word += std::to_string(i);
+    dataset.mutable_vocabulary().GetOrAdd(word);
+  }
+
+  std::vector<Point> cluster_centers;
+  cluster_centers.reserve(spec.num_clusters);
+  for (size_t i = 0; i < spec.num_clusters; ++i) {
+    cluster_centers.push_back(
+        Point{rng->UniformDouble(0.1, 0.9), rng->UniformDouble(0.1, 0.9)});
+  }
+
+  ZipfSampler zipf(spec.vocab_size, spec.zipf_theta);
+  TermSet terms;
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    const Point location = SampleLocation(spec, cluster_centers, rng);
+    const size_t want = std::min(SampleKeywordCount(
+                                     spec.avg_keywords_per_object, rng),
+                                 spec.vocab_size);
+    terms.clear();
+    size_t attempts = 0;
+    while (terms.size() < want && attempts < 32 * want + 64) {
+      ++attempts;
+      const TermId t = static_cast<TermId>(zipf.Sample(rng));
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    dataset.AddObjectWithTerms(location, terms);
+  }
+  return dataset;
+}
+
+SyntheticSpec HotelLikeSpec(double scale) {
+  // Published statistics: 20,790 hotels, 602 unique words, 80,645 total
+  // words (≈3.9 keywords/object). Hotels are strongly clustered.
+  SyntheticSpec spec;
+  spec.name = "Hotel";
+  spec.num_objects = std::max<size_t>(100, (size_t)(20790 * scale));
+  spec.vocab_size = std::max<size_t>(50, (size_t)(602 * scale));
+  spec.avg_keywords_per_object = 3.9;
+  spec.zipf_theta = 0.8;
+  spec.cluster_fraction = 0.75;
+  spec.num_clusters = 24;
+  return spec;
+}
+
+SyntheticSpec GnLikeSpec(double scale) {
+  // Published statistics: 1,868,821 geographic names, 222,409 unique words,
+  // 18,374,228 total words (≈9.8 keywords/object).
+  SyntheticSpec spec;
+  spec.name = "GN";
+  spec.num_objects = std::max<size_t>(1000, (size_t)(1868821 * scale));
+  // Vocabulary scales linearly with the object count so the *per-keyword
+  // object density* — which controls query hardness (d_f, candidate disk
+  // sizes) — matches the published corpus at any scale.
+  spec.vocab_size = std::max<size_t>(200, (size_t)(222409 * scale));
+  spec.avg_keywords_per_object = 9.8;
+  spec.zipf_theta = 1.0;
+  spec.cluster_fraction = 0.5;
+  spec.num_clusters = 48;
+  return spec;
+}
+
+SyntheticSpec WebLikeSpec(double scale) {
+  // Published statistics: 579,727 web objects over 2,899,175 unique words —
+  // long documents. The average document length is capped at 40 unique
+  // keywords here (the real corpus averages hundreds, which only inflates
+  // irrelevant postings); see EXPERIMENTS.md for the substitution note.
+  SyntheticSpec spec;
+  spec.name = "Web";
+  spec.num_objects = std::max<size_t>(1000, (size_t)(579727 * scale));
+  // The real Web corpus averages ~430 words per document over a 2.9M-word
+  // vocabulary (~86 documents per word). With the document length capped at
+  // ~40 keywords, a vocabulary of ~0.47x the object count preserves that
+  // per-keyword density.
+  spec.vocab_size = std::max<size_t>(500, (size_t)(spec.num_objects * 0.465));
+  spec.avg_keywords_per_object = 40.0;
+  spec.zipf_theta = 1.0;
+  spec.cluster_fraction = 0.4;
+  spec.num_clusters = 32;
+  return spec;
+}
+
+}  // namespace coskq

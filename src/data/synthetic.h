@@ -1,0 +1,56 @@
+#ifndef COSKQ_DATA_SYNTHETIC_H_
+#define COSKQ_DATA_SYNTHETIC_H_
+
+#include <stddef.h>
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace coskq {
+
+/// Parameters of the synthetic geo-textual dataset generator.
+///
+/// The paper evaluates on three real datasets (Hotel, GN, Web) that are not
+/// redistributable. The generator below produces datasets with matched
+/// *published statistics* — object count, vocabulary size, average keywords
+/// per object — with Zipf-distributed keyword frequencies (word frequencies
+/// in geo-textual corpora are heavy-tailed) and a mixture of uniform and
+/// clustered locations (POI datasets are spatially clustered around cities).
+/// See EXPERIMENTS.md for the substitution rationale.
+struct SyntheticSpec {
+  /// Number of objects to generate.
+  size_t num_objects = 10000;
+  /// Vocabulary size; term ids coincide with frequency rank (0 = most
+  /// frequent) because keywords are drawn from a Zipf over ranks.
+  size_t vocab_size = 1000;
+  /// Mean keyword-set size per object (geometric-ish spread around it).
+  double avg_keywords_per_object = 4.0;
+  /// Zipf skew of the keyword frequency distribution (0 = uniform).
+  double zipf_theta = 0.9;
+  /// Fraction of objects placed in Gaussian clusters; the rest is uniform.
+  double cluster_fraction = 0.7;
+  /// Number of Gaussian clusters.
+  size_t num_clusters = 16;
+  /// Standard deviation of each cluster, in units of the unit square.
+  double cluster_sigma = 0.03;
+
+  /// Human-readable name used by benches and reports.
+  std::string name = "synthetic";
+};
+
+/// Generates a dataset according to `spec`, deterministically for a given
+/// seed. Keyword strings are "t<id>".
+Dataset GenerateSynthetic(const SyntheticSpec& spec, Rng* rng);
+
+/// Specs mirroring the published statistics of the paper's real datasets,
+/// scaled by `scale` (1.0 = published size). Scaling multiplies the object
+/// count and vocabulary size, keeping the average keywords per object.
+SyntheticSpec HotelLikeSpec(double scale);
+SyntheticSpec GnLikeSpec(double scale);
+SyntheticSpec WebLikeSpec(double scale);
+
+}  // namespace coskq
+
+#endif  // COSKQ_DATA_SYNTHETIC_H_

@@ -1,0 +1,83 @@
+#include "data/term_set.h"
+
+#include <algorithm>
+
+namespace coskq {
+
+void NormalizeTermSet(TermSet* terms) {
+  std::sort(terms->begin(), terms->end());
+  terms->erase(std::unique(terms->begin(), terms->end()), terms->end());
+}
+
+bool TermSetContains(const TermSet& terms, TermId t) {
+  return std::binary_search(terms.begin(), terms.end(), t);
+}
+
+bool TermSetsIntersect(const TermSet& a, const TermSet& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+TermSet TermSetUnion(const TermSet& a, const TermSet& b) {
+  TermSet result;
+  result.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(result));
+  return result;
+}
+
+TermSet TermSetIntersection(const TermSet& a, const TermSet& b) {
+  TermSet result;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(result));
+  return result;
+}
+
+TermSet TermSetDifference(const TermSet& a, const TermSet& b) {
+  TermSet result;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(result));
+  return result;
+}
+
+bool TermSetIsSubset(const TermSet& sub, const TermSet& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+size_t TermSetIntersectionSize(const TermSet& a, const TermSet& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+void TermSetMergeInto(TermSet* target, const TermSet& addition) {
+  if (addition.empty()) {
+    return;
+  }
+  TermSet merged = TermSetUnion(*target, addition);
+  target->swap(merged);
+}
+
+}  // namespace coskq

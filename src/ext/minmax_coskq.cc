@@ -1,0 +1,382 @@
+#include "ext/minmax_coskq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/candidates.h"
+#include "core/nn_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+std::string_view MinMaxVariantName(MinMaxVariant variant) {
+  return variant == MinMaxVariant::kSum ? "MinMax" : "MinMax2";
+}
+
+namespace {
+
+double CombineMinMax(MinMaxVariant variant, double min_dist,
+                     double max_pair) {
+  return variant == MinMaxVariant::kSum ? min_dist + max_pair
+                                        : std::max(min_dist, max_pair);
+}
+
+// LIFO tracker of (min query distance, max pairwise distance). Neither the
+// combined cost nor the min component is monotone under Push; pruning must
+// go through LowerBoundWith() below.
+class MinMaxTracker {
+ public:
+  MinMaxTracker(const Dataset* dataset, const Point& q)
+      : dataset_(dataset), query_(q) {
+    min_stack_.push_back(std::numeric_limits<double>::infinity());
+    pair_stack_.push_back(0.0);
+  }
+
+  void Push(ObjectId id) {
+    const Point& p = dataset_->object(id).location;
+    double max_pair = pair_stack_.back();
+    for (const Point& existing : points_) {
+      max_pair = std::max(max_pair, Distance(existing, p));
+    }
+    min_stack_.push_back(
+        std::min(min_stack_.back(), Distance(query_, p)));
+    pair_stack_.push_back(max_pair);
+    ids_.push_back(id);
+    points_.push_back(p);
+  }
+
+  void Pop() {
+    COSKQ_CHECK(!ids_.empty());
+    ids_.pop_back();
+    points_.pop_back();
+    min_stack_.pop_back();
+    pair_stack_.pop_back();
+  }
+
+  double min_dist() const { return min_stack_.back(); }
+  double max_pair() const { return pair_stack_.back(); }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  bool Contains(ObjectId id) const {
+    return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+  }
+
+  /// Exact cost of the current set (infinite for the empty set).
+  double Cost(MinMaxVariant variant) const {
+    if (ids_.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return CombineMinMax(variant, min_dist(), max_pair());
+  }
+
+  /// Admissible lower bound on the cost of any feasible extension, given
+  /// that every object still addable is at distance >= `closest_remaining`
+  /// ... more precisely, that the closest addable object is at distance
+  /// `closest_remaining` from q: the final min component is at least
+  /// min(current min, closest_remaining), and the pairwise component can
+  /// only grow.
+  double LowerBoundWith(MinMaxVariant variant,
+                        double closest_remaining) const {
+    const double min_floor = std::min(min_dist(), closest_remaining);
+    return CombineMinMax(variant, min_floor, max_pair());
+  }
+
+ private:
+  const Dataset* dataset_;
+  Point query_;
+  std::vector<ObjectId> ids_;
+  std::vector<Point> points_;
+  std::vector<double> min_stack_;
+  std::vector<double> pair_stack_;
+};
+
+CoskqResult MakeMinMaxResult(MinMaxVariant variant, const Dataset& dataset,
+                             const CoskqQuery& query,
+                             std::vector<ObjectId> set, SolveStats stats) {
+  CoskqResult result;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  COSKQ_DCHECK(SetCoversKeywords(dataset, query.keywords, set));
+  result.feasible = true;
+  result.cost = EvaluateMinMaxCost(variant, dataset, query.location, set);
+  result.set = std::move(set);
+  result.stats = stats;
+  return result;
+}
+
+// Greedy cover construction: starting from `seed` (empty or the anchor),
+// repeatedly add the relevant candidate minimizing the exact grown cost.
+// Returns false if the pool cannot cover the keywords.
+bool GreedyCover(MinMaxVariant variant, const Dataset& dataset,
+                 const CoskqQuery& query,
+                 const std::vector<Candidate>& pool,
+                 std::vector<ObjectId> seed, std::vector<ObjectId>* out) {
+  TermSet covered;
+  for (ObjectId id : seed) {
+    TermSetMergeInto(&covered, dataset.object(id).keywords);
+  }
+  TermSet uncovered = TermSetDifference(query.keywords, covered);
+  std::vector<ObjectId> set = std::move(seed);
+  while (!uncovered.empty()) {
+    ObjectId best = kInvalidObjectId;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const Candidate& cand : pool) {
+      if (!TermSetsIntersect(dataset.object(cand.id).keywords, uncovered)) {
+        continue;
+      }
+      set.push_back(cand.id);
+      const double cost =
+          EvaluateMinMaxCost(variant, dataset, query.location, set);
+      set.pop_back();
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = cand.id;
+      }
+    }
+    if (best == kInvalidObjectId) {
+      return false;
+    }
+    set.push_back(best);
+    uncovered =
+        TermSetDifference(uncovered, dataset.object(best).keywords);
+  }
+  *out = std::move(set);
+  return true;
+}
+
+}  // namespace
+
+double EvaluateMinMaxCost(MinMaxVariant variant, const Dataset& dataset,
+                          const Point& q,
+                          const std::vector<ObjectId>& set) {
+  if (set.empty()) {
+    return 0.0;
+  }
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (ObjectId id : set) {
+    min_dist = std::min(min_dist, Distance(q, dataset.object(id).location));
+  }
+  const double max_pair =
+      ComputeComponents(dataset, q, set).max_pairwise_dist;
+  return CombineMinMax(variant, min_dist, max_pair);
+}
+
+MinMaxExact::MinMaxExact(const CoskqContext& context, MinMaxVariant variant)
+    : CoskqSolver(context), variant_(variant) {}
+
+std::string MinMaxExact::name() const {
+  std::string result(MinMaxVariantName(variant_));
+  result += "-Exact";
+  return result;
+}
+
+CoskqResult MinMaxExact::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result =
+        MakeMinMaxResult(variant_, dataset(), query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = nn.set;
+  double cur_cost =
+      EvaluateMinMaxCost(variant_, dataset(), query.location, cur_set);
+  {
+    // Seed with the greedy heuristic (cheap, tightens every bound).
+    MinMaxGreedy greedy(context_, variant_);
+    CoskqResult seeded = greedy.Solve(query);
+    if (seeded.feasible && seeded.cost < cur_cost) {
+      cur_cost = seeded.cost;
+      cur_set = std::move(seeded.set);
+    }
+  }
+
+  // Cover candidates: every member o of an optimal set satisfies
+  // d(o, q) <= d(o, m) + d(m, q) <= maxpair + min_d, and both cost variants
+  // are >= (min_d + maxpair) / 2, so d(o, q) <= 2 * cost < 2 * curCost.
+  // (For the kSum variant the tight bound d(o, q) <= cost would do.)
+  const double disk = 2.0 * cur_cost * (1.0 + 1e-12);
+  const std::vector<Candidate> cands =
+      RelevantCandidatesInDisk(context_, query, disk);
+  stats.candidates = cands.size();
+  std::vector<std::vector<uint32_t>> lists(query.keywords.size());
+  for (uint32_t i = 0; i < cands.size(); ++i) {
+    const TermSet& kw = dataset().object(cands[i].id).keywords;
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      if (TermSetContains(kw, query.keywords[k])) {
+        lists[k].push_back(i);
+      }
+    }
+  }
+  double closest_candidate = std::numeric_limits<double>::infinity();
+  for (const Candidate& cand : cands) {
+    closest_candidate = std::min(closest_candidate, cand.dist_q);
+  }
+
+  // Anchor candidates: ANY object (relevant or not) can serve as the
+  // closest-to-q member. An anchor only matters when it is the arg-min, in
+  // which case cost >= its distance: enumerate ascending, cut at curCost.
+  std::vector<Candidate> anchors;
+  for (const SpatialObject& obj : dataset().objects()) {
+    const double d = Distance(query.location, obj.location);
+    if (d < cur_cost) {
+      anchors.push_back(Candidate{obj.id, obj.location, d});
+    }
+  }
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dist_q != b.dist_q) {
+                return a.dist_q < b.dist_q;
+              }
+              return a.id < b.id;
+            });
+
+  MinMaxTracker tracker(&dataset(), query.location);
+
+  struct Search {
+    MinMaxVariant variant;
+    const Dataset& dataset;
+    const CoskqQuery& query;
+    const std::vector<Candidate>& cands;
+    const std::vector<std::vector<uint32_t>>& lists;
+    double closest_candidate;
+    MinMaxTracker& tracker;
+    std::vector<ObjectId>& cur_set;
+    double& cur_cost;
+    SolveStats& stats;
+
+    void Dfs(const TermSet& uncovered) {
+      if (tracker.LowerBoundWith(variant, closest_candidate) >= cur_cost) {
+        return;
+      }
+      if (uncovered.empty()) {
+        const double cost = tracker.Cost(variant);
+        if (cost < cur_cost) {
+          ++stats.sets_evaluated;
+          cur_cost = cost;
+          cur_set = tracker.ids();
+        }
+        return;
+      }
+      size_t best_k = query.keywords.size();
+      for (size_t k = 0; k < query.keywords.size(); ++k) {
+        if (!TermSetContains(uncovered, query.keywords[k])) {
+          continue;
+        }
+        if (best_k == query.keywords.size() ||
+            lists[k].size() < lists[best_k].size()) {
+          best_k = k;
+        }
+      }
+      for (uint32_t index : lists[best_k]) {
+        const ObjectId id = cands[index].id;
+        if (tracker.Contains(id)) {
+          continue;
+        }
+        tracker.Push(id);
+        Dfs(TermSetDifference(uncovered, dataset.object(id).keywords));
+        tracker.Pop();
+      }
+    }
+  };
+  Search search{variant_, dataset(),      query,   cands,
+                lists,    closest_candidate, tracker, cur_set,
+                cur_cost, stats};
+
+  // Anchorless enumeration (optimal sets whose arg-min covers keywords).
+  search.Dfs(query.keywords);
+  // Anchored enumeration (optimal sets with one redundant arg-min member).
+  for (const Candidate& anchor : anchors) {
+    if (anchor.dist_q >= cur_cost) {
+      break;  // Sorted ascending; anchors can only be the arg-min.
+    }
+    ++stats.pairs_examined;  // Reused as the anchor counter.
+    tracker.Push(anchor.id);
+    search.Dfs(TermSetDifference(
+        query.keywords, dataset().object(anchor.id).keywords));
+    tracker.Pop();
+  }
+
+  CoskqResult result = MakeMinMaxResult(variant_, dataset(), query,
+                                        std::move(cur_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+MinMaxGreedy::MinMaxGreedy(const CoskqContext& context,
+                           MinMaxVariant variant)
+    : CoskqSolver(context), variant_(variant) {}
+
+std::string MinMaxGreedy::name() const {
+  std::string result(MinMaxVariantName(variant_));
+  result += "-Greedy";
+  return result;
+}
+
+CoskqResult MinMaxGreedy::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result =
+        MakeMinMaxResult(variant_, dataset(), query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> best_set = nn.set;
+  double best_cost =
+      EvaluateMinMaxCost(variant_, dataset(), query.location, best_set);
+
+  const double disk = 2.0 * best_cost * (1.0 + 1e-12);
+  const std::vector<Candidate> pool =
+      RelevantCandidatesInDisk(context_, query, disk);
+  stats.candidates = pool.size();
+
+  const auto consider = [&](const std::vector<ObjectId>& seed) {
+    std::vector<ObjectId> grown;
+    if (!GreedyCover(variant_, dataset(), query, pool, seed, &grown)) {
+      return;
+    }
+    ++stats.sets_evaluated;
+    const double cost =
+        EvaluateMinMaxCost(variant_, dataset(), query.location, grown);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_set = std::move(grown);
+    }
+  };
+  // Anchorless greedy.
+  consider({});
+  // Greedy around the globally nearest object (the natural anchor).
+  ObjectId nearest = kInvalidObjectId;
+  double nearest_d = std::numeric_limits<double>::infinity();
+  for (const SpatialObject& obj : dataset().objects()) {
+    const double d = Distance(query.location, obj.location);
+    if (d < nearest_d) {
+      nearest_d = d;
+      nearest = obj.id;
+    }
+  }
+  if (nearest != kInvalidObjectId) {
+    consider({nearest});
+  }
+
+  CoskqResult result = MakeMinMaxResult(variant_, dataset(), query,
+                                        std::move(best_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

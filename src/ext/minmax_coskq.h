@@ -1,0 +1,84 @@
+#ifndef COSKQ_EXT_MINMAX_COSKQ_H_
+#define COSKQ_EXT_MINMAX_COSKQ_H_
+
+#include <string>
+
+#include "core/solver.h"
+#include "ext/unified_cost.h"
+
+namespace coskq {
+
+/// Extension: CoSKQ with the MinMax cost family of Cao et al. (TODS 2015),
+/// the remaining instantiations of the unified cost function:
+///
+///   MinMax (φ2 = 1):  cost(S) = min_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2)
+///   MinMax2 (φ2 = ∞): cost(S) = max{ min_{o∈S} d(o,q),
+///                                    max_{o1,o2∈S} d(o1,o2) }
+///
+/// (unweighted forms; the α = 0.5 unified costs are exactly half of these,
+/// so minimizers coincide). These costs reward having one member very close
+/// to the query — the "first stop" semantics.
+///
+/// Unlike MaxSum/Dia, the MinMax costs are NOT monotone under set growth:
+/// adding an object can *reduce* the cost by lowering the min-distance
+/// component. The usual irredundant-cover enumeration is therefore
+/// incomplete on its own. The solvers below rely on this structure theorem:
+///
+///   Any optimal set can be reduced — without increasing its cost — to an
+///   irredundant keyword cover plus AT MOST ONE extra "anchor" object (the
+///   set's closest-to-q member, kept even when it covers nothing fresh).
+///
+/// Proof sketch: a redundant member that is not the unique arg-min of
+/// d(·,q) can be dropped (the pairwise spread shrinks, the min distance is
+/// unchanged); repeat until at most the arg-min redundant member remains.
+enum class MinMaxVariant {
+  kSum,  // MinMax:  min-dist + max pairwise.
+  kMax,  // MinMax2: max{min-dist, max pairwise}.
+};
+
+/// "MinMax" / "MinMax2".
+std::string_view MinMaxVariantName(MinMaxVariant variant);
+
+/// Evaluates the (unweighted) MinMax cost of `set`; 0 for an empty set.
+double EvaluateMinMaxCost(MinMaxVariant variant, const Dataset& dataset,
+                          const Point& q, const std::vector<ObjectId>& set);
+
+/// Exact MinMax-CoSKQ: enumerates the anchor (none, or any object in
+/// ascending d(·,q), cut at the incumbent) and, per anchor, runs a
+/// keyword-driven branch-and-bound over relevant objects with an
+/// anchor-aware admissible bound (the pairwise component is monotone; the
+/// min component is bounded below by the closest candidate still
+/// available). Validated against exhaustive subset enumeration in tests.
+class MinMaxExact : public CoskqSolver {
+ public:
+  MinMaxExact(const CoskqContext& context, MinMaxVariant variant);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  /// Interface requirement only; pricing uses EvaluateMinMaxCost.
+  CostType cost_type() const override { return CostType::kMaxSum; }
+
+  MinMaxVariant variant() const { return variant_; }
+
+ private:
+  MinMaxVariant variant_;
+};
+
+/// Greedy MinMax-CoSKQ heuristic: tries the anchorless greedy cover and the
+/// greedy cover around the nearest-to-q anchor, returns the cheaper (always
+/// feasible when the query is answerable; no ratio guarantee claimed).
+class MinMaxGreedy : public CoskqSolver {
+ public:
+  MinMaxGreedy(const CoskqContext& context, MinMaxVariant variant);
+
+  CoskqResult Solve(const CoskqQuery& query) override;
+  std::string name() const override;
+  CostType cost_type() const override { return CostType::kMaxSum; }
+
+ private:
+  MinMaxVariant variant_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_EXT_MINMAX_COSKQ_H_

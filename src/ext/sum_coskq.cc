@@ -1,0 +1,235 @@
+#include "ext/sum_coskq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/candidates.h"
+#include "core/nn_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+double EvaluateSumCost(const Dataset& dataset, const Point& q,
+                       const std::vector<ObjectId>& set) {
+  double sum = 0.0;
+  for (ObjectId id : set) {
+    sum += Distance(q, dataset.object(id).location);
+  }
+  return sum;
+}
+
+namespace {
+
+CoskqResult MakeSumResult(const Dataset& dataset, const CoskqQuery& query,
+                          std::vector<ObjectId> set, SolveStats stats) {
+  CoskqResult result;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  COSKQ_DCHECK(SetCoversKeywords(dataset, query.keywords, set));
+  result.feasible = true;
+  result.cost = EvaluateSumCost(dataset, query.location, set);
+  result.set = std::move(set);
+  result.stats = stats;
+  return result;
+}
+
+// Greedy weighted set cover over a candidate pool.
+bool GreedyCover(const Dataset& dataset, const CoskqQuery& query,
+                 const std::vector<Candidate>& cands,
+                 std::vector<ObjectId>* out) {
+  out->clear();
+  TermSet uncovered = query.keywords;
+  while (!uncovered.empty()) {
+    size_t best = cands.size();
+    double best_score = std::numeric_limits<double>::infinity();
+    size_t best_gain = 0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      const size_t gain = TermSetIntersectionSize(
+          dataset.object(cands[i].id).keywords, uncovered);
+      if (gain == 0) {
+        continue;
+      }
+      const double score = cands[i].dist_q / static_cast<double>(gain);
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == cands.size()) {
+      return false;
+    }
+    (void)best_gain;
+    out->push_back(cands[best].id);
+    uncovered = TermSetDifference(uncovered,
+                                  dataset.object(cands[best].id).keywords);
+  }
+  return true;
+}
+
+}  // namespace
+
+CoskqResult SumGreedy::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeSumResult(dataset(), query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  const NnSetInfo nn = ComputeNnSet(context_, query);
+  if (!nn.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  // Candidate pool: any object of a better-than-N(q) solution has
+  // d(o, q) <= cost_Sum(N(q)).
+  const double budget = EvaluateSumCost(dataset(), query.location, nn.set);
+  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
+      context_, query, budget * (1.0 + 1e-12));
+  stats.candidates = cands.size();
+  std::vector<ObjectId> greedy;
+  if (!GreedyCover(dataset(), query, cands, &greedy)) {
+    greedy = nn.set;  // Cannot happen (N(q) is in the pool); stay safe.
+  }
+  ++stats.sets_evaluated;
+  // Return the better of the greedy cover and N(q).
+  if (EvaluateSumCost(dataset(), query.location, greedy) >
+      EvaluateSumCost(dataset(), query.location, nn.set)) {
+    greedy = nn.set;
+  }
+  CoskqResult result =
+      MakeSumResult(dataset(), query, std::move(greedy), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+namespace {
+
+// Branch-and-bound for the Sum cost with an additive completion bound.
+class SumSearch {
+ public:
+  SumSearch(const Dataset& dataset, const CoskqQuery& query,
+            const std::vector<Candidate>& cands,
+            std::vector<ObjectId>* cur_set, double* cur_cost,
+            SolveStats* stats)
+      : dataset_(dataset),
+        query_(query),
+        cands_(cands),
+        cur_set_(cur_set),
+        cur_cost_(cur_cost),
+        stats_(stats) {
+    lists_.resize(query.keywords.size());
+    for (uint32_t i = 0; i < cands.size(); ++i) {
+      const TermSet& kw = dataset.object(cands[i].id).keywords;
+      for (size_t k = 0; k < query.keywords.size(); ++k) {
+        if (TermSetContains(kw, query.keywords[k])) {
+          lists_[k].push_back(i);  // Ascending dist_q (cands is sorted).
+        }
+      }
+    }
+  }
+
+  void Run() { Dfs(query_.keywords, 0.0); }
+
+ private:
+  size_t SlotOf(TermId t) const {
+    return static_cast<size_t>(
+        std::lower_bound(query_.keywords.begin(), query_.keywords.end(), t) -
+        query_.keywords.begin());
+  }
+
+  // Admissible completion bound: every uncovered keyword needs some cover,
+  // and one object contributes at least the cheapest cover of the most
+  // expensive uncovered keyword.
+  double CompletionBound(const TermSet& uncovered) const {
+    double bound = 0.0;
+    for (TermId t : uncovered) {
+      const auto& list = lists_[SlotOf(t)];
+      if (list.empty()) {
+        return std::numeric_limits<double>::infinity();
+      }
+      bound = std::max(bound, cands_[list.front()].dist_q);
+    }
+    return bound;
+  }
+
+  void Dfs(const TermSet& uncovered, double cost_so_far) {
+    if (cost_so_far + CompletionBound(uncovered) >= *cur_cost_) {
+      return;
+    }
+    if (uncovered.empty()) {
+      ++stats_->sets_evaluated;
+      *cur_cost_ = cost_so_far;
+      *cur_set_ = chosen_;
+      return;
+    }
+    // Branch on the uncovered keyword with the fewest candidates.
+    size_t best_slot = query_.keywords.size();
+    for (TermId t : uncovered) {
+      const size_t slot = SlotOf(t);
+      if (best_slot == query_.keywords.size() ||
+          lists_[slot].size() < lists_[best_slot].size()) {
+        best_slot = slot;
+      }
+    }
+    for (uint32_t index : lists_[best_slot]) {
+      const Candidate& cand = cands_[index];
+      if (cost_so_far + cand.dist_q >= *cur_cost_) {
+        break;  // Ascending dist_q.
+      }
+      if (std::find(chosen_.begin(), chosen_.end(), cand.id) !=
+          chosen_.end()) {
+        continue;
+      }
+      chosen_.push_back(cand.id);
+      Dfs(TermSetDifference(uncovered, dataset_.object(cand.id).keywords),
+          cost_so_far + cand.dist_q);
+      chosen_.pop_back();
+    }
+  }
+
+  const Dataset& dataset_;
+  const CoskqQuery& query_;
+  const std::vector<Candidate>& cands_;
+  std::vector<ObjectId>* cur_set_;
+  double* cur_cost_;
+  SolveStats* stats_;
+  std::vector<ObjectId> chosen_;
+  std::vector<std::vector<uint32_t>> lists_;
+};
+
+}  // namespace
+
+CoskqResult SumExact::Solve(const CoskqQuery& query) {
+  WallTimer timer;
+  SolveStats stats;
+  if (query.keywords.empty()) {
+    CoskqResult result = MakeSumResult(dataset(), query, {}, stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  SumGreedy greedy(context_);
+  CoskqResult seed = greedy.Solve(query);
+  if (!seed.feasible) {
+    CoskqResult result = Infeasible(stats);
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = seed.set;
+  double cur_cost = seed.cost;
+  // Any member of a cheaper cover has d(o, q) < cur_cost.
+  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
+      context_, query, cur_cost * (1.0 + 1e-12));
+  stats.candidates = cands.size();
+  SumSearch search(dataset(), query, cands, &cur_set, &cur_cost, &stats);
+  search.Run();
+  CoskqResult result =
+      MakeSumResult(dataset(), query, std::move(cur_set), stats);
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

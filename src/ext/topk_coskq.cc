@@ -1,0 +1,159 @@
+#include "ext/topk_coskq.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/nn_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+namespace {
+
+// Collects the k cheapest distinct irredundant covers. Offered sets are
+// first *reduced*: members whose keywords are fully covered by the rest are
+// dropped (cost never increases under removal), so every collected answer
+// is a genuinely irredundant cover.
+class TopkCollector {
+ public:
+  TopkCollector(size_t k, const Dataset* dataset, const CoskqQuery* query,
+                CostType type)
+      : k_(k), dataset_(dataset), query_(query), type_(type) {}
+
+  /// Cost that a new set must beat to enter the collection.
+  double Threshold() const {
+    if (sets_.size() < k_) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::prev(sets_.end())->first;
+  }
+
+  void Offer(double cost, std::vector<ObjectId> set) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    // Reduce to an irredundant cover (drop members the rest already covers).
+    bool reduced = false;
+    for (size_t i = 0; i < set.size();) {
+      std::vector<ObjectId> without = set;
+      without.erase(without.begin() + static_cast<ptrdiff_t>(i));
+      if (SetCoversKeywords(*dataset_, query_->keywords, without)) {
+        set = std::move(without);
+        reduced = true;
+      } else {
+        ++i;
+      }
+    }
+    if (reduced) {
+      cost = EvaluateCost(type_, *dataset_, query_->location, set);
+    }
+    // Reject duplicates (the same cover can be reached along several
+    // branch orders).
+    for (const auto& [existing_cost, existing] : sets_) {
+      if (existing == set) {
+        return;
+      }
+    }
+    sets_.emplace(cost, std::move(set));
+    if (sets_.size() > k_) {
+      sets_.erase(std::prev(sets_.end()));
+    }
+  }
+
+  const std::multimap<double, std::vector<ObjectId>>& sets() const {
+    return sets_;
+  }
+
+ private:
+  size_t k_;
+  const Dataset* dataset_;
+  const CoskqQuery* query_;
+  CostType type_;
+  std::multimap<double, std::vector<ObjectId>> sets_;
+};
+
+}  // namespace
+
+TopkCoskqResult SolveTopkCoskq(const CoskqContext& context,
+                               const CoskqQuery& query, CostType type,
+                               size_t k) {
+  COSKQ_CHECK_GT(k, 0u);
+  WallTimer timer;
+  TopkCoskqResult result;
+  const NnSetInfo nn = ComputeNnSet(context, query);
+  if (!nn.feasible || query.keywords.empty()) {
+    if (query.keywords.empty()) {
+      CoskqResult empty;
+      empty.feasible = true;
+      empty.cost = 0.0;
+      result.answers.push_back(std::move(empty));
+    }
+    return result;
+  }
+
+  const Dataset& dataset = *context.dataset;
+  // Per-keyword candidate lists over all relevant objects.
+  std::vector<std::vector<ObjectId>> lists(query.keywords.size());
+  for (const SpatialObject& obj : dataset.objects()) {
+    for (size_t kk = 0; kk < query.keywords.size(); ++kk) {
+      if (obj.ContainsTerm(query.keywords[kk])) {
+        lists[kk].push_back(obj.id);
+      }
+    }
+  }
+
+  TopkCollector collector(k, &dataset, &query, type);
+  SetCostTracker tracker(&dataset, query.location, type);
+
+  struct Search {
+    const Dataset& dataset;
+    const CoskqQuery& query;
+    const std::vector<std::vector<ObjectId>>& lists;
+    TopkCollector& collector;
+    SetCostTracker& tracker;
+
+    void Dfs(const TermSet& uncovered) {
+      if (tracker.cost() >= collector.Threshold()) {
+        return;  // Even this prefix cannot enter the top-k.
+      }
+      if (uncovered.empty()) {
+        collector.Offer(tracker.cost(), tracker.ids());
+        return;
+      }
+      size_t best_k = query.keywords.size();
+      for (size_t kk = 0; kk < query.keywords.size(); ++kk) {
+        if (!TermSetContains(uncovered, query.keywords[kk])) {
+          continue;
+        }
+        if (best_k == query.keywords.size() ||
+            lists[kk].size() < lists[best_k].size()) {
+          best_k = kk;
+        }
+      }
+      for (ObjectId id : lists[best_k]) {
+        if (tracker.Contains(id)) {
+          continue;
+        }
+        tracker.Push(id);
+        Dfs(TermSetDifference(uncovered, dataset.object(id).keywords));
+        tracker.Pop();
+      }
+    }
+  };
+
+  Search search{dataset, query, lists, collector, tracker};
+  search.Dfs(query.keywords);
+
+  for (const auto& [cost, set] : collector.sets()) {
+    CoskqResult answer;
+    answer.feasible = true;
+    answer.cost = cost;
+    answer.set = set;
+    answer.stats.elapsed_ms = timer.ElapsedMillis();
+    result.answers.push_back(std::move(answer));
+  }
+  return result;
+}
+
+}  // namespace coskq

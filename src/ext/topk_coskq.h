@@ -1,0 +1,33 @@
+#ifndef COSKQ_EXT_TOPK_COSKQ_H_
+#define COSKQ_EXT_TOPK_COSKQ_H_
+
+#include <vector>
+
+#include "core/cost.h"
+#include "core/solver.h"
+
+namespace coskq {
+
+/// Extension: top-k CoSKQ (a variation studied by Cao et al., TODS 2015):
+/// return the k cheapest *irredundant* feasible sets in ascending cost.
+/// (Any feasible set contains an irredundant feasible subset of no greater
+/// cost under MaxSum/Dia, so restricting to irredundant covers — sets where
+/// every member covers some keyword no other member covers — gives the
+/// natural non-degenerate ranking.)
+struct TopkCoskqResult {
+  /// Up to k answers, ascending cost; fewer if the instance admits fewer
+  /// distinct irredundant covers.
+  std::vector<CoskqResult> answers;
+};
+
+/// Exact top-k search: keyword-driven cover enumeration over all relevant
+/// objects, pruned against the current k-th best cost. Exponential in the
+/// worst case (as is the k = 1 problem); intended for the same laptop-scale
+/// workloads as the exact solvers.
+TopkCoskqResult SolveTopkCoskq(const CoskqContext& context,
+                               const CoskqQuery& query, CostType type,
+                               size_t k);
+
+}  // namespace coskq
+
+#endif  // COSKQ_EXT_TOPK_COSKQ_H_

@@ -1,0 +1,74 @@
+#include "ext/unified_cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+std::string UnifiedCostSpec::ToString() const {
+  std::ostringstream os;
+  os << "unified(alpha=" << alpha << ", phi1=";
+  switch (query_aggregate) {
+    case QueryAggregate::kSum:
+      os << "sum";
+      break;
+    case QueryAggregate::kMax:
+      os << "max";
+      break;
+    case QueryAggregate::kMin:
+      os << "min";
+      break;
+  }
+  os << ", phi2=" << (combine == CombineMode::kSum ? "1" : "inf") << ")";
+  return os.str();
+}
+
+double QueryObjectComponent(QueryAggregate aggregate, const Dataset& dataset,
+                            const Point& q,
+                            const std::vector<ObjectId>& set) {
+  if (set.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  double max = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  for (ObjectId id : set) {
+    const double d = Distance(q, dataset.object(id).location);
+    sum += d;
+    max = std::max(max, d);
+    min = std::min(min, d);
+  }
+  switch (aggregate) {
+    case QueryAggregate::kSum:
+      return sum;
+    case QueryAggregate::kMax:
+      return max;
+    case QueryAggregate::kMin:
+      return min;
+  }
+  return 0.0;
+}
+
+double EvaluateUnifiedCost(const UnifiedCostSpec& spec,
+                           const Dataset& dataset, const Point& q,
+                           const std::vector<ObjectId>& set) {
+  COSKQ_CHECK_GT(spec.alpha, 0.0);
+  COSKQ_CHECK_LE(spec.alpha, 1.0);
+  if (set.empty()) {
+    return 0.0;
+  }
+  const double query_component =
+      spec.alpha *
+      QueryObjectComponent(spec.query_aggregate, dataset, q, set);
+  const double pairwise_component =
+      (1.0 - spec.alpha) *
+      ComputeComponents(dataset, q, set).max_pairwise_dist;
+  return spec.combine == CombineMode::kSum
+             ? query_component + pairwise_component
+             : std::max(query_component, pairwise_component);
+}
+
+}  // namespace coskq

@@ -1,0 +1,79 @@
+#ifndef COSKQ_EXT_UNIFIED_COST_H_
+#define COSKQ_EXT_UNIFIED_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "data/dataset.h"
+#include "data/object.h"
+#include "geo/point.h"
+
+namespace coskq {
+
+/// Extension: the *unified* CoSKQ cost function of the follow-up work
+/// ("On Generalizing Collective Spatial Keyword Queries", TKDE 2018), which
+/// expresses the SIGMOD 2013 cost functions — and the earlier SIGMOD 2011
+/// ones — as instantiations of
+///
+///   cost_unified(S | α, φ1, φ2) =
+///     ( [α · D_qo(S|φ1)]^φ2 + [(1-α) · max_{o,o'∈S} d(o,o')]^φ2 )^(1/φ2)
+///
+/// where the query-object component D_qo aggregates {d(o,q) : o ∈ S} with
+/// φ1 ∈ {sum, max, min} and the combination exponent is φ2 ∈ {1, ∞}
+/// (∞ meaning "take the max of the two components").
+///
+/// Notable instantiations (α = 0.5 scales both components equally, so the
+/// minimizers coincide with the unweighted forms used by the core library):
+///   φ1 = max, φ2 = 1  -> MaxSum    (cost_MaxMax;   2x our CostType::kMaxSum)
+///   φ1 = max, φ2 = ∞  -> Dia       (cost_MaxMax2;  our CostType::kDia)
+///   φ1 = sum, φ2 = 1, α = 1 -> Sum (cost_Sum)
+///   φ1 = sum, φ2 = 1  -> SumMax
+///   φ1 = min, φ2 = 1  -> MinMax
+///   φ1 = min, φ2 = ∞  -> MinMax2
+enum class QueryAggregate {
+  kSum,
+  kMax,
+  kMin,
+};
+
+enum class CombineMode {
+  kSum,  // φ2 = 1: weighted sum of the two components.
+  kMax,  // φ2 = ∞: the larger of the two (weighted) components.
+};
+
+/// Parameter triple (α, φ1, φ2) of the unified cost function.
+struct UnifiedCostSpec {
+  double alpha = 0.5;
+  QueryAggregate query_aggregate = QueryAggregate::kMax;
+  CombineMode combine = CombineMode::kSum;
+
+  /// Named instantiations.
+  static UnifiedCostSpec MaxSum() { return {0.5, QueryAggregate::kMax,
+                                            CombineMode::kSum}; }
+  static UnifiedCostSpec Dia() { return {0.5, QueryAggregate::kMax,
+                                         CombineMode::kMax}; }
+  static UnifiedCostSpec Sum() { return {1.0, QueryAggregate::kSum,
+                                         CombineMode::kSum}; }
+  static UnifiedCostSpec SumMax() { return {0.5, QueryAggregate::kSum,
+                                            CombineMode::kSum}; }
+  static UnifiedCostSpec MinMax() { return {0.5, QueryAggregate::kMin,
+                                            CombineMode::kSum}; }
+  static UnifiedCostSpec MinMax2() { return {0.5, QueryAggregate::kMin,
+                                             CombineMode::kMax}; }
+
+  /// "unified(α=0.5, φ1=max, φ2=1)"-style rendering.
+  std::string ToString() const;
+};
+
+/// The query-object distance component D_qo(S | φ1).
+double QueryObjectComponent(QueryAggregate aggregate, const Dataset& dataset,
+                            const Point& q, const std::vector<ObjectId>& set);
+
+/// Evaluates cost_unified(S | spec). Empty sets cost 0.
+double EvaluateUnifiedCost(const UnifiedCostSpec& spec, const Dataset& dataset,
+                           const Point& q, const std::vector<ObjectId>& set);
+
+}  // namespace coskq
+
+#endif  // COSKQ_EXT_UNIFIED_COST_H_

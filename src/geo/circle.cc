@@ -1,0 +1,65 @@
+#include "geo/circle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace coskq {
+
+bool Circle::Intersects(const Circle& other) const {
+  const double d = radius + other.radius;
+  return SquaredDistance(center, other.center) <= d * d;
+}
+
+bool Circle::Contains(const Circle& other) const {
+  const double slack = radius - other.radius;
+  if (slack < 0.0) {
+    return false;
+  }
+  return SquaredDistance(center, other.center) <= slack * slack;
+}
+
+Rect Circle::BoundingRect() const {
+  return Rect(center.x - radius, center.y - radius, center.x + radius,
+              center.y + radius);
+}
+
+std::string Circle::ToString() const {
+  std::ostringstream os;
+  os << "C(" << center.ToString() << ", r=" << radius << ")";
+  return os.str();
+}
+
+bool LensContains(const Point& a, const Point& b, double r, const Point& p) {
+  const double r2 = r * r;
+  return SquaredDistance(a, p) <= r2 && SquaredDistance(b, p) <= r2;
+}
+
+double LensDiameter(const Point& a, const Point& b, double r) {
+  const double d = Distance(a, b);
+  if (d > 2.0 * r) {
+    return 0.0;  // Empty lens.
+  }
+  // The lens is convex; its diameter is either the chord through the two
+  // boundary intersection points or the extent along the center axis.
+  const double chord = 2.0 * std::sqrt(std::max(0.0, r * r - d * d / 4.0));
+  const double axial = 2.0 * r - d;
+  return std::max(chord, axial);
+}
+
+double CircleBoundaryChord(const Circle& a, const Circle& b) {
+  const double d = Distance(a.center, b.center);
+  if (d == 0.0 || d > a.radius + b.radius ||
+      d < std::abs(a.radius - b.radius)) {
+    return 0.0;  // Boundaries do not intersect (or circles are concentric).
+  }
+  const double x =
+      (d * d + a.radius * a.radius - b.radius * b.radius) / (2.0 * d);
+  const double h2 = a.radius * a.radius - x * x;
+  if (h2 <= 0.0) {
+    return 0.0;
+  }
+  return 2.0 * std::sqrt(h2);
+}
+
+}  // namespace coskq

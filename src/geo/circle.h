@@ -1,0 +1,73 @@
+#ifndef COSKQ_GEO_CIRCLE_H_
+#define COSKQ_GEO_CIRCLE_H_
+
+#include <string>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace coskq {
+
+/// A closed disk C(center, radius). The distance owner-driven algorithms
+/// reason entirely in terms of disks around the query location and around
+/// candidate distance owners, and in terms of the "lens" intersection of two
+/// disks (the region that may host additional objects once the pairwise
+/// distance owners are fixed).
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  Circle() = default;
+  Circle(const Point& center_in, double radius_in)
+      : center(center_in), radius(radius_in) {}
+
+  /// True iff `p` lies inside or on the boundary of the disk.
+  bool Contains(const Point& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+
+  /// True iff the two closed disks share at least one point.
+  bool Intersects(const Circle& other) const;
+
+  /// True iff `other` lies entirely inside this disk.
+  bool Contains(const Circle& other) const;
+
+  /// True iff the disk and the rectangle share at least one point. This is
+  /// the pruning predicate for R-tree traversal of disk range queries.
+  bool Intersects(const Rect& rect) const {
+    return rect.MinDistance(center) <= radius;
+  }
+
+  /// True iff the rectangle lies entirely inside the disk.
+  bool Contains(const Rect& rect) const {
+    return !rect.IsEmpty() && rect.MaxDistance(center) <= radius;
+  }
+
+  /// Tight axis-aligned bounding rectangle of the disk.
+  Rect BoundingRect() const;
+
+  std::string ToString() const;
+};
+
+/// True iff `p` lies in the lens C(a, r) ∩ C(b, r), the intersection of two
+/// equal-radius disks. With r = d(a, b) this is the region that can host the
+/// remaining members of a set whose pairwise distance owners are a and b.
+bool LensContains(const Point& a, const Point& b, double r, const Point& p);
+
+/// Maximum distance between any two points of the lens C(a, r) ∩ C(b, r)
+/// where r >= d(a, b) (the lens "diameter"). For r = d(a,b) this equals
+/// sqrt(3) * r, the worst-case pairwise spread inside the owner lens and the
+/// source of the sqrt(3) term in the Dia approximation bound.
+double LensDiameter(const Point& a, const Point& b, double r);
+
+/// Length of the chord cut from circle C(q, r2)'s boundary by circle
+/// C(o, r1), i.e. the distance |ab| between the two boundary intersection
+/// points, assuming the boundaries intersect. Used in the 1.375-ratio
+/// analysis of MaxSum-Appro: d(a,b) = r2 * sqrt(4 - r2^2 / r1^2) when the
+/// configuration of the proof holds. Returns 0 if the boundaries do not
+/// intersect.
+double CircleBoundaryChord(const Circle& a, const Circle& b);
+
+}  // namespace coskq
+
+#endif  // COSKQ_GEO_CIRCLE_H_

@@ -1,0 +1,28 @@
+#include "geo/point.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace coskq {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(" << x << ", " << y << ")";
+  return os.str();
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+Point Midpoint(const Point& a, const Point& b) {
+  return Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+}  // namespace coskq

@@ -1,0 +1,35 @@
+#ifndef COSKQ_GEO_POINT_H_
+#define COSKQ_GEO_POINT_H_
+
+#include <string>
+
+namespace coskq {
+
+/// A point in the 2-D Euclidean plane. CoSKQ object locations and query
+/// locations are points; all distances in the paper's cost functions are
+/// Euclidean distances between points.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  /// "(x, y)" rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Squared Euclidean distance. Prefer this in comparisons to avoid sqrt.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Midpoint of the segment ab.
+Point Midpoint(const Point& a, const Point& b);
+
+}  // namespace coskq
+
+#endif  // COSKQ_GEO_POINT_H_

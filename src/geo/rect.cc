@@ -1,0 +1,99 @@
+#include "geo/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace coskq {
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect result = a;
+  result.ExpandToInclude(b);
+  return result;
+}
+
+void Rect::ExpandToInclude(const Point& p) {
+  if (IsEmpty()) {
+    *this = FromPoint(p);
+    return;
+  }
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::ExpandToInclude(const Rect& other) {
+  if (other.IsEmpty()) {
+    return;
+  }
+  if (IsEmpty()) {
+    *this = other;
+    return;
+  }
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+}
+
+bool Rect::Contains(const Point& p) const {
+  return !IsEmpty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+         p.y <= max_y;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  if (other.IsEmpty()) {
+    return true;
+  }
+  return !IsEmpty() && other.min_x >= min_x && other.max_x <= max_x &&
+         other.min_y >= min_y && other.max_y <= max_y;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  if (IsEmpty() || other.IsEmpty()) {
+    return false;
+  }
+  return min_x <= other.max_x && other.min_x <= max_x && min_y <= other.max_y &&
+         other.min_y <= max_y;
+}
+
+double Rect::MinDistance(const Point& p) const {
+  if (IsEmpty()) {
+    return 0.0;
+  }
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::MaxDistance(const Point& p) const {
+  if (IsEmpty()) {
+    return 0.0;
+  }
+  const double dx = std::max(std::abs(p.x - min_x), std::abs(p.x - max_x));
+  const double dy = std::max(std::abs(p.y - min_y), std::abs(p.y - max_y));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Rect::IntersectionArea(const Rect& other) const {
+  if (!Intersects(other)) {
+    return 0.0;
+  }
+  const double w = std::min(max_x, other.max_x) - std::max(min_x, other.min_x);
+  const double h = std::min(max_y, other.max_y) - std::max(min_y, other.min_y);
+  return w * h;
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  if (IsEmpty()) {
+    os << "[empty]";
+  } else {
+    os << "[" << min_x << ", " << min_y << "; " << max_x << ", " << max_y
+       << "]";
+  }
+  return os.str();
+}
+
+}  // namespace coskq

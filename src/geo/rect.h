@@ -1,0 +1,80 @@
+#ifndef COSKQ_GEO_RECT_H_
+#define COSKQ_GEO_RECT_H_
+
+#include <string>
+
+#include "geo/point.h"
+
+namespace coskq {
+
+/// An axis-aligned rectangle (minimum bounding rectangle, MBR) used by the
+/// R-tree / IR-tree nodes. A default-constructed Rect is *empty*: it contains
+/// nothing and expanding it by a point yields exactly that point.
+struct Rect {
+  double min_x = 1.0;
+  double min_y = 1.0;
+  double max_x = 0.0;  // max < min encodes the empty rectangle
+  double max_y = 0.0;
+
+  /// Constructs the empty rectangle.
+  Rect() = default;
+
+  Rect(double min_x_in, double min_y_in, double max_x_in, double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  /// Degenerate rectangle holding a single point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// Smallest rectangle containing both inputs.
+  static Rect Union(const Rect& a, const Rect& b);
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  /// Grows this rectangle to contain `p`.
+  void ExpandToInclude(const Point& p);
+
+  /// Grows this rectangle to contain `other`.
+  void ExpandToInclude(const Rect& other);
+
+  /// True iff `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const;
+
+  /// True iff `other` lies entirely inside this rectangle.
+  bool Contains(const Rect& other) const;
+
+  /// True iff the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const;
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+
+  /// Half-perimeter; the R*-tree "margin" goodness measure.
+  double Margin() const { return Width() + Height(); }
+
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Minimum Euclidean distance from `p` to any point of the rectangle
+  /// (0 if `p` is inside). This is the MINDIST bound used by best-first
+  /// nearest-neighbor search.
+  double MinDistance(const Point& p) const;
+
+  /// Maximum Euclidean distance from `p` to any point of the rectangle.
+  double MaxDistance(const Point& p) const;
+
+  /// Area of the intersection with `other` (0 if disjoint).
+  double IntersectionArea(const Rect& other) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_GEO_RECT_H_

@@ -1,0 +1,50 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace coskq {
+
+InvertedIndex::InvertedIndex(const Dataset& dataset) {
+  postings_.resize(dataset.vocabulary().size());
+  for (const SpatialObject& obj : dataset.objects()) {
+    for (TermId t : obj.keywords) {
+      if (t >= postings_.size()) {
+        postings_.resize(t + 1);
+      }
+      postings_[t].push_back(obj.id);
+      ++total_postings_;
+    }
+  }
+  // Objects are scanned in id order, so posting lists are already sorted.
+}
+
+const std::vector<ObjectId>& InvertedIndex::Postings(TermId t) const {
+  if (t >= postings_.size()) {
+    return empty_;
+  }
+  return postings_[t];
+}
+
+std::vector<ObjectId> InvertedIndex::RelevantObjects(
+    const TermSet& terms) const {
+  std::vector<ObjectId> result;
+  for (TermId t : terms) {
+    const std::vector<ObjectId>& list = Postings(t);
+    result.insert(result.end(), list.begin(), list.end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+size_t InvertedIndex::NumTerms() const {
+  size_t count = 0;
+  for (const auto& list : postings_) {
+    if (!list.empty()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace coskq

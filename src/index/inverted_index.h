@@ -1,0 +1,42 @@
+#ifndef COSKQ_INDEX_INVERTED_INDEX_H_
+#define COSKQ_INDEX_INVERTED_INDEX_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/object.h"
+#include "data/term_set.h"
+
+namespace coskq {
+
+/// Classical inverted index: term id → sorted posting list of object ids.
+/// The CoSKQ algorithms use it to enumerate objects per keyword when the
+/// search space is already narrowed to a region; it is also the baseline
+/// substrate for the "IR-tree vs linear scan" ablation.
+class InvertedIndex {
+ public:
+  /// Builds posting lists for every term in `dataset`.
+  explicit InvertedIndex(const Dataset& dataset);
+
+  /// Sorted object ids whose keyword set contains `t` (empty if none).
+  const std::vector<ObjectId>& Postings(TermId t) const;
+
+  /// Union of postings for all of `terms` (sorted, deduplicated) — the set
+  /// of *relevant* objects for a query with that keyword set.
+  std::vector<ObjectId> RelevantObjects(const TermSet& terms) const;
+
+  /// Number of terms with at least one posting.
+  size_t NumTerms() const;
+
+  /// Total number of postings (Σ document frequency).
+  size_t TotalPostings() const { return total_postings_; }
+
+ private:
+  std::vector<std::vector<ObjectId>> postings_;
+  std::vector<ObjectId> empty_;
+  size_t total_postings_ = 0;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_INVERTED_INDEX_H_

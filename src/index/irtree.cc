@@ -1,0 +1,545 @@
+#include "index/irtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "index/quadratic_split.h"
+#include "util/logging.h"
+
+namespace coskq {
+
+using internal_index::QuadraticSplit;
+using internal_index::RectEnlargement;
+using internal_index::StrTile;
+
+struct IrTree::Node {
+  bool is_leaf = true;
+  Rect mbr;
+  /// Sorted union of all keywords appearing in the subtree — the node-level
+  /// inverted-file summary that keyword-aware traversal prunes on.
+  TermSet terms;
+  std::vector<std::unique_ptr<Node>> children;  // When !is_leaf.
+  std::vector<ObjectId> objects;                // When is_leaf.
+
+  size_t EntryCount() const {
+    return is_leaf ? objects.size() : children.size();
+  }
+
+  void Recompute(const Dataset& dataset) {
+    mbr = Rect();
+    terms.clear();
+    if (is_leaf) {
+      for (ObjectId id : objects) {
+        const SpatialObject& obj = dataset.object(id);
+        mbr.ExpandToInclude(obj.location);
+        TermSetMergeInto(&terms, obj.keywords);
+      }
+    } else {
+      for (const auto& child : children) {
+        mbr.ExpandToInclude(child->mbr);
+        TermSetMergeInto(&terms, child->terms);
+      }
+    }
+  }
+};
+
+IrTree::IrTree(const Dataset* dataset, const Options& options)
+    : dataset_(dataset), options_(options) {
+  COSKQ_CHECK(dataset != nullptr);
+  COSKQ_CHECK_GE(options_.max_entries, 4);
+  BulkLoad();
+}
+
+IrTree::~IrTree() = default;
+
+void IrTree::BulkLoad() {
+  size_ = dataset_->NumObjects();
+  if (size_ == 0) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  const size_t cap = static_cast<size_t>(options_.max_entries);
+
+  // Leaf level: STR tiling over object locations.
+  std::vector<ObjectId> ids(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    ids[i] = static_cast<ObjectId>(i);
+  }
+  std::vector<std::unique_ptr<Node>> level;
+  StrTile(
+      &ids, cap,
+      [this](ObjectId id) { return dataset_->object(id).location; },
+      [this, &ids, &level](size_t begin, size_t end) {
+        auto leaf = std::make_unique<Node>();
+        leaf->is_leaf = true;
+        leaf->objects.assign(ids.begin() + static_cast<ptrdiff_t>(begin),
+                             ids.begin() + static_cast<ptrdiff_t>(end));
+        leaf->Recompute(*dataset_);
+        level.push_back(std::move(leaf));
+      });
+
+  // Upper levels: STR tiling over child MBR centers.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    StrTile(
+        &level, cap,
+        [](const std::unique_ptr<Node>& n) { return n->mbr.Center(); },
+        [this, &level, &next](size_t begin, size_t end) {
+          auto parent = std::make_unique<Node>();
+          parent->is_leaf = false;
+          for (size_t i = begin; i < end; ++i) {
+            parent->children.push_back(std::move(level[i]));
+          }
+          parent->Recompute(*dataset_);
+          next.push_back(std::move(parent));
+        });
+    level = std::move(next);
+  }
+  root_ = std::move(level.front());
+}
+
+void IrTree::Insert(ObjectId id) {
+  const SpatialObject& obj = dataset_->object(id);
+  const int max_entries = options_.max_entries;
+  const int min_entries = std::max(2, max_entries * 2 / 5);
+
+  struct Inserter {
+    const Dataset& dataset;
+    int max_entries;
+    int min_entries;
+    const SpatialObject& obj;
+
+    // Returns a sibling produced by a split, if any. Maintains the MBR and
+    // term summary of every node along the path.
+    std::unique_ptr<Node> Run(Node* node) {
+      node->mbr.ExpandToInclude(obj.location);
+      TermSetMergeInto(&node->terms, obj.keywords);
+      if (node->is_leaf) {
+        node->objects.push_back(obj.id);
+        if (static_cast<int>(node->objects.size()) <= max_entries) {
+          return nullptr;
+        }
+        std::vector<ObjectId> group_a;
+        std::vector<ObjectId> group_b;
+        QuadraticSplit(std::move(node->objects), min_entries, &group_a,
+                       &group_b, [this](ObjectId o) {
+                         return Rect::FromPoint(dataset.object(o).location);
+                       });
+        node->objects = std::move(group_a);
+        node->Recompute(dataset);
+        auto sibling = std::make_unique<Node>();
+        sibling->is_leaf = true;
+        sibling->objects = std::move(group_b);
+        sibling->Recompute(dataset);
+        return sibling;
+      }
+
+      // ChooseSubtree: least enlargement, ties by smallest area.
+      Node* best = nullptr;
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      const Rect obj_rect = Rect::FromPoint(obj.location);
+      for (const auto& child : node->children) {
+        const double e = RectEnlargement(child->mbr, obj_rect);
+        const double a = child->mbr.Area();
+        if (e < best_enlargement || (e == best_enlargement && a < best_area)) {
+          best_enlargement = e;
+          best_area = a;
+          best = child.get();
+        }
+      }
+      COSKQ_CHECK(best != nullptr);
+      std::unique_ptr<Node> sibling = Run(best);
+      if (sibling == nullptr) {
+        return nullptr;
+      }
+      node->children.push_back(std::move(sibling));
+      if (static_cast<int>(node->children.size()) <= max_entries) {
+        return nullptr;
+      }
+      std::vector<std::unique_ptr<Node>> group_a;
+      std::vector<std::unique_ptr<Node>> group_b;
+      QuadraticSplit(std::move(node->children), min_entries, &group_a,
+                     &group_b, [](const std::unique_ptr<Node>& child) {
+                       return child->mbr;
+                     });
+      node->children = std::move(group_a);
+      node->Recompute(dataset);
+      auto new_sibling = std::make_unique<Node>();
+      new_sibling->is_leaf = false;
+      new_sibling->children = std::move(group_b);
+      new_sibling->Recompute(dataset);
+      return new_sibling;
+    }
+  };
+
+  Inserter inserter{*dataset_, max_entries, min_entries, obj};
+  std::unique_ptr<Node> sibling = inserter.Run(root_.get());
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    new_root->Recompute(*dataset_);
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
+  struct QueueEntry {
+    double distance;
+    const Node* node;  // nullptr for object entries.
+    ObjectId id;
+    bool operator>(const QueueEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  if (size_ > 0 && TermSetContains(root_->terms, t)) {
+    queue.push(QueueEntry{root_->mbr.MinDistance(p), root_.get(),
+                          kInvalidObjectId});
+  }
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      if (distance != nullptr) {
+        *distance = top.distance;
+      }
+      return top.id;
+    }
+    const Node* node = top.node;
+    if (node->is_leaf) {
+      for (ObjectId id : node->objects) {
+        const SpatialObject& obj = dataset_->object(id);
+        if (obj.ContainsTerm(t)) {
+          queue.push(QueueEntry{Distance(p, obj.location), nullptr, id});
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if (TermSetContains(child->terms, t)) {
+          queue.push(QueueEntry{child->mbr.MinDistance(p), child.get(),
+                                kInvalidObjectId});
+        }
+      }
+    }
+  }
+  if (distance != nullptr) {
+    *distance = std::numeric_limits<double>::infinity();
+  }
+  return kInvalidObjectId;
+}
+
+std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
+    const Point& p, const TermSet& required, size_t k) const {
+  std::vector<std::pair<ObjectId, double>> result;
+  if (size_ == 0 || k == 0) {
+    return result;
+  }
+  struct QueueEntry {
+    double distance;
+    const Node* node;  // nullptr for object entries.
+    ObjectId id;
+    bool operator>(const QueueEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  if (TermSetIsSubset(required, root_->terms)) {
+    queue.push(QueueEntry{root_->mbr.MinDistance(p), root_.get(),
+                          kInvalidObjectId});
+  }
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      result.emplace_back(top.id, top.distance);
+      if (result.size() == k) {
+        break;
+      }
+      continue;
+    }
+    const Node* node = top.node;
+    if (node->is_leaf) {
+      for (ObjectId id : node->objects) {
+        const SpatialObject& obj = dataset_->object(id);
+        if (TermSetIsSubset(required, obj.keywords)) {
+          queue.push(QueueEntry{Distance(p, obj.location), nullptr, id});
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if (TermSetIsSubset(required, child->terms)) {
+          queue.push(QueueEntry{child->mbr.MinDistance(p), child.get(),
+                                kInvalidObjectId});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
+    const Point& p, const TermSet& terms, size_t k, double alpha) const {
+  std::vector<std::pair<ObjectId, double>> result;
+  if (size_ == 0 || k == 0 || terms.empty()) {
+    return result;
+  }
+  COSKQ_CHECK_GE(alpha, 0.0);
+  COSKQ_CHECK_LE(alpha, 1.0);
+  const Point lo{root_->mbr.min_x, root_->mbr.min_y};
+  const Point hi{root_->mbr.max_x, root_->mbr.max_y};
+  const double diag = std::max(Distance(lo, hi),
+                               std::numeric_limits<double>::min());
+  const double num_terms = static_cast<double>(terms.size());
+  const auto object_score = [&](const SpatialObject& obj) {
+    const double rel =
+        static_cast<double>(TermSetIntersectionSize(obj.keywords, terms)) /
+        num_terms;
+    return alpha * Distance(p, obj.location) / diag +
+           (1.0 - alpha) * (1.0 - rel);
+  };
+  const auto node_bound = [&](const Node& node) {
+    const double rel_ub =
+        static_cast<double>(TermSetIntersectionSize(node.terms, terms)) /
+        num_terms;
+    return alpha * node.mbr.MinDistance(p) / diag +
+           (1.0 - alpha) * (1.0 - rel_ub);
+  };
+  struct QueueEntry {
+    double score;
+    const Node* node;  // nullptr for object entries.
+    ObjectId id;
+    bool operator>(const QueueEntry& other) const {
+      return score > other.score;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push(QueueEntry{node_bound(*root_), root_.get(), kInvalidObjectId});
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      result.emplace_back(top.id, top.score);
+      if (result.size() == k) {
+        break;
+      }
+      continue;
+    }
+    const Node* node = top.node;
+    if (node->is_leaf) {
+      for (ObjectId id : node->objects) {
+        queue.push(
+            QueueEntry{object_score(dataset_->object(id)), nullptr, id});
+      }
+    } else {
+      for (const auto& child : node->children) {
+        queue.push(
+            QueueEntry{node_bound(*child), child.get(), kInvalidObjectId});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
+                                    TermSet* missing) const {
+  std::vector<ObjectId> result;
+  for (TermId t : terms) {
+    double distance = 0.0;
+    const ObjectId id = KeywordNn(p, t, &distance);
+    if (id == kInvalidObjectId) {
+      if (missing != nullptr) {
+        missing->push_back(t);
+      }
+      continue;
+    }
+    result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  if (missing != nullptr) {
+    NormalizeTermSet(missing);
+  }
+  return result;
+}
+
+void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                           std::vector<ObjectId>* out) const {
+  struct Searcher {
+    const Dataset& dataset;
+    const Circle& circle;
+    const TermSet& query_terms;
+    std::vector<ObjectId>* out;
+
+    void Run(const Node* node) {
+      if (!circle.Intersects(node->mbr) ||
+          !TermSetsIntersect(node->terms, query_terms)) {
+        return;
+      }
+      if (node->is_leaf) {
+        for (ObjectId id : node->objects) {
+          const SpatialObject& obj = dataset.object(id);
+          if (circle.Contains(obj.location) &&
+              obj.ContainsAnyOf(query_terms)) {
+            out->push_back(id);
+          }
+        }
+        return;
+      }
+      for (const auto& child : node->children) {
+        Run(child.get());
+      }
+    }
+  };
+  if (size_ == 0) {
+    return;
+  }
+  Searcher searcher{*dataset_, circle, query_terms, out};
+  searcher.Run(root_.get());
+}
+
+struct IrTree::RelevantStream::Impl {
+  struct QueueEntry {
+    double distance;
+    const Node* node;  // nullptr for object entries.
+    ObjectId id;
+    bool operator>(const QueueEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+
+  const IrTree* tree;
+  Point origin;
+  TermSet query_terms;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+};
+
+IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
+                                       const TermSet& query_terms)
+    : impl_(new Impl{tree, origin, query_terms, {}}) {
+  COSKQ_CHECK(tree != nullptr);
+  if (tree->size_ > 0 &&
+      TermSetsIntersect(tree->root_->terms, impl_->query_terms)) {
+    impl_->queue.push(Impl::QueueEntry{
+        tree->root_->mbr.MinDistance(origin), tree->root_.get(),
+        kInvalidObjectId});
+  }
+}
+
+IrTree::RelevantStream::~RelevantStream() = default;
+
+std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
+  auto& queue = impl_->queue;
+  const Dataset& dataset = *impl_->tree->dataset_;
+  while (!queue.empty()) {
+    Impl::QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      return std::make_pair(top.id, top.distance);
+    }
+    const Node* node = top.node;
+    if (node->is_leaf) {
+      for (ObjectId id : node->objects) {
+        const SpatialObject& obj = dataset.object(id);
+        if (obj.ContainsAnyOf(impl_->query_terms)) {
+          queue.push(Impl::QueueEntry{Distance(impl_->origin, obj.location),
+                                      nullptr, id});
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if (TermSetsIntersect(child->terms, impl_->query_terms)) {
+          queue.push(Impl::QueueEntry{child->mbr.MinDistance(impl_->origin),
+                                      child.get(), kInvalidObjectId});
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+int IrTree::Height() const {
+  if (size_ == 0) {
+    return 0;
+  }
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->children.front().get();
+  }
+  return height;
+}
+
+size_t IrTree::NodeCount() const {
+  struct Counter {
+    size_t count = 0;
+    void Run(const Node* node) {
+      ++count;
+      if (!node->is_leaf) {
+        for (const auto& child : node->children) {
+          Run(child.get());
+        }
+      }
+    }
+  };
+  Counter counter;
+  counter.Run(root_.get());
+  return counter.count;
+}
+
+void IrTree::CheckInvariants() const {
+  struct Checker {
+    const Dataset& dataset;
+    int max_entries;
+    size_t object_count = 0;
+    int leaf_depth = -1;
+
+    void Run(const Node* node, int depth, bool is_root) {
+      COSKQ_CHECK_LE(static_cast<int>(node->EntryCount()), max_entries);
+      if (!is_root) {
+        COSKQ_CHECK_GE(node->EntryCount(), 1u);
+      }
+      Rect expected_mbr;
+      TermSet expected_terms;
+      if (node->is_leaf) {
+        if (leaf_depth < 0) {
+          leaf_depth = depth;
+        }
+        COSKQ_CHECK_EQ(leaf_depth, depth) << "leaves at unequal depth";
+        for (ObjectId id : node->objects) {
+          const SpatialObject& obj = dataset.object(id);
+          expected_mbr.ExpandToInclude(obj.location);
+          TermSetMergeInto(&expected_terms, obj.keywords);
+          ++object_count;
+        }
+      } else {
+        COSKQ_CHECK(node->objects.empty());
+        for (const auto& child : node->children) {
+          expected_mbr.ExpandToInclude(child->mbr);
+          TermSetMergeInto(&expected_terms, child->terms);
+          Run(child.get(), depth + 1, /*is_root=*/false);
+        }
+      }
+      COSKQ_CHECK(expected_mbr == node->mbr) << "MBR mismatch";
+      COSKQ_CHECK(expected_terms == node->terms) << "term summary mismatch";
+    }
+  };
+  Checker checker{*dataset_, options_.max_entries};
+  checker.Run(root_.get(), 0, /*is_root=*/true);
+  COSKQ_CHECK_EQ(checker.object_count, size_);
+}
+
+}  // namespace coskq

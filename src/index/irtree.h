@@ -1,0 +1,140 @@
+#ifndef COSKQ_INDEX_IRTREE_H_
+#define COSKQ_INDEX_IRTREE_H_
+
+#include <stdint.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/object.h"
+#include "data/term_set.h"
+#include "geo/circle.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace coskq {
+
+/// The IR-tree (Cong et al., VLDB 2009): an R-tree whose every node carries
+/// a summary of the keywords present in its subtree, enabling
+/// keyword-constrained spatial search — the access method all CoSKQ
+/// algorithms in the paper are built on.
+///
+/// The classical IR-tree attaches a per-node inverted file (term → child
+/// entries). This implementation stores a sorted term set per node, which
+/// supports exactly the pruning decision the CoSKQ algorithms need ("can
+/// this subtree contain an object with term t / with any query term?") with
+/// one binary search per node visit; children are then tested via their own
+/// summaries. The traversal order and pruned node sets are identical to a
+/// per-node inverted file.
+///
+/// Supported queries:
+///  * `KeywordNn(p, t)`        — nearest object containing keyword t.
+///  * `NnSet(p, terms)`        — the paper's N(q): per-keyword nearest
+///                               neighbors of a query location.
+///  * `RangeRelevant(c, ψ)`    — all objects in a closed disk containing at
+///                               least one query keyword.
+///  * `RelevantStream`         — incremental best-first stream of relevant
+///                               objects in ascending distance from a point.
+class IrTree {
+ public:
+  struct Options {
+    /// Maximum fan-out per node.
+    int max_entries = 32;
+  };
+
+  /// Builds the tree over all objects of `dataset` with STR bulk loading.
+  /// The dataset must outlive the tree and must not be mutated while the
+  /// tree is alive (object ids are stored, object data is re-read on use).
+  IrTree(const Dataset* dataset, const Options& options);
+  explicit IrTree(const Dataset* dataset) : IrTree(dataset, Options()) {}
+  ~IrTree();
+
+  IrTree(const IrTree&) = delete;
+  IrTree& operator=(const IrTree&) = delete;
+
+  /// Dynamically inserts one object of the dataset (by id) into the tree.
+  /// Used by tests and by incremental-maintenance scenarios; bulk loading
+  /// covers the static evaluation setting.
+  void Insert(ObjectId id);
+
+  /// Nearest object containing keyword `t`; kInvalidObjectId if none.
+  /// On success `*distance` is the Euclidean distance to it.
+  ObjectId KeywordNn(const Point& p, TermId t, double* distance) const;
+
+  /// The nearest-neighbor set N(p) = { NN(p, t) : t ∈ terms }. The result
+  /// is deduplicated and sorted by id; ids of keywords with no matching
+  /// object are skipped and reported through `missing` when non-null.
+  std::vector<ObjectId> NnSet(const Point& p, const TermSet& terms,
+                              TermSet* missing) const;
+
+  /// Appends to `out` every object inside the closed disk whose keyword set
+  /// intersects `query_terms`.
+  void RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                     std::vector<ObjectId>* out) const;
+
+  /// Boolean kNN query (Felipe et al., ICDE 2008): the k objects nearest to
+  /// `p` whose keyword sets contain ALL of `required`, in ascending
+  /// distance. Subtrees whose term summary misses any required term are
+  /// pruned. Returns fewer than k pairs if fewer matching objects exist.
+  std::vector<std::pair<ObjectId, double>> BooleanKnn(
+      const Point& p, const TermSet& required, size_t k) const;
+
+  /// Top-k ranked spatial-keyword query (Cong et al., VLDB 2009): ranks
+  /// objects by score = alpha * d(p, o)/diag + (1 - alpha) * (1 - rel),
+  /// where rel = |o.ψ ∩ terms| / |terms| and `diag` normalizes distances by
+  /// the diagonal of the tree's MBR. Lower scores are better. Best-first
+  /// with per-subtree score lower bounds (min distance + term-summary
+  /// relevance upper bound). Objects sharing no term still qualify (rel 0),
+  /// matching the standard formulation.
+  std::vector<std::pair<ObjectId, double>> TopkRanked(
+      const Point& p, const TermSet& terms, size_t k, double alpha) const;
+
+  /// Incremental best-first stream of relevant objects (objects containing
+  /// at least one of the query terms) in ascending distance from `origin`.
+  class RelevantStream {
+   public:
+    RelevantStream(const IrTree* tree, const Point& origin,
+                   const TermSet& query_terms);
+    ~RelevantStream();
+
+    RelevantStream(const RelevantStream&) = delete;
+    RelevantStream& operator=(const RelevantStream&) = delete;
+
+    /// Next relevant object and its distance, or nullopt when exhausted.
+    std::optional<std::pair<ObjectId, double>> Next();
+
+   private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  size_t size() const { return size_; }
+  int Height() const;
+  size_t NodeCount() const;
+
+  /// Validates structural invariants: MBR containment, term-summary
+  /// soundness (node terms = union of children), uniform leaf depth, and
+  /// object count. Aborts on violation; test-only.
+  void CheckInvariants() const;
+
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  struct Node;
+  friend struct RelevantStreamImplAccess;
+
+  void BulkLoad();
+
+  const Dataset* dataset_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_IRTREE_H_

@@ -1,0 +1,466 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "index/quadratic_split.h"
+#include "util/logging.h"
+
+namespace coskq {
+
+struct RTree::Node {
+  bool is_leaf = true;
+  Rect mbr;
+  std::vector<std::unique_ptr<Node>> children;  // When !is_leaf.
+  std::vector<Item> items;                      // When is_leaf.
+
+  size_t EntryCount() const {
+    return is_leaf ? items.size() : children.size();
+  }
+
+  void RecomputeMbr() {
+    mbr = Rect();
+    if (is_leaf) {
+      for (const Item& item : items) {
+        mbr.ExpandToInclude(item.point);
+      }
+    } else {
+      for (const auto& child : children) {
+        mbr.ExpandToInclude(child->mbr);
+      }
+    }
+  }
+};
+
+using internal_index::QuadraticSplit;
+using internal_index::RectEnlargement;
+
+RTree::RTree(const Options& options) : options_(options) {
+  COSKQ_CHECK_GE(options_.max_entries, 4);
+  if (options_.min_entries <= 0) {
+    options_.min_entries = std::max(2, options_.max_entries * 2 / 5);
+  }
+  COSKQ_CHECK_LE(options_.min_entries, options_.max_entries / 2);
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+
+void RTree::Insert(ObjectId id, const Point& point) {
+  // Recursive insert; lambdas cannot recurse cleanly, so use an explicit
+  // helper function object.
+  struct Inserter {
+    const Options& options;
+    Item item;
+
+    // Returns a sibling produced by a split, if any.
+    std::unique_ptr<Node> Run(Node* node) {
+      if (node->is_leaf) {
+        node->items.push_back(item);
+        node->mbr.ExpandToInclude(item.point);
+        if (static_cast<int>(node->items.size()) <= options.max_entries) {
+          return nullptr;
+        }
+        // Split the leaf.
+        std::vector<Item> group_a;
+        std::vector<Item> group_b;
+        QuadraticSplit(
+            std::move(node->items), options.min_entries, &group_a, &group_b,
+            [](const Item& it) { return Rect::FromPoint(it.point); });
+        node->items = std::move(group_a);
+        node->RecomputeMbr();
+        auto sibling = std::make_unique<Node>();
+        sibling->is_leaf = true;
+        sibling->items = std::move(group_b);
+        sibling->RecomputeMbr();
+        return sibling;
+      }
+
+      // ChooseSubtree: least enlargement, ties by smallest area.
+      const Rect item_rect = Rect::FromPoint(item.point);
+      Node* best = nullptr;
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (const auto& child : node->children) {
+        const double e = RectEnlargement(child->mbr, item_rect);
+        const double a = child->mbr.Area();
+        if (e < best_enlargement ||
+            (e == best_enlargement && a < best_area)) {
+          best_enlargement = e;
+          best_area = a;
+          best = child.get();
+        }
+      }
+      COSKQ_CHECK(best != nullptr);
+      std::unique_ptr<Node> sibling = Run(best);
+      node->mbr.ExpandToInclude(item_rect);
+      if (sibling == nullptr) {
+        return nullptr;
+      }
+      node->children.push_back(std::move(sibling));
+      if (static_cast<int>(node->children.size()) <= options.max_entries) {
+        return nullptr;
+      }
+      // Split the internal node.
+      std::vector<std::unique_ptr<Node>> group_a;
+      std::vector<std::unique_ptr<Node>> group_b;
+      QuadraticSplit(
+          std::move(node->children), options.min_entries, &group_a, &group_b,
+          [](const std::unique_ptr<Node>& child) { return child->mbr; });
+      node->children = std::move(group_a);
+      node->RecomputeMbr();
+      auto new_sibling = std::make_unique<Node>();
+      new_sibling->is_leaf = false;
+      new_sibling->children = std::move(group_b);
+      new_sibling->RecomputeMbr();
+      return new_sibling;
+    }
+  };
+
+  Inserter inserter{options_, Item{id, point}};
+  std::unique_ptr<Node> sibling = inserter.Run(root_.get());
+  if (sibling != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool RTree::Delete(ObjectId id, const Point& point) {
+  std::vector<Item> orphans;
+
+  struct Deleter {
+    const Options& options;
+    ObjectId id;
+    Point point;
+    std::vector<Item>* orphans;
+
+    static void CollectItems(Node* node, std::vector<Item>* out) {
+      if (node->is_leaf) {
+        out->insert(out->end(), node->items.begin(), node->items.end());
+        return;
+      }
+      for (auto& child : node->children) {
+        CollectItems(child.get(), out);
+      }
+    }
+
+    // Returns true if the item was removed somewhere under `node`.
+    bool Run(Node* node) {
+      if (node->is_leaf) {
+        for (size_t i = 0; i < node->items.size(); ++i) {
+          if (node->items[i].id == id && node->items[i].point == point) {
+            node->items.erase(node->items.begin() +
+                              static_cast<ptrdiff_t>(i));
+            node->RecomputeMbr();
+            return true;
+          }
+        }
+        return false;
+      }
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        Node* child = node->children[i].get();
+        if (!child->mbr.Contains(point)) {
+          continue;
+        }
+        if (!Run(child)) {
+          continue;
+        }
+        // Condense: absorb an underfull child by orphaning its contents.
+        if (static_cast<int>(child->EntryCount()) < options.min_entries) {
+          CollectItems(child, orphans);
+          node->children.erase(node->children.begin() +
+                               static_cast<ptrdiff_t>(i));
+        }
+        node->RecomputeMbr();
+        return true;
+      }
+      return false;
+    }
+  };
+
+  Deleter deleter{options_, id, point, &orphans};
+  if (!deleter.Run(root_.get())) {
+    return false;
+  }
+  --size_;
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children.front());
+  }
+  if (!root_->is_leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  // Reinsert orphaned items. size_ is decremented by the orphan count first
+  // because Insert() increments it back.
+  size_ -= orphans.size();
+  for (const Item& item : orphans) {
+    Insert(item.id, item.point);
+  }
+  return true;
+}
+
+void RTree::BulkLoad(std::vector<Item> items) {
+  size_ = items.size();
+  if (items.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  const size_t cap = static_cast<size_t>(options_.max_entries);
+
+  // Build the leaf level with Sort-Tile-Recursive tiling.
+  const size_t leaf_count = (items.size() + cap - 1) / cap;
+  const size_t slab_count = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const size_t slab_size =
+      (items.size() + slab_count - 1) / slab_count;
+
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.point.x < b.point.x;
+  });
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t slab_begin = 0; slab_begin < items.size();
+       slab_begin += slab_size) {
+    const size_t slab_end = std::min(items.size(), slab_begin + slab_size);
+    std::sort(items.begin() + static_cast<ptrdiff_t>(slab_begin),
+              items.begin() + static_cast<ptrdiff_t>(slab_end),
+              [](const Item& a, const Item& b) {
+                return a.point.y < b.point.y;
+              });
+    for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
+      const size_t end = std::min(slab_end, begin + cap);
+      auto leaf = std::make_unique<Node>();
+      leaf->is_leaf = true;
+      leaf->items.assign(items.begin() + static_cast<ptrdiff_t>(begin),
+                         items.begin() + static_cast<ptrdiff_t>(end));
+      leaf->RecomputeMbr();
+      level.push_back(std::move(leaf));
+    }
+  }
+
+  // Build upper levels by tiling node centers until one root remains.
+  while (level.size() > 1) {
+    const size_t parent_count = (level.size() + cap - 1) / cap;
+    const size_t upper_slabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(parent_count))));
+    const size_t upper_slab_size =
+        (level.size() + upper_slabs - 1) / upper_slabs;
+    std::sort(level.begin(), level.end(),
+              [](const std::unique_ptr<Node>& a,
+                 const std::unique_ptr<Node>& b) {
+                return a->mbr.Center().x < b->mbr.Center().x;
+              });
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t slab_begin = 0; slab_begin < level.size();
+         slab_begin += upper_slab_size) {
+      const size_t slab_end =
+          std::min(level.size(), slab_begin + upper_slab_size);
+      std::sort(level.begin() + static_cast<ptrdiff_t>(slab_begin),
+                level.begin() + static_cast<ptrdiff_t>(slab_end),
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->mbr.Center().y < b->mbr.Center().y;
+                });
+      for (size_t begin = slab_begin; begin < slab_end; begin += cap) {
+        const size_t end = std::min(slab_end, begin + cap);
+        auto parent = std::make_unique<Node>();
+        parent->is_leaf = false;
+        for (size_t i = begin; i < end; ++i) {
+          parent->children.push_back(std::move(level[i]));
+        }
+        parent->RecomputeMbr();
+        next.push_back(std::move(parent));
+      }
+    }
+    level = std::move(next);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::Search(const Rect& rect, std::vector<ObjectId>* out) const {
+  Visit(rect, [out](ObjectId id, const Point&) {
+    out->push_back(id);
+    return true;
+  });
+}
+
+void RTree::Search(const Circle& circle, std::vector<ObjectId>* out) const {
+  // Filter on the disk's bounding rectangle, refine by exact distance.
+  Visit(circle.BoundingRect(), [&circle, out](ObjectId id, const Point& p) {
+    if (circle.Contains(p)) {
+      out->push_back(id);
+    }
+    return true;
+  });
+}
+
+void RTree::Visit(
+    const Rect& rect,
+    const std::function<bool(ObjectId, const Point&)>& visitor) const {
+  struct Visitor {
+    const Rect& rect;
+    const std::function<bool(ObjectId, const Point&)>& fn;
+
+    bool Run(const Node* node) {  // Returns false to abort.
+      if (!node->mbr.Intersects(rect)) {
+        return true;
+      }
+      if (node->is_leaf) {
+        for (const Item& item : node->items) {
+          if (rect.Contains(item.point) && !fn(item.id, item.point)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      for (const auto& child : node->children) {
+        if (!Run(child.get())) {
+          return false;
+        }
+      }
+      return true;
+    }
+  };
+  Visitor v{rect, visitor};
+  v.Run(root_.get());
+}
+
+ObjectId RTree::NearestNeighbor(const Point& p, double* distance) const {
+  auto result = KNearest(p, 1);
+  if (result.empty()) {
+    if (distance != nullptr) {
+      *distance = std::numeric_limits<double>::infinity();
+    }
+    return kInvalidObjectId;
+  }
+  if (distance != nullptr) {
+    *distance = result.front().second;
+  }
+  return result.front().first;
+}
+
+std::vector<std::pair<ObjectId, double>> RTree::KNearest(const Point& p,
+                                                         size_t k) const {
+  std::vector<std::pair<ObjectId, double>> result;
+  if (size_ == 0 || k == 0) {
+    return result;
+  }
+  struct QueueEntry {
+    double distance;
+    const Node* node;  // nullptr for item entries.
+    ObjectId id;
+
+    bool operator>(const QueueEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push(QueueEntry{root_->mbr.MinDistance(p), root_.get(),
+                        kInvalidObjectId});
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      result.emplace_back(top.id, top.distance);
+      if (result.size() == k) {
+        break;
+      }
+      continue;
+    }
+    const Node* node = top.node;
+    if (node->is_leaf) {
+      for (const Item& item : node->items) {
+        queue.push(
+            QueueEntry{Distance(p, item.point), nullptr, item.id});
+      }
+    } else {
+      for (const auto& child : node->children) {
+        queue.push(QueueEntry{child->mbr.MinDistance(p), child.get(),
+                              kInvalidObjectId});
+      }
+    }
+  }
+  return result;
+}
+
+int RTree::Height() const {
+  if (size_ == 0) {
+    return 0;
+  }
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->children.front().get();
+  }
+  return height;
+}
+
+Rect RTree::BoundingRect() const { return root_->mbr; }
+
+void RTree::CheckInvariants() const {
+  struct Checker {
+    const Options& options;
+    size_t item_count = 0;
+    int leaf_depth = -1;
+
+    void Run(const Node* node, int depth, bool is_root) {
+      COSKQ_CHECK_LE(static_cast<int>(node->EntryCount()),
+                     options.max_entries);
+      if (!is_root) {
+        COSKQ_CHECK_GE(node->EntryCount(), 1u);
+      }
+      if (node->is_leaf) {
+        if (leaf_depth < 0) {
+          leaf_depth = depth;
+        }
+        COSKQ_CHECK_EQ(leaf_depth, depth) << "leaves at unequal depth";
+        Rect expected;
+        for (const Item& item : node->items) {
+          expected.ExpandToInclude(item.point);
+          ++item_count;
+        }
+        COSKQ_CHECK(expected == node->mbr) << "leaf MBR mismatch";
+        return;
+      }
+      COSKQ_CHECK(node->items.empty());
+      Rect expected;
+      for (const auto& child : node->children) {
+        expected.ExpandToInclude(child->mbr);
+        Run(child.get(), depth + 1, /*is_root=*/false);
+      }
+      COSKQ_CHECK(expected == node->mbr) << "internal MBR mismatch";
+    }
+  };
+  Checker checker{options_};
+  checker.Run(root_.get(), 0, /*is_root=*/true);
+  COSKQ_CHECK_EQ(checker.item_count, size_);
+}
+
+size_t RTree::NodeCount() const {
+  struct Counter {
+    size_t count = 0;
+    void Run(const Node* node) {
+      ++count;
+      if (!node->is_leaf) {
+        for (const auto& child : node->children) {
+          Run(child.get());
+        }
+      }
+    }
+  };
+  Counter counter;
+  counter.Run(root_.get());
+  return counter.count;
+}
+
+}  // namespace coskq

@@ -1,0 +1,105 @@
+#ifndef COSKQ_INDEX_RTREE_H_
+#define COSKQ_INDEX_RTREE_H_
+
+#include <stdint.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/object.h"
+#include "geo/circle.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace coskq {
+
+/// An in-memory R-tree over 2-D points. Supports dynamic insertion
+/// (Guttman's quadratic split), deletion (condense-tree with reinsertion),
+/// STR bulk loading, rectangle/disk range search, and best-first (k-)nearest
+/// neighbor search. This is the purely spatial substrate; the IR-tree reuses
+/// the same structure with per-node keyword summaries.
+class RTree {
+ public:
+  struct Options {
+    /// Maximum entries per node; nodes split when exceeded.
+    int max_entries = 32;
+    /// Minimum entries after a split; defaults to max_entries * 0.4.
+    int min_entries = 0;
+  };
+
+  /// One indexed point with its caller-provided id.
+  struct Item {
+    ObjectId id = kInvalidObjectId;
+    Point point;
+  };
+
+  explicit RTree(const Options& options);
+  RTree() : RTree(Options()) {}
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts one item (dynamic path).
+  void Insert(ObjectId id, const Point& point);
+
+  /// Removes one item previously inserted with exactly this (id, point).
+  /// Returns false if no such item exists. Underfull nodes are condensed
+  /// and their remaining entries reinserted (Guttman's CondenseTree).
+  bool Delete(ObjectId id, const Point& point);
+
+  /// Discards current contents and rebuilds the tree with Sort-Tile-
+  /// Recursive bulk loading over `items` (the fast path for static data).
+  void BulkLoad(std::vector<Item> items);
+
+  /// Appends the ids of all items inside `rect` (closed) to `out`.
+  void Search(const Rect& rect, std::vector<ObjectId>* out) const;
+
+  /// Appends the ids of all items inside the closed disk to `out`.
+  void Search(const Circle& circle, std::vector<ObjectId>* out) const;
+
+  /// Visits every item inside `rect`; the visitor returns false to stop.
+  void Visit(const Rect& rect,
+             const std::function<bool(ObjectId, const Point&)>& visitor) const;
+
+  /// Returns the id and distance of the item nearest to `p`, or
+  /// kInvalidObjectId if the tree is empty. Best-first search with MINDIST
+  /// pruning.
+  ObjectId NearestNeighbor(const Point& p, double* distance) const;
+
+  /// Returns up to k nearest items as (id, distance) sorted by ascending
+  /// distance.
+  std::vector<std::pair<ObjectId, double>> KNearest(const Point& p,
+                                                    size_t k) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (leaf = 1, empty = 0).
+  int Height() const;
+
+  /// MBR of everything in the tree.
+  Rect BoundingRect() const;
+
+  /// Validates structural invariants (MBR containment, fan-out bounds,
+  /// uniform leaf depth, item count). Aborts on violation; test-only.
+  void CheckInvariants() const;
+
+  /// Number of nodes (diagnostics).
+  size_t NodeCount() const;
+
+ private:
+  struct Node;
+
+  Options options_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_RTREE_H_

@@ -1,0 +1,328 @@
+#include "road/road_coskq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace coskq {
+
+double RoadDistanceOracle::Between(RoadNodeId a, RoadNodeId b) {
+  if (a == b) {
+    return 0.0;
+  }
+  // Use whichever source is already cached; otherwise cache `a`.
+  auto it = cache_.find(b);
+  if (it != cache_.end()) {
+    return it->second[a];
+  }
+  return From(a)[b];
+}
+
+const std::vector<double>& RoadDistanceOracle::From(RoadNodeId source) {
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    it = cache_.emplace(source, graph_->ShortestDistances(source)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+// Incremental network-distance cost tracker (the road twin of
+// SetCostTracker): push/pop in LIFO order, exact components, monotone under
+// Push.
+class RoadCostTracker {
+ public:
+  RoadCostTracker(const RoadWorkload* workload, RoadDistanceOracle* oracle,
+                  RoadNodeId query_node, CostType type)
+      : workload_(workload),
+        oracle_(oracle),
+        query_node_(query_node),
+        type_(type) {
+    stack_.push_back(CostComponents{});
+  }
+
+  void Push(ObjectId id) {
+    const RoadNodeId node = workload_->node_of[id];
+    CostComponents next = stack_.back();
+    next.max_query_dist =
+        std::max(next.max_query_dist, oracle_->Between(query_node_, node));
+    for (RoadNodeId existing : nodes_) {
+      next.max_pairwise_dist =
+          std::max(next.max_pairwise_dist, oracle_->Between(existing, node));
+    }
+    ids_.push_back(id);
+    nodes_.push_back(node);
+    stack_.push_back(next);
+  }
+
+  void Pop() {
+    COSKQ_CHECK(!ids_.empty());
+    ids_.pop_back();
+    nodes_.pop_back();
+    stack_.pop_back();
+  }
+
+  double cost() const { return CombineCost(type_, stack_.back()); }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+  bool Contains(ObjectId id) const {
+    return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+  }
+
+ private:
+  const RoadWorkload* workload_;
+  RoadDistanceOracle* oracle_;
+  RoadNodeId query_node_;
+  CostType type_;
+  std::vector<ObjectId> ids_;
+  std::vector<RoadNodeId> nodes_;
+  std::vector<CostComponents> stack_;
+};
+
+struct RoadCandidates {
+  bool feasible = false;
+  /// N(q) under network distance and its cost.
+  std::vector<ObjectId> nn_set;
+  double nn_cost = 0.0;
+  /// Relevant objects with finite network distance <= nn_cost, ascending.
+  std::vector<ObjectId> cands;
+  /// Per-query-keyword candidate indices into `cands`.
+  std::vector<std::vector<uint32_t>> lists;
+};
+
+RoadCandidates CollectCandidates(const RoadWorkload& workload,
+                                 const RoadCoskqQuery& query, CostType type,
+                                 RoadDistanceOracle* oracle) {
+  RoadCandidates out;
+  const std::vector<double>& dist_q = oracle->From(query.node);
+  const Dataset& dataset = workload.dataset;
+
+  // Network N(q): the nearest reachable object per query keyword.
+  std::vector<ObjectId> nn(query.keywords.size(), kInvalidObjectId);
+  std::vector<double> nn_dist(query.keywords.size(), kUnreachable);
+  for (const SpatialObject& obj : dataset.objects()) {
+    const double d = dist_q[workload.node_of[obj.id]];
+    if (d == kUnreachable) {
+      continue;
+    }
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      if (d < nn_dist[k] && obj.ContainsTerm(query.keywords[k])) {
+        nn_dist[k] = d;
+        nn[k] = obj.id;
+      }
+    }
+  }
+  for (ObjectId id : nn) {
+    if (id == kInvalidObjectId) {
+      return out;  // Some keyword is not coverable.
+    }
+    out.nn_set.push_back(id);
+  }
+  std::sort(out.nn_set.begin(), out.nn_set.end());
+  out.nn_set.erase(std::unique(out.nn_set.begin(), out.nn_set.end()),
+                   out.nn_set.end());
+  out.feasible = true;
+  out.nn_cost =
+      EvaluateRoadCost(type, workload, oracle, query.node, out.nn_set);
+
+  // Candidates: any member of a better set is within network distance
+  // curCost of the query (its query distance alone already costs that).
+  for (const SpatialObject& obj : dataset.objects()) {
+    const double d = dist_q[workload.node_of[obj.id]];
+    if (d <= out.nn_cost && obj.ContainsAnyOf(query.keywords)) {
+      out.cands.push_back(obj.id);
+    }
+  }
+  std::sort(out.cands.begin(), out.cands.end(),
+            [&](ObjectId a, ObjectId b) {
+              const double da = dist_q[workload.node_of[a]];
+              const double db = dist_q[workload.node_of[b]];
+              if (da != db) {
+                return da < db;
+              }
+              return a < b;
+            });
+  out.lists.resize(query.keywords.size());
+  for (uint32_t i = 0; i < out.cands.size(); ++i) {
+    const SpatialObject& obj = dataset.object(out.cands[i]);
+    for (size_t k = 0; k < query.keywords.size(); ++k) {
+      if (obj.ContainsTerm(query.keywords[k])) {
+        out.lists[k].push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double EvaluateRoadCost(CostType type, const RoadWorkload& workload,
+                        RoadDistanceOracle* oracle, RoadNodeId query_node,
+                        const std::vector<ObjectId>& set) {
+  CostComponents components;
+  for (size_t i = 0; i < set.size(); ++i) {
+    const RoadNodeId node_i = workload.node_of[set[i]];
+    components.max_query_dist = std::max(
+        components.max_query_dist, oracle->Between(query_node, node_i));
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      components.max_pairwise_dist =
+          std::max(components.max_pairwise_dist,
+                   oracle->Between(node_i, workload.node_of[set[j]]));
+    }
+  }
+  return CombineCost(type, components);
+}
+
+CoskqResult SolveRoadCoskqExact(const RoadWorkload& workload,
+                                const RoadCoskqQuery& query, CostType type) {
+  WallTimer timer;
+  CoskqResult result;
+  if (query.keywords.empty()) {
+    result.feasible = true;
+    result.cost = 0.0;
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  RoadDistanceOracle oracle(&workload.graph);
+  RoadCandidates c = CollectCandidates(workload, query, type, &oracle);
+  if (!c.feasible) {
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  std::vector<ObjectId> cur_set = c.nn_set;
+  double cur_cost = c.nn_cost;
+  result.stats.candidates = c.cands.size();
+
+  RoadCostTracker tracker(&workload, &oracle, query.node, type);
+  const std::vector<double>& dist_q = oracle.From(query.node);
+
+  struct Search {
+    const RoadWorkload& workload;
+    const RoadCoskqQuery& query;
+    const RoadCandidates& c;
+    const std::vector<double>& dist_q;
+    RoadCostTracker& tracker;
+    std::vector<ObjectId>& cur_set;
+    double& cur_cost;
+    SolveStats& stats;
+
+    void Dfs(const TermSet& uncovered) {
+      if (tracker.cost() >= cur_cost) {
+        return;  // Monotone under Push.
+      }
+      if (uncovered.empty()) {
+        ++stats.sets_evaluated;
+        cur_cost = tracker.cost();
+        cur_set = tracker.ids();
+        return;
+      }
+      size_t best_k = query.keywords.size();
+      for (size_t k = 0; k < query.keywords.size(); ++k) {
+        if (!TermSetContains(uncovered, query.keywords[k])) {
+          continue;
+        }
+        if (best_k == query.keywords.size() ||
+            c.lists[k].size() < c.lists[best_k].size()) {
+          best_k = k;
+        }
+      }
+      for (uint32_t index : c.lists[best_k]) {
+        const ObjectId id = c.cands[index];
+        if (dist_q[workload.node_of[id]] >= cur_cost) {
+          break;  // Candidates ascend in query distance.
+        }
+        if (tracker.Contains(id)) {
+          continue;
+        }
+        tracker.Push(id);
+        Dfs(TermSetDifference(uncovered,
+                              workload.dataset.object(id).keywords));
+        tracker.Pop();
+      }
+    }
+  };
+  Search search{workload, query,    c,       dist_q,
+                tracker,  cur_set,  cur_cost, result.stats};
+  search.Dfs(query.keywords);
+
+  std::sort(cur_set.begin(), cur_set.end());
+  result.feasible = true;
+  result.set = std::move(cur_set);
+  result.cost = cur_cost;
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+CoskqResult SolveRoadCoskqGreedy(const RoadWorkload& workload,
+                                 const RoadCoskqQuery& query,
+                                 CostType type) {
+  WallTimer timer;
+  CoskqResult result;
+  if (query.keywords.empty()) {
+    result.feasible = true;
+    result.cost = 0.0;
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  RoadDistanceOracle oracle(&workload.graph);
+  RoadCandidates c = CollectCandidates(workload, query, type, &oracle);
+  if (!c.feasible) {
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+  result.stats.candidates = c.cands.size();
+
+  // Greedy min-cost-growth construction.
+  std::vector<ObjectId> greedy;
+  TermSet uncovered = query.keywords;
+  while (!uncovered.empty()) {
+    ObjectId best = kInvalidObjectId;
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_gain = 0;
+    for (ObjectId id : c.cands) {
+      const size_t gain = TermSetIntersectionSize(
+          workload.dataset.object(id).keywords, uncovered);
+      if (gain == 0) {
+        continue;
+      }
+      std::vector<ObjectId> trial = greedy;
+      trial.push_back(id);
+      const double cost =
+          EvaluateRoadCost(type, workload, &oracle, query.node, trial);
+      if (cost < best_cost || (cost == best_cost && gain > best_gain)) {
+        best_cost = cost;
+        best = id;
+        best_gain = gain;
+      }
+    }
+    if (best == kInvalidObjectId) {
+      break;  // Cannot finish within the candidate disk; fall back to N(q).
+    }
+    greedy.push_back(best);
+    uncovered = TermSetDifference(uncovered,
+                                  workload.dataset.object(best).keywords);
+    ++result.stats.sets_evaluated;
+  }
+
+  std::vector<ObjectId> answer = c.nn_set;
+  double answer_cost = c.nn_cost;
+  if (uncovered.empty()) {
+    const double greedy_cost =
+        EvaluateRoadCost(type, workload, &oracle, query.node, greedy);
+    if (greedy_cost < answer_cost) {
+      answer = greedy;
+      answer_cost = greedy_cost;
+    }
+  }
+  std::sort(answer.begin(), answer.end());
+  answer.erase(std::unique(answer.begin(), answer.end()), answer.end());
+  result.feasible = true;
+  result.set = std::move(answer);
+  result.cost = answer_cost;
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace coskq

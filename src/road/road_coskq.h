@@ -1,0 +1,66 @@
+#ifndef COSKQ_ROAD_ROAD_COSKQ_H_
+#define COSKQ_ROAD_ROAD_COSKQ_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/solver.h"
+#include "road/road_generator.h"
+#include "road/road_graph.h"
+
+namespace coskq {
+
+/// Extension: CoSKQ under *network* distance — the paper's stated future
+/// direction. The query location is a road node; d(·,·) is shortest-path
+/// distance in the network; MaxSum and Dia keep their definitions with the
+/// metric swapped.
+
+/// A CoSKQ query anchored at a road node.
+struct RoadCoskqQuery {
+  RoadNodeId node = kInvalidRoadNode;
+  TermSet keywords;
+};
+
+/// Memoizing shortest-path oracle: one full Dijkstra per distinct source
+/// node, cached for the lifetime of the oracle (a query execution).
+class RoadDistanceOracle {
+ public:
+  explicit RoadDistanceOracle(const RoadGraph* graph) : graph_(graph) {}
+
+  /// Network distance between two nodes.
+  double Between(RoadNodeId a, RoadNodeId b);
+
+  /// All distances from `source` (cached).
+  const std::vector<double>& From(RoadNodeId source);
+
+  size_t CachedSources() const { return cache_.size(); }
+
+ private:
+  const RoadGraph* graph_;
+  std::unordered_map<RoadNodeId, std::vector<double>> cache_;
+};
+
+/// Network-distance cost of an object set w.r.t. a query node.
+double EvaluateRoadCost(CostType type, const RoadWorkload& workload,
+                        RoadDistanceOracle* oracle, RoadNodeId query_node,
+                        const std::vector<ObjectId>& set);
+
+/// Exact road-network CoSKQ: keyword-driven branch-and-bound over the
+/// relevant objects within network distance curCost of the query node, with
+/// exact incremental network-distance costing (both cost functions are
+/// monotone under set growth, so the incumbent cutoff is safe — the same
+/// argument as in the Euclidean case, using only the metric axioms).
+CoskqResult SolveRoadCoskqExact(const RoadWorkload& workload,
+                                const RoadCoskqQuery& query, CostType type);
+
+/// Greedy road-network CoSKQ: seeds with the network N(q) and then, from
+/// scratch, repeatedly adds the candidate that minimizes the exact cost of
+/// the grown set until feasible; returns the better of the two. Feasible
+/// whenever the query is answerable; no approximation guarantee (heuristic).
+CoskqResult SolveRoadCoskqGreedy(const RoadWorkload& workload,
+                                 const RoadCoskqQuery& query, CostType type);
+
+}  // namespace coskq
+
+#endif  // COSKQ_ROAD_ROAD_COSKQ_H_

@@ -1,0 +1,140 @@
+#include "road/road_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+namespace {
+
+// Disjoint-set forest for connectivity maintenance during edge removal.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i] = i;
+    }
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return false;
+    }
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+RoadWorkload GenerateRoadWorkload(const RoadNetworkSpec& spec, Rng* rng) {
+  COSKQ_CHECK_GE(spec.grid_size, 2u);
+  RoadWorkload workload;
+  const size_t n = spec.grid_size;
+  const double cell = 1.0 / static_cast<double>(n - 1);
+
+  // Jittered grid nodes.
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t col = 0; col < n; ++col) {
+      const double jx = spec.jitter * cell * rng->UniformDouble(-1.0, 1.0);
+      const double jy = spec.jitter * cell * rng->UniformDouble(-1.0, 1.0);
+      workload.graph.AddNode(
+          Point{std::clamp(col * cell + jx, 0.0, 1.0),
+                std::clamp(row * cell + jy, 0.0, 1.0)});
+    }
+  }
+  const auto node_at = [n](size_t row, size_t col) {
+    return static_cast<RoadNodeId>(row * n + col);
+  };
+
+  // Candidate street segments: right and down neighbors.
+  struct Segment {
+    RoadNodeId a;
+    RoadNodeId b;
+  };
+  std::vector<Segment> kept;
+  std::vector<Segment> removed;
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t col = 0; col < n; ++col) {
+      if (col + 1 < n) {
+        Segment s{node_at(row, col), node_at(row, col + 1)};
+        (rng->Bernoulli(spec.removal_probability) ? removed : kept)
+            .push_back(s);
+      }
+      if (row + 1 < n) {
+        Segment s{node_at(row, col), node_at(row + 1, col)};
+        (rng->Bernoulli(spec.removal_probability) ? removed : kept)
+            .push_back(s);
+      }
+    }
+  }
+
+  UnionFind components(workload.graph.NumNodes());
+  for (const Segment& s : kept) {
+    workload.graph.AddEuclideanEdge(s.a, s.b);
+    components.Union(s.a, s.b);
+  }
+  // Restore connectivity with removed segments where needed.
+  rng->Shuffle(&removed);
+  for (const Segment& s : removed) {
+    if (components.Union(s.a, s.b)) {
+      workload.graph.AddEuclideanEdge(s.a, s.b);
+    }
+  }
+  // Diagonal shortcuts.
+  for (size_t i = 0; i < spec.num_shortcuts; ++i) {
+    const size_t row = rng->UniformUint64(n - 1);
+    const size_t col = rng->UniformUint64(n - 1);
+    workload.graph.AddEuclideanEdge(node_at(row, col),
+                                    node_at(row + 1, col + 1));
+  }
+  COSKQ_CHECK(workload.graph.IsConnected());
+
+  // Geo-textual objects on uniformly random nodes.
+  for (size_t i = 0; i < spec.vocab_size; ++i) {
+    std::string word = "t";
+    word += std::to_string(i);
+    workload.dataset.mutable_vocabulary().GetOrAdd(word);
+  }
+  ZipfSampler zipf(spec.vocab_size, spec.zipf_theta);
+  workload.objects_at.resize(workload.graph.NumNodes());
+  for (size_t i = 0; i < spec.num_objects; ++i) {
+    const RoadNodeId node = static_cast<RoadNodeId>(
+        rng->UniformUint64(workload.graph.NumNodes()));
+    TermSet terms;
+    const size_t want =
+        std::min<size_t>(1 + rng->UniformUint64(static_cast<uint64_t>(
+                                 2.0 * spec.avg_keywords_per_object - 1.0)),
+                         spec.vocab_size);
+    size_t attempts = 0;
+    while (terms.size() < want && attempts < 32 * want + 64) {
+      ++attempts;
+      const TermId t = static_cast<TermId>(zipf.Sample(rng));
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    const ObjectId id = workload.dataset.AddObjectWithTerms(
+        workload.graph.location(node), terms);
+    workload.node_of.push_back(node);
+    workload.objects_at[node].push_back(id);
+  }
+  return workload;
+}
+
+}  // namespace coskq

@@ -1,0 +1,54 @@
+#ifndef COSKQ_ROAD_ROAD_GENERATOR_H_
+#define COSKQ_ROAD_ROAD_GENERATOR_H_
+
+#include <stddef.h>
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "road/road_graph.h"
+#include "util/random.h"
+
+namespace coskq {
+
+/// A geo-textual workload on a road network: the network, the objects
+/// (whose locations coincide with their node's location), and the
+/// object → node assignment.
+struct RoadWorkload {
+  RoadGraph graph;
+  Dataset dataset;
+  /// node_of[o] is the road node object o sits on.
+  std::vector<RoadNodeId> node_of;
+  /// Objects residing on each node (inverse of node_of).
+  std::vector<std::vector<ObjectId>> objects_at;
+};
+
+/// Parameters of the synthetic road-network generator: a jittered
+/// `grid_size` x `grid_size` street grid with randomly removed street
+/// segments (keeping the network connected) and a few diagonal shortcuts —
+/// the standard synthetic stand-in for real road networks.
+struct RoadNetworkSpec {
+  size_t grid_size = 20;
+  /// Probability of removing a grid street segment (connectivity is
+  /// restored afterwards if removal disconnects the network).
+  double removal_probability = 0.15;
+  /// Number of extra diagonal shortcut edges.
+  size_t num_shortcuts = 30;
+  /// Coordinate jitter as a fraction of the grid cell size.
+  double jitter = 0.25;
+
+  /// Number of objects placed on (uniformly random) nodes.
+  size_t num_objects = 2000;
+  /// Vocabulary size and keyword statistics of the objects.
+  size_t vocab_size = 200;
+  double avg_keywords_per_object = 3.5;
+  double zipf_theta = 0.8;
+};
+
+/// Generates a connected road network with geo-textual objects on its
+/// nodes, deterministically in `rng`.
+RoadWorkload GenerateRoadWorkload(const RoadNetworkSpec& spec, Rng* rng);
+
+}  // namespace coskq
+
+#endif  // COSKQ_ROAD_ROAD_GENERATOR_H_

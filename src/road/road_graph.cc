@@ -1,0 +1,136 @@
+#include "road/road_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+RoadNodeId RoadGraph::AddNode(const Point& location) {
+  const RoadNodeId id = static_cast<RoadNodeId>(locations_.size());
+  locations_.push_back(location);
+  adjacency_.emplace_back();
+  return id;
+}
+
+void RoadGraph::AddEdge(RoadNodeId a, RoadNodeId b, double length) {
+  COSKQ_CHECK_LT(a, locations_.size());
+  COSKQ_CHECK_LT(b, locations_.size());
+  COSKQ_CHECK_GT(length, 0.0);
+  COSKQ_CHECK_NE(a, b);
+  adjacency_[a].push_back(Edge{b, length});
+  adjacency_[b].push_back(Edge{a, length});
+  ++num_edges_;
+}
+
+void RoadGraph::AddEuclideanEdge(RoadNodeId a, RoadNodeId b) {
+  AddEdge(a, b, Distance(location(a), location(b)));
+}
+
+const Point& RoadGraph::location(RoadNodeId id) const {
+  COSKQ_CHECK_LT(id, locations_.size());
+  return locations_[id];
+}
+
+const std::vector<RoadGraph::Edge>& RoadGraph::Neighbors(
+    RoadNodeId id) const {
+  COSKQ_CHECK_LT(id, adjacency_.size());
+  return adjacency_[id];
+}
+
+std::vector<double> RoadGraph::ShortestDistances(RoadNodeId source,
+                                                 double radius) const {
+  COSKQ_CHECK_LT(source, locations_.size());
+  std::vector<double> dist(locations_.size(), kUnreachable);
+  using QueueEntry = std::pair<double, RoadNodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist[source] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) {
+      continue;  // Stale entry.
+    }
+    if (d > radius) {
+      break;  // Everything unsettled is at least this far.
+    }
+    for (const Edge& edge : adjacency_[node]) {
+      const double nd = d + edge.length;
+      if (nd < dist[edge.to]) {
+        dist[edge.to] = nd;
+        queue.emplace(nd, edge.to);
+      }
+    }
+  }
+  if (radius != kUnreachable) {
+    // Distances discovered but not settled beyond the radius are not
+    // guaranteed shortest; report them as unreachable for safety.
+    for (double& d : dist) {
+      if (d > radius) {
+        d = kUnreachable;
+      }
+    }
+  }
+  return dist;
+}
+
+double RoadGraph::ShortestDistance(RoadNodeId from, RoadNodeId to) const {
+  COSKQ_CHECK_LT(to, locations_.size());
+  if (from == to) {
+    return 0.0;
+  }
+  // Dijkstra with target early exit.
+  std::vector<double> dist(locations_.size(), kUnreachable);
+  using QueueEntry = std::pair<double, RoadNodeId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (node == to) {
+      return d;
+    }
+    if (d > dist[node]) {
+      continue;
+    }
+    for (const Edge& edge : adjacency_[node]) {
+      const double nd = d + edge.length;
+      if (nd < dist[edge.to]) {
+        dist[edge.to] = nd;
+        queue.emplace(nd, edge.to);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+RoadNodeId RoadGraph::NearestNode(const Point& p) const {
+  RoadNodeId best = kInvalidRoadNode;
+  double best_d2 = kUnreachable;
+  for (RoadNodeId id = 0; id < locations_.size(); ++id) {
+    const double d2 = SquaredDistance(p, locations_[id]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = id;
+    }
+  }
+  return best;
+}
+
+bool RoadGraph::IsConnected() const {
+  if (locations_.empty()) {
+    return true;
+  }
+  const std::vector<double> dist = ShortestDistances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](double d) { return d == kUnreachable; });
+}
+
+}  // namespace coskq

@@ -1,0 +1,88 @@
+#ifndef COSKQ_UTIL_LOGGING_H_
+#define COSKQ_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace coskq {
+
+/// Severity levels understood by the logging macros below.
+enum class LogSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+namespace internal_logging {
+
+/// Collects a log message via stream insertion and emits it (to stderr) on
+/// destruction. A `kFatal` message aborts the process after emission, which
+/// is what the CHECK macros rely on.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows a stream expression; used by the disabled branch of
+/// conditional logging macros so the expression still type-checks.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Returns the minimum severity that is actually emitted. Messages below the
+/// threshold are discarded. Controlled by `SetMinLogSeverity`.
+LogSeverity MinLogSeverity();
+
+/// Sets the minimum severity emitted by COSKQ_LOG. Fatal messages are always
+/// emitted regardless of the threshold.
+void SetMinLogSeverity(LogSeverity severity);
+
+}  // namespace coskq
+
+#define COSKQ_LOG(severity)                                              \
+  ::coskq::internal_logging::LogMessage(::coskq::LogSeverity::severity, \
+                                        __FILE__, __LINE__)             \
+      .stream()
+
+// CHECK-style invariant enforcement: always on, aborts on failure. Use for
+// conditions whose violation indicates a programming error in this library
+// or its caller, never for recoverable conditions (use Status for those).
+#define COSKQ_CHECK(condition)                                  \
+  (condition) ? (void)0                                         \
+              : ::coskq::internal_logging::LogMessageVoidify()& \
+                    COSKQ_LOG(kFatal) << "Check failed: " #condition " "
+
+#define COSKQ_CHECK_OP(op, a, b)                                      \
+  COSKQ_CHECK((a)op(b)) << "(" << (a) << " vs. " << (b) << ") "
+
+#define COSKQ_CHECK_EQ(a, b) COSKQ_CHECK_OP(==, a, b)
+#define COSKQ_CHECK_NE(a, b) COSKQ_CHECK_OP(!=, a, b)
+#define COSKQ_CHECK_LT(a, b) COSKQ_CHECK_OP(<, a, b)
+#define COSKQ_CHECK_LE(a, b) COSKQ_CHECK_OP(<=, a, b)
+#define COSKQ_CHECK_GT(a, b) COSKQ_CHECK_OP(>, a, b)
+#define COSKQ_CHECK_GE(a, b) COSKQ_CHECK_OP(>=, a, b)
+
+// Debug-only variants, compiled out in release builds.
+#ifndef NDEBUG
+#define COSKQ_DCHECK(condition) COSKQ_CHECK(condition)
+#else
+#define COSKQ_DCHECK(condition) \
+  while (false) COSKQ_CHECK(condition)
+#endif
+
+#endif  // COSKQ_UTIL_LOGGING_H_

@@ -1,0 +1,53 @@
+#ifndef COSKQ_UTIL_STATS_H_
+#define COSKQ_UTIL_STATS_H_
+
+#include <stddef.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace coskq {
+
+/// Streaming accumulator for min / max / mean / stddev of a sequence of
+/// measurements (Welford's algorithm for numerically stable variance).
+/// Used by the benchmark harnesses to aggregate per-query running times and
+/// approximation ratios, matching the avg/min/max bars reported in the paper.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Accumulates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Sample standard deviation (0 for fewer than two observations).
+  double stddev() const;
+
+  /// "avg [min, max] (n=count)" rendering for log lines.
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Returns the p-th percentile (p in [0, 100]) of `values` using linear
+/// interpolation between closest ranks. `values` need not be sorted; a copy
+/// is sorted internally. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace coskq
+
+#endif  // COSKQ_UTIL_STATS_H_

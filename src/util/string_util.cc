@@ -1,0 +1,106 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace coskq {
+
+std::vector<std::string> SplitString(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delimiter, start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      pieces.emplace_back(text.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += pieces[i];
+  }
+  return result;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string AsciiToLower(std::string_view text) {
+  std::string result(text);
+  for (char& c : result) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return result;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  if (text.empty()) {
+    return false;
+  }
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text[0] == '-') {
+    return false;
+  }
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(buffer.c_str(), &end, 10);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+std::string FormatWithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string result;
+  int since_comma = 0;
+  for (size_t i = digits.size(); i > 0; --i) {
+    result.push_back(digits[i - 1]);
+    if (++since_comma == 3 && i > 1) {
+      result.push_back(',');
+      since_comma = 0;
+    }
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace coskq

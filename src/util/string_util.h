@@ -1,0 +1,34 @@
+#ifndef COSKQ_UTIL_STRING_UTIL_H_
+#define COSKQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coskq {
+
+/// Splits `text` on `delimiter`, omitting empty pieces. "a  b" -> {"a","b"}.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Lowercases ASCII characters in place and returns the result.
+std::string AsciiToLower(std::string_view text);
+
+/// Parses a double; returns false on malformed input or trailing junk.
+bool ParseDouble(std::string_view text, double* value);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint64(std::string_view text, uint64_t* value);
+
+/// Formats `n` with thousands separators, e.g. 1868821 -> "1,868,821".
+std::string FormatWithCommas(uint64_t n);
+
+}  // namespace coskq
+
+#endif  // COSKQ_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#ifndef COSKQ_UTIL_TIMER_H_
+#define COSKQ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace coskq {
+
+/// Monotonic wall-clock stopwatch used for all reported timings.
+class WallTimer {
+ public:
+  /// Starts the timer immediately on construction.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_UTIL_TIMER_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/table.h"
+#include "core/cao_appro.h"
+#include "core/owner_driven_exact.h"
+#include "test_util.h"
+
+namespace coskq {
+namespace {
+
+TEST(BenchConfigTest, DefaultsAndEnvOverrides) {
+  unsetenv("COSKQ_BENCH_SCALE");
+  unsetenv("COSKQ_BENCH_QUERIES");
+  const BenchConfig defaults = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(defaults.scale, 0.02);
+  EXPECT_EQ(defaults.queries, 20u);
+
+  setenv("COSKQ_BENCH_SCALE", "0.5", 1);
+  setenv("COSKQ_BENCH_QUERIES", "7", 1);
+  const BenchConfig overridden = BenchConfig::FromEnv();
+  EXPECT_DOUBLE_EQ(overridden.scale, 0.5);
+  EXPECT_EQ(overridden.queries, 7u);
+
+  setenv("COSKQ_BENCH_SCALE", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(BenchConfig::FromEnv().scale, 0.02);
+  unsetenv("COSKQ_BENCH_SCALE");
+  unsetenv("COSKQ_BENCH_QUERIES");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long header"});
+  table.AddRow({"xx", "1"});
+  table.AddRow({"y", "22"});
+  const std::string rendered = table.Render();
+  EXPECT_EQ(rendered,
+            "| a  | long header |\n"
+            "|----|-------------|\n"
+            "| xx | 1           |\n"
+            "| y  | 22          |\n");
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(1.25, 2), "1.25");
+  EXPECT_EQ(FormatDouble(1.2000, 4), "1.2");
+  EXPECT_EQ(FormatDouble(3.0, 2), "3");
+  EXPECT_EQ(FormatMillis(0.5), "500 us");
+  EXPECT_EQ(FormatMillis(12.34), "12.34 ms");
+  EXPECT_EQ(FormatMillis(2500.0), "2.5 s");
+}
+
+TEST(HarnessTest, MakeQueriesIsDeterministic) {
+  BenchConfig config;
+  config.queries = 5;
+  BenchWorkload workload =
+      MakeWorkload("t", test::MakeRandomDataset(300, 40, 3.0, 700));
+  const auto a = MakeQueries(workload, 4, config);
+  const auto b = MakeQueries(workload, 4, config);
+  ASSERT_EQ(a.size(), 5u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].location, b[i].location);
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  }
+}
+
+TEST(HarnessTest, RunCellRecordsRatiosAgainstReference) {
+  BenchConfig config;
+  config.queries = 6;
+  BenchWorkload workload =
+      MakeWorkload("t", test::MakeRandomDataset(400, 50, 3.0, 701));
+  const auto queries = MakeQueries(workload, 4, config);
+  const CoskqContext ctx = workload.context();
+
+  OwnerDrivenExact exact(ctx, CostType::kMaxSum);
+  std::vector<double> reference;
+  const CellResult exact_cell =
+      RunCell(&exact, queries, /*budget_s=*/0.0, nullptr, &reference);
+  EXPECT_EQ(exact_cell.completed, queries.size());
+  ASSERT_EQ(reference.size(), queries.size());
+
+  CaoAppro1 appro(ctx, CostType::kMaxSum);
+  const CellResult appro_cell =
+      RunCell(&appro, queries, /*budget_s=*/0.0, &reference);
+  EXPECT_EQ(appro_cell.completed, queries.size());
+  EXPECT_GT(appro_cell.ratio.count(), 0u);
+  EXPECT_GE(appro_cell.ratio.min(), 1.0 - 1e-12);
+  EXPECT_LE(appro_cell.optimal_count, appro_cell.ratio.count());
+  EXPECT_FALSE(appro_cell.truncated);
+  EXPECT_EQ(FormatCellTime(appro_cell).find(">="), std::string::npos);
+}
+
+TEST(HarnessTest, RunCellHonorsBudget) {
+  BenchConfig config;
+  config.queries = 50;
+  BenchWorkload workload =
+      MakeWorkload("t", test::MakeRandomDataset(2000, 100, 4.0, 702));
+  const auto queries = MakeQueries(workload, 8, config);
+  const CoskqContext ctx = workload.context();
+  OwnerDrivenExact exact(ctx, CostType::kMaxSum);
+  // A micro budget: the cell must stop early (at least one query runs).
+  const CellResult cell =
+      RunCell(&exact, queries, /*budget_s=*/1e-9, nullptr);
+  EXPECT_GE(cell.completed, 1u);
+  EXPECT_LT(cell.completed, queries.size());
+  EXPECT_TRUE(cell.truncated);
+  EXPECT_EQ(FormatCellTime(cell).rfind(">= ", 0), 0u);
+}
+
+TEST(HarnessTest, FormatCellEdgeCases) {
+  CellResult empty;
+  EXPECT_EQ(FormatCellTime(empty), "-");
+  EXPECT_EQ(FormatCellRatio(empty), "-");
+}
+
+TEST(HarnessTest, WorkloadFactoriesProduceIndexedDatasets) {
+  BenchConfig config;
+  config.scale = 0.002;
+  const BenchWorkload gn = MakeGnWorkload(config);
+  EXPECT_EQ(gn.name, "GN");
+  EXPECT_GT(gn.dataset.NumObjects(), 1000u);
+  EXPECT_GT(gn.index->size(), 0u);
+  EXPECT_GE(gn.index_build_ms, 0.0);
+  gn.index->CheckInvariants();
+}
+
+}  // namespace
+}  // namespace coskq

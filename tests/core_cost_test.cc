@@ -1,0 +1,150 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+Dataset SquareDataset() {
+  // Four corners of the unit square plus the center.
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"a"});      // 0
+  ds.AddObject(Point{1, 0}, {"b"});      // 1
+  ds.AddObject(Point{0, 1}, {"c"});      // 2
+  ds.AddObject(Point{1, 1}, {"d"});      // 3
+  ds.AddObject(Point{0.5, 0.5}, {"e"});  // 4
+  return ds;
+}
+
+TEST(CostTest, NamesAndBounds) {
+  EXPECT_EQ(CostTypeName(CostType::kMaxSum), "MaxSum");
+  EXPECT_EQ(CostTypeName(CostType::kDia), "Dia");
+  EXPECT_DOUBLE_EQ(ApproRatioBound(CostType::kMaxSum), 1.375);
+  EXPECT_DOUBLE_EQ(ApproRatioBound(CostType::kDia), std::sqrt(3.0));
+}
+
+TEST(CostTest, HandComputedComponents) {
+  Dataset ds = SquareDataset();
+  const Point q{0, 0};
+  const std::vector<ObjectId> set{1, 2, 3};
+  const CostComponents c = ComputeComponents(ds, q, set);
+  EXPECT_DOUBLE_EQ(c.max_query_dist, std::sqrt(2.0));  // To (1,1).
+  EXPECT_DOUBLE_EQ(c.max_pairwise_dist, std::sqrt(2.0));  // (1,0)-(0,1).
+  EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kMaxSum, ds, q, set),
+                   2.0 * std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kDia, ds, q, set), std::sqrt(2.0));
+}
+
+TEST(CostTest, SingletonSet) {
+  Dataset ds = SquareDataset();
+  const Point q{0, 0};
+  const std::vector<ObjectId> set{3};
+  EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kMaxSum, ds, q, set),
+                   std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kDia, ds, q, set), std::sqrt(2.0));
+}
+
+TEST(CostTest, EmptySetCostsZero) {
+  Dataset ds = SquareDataset();
+  EXPECT_EQ(EvaluateCost(CostType::kMaxSum, ds, Point{0, 0}, {}), 0.0);
+  EXPECT_EQ(EvaluateCost(CostType::kDia, ds, Point{0, 0}, {}), 0.0);
+}
+
+TEST(CostTest, SetCoversKeywords) {
+  Dataset ds = SquareDataset();
+  const TermId a = ds.vocabulary().Find("a");
+  const TermId b = ds.vocabulary().Find("b");
+  TermSet want{a, b};
+  NormalizeTermSet(&want);
+  EXPECT_TRUE(SetCoversKeywords(ds, want, {0, 1}));
+  EXPECT_FALSE(SetCoversKeywords(ds, want, {0, 2}));
+  EXPECT_TRUE(SetCoversKeywords(ds, {}, {}));
+}
+
+TEST(CostTest, FindDistanceOwners) {
+  Dataset ds = SquareDataset();
+  const Point q{0, 0};
+  const DistanceOwners owners = FindDistanceOwners(ds, q, {1, 2, 3, 4});
+  EXPECT_EQ(owners.query_owner, 3u);  // (1,1) farthest from origin.
+  // Farthest pair: (1,0)-(0,1) at sqrt(2) — same as corner pairs with (1,1)?
+  // d((1,0),(0,1)) = sqrt(2); d((1,0),(1,1)) = 1. So the pair is {1,2}.
+  EXPECT_EQ(owners.pair_first, 1u);
+  EXPECT_EQ(owners.pair_second, 2u);
+}
+
+TEST(CostTest, OwnersOfSingleton) {
+  Dataset ds = SquareDataset();
+  const DistanceOwners owners = FindDistanceOwners(ds, Point{0, 0}, {4});
+  EXPECT_EQ(owners.query_owner, 4u);
+  EXPECT_EQ(owners.pair_first, 4u);
+  EXPECT_EQ(owners.pair_second, 4u);
+}
+
+class TrackerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrackerPropertyTest, TrackerMatchesBatchEvaluation) {
+  Dataset ds = test::MakeRandomDataset(200, 30, 3.0, GetParam());
+  Rng rng(GetParam() + 1);
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    SetCostTracker tracker(&ds, q, type);
+    std::vector<ObjectId> set;
+    double last_cost = 0.0;
+    for (int step = 0; step < 12; ++step) {
+      const ObjectId id = static_cast<ObjectId>(rng.UniformUint64(200));
+      tracker.Push(id);
+      set.push_back(id);
+      std::vector<ObjectId> dedup = set;
+      std::sort(dedup.begin(), dedup.end());
+      dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+      EXPECT_NEAR(tracker.cost(), EvaluateCost(type, ds, q, dedup), 1e-12);
+      // Monotone non-decreasing under Push.
+      EXPECT_GE(tracker.cost(), last_cost - 1e-15);
+      last_cost = tracker.cost();
+      EXPECT_TRUE(tracker.Contains(id));
+    }
+    // Pop everything back and verify the stack unwinds exactly.
+    for (int step = 11; step >= 0; --step) {
+      tracker.Pop();
+      set.pop_back();
+      std::vector<ObjectId> dedup = set;
+      std::sort(dedup.begin(), dedup.end());
+      dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+      EXPECT_NEAR(tracker.cost(), EvaluateCost(type, ds, q, dedup), 1e-12);
+    }
+    EXPECT_EQ(tracker.size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(CostTest, DiaIsMaxOfComponents) {
+  Rng rng(77);
+  Dataset ds = test::MakeRandomDataset(100, 20, 3.0, 78);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ObjectId> set;
+    for (int i = 0; i < 4; ++i) {
+      set.push_back(static_cast<ObjectId>(rng.UniformUint64(100)));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    const CostComponents c = ComputeComponents(ds, q, set);
+    EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kDia, ds, q, set),
+                     std::max(c.max_query_dist, c.max_pairwise_dist));
+    EXPECT_DOUBLE_EQ(EvaluateCost(CostType::kMaxSum, ds, q, set),
+                     c.max_query_dist + c.max_pairwise_dist);
+    // MaxSum dominates Dia.
+    EXPECT_GE(EvaluateCost(CostType::kMaxSum, ds, q, set),
+              EvaluateCost(CostType::kDia, ds, q, set));
+  }
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/brute_force.h"
+#include "core/cao_exact.h"
+#include "core/nn_set.h"
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+// Sweep parameters: (#objects, vocab size, avg keywords, |q.ψ|, seed).
+using ExactSweepParam = std::tuple<size_t, size_t, double, size_t, uint64_t>;
+
+class ExactAgreementTest : public ::testing::TestWithParam<ExactSweepParam> {
+ protected:
+  void SetUp() override {
+    const auto [n, vocab, avg_kw, num_kw, seed] = GetParam();
+    dataset_ = test::MakeRandomDataset(n, vocab, avg_kw, seed);
+    index_ = std::make_unique<IrTree>(&dataset_);
+    context_ = CoskqContext{&dataset_, index_.get()};
+    num_kw_ = num_kw;
+    seed_ = seed;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<IrTree> index_;
+  CoskqContext context_;
+  size_t num_kw_ = 0;
+  uint64_t seed_ = 0;
+};
+
+// The heart of the test suite: on random instances, every exact algorithm —
+// the paper's owner-driven search (MaxSum-Exact / Dia-Exact) and the Cao
+// baseline — must return exactly the brute-force optimal cost.
+TEST_P(ExactAgreementTest, AllExactAlgorithmsMatchBruteForce) {
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    BruteForceSolver oracle(context_, type);
+    OwnerDrivenExact owner(context_, type);
+    CaoExact cao(context_, type);
+    for (int trial = 0; trial < 8; ++trial) {
+      const CoskqQuery q =
+          test::MakeRandomQuery(dataset_, num_kw_, seed_ * 100 + trial);
+      const CoskqResult want = oracle.Solve(q);
+      const CoskqResult got_owner = owner.Solve(q);
+      const CoskqResult got_cao = cao.Solve(q);
+      ASSERT_EQ(want.feasible, got_owner.feasible);
+      ASSERT_EQ(want.feasible, got_cao.feasible);
+      if (!want.feasible) {
+        continue;
+      }
+      EXPECT_NEAR(got_owner.cost, want.cost, 1e-9)
+          << CostTypeName(type) << " owner-driven vs oracle, trial " << trial;
+      EXPECT_NEAR(got_cao.cost, want.cost, 1e-9)
+          << CostTypeName(type) << " Cao-Exact vs oracle, trial " << trial;
+      // Returned sets must actually be feasible and priced correctly.
+      EXPECT_TRUE(SetCoversKeywords(dataset_, q.keywords, got_owner.set));
+      EXPECT_NEAR(EvaluateCost(type, dataset_, q.location, got_owner.set),
+                  got_owner.cost, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactAgreementTest,
+    ::testing::Values(
+        ExactSweepParam{60, 12, 2.5, 3, 1},
+        ExactSweepParam{60, 12, 2.5, 4, 2},
+        ExactSweepParam{120, 20, 3.0, 3, 3},
+        ExactSweepParam{120, 20, 3.0, 5, 4},
+        ExactSweepParam{200, 25, 3.5, 4, 5},
+        ExactSweepParam{200, 25, 2.0, 6, 6},
+        ExactSweepParam{300, 40, 3.0, 5, 7},
+        ExactSweepParam{300, 15, 4.0, 6, 8},
+        ExactSweepParam{80, 8, 2.0, 4, 9},
+        ExactSweepParam{150, 30, 5.0, 5, 10}));
+
+// Disabling pruning families must not change the answer, only the work.
+TEST(OwnerDrivenExactTest, AblationVariantsAgree) {
+  Dataset ds = test::MakeRandomDataset(150, 20, 3.0, 42);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact full(ctx, type);
+    OwnerDrivenExact::Options no_pair;
+    no_pair.use_pair_distance_bounds = false;
+    OwnerDrivenExact::Options no_order;
+    no_order.use_cost_lb_ordering = false;
+    OwnerDrivenExact::Options no_ring;
+    no_ring.use_owner_ring_bounds = false;
+    OwnerDrivenExact::Options none;
+    none.use_pair_distance_bounds = false;
+    none.use_cost_lb_ordering = false;
+    none.use_owner_ring_bounds = false;
+    OwnerDrivenExact v1(ctx, type, no_pair);
+    OwnerDrivenExact v2(ctx, type, no_order);
+    OwnerDrivenExact v3(ctx, type, no_ring);
+    OwnerDrivenExact v4(ctx, type, none);
+    for (int trial = 0; trial < 6; ++trial) {
+      const CoskqQuery q = test::MakeRandomQuery(ds, 4, 1000 + trial);
+      const double want = full.Solve(q).cost;
+      EXPECT_NEAR(v1.Solve(q).cost, want, 1e-9);
+      EXPECT_NEAR(v2.Solve(q).cost, want, 1e-9);
+      EXPECT_NEAR(v3.Solve(q).cost, want, 1e-9);
+      EXPECT_NEAR(v4.Solve(q).cost, want, 1e-9);
+    }
+  }
+}
+
+TEST(OwnerDrivenExactTest, InfeasibleKeywordReported) {
+  Dataset ds = test::MakeRandomDataset(50, 10, 3.0, 3);
+  const TermId ghost = ds.mutable_vocabulary().GetOrAdd("ghost");
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  OwnerDrivenExact solver(ctx, CostType::kMaxSum);
+  CoskqQuery q;
+  q.location = Point{0.5, 0.5};
+  q.keywords = {0, ghost};
+  NormalizeTermSet(&q.keywords);
+  const CoskqResult result = solver.Solve(q);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.set.empty());
+  EXPECT_TRUE(std::isinf(result.cost));
+}
+
+TEST(OwnerDrivenExactTest, EmptyKeywordsTriviallyFeasible) {
+  Dataset ds = test::MakeRandomDataset(50, 10, 3.0, 4);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  OwnerDrivenExact solver(ctx, CostType::kDia);
+  CoskqQuery q;
+  q.location = Point{0.5, 0.5};
+  const CoskqResult result = solver.Solve(q);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.set.empty());
+  EXPECT_EQ(result.cost, 0.0);
+}
+
+TEST(OwnerDrivenExactTest, SingleKeywordReturnsNearest) {
+  Dataset ds = test::MakeRandomDataset(200, 15, 3.0, 5);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  Rng rng(6);
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact solver(ctx, type);
+    for (int trial = 0; trial < 10; ++trial) {
+      const TermId t = static_cast<TermId>(rng.UniformUint64(15));
+      CoskqQuery q;
+      q.location = Point{rng.UniformDouble(), rng.UniformDouble()};
+      q.keywords = {t};
+      double nn_dist = 0.0;
+      const ObjectId nn = tree.KeywordNn(q.location, t, &nn_dist);
+      const CoskqResult result = solver.Solve(q);
+      if (nn == kInvalidObjectId) {
+        EXPECT_FALSE(result.feasible);
+        continue;
+      }
+      ASSERT_TRUE(result.feasible);
+      ASSERT_EQ(result.set.size(), 1u);
+      EXPECT_DOUBLE_EQ(result.cost, nn_dist);
+    }
+  }
+}
+
+TEST(OwnerDrivenExactTest, SolverIsDeterministic) {
+  Dataset ds = test::MakeRandomDataset(150, 20, 3.0, 7);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  OwnerDrivenExact solver(ctx, CostType::kMaxSum);
+  const CoskqQuery q = test::MakeRandomQuery(ds, 5, 8);
+  const CoskqResult a = solver.Solve(q);
+  const CoskqResult b = solver.Solve(q);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.set, b.set);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST(OwnerDrivenExactTest, OneObjectCoversEverything) {
+  Dataset ds;
+  ds.AddObject(Point{0.9, 0.9}, {"a", "b", "c"});
+  ds.AddObject(Point{0.1, 0.1}, {"a"});
+  ds.AddObject(Point{0.15, 0.1}, {"b"});
+  ds.AddObject(Point{0.1, 0.15}, {"c"});
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  CoskqQuery q;
+  q.location = Point{0.12, 0.12};
+  q.keywords = {ds.vocabulary().Find("a"), ds.vocabulary().Find("b"),
+                ds.vocabulary().Find("c")};
+  NormalizeTermSet(&q.keywords);
+  // The three nearby singles beat the far all-in-one object.
+  OwnerDrivenExact solver(ctx, CostType::kMaxSum);
+  const CoskqResult result = solver.Solve(q);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.set, (std::vector<ObjectId>{1, 2, 3}));
+
+  // Move the query next to the all-in-one object: the singleton wins.
+  q.location = Point{0.9, 0.88};
+  const CoskqResult result2 = solver.Solve(q);
+  ASSERT_TRUE(result2.feasible);
+  EXPECT_EQ(result2.set, (std::vector<ObjectId>{0}));
+}
+
+TEST(OwnerDrivenExactTest, StatsArePopulated) {
+  Dataset ds = test::MakeRandomDataset(200, 20, 3.0, 9);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  OwnerDrivenExact solver(ctx, CostType::kMaxSum);
+  const CoskqQuery q = test::MakeRandomQuery(ds, 5, 10);
+  const CoskqResult result = solver.Solve(q);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.stats.candidates, 0u);
+  EXPECT_GE(result.stats.elapsed_ms, 0.0);
+}
+
+TEST(NnSetTest, MatchesIrTreePerKeyword) {
+  Dataset ds = test::MakeRandomDataset(300, 25, 3.0, 11);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  const CoskqQuery q = test::MakeRandomQuery(ds, 6, 12);
+  const NnSetInfo info = ComputeNnSet(ctx, q);
+  ASSERT_TRUE(info.feasible);
+  EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, info.set));
+  double max_d = 0.0;
+  for (ObjectId id : info.set) {
+    max_d = std::max(max_d, Distance(q.location, ds.object(id).location));
+  }
+  EXPECT_DOUBLE_EQ(info.max_dist, max_d);
+  // d_f is a lower bound on the max query distance of any feasible set:
+  // each keyword's NN distance is minimal.
+  for (TermId t : q.keywords) {
+    double d = 0.0;
+    tree.KeywordNn(q.location, t, &d);
+    EXPECT_LE(d, info.max_dist + 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,145 @@
+// Metamorphic properties of the solvers: rigid motions of the plane leave
+// costs unchanged, uniform scalings scale costs linearly, and adding
+// irrelevant objects never changes the answer. These catch bound mistakes
+// that agreement tests on one embedding can miss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+struct Transform {
+  double scale = 1.0;
+  double dx = 0.0;
+  double dy = 0.0;
+  double angle = 0.0;
+
+  Point Apply(const Point& p) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return Point{scale * (c * p.x - s * p.y) + dx,
+                 scale * (s * p.x + c * p.y) + dy};
+  }
+};
+
+Dataset TransformDataset(const Dataset& ds, const Transform& t) {
+  Dataset out;
+  for (size_t i = 0; i < ds.vocabulary().size(); ++i) {
+    out.mutable_vocabulary().GetOrAdd(
+        ds.vocabulary().TermString(static_cast<TermId>(i)));
+  }
+  for (const SpatialObject& obj : ds.objects()) {
+    out.AddObjectWithTerms(t.Apply(obj.location), obj.keywords);
+  }
+  return out;
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetamorphicTest, RigidMotionPreservesOptimalCost) {
+  Dataset ds = test::MakeRandomDataset(250, 30, 3.0, GetParam());
+  Rng rng(GetParam() + 5);
+  const Transform t{1.0, rng.UniformDouble(-3, 3), rng.UniformDouble(-3, 3),
+                    rng.UniformDouble(0.0, 6.28)};
+  Dataset moved = TransformDataset(ds, t);
+  IrTree tree_a(&ds);
+  IrTree tree_b(&moved);
+  CoskqContext ctx_a{&ds, &tree_a};
+  CoskqContext ctx_b{&moved, &tree_b};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact exact_a(ctx_a, type);
+    OwnerDrivenExact exact_b(ctx_b, type);
+    for (int trial = 0; trial < 5; ++trial) {
+      CoskqQuery q = test::MakeRandomQuery(ds, 4, GetParam() * 11 + trial);
+      CoskqQuery q_moved = q;
+      q_moved.location = t.Apply(q.location);
+      const CoskqResult a = exact_a.Solve(q);
+      const CoskqResult b = exact_b.Solve(q_moved);
+      ASSERT_EQ(a.feasible, b.feasible);
+      if (a.feasible) {
+        // Rotation mixes coordinates, so allow tiny floating-point drift.
+        EXPECT_NEAR(a.cost, b.cost, 1e-9 * (1.0 + a.cost));
+      }
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, UniformScalingScalesOptimalCost) {
+  Dataset ds = test::MakeRandomDataset(250, 30, 3.0, GetParam() + 100);
+  const double factor = 3.5;
+  Dataset scaled = TransformDataset(ds, Transform{factor, 0, 0, 0});
+  IrTree tree_a(&ds);
+  IrTree tree_b(&scaled);
+  CoskqContext ctx_a{&ds, &tree_a};
+  CoskqContext ctx_b{&scaled, &tree_b};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact exact_a(ctx_a, type);
+    OwnerDrivenExact exact_b(ctx_b, type);
+    OwnerDrivenAppro appro_a(ctx_a, type);
+    OwnerDrivenAppro appro_b(ctx_b, type);
+    for (int trial = 0; trial < 5; ++trial) {
+      CoskqQuery q =
+          test::MakeRandomQuery(ds, 4, GetParam() * 13 + trial);
+      CoskqQuery q_scaled = q;
+      q_scaled.location =
+          Point{q.location.x * factor, q.location.y * factor};
+      const CoskqResult a = exact_a.Solve(q);
+      const CoskqResult b = exact_b.Solve(q_scaled);
+      ASSERT_EQ(a.feasible, b.feasible);
+      if (a.feasible) {
+        EXPECT_NEAR(b.cost, factor * a.cost, 1e-9 * (1.0 + b.cost));
+      }
+      // The deterministic approximate algorithm scales identically too.
+      const CoskqResult aa = appro_a.Solve(q);
+      const CoskqResult bb = appro_b.Solve(q_scaled);
+      ASSERT_EQ(aa.feasible, bb.feasible);
+      if (aa.feasible) {
+        EXPECT_NEAR(bb.cost, factor * aa.cost, 1e-9 * (1.0 + bb.cost));
+        EXPECT_EQ(aa.set, bb.set);
+      }
+    }
+  }
+}
+
+TEST_P(MetamorphicTest, IrrelevantObjectsDoNotChangeAnswers) {
+  Dataset ds = test::MakeRandomDataset(200, 25, 3.0, GetParam() + 200);
+  const CoskqQuery q = test::MakeRandomQuery(ds, 4, GetParam() + 201);
+  // Add noise objects carrying only brand-new keywords.
+  Dataset noisy = ds.Clone();
+  Rng rng(GetParam() + 202);
+  for (int i = 0; i < 300; ++i) {
+    const TermId noise_term =
+        noisy.mutable_vocabulary().GetOrAdd("noise" + std::to_string(i));
+    noisy.AddObjectWithTerms(
+        Point{rng.UniformDouble(), rng.UniformDouble()}, {noise_term});
+  }
+  IrTree tree_a(&ds);
+  IrTree tree_b(&noisy);
+  CoskqContext ctx_a{&ds, &tree_a};
+  CoskqContext ctx_b{&noisy, &tree_b};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact exact_a(ctx_a, type);
+    OwnerDrivenExact exact_b(ctx_b, type);
+    const CoskqResult a = exact_a.Solve(q);
+    const CoskqResult b = exact_b.Solve(q);
+    ASSERT_EQ(a.feasible, b.feasible);
+    if (a.feasible) {
+      EXPECT_EQ(a.set, b.set);
+      EXPECT_EQ(a.cost, b.cost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,58 @@
+#include "core/solvers.h"
+
+#include <gtest/gtest.h>
+
+#include "index/irtree.h"
+#include "test_util.h"
+
+namespace coskq {
+namespace {
+
+TEST(SolverRegistryTest, AllNamesConstruct) {
+  Dataset ds = test::MakeRandomDataset(100, 15, 3.0, 31);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  for (const std::string& name : AvailableSolverNames()) {
+    auto solver = MakeSolver(name, ctx);
+    ASSERT_NE(solver, nullptr) << name;
+    EXPECT_FALSE(solver->name().empty());
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameReturnsNull) {
+  Dataset ds = test::MakeRandomDataset(20, 5, 2.0, 32);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  EXPECT_EQ(MakeSolver("definitely-not-a-solver", ctx), nullptr);
+}
+
+TEST(SolverRegistryTest, CostTypesAssignedCorrectly) {
+  Dataset ds = test::MakeRandomDataset(20, 5, 2.0, 33);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  EXPECT_EQ(MakeSolver("maxsum-exact", ctx)->cost_type(), CostType::kMaxSum);
+  EXPECT_EQ(MakeSolver("dia-exact", ctx)->cost_type(), CostType::kDia);
+  EXPECT_EQ(MakeSolver("cao-appro2-dia", ctx)->cost_type(), CostType::kDia);
+  EXPECT_EQ(MakeSolver("brute-force-maxsum", ctx)->cost_type(),
+            CostType::kMaxSum);
+}
+
+TEST(SolverRegistryTest, EverySolverAnswersAQuery) {
+  Dataset ds = test::MakeRandomDataset(120, 15, 3.0, 34);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  const CoskqQuery q = test::MakeRandomQuery(ds, 3, 35);
+  for (const std::string& name : AvailableSolverNames()) {
+    auto solver = MakeSolver(name, ctx);
+    const CoskqResult result = solver->Solve(q);
+    ASSERT_TRUE(result.feasible) << name;
+    EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, result.set)) << name;
+    EXPECT_NEAR(
+        EvaluateCost(solver->cost_type(), ds, q.location, result.set),
+        result.cost, 1e-12)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace coskq

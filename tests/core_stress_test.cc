@@ -1,0 +1,165 @@
+// Adversarial-geometry and degenerate-input tests for the solvers: ties,
+// duplicate locations, collinear layouts, queries far outside the data, and
+// objects stacked on the query location. These target the boundary handling
+// of the distance owner bounds.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/brute_force.h"
+#include "core/cao_exact.h"
+#include "core/owner_driven_appro.h"
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+void ExpectAllExactAgree(const Dataset& ds, const CoskqQuery& q) {
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    BruteForceSolver oracle(ctx, type);
+    OwnerDrivenExact owner(ctx, type);
+    CaoExact cao(ctx, type);
+    OwnerDrivenAppro appro(ctx, type);
+    const CoskqResult want = oracle.Solve(q);
+    const CoskqResult a = owner.Solve(q);
+    const CoskqResult b = cao.Solve(q);
+    const CoskqResult c = appro.Solve(q);
+    ASSERT_EQ(want.feasible, a.feasible);
+    ASSERT_EQ(want.feasible, b.feasible);
+    ASSERT_EQ(want.feasible, c.feasible);
+    if (!want.feasible) {
+      continue;
+    }
+    EXPECT_NEAR(a.cost, want.cost, 1e-9) << CostTypeName(type);
+    EXPECT_NEAR(b.cost, want.cost, 1e-9) << CostTypeName(type);
+    EXPECT_GE(c.cost, want.cost - 1e-12);
+    EXPECT_LE(c.cost, ApproRatioBound(type) * want.cost + 1e-9);
+  }
+}
+
+TEST(StressTest, AllObjectsAtOneLocation) {
+  Dataset ds;
+  for (int i = 0; i < 20; ++i) {
+    ds.AddObject(Point{0.5, 0.5},
+                 {std::string(1, static_cast<char>('a' + i % 5))});
+  }
+  CoskqQuery q;
+  q.location = Point{0.1, 0.1};
+  for (char c = 'a'; c <= 'e'; ++c) {
+    q.keywords.push_back(ds.vocabulary().Find(std::string(1, c)));
+  }
+  NormalizeTermSet(&q.keywords);
+  ExpectAllExactAgree(ds, q);
+}
+
+TEST(StressTest, ObjectsStackedOnQueryLocation) {
+  Dataset ds;
+  ds.AddObject(Point{0.5, 0.5}, {"a"});
+  ds.AddObject(Point{0.5, 0.5}, {"b"});
+  ds.AddObject(Point{0.9, 0.9}, {"c"});
+  ds.AddObject(Point{0.5, 0.5}, {"c"});
+  CoskqQuery q;
+  q.location = Point{0.5, 0.5};
+  q.keywords = {ds.vocabulary().Find("a"), ds.vocabulary().Find("b"),
+                ds.vocabulary().Find("c")};
+  NormalizeTermSet(&q.keywords);
+  ExpectAllExactAgree(ds, q);
+  // The optimal cost is exactly 0 (everything at the query point).
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  OwnerDrivenExact solver(ctx, CostType::kMaxSum);
+  EXPECT_EQ(solver.Solve(q).cost, 0.0);
+}
+
+TEST(StressTest, CollinearObjects) {
+  Dataset ds;
+  for (int i = 0; i < 12; ++i) {
+    ds.AddObject(Point{0.05 * i, 0.0},
+                 {std::string(1, static_cast<char>('a' + i % 4))});
+  }
+  CoskqQuery q;
+  q.location = Point{0.3, 0.0};
+  for (char c = 'a'; c <= 'd'; ++c) {
+    q.keywords.push_back(ds.vocabulary().Find(std::string(1, c)));
+  }
+  NormalizeTermSet(&q.keywords);
+  ExpectAllExactAgree(ds, q);
+}
+
+TEST(StressTest, QueryFarOutsideData) {
+  Dataset ds = test::MakeRandomDataset(100, 10, 3.0, 501);
+  CoskqQuery q;
+  q.location = Point{50.0, -30.0};
+  q.keywords = {0, 1, 2};
+  ExpectAllExactAgree(ds, q);
+}
+
+TEST(StressTest, DuplicateObjectsWithIdenticalKeywords) {
+  Dataset ds;
+  for (int i = 0; i < 8; ++i) {
+    ds.AddObject(Point{0.1 * i, 0.2}, {"x", "y"});
+    ds.AddObject(Point{0.1 * i, 0.2}, {"z"});
+  }
+  CoskqQuery q;
+  q.location = Point{0.35, 0.25};
+  q.keywords = {ds.vocabulary().Find("x"), ds.vocabulary().Find("z")};
+  NormalizeTermSet(&q.keywords);
+  ExpectAllExactAgree(ds, q);
+}
+
+TEST(StressTest, SingleObjectDataset) {
+  Dataset ds;
+  ds.AddObject(Point{0.7, 0.7}, {"only"});
+  CoskqQuery q;
+  q.location = Point{0.0, 0.0};
+  q.keywords = {ds.vocabulary().Find("only")};
+  ExpectAllExactAgree(ds, q);
+}
+
+class RandomizedTieStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Grid-snapped coordinates force many exact distance ties, stressing the
+// tie handling in the owner bounds (>= vs >) and in N(q).
+TEST_P(RandomizedTieStressTest, GridSnappedDatasets) {
+  Rng rng(GetParam());
+  Dataset ds;
+  for (int i = 0; i < 150; ++i) {
+    const double x = static_cast<double>(rng.UniformUint64(6)) / 5.0;
+    const double y = static_cast<double>(rng.UniformUint64(6)) / 5.0;
+    TermSet terms;
+    for (int k = 0; k < 3; ++k) {
+      terms.push_back(static_cast<TermId>(rng.UniformUint64(8)));
+    }
+    for (TermId t : terms) {
+      std::string word = "w";
+      word += std::to_string(t);
+      ds.mutable_vocabulary().GetOrAdd(word);
+    }
+    NormalizeTermSet(&terms);
+    ds.AddObjectWithTerms(Point{x, y}, terms);
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    CoskqQuery q;
+    q.location = Point{static_cast<double>(rng.UniformUint64(6)) / 5.0,
+                       static_cast<double>(rng.UniformUint64(6)) / 5.0};
+    TermSet kw;
+    for (int k = 0; k < 3; ++k) {
+      kw.push_back(static_cast<TermId>(rng.UniformUint64(8)));
+    }
+    NormalizeTermSet(&kw);
+    q.keywords = kw;
+    ExpectAllExactAgree(ds, q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTieStressTest,
+                         ::testing::Values(601, 602, 603, 604, 605, 606));
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace coskq {
+namespace {
+
+TEST(VocabularyTest, InternAndLookup) {
+  Vocabulary vocab;
+  const TermId a = vocab.GetOrAdd("cafe");
+  const TermId b = vocab.GetOrAdd("museum");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetOrAdd("cafe"), a);
+  EXPECT_EQ(vocab.Find("cafe"), a);
+  EXPECT_EQ(vocab.Find("missing"), Vocabulary::kInvalidTermId);
+  EXPECT_EQ(vocab.TermString(a), "cafe");
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(DatasetTest, AddObjectTracksStatistics) {
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"cafe", "wifi"});
+  ds.AddObject(Point{2, 3}, {"cafe"});
+  EXPECT_EQ(ds.NumObjects(), 2u);
+  EXPECT_EQ(ds.TotalKeywordCount(), 3u);
+  EXPECT_DOUBLE_EQ(ds.AverageKeywordsPerObject(), 1.5);
+  EXPECT_EQ(ds.TermFrequency(ds.vocabulary().Find("cafe")), 2u);
+  EXPECT_EQ(ds.TermFrequency(ds.vocabulary().Find("wifi")), 1u);
+  EXPECT_EQ(ds.mbr(), Rect(0, 0, 2, 3));
+}
+
+TEST(DatasetTest, DuplicateKeywordsDeduplicated) {
+  Dataset ds;
+  const ObjectId id = ds.AddObject(Point{0, 0}, {"a", "a", "b"});
+  EXPECT_EQ(ds.object(id).keywords.size(), 2u);
+  EXPECT_EQ(ds.TotalKeywordCount(), 2u);
+}
+
+TEST(DatasetTest, TermsByFrequencyDesc) {
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"rare", "common"});
+  ds.AddObject(Point{1, 0}, {"common"});
+  ds.AddObject(Point{2, 0}, {"common", "mid"});
+  ds.AddObject(Point{3, 0}, {"mid"});
+  const auto ranked = ds.TermsByFrequencyDesc();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ds.vocabulary().TermString(ranked[0]), "common");
+  EXPECT_EQ(ds.vocabulary().TermString(ranked[1]), "mid");
+  EXPECT_EQ(ds.vocabulary().TermString(ranked[2]), "rare");
+}
+
+TEST(DatasetTest, ReplaceKeywordsUpdatesStats) {
+  Dataset ds;
+  const ObjectId id = ds.AddObject(Point{0, 0}, {"a", "b"});
+  const TermId c = ds.mutable_vocabulary().GetOrAdd("c");
+  ds.ReplaceKeywords(id, TermSet{c});
+  EXPECT_EQ(ds.TotalKeywordCount(), 1u);
+  EXPECT_EQ(ds.TermFrequency(ds.vocabulary().Find("a")), 0u);
+  EXPECT_EQ(ds.TermFrequency(c), 1u);
+}
+
+TEST(DatasetTest, ParseFromString) {
+  const std::string text =
+      "# comment line\n"
+      "0.5 0.25 cafe wifi\n"
+      "\n"
+      "1.0 2.0 museum\n";
+  auto ds = Dataset::ParseFromString(text);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->NumObjects(), 2u);
+  EXPECT_EQ(ds->object(0).location, (Point{0.5, 0.25}));
+  EXPECT_EQ(ds->object(1).keywords.size(), 1u);
+}
+
+TEST(DatasetTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Dataset::ParseFromString("justoneword\n").ok());
+  EXPECT_FALSE(Dataset::ParseFromString("abc def cafe\n").ok());
+  EXPECT_EQ(Dataset::ParseFromString("1.0\n").status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetTest, ObjectWithNoKeywordsAllowed) {
+  auto ds = Dataset::ParseFromString("1.0 2.0\n");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->object(0).keywords.empty());
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  Dataset ds;
+  ds.AddObject(Point{0.125, 0.25}, {"cafe", "wifi"});
+  ds.AddObject(Point{3.5, -1.75}, {"museum"});
+  const std::string path = ::testing::TempDir() + "/coskq_roundtrip.txt";
+  ASSERT_TRUE(ds.SaveToFile(path).ok());
+  auto loaded = Dataset::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->NumObjects(), 2u);
+  EXPECT_EQ(loaded->object(0).location, ds.object(0).location);
+  EXPECT_EQ(loaded->object(1).location, ds.object(1).location);
+  EXPECT_EQ(loaded->TotalKeywordCount(), ds.TotalKeywordCount());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  auto result = Dataset::LoadFromFile("/nonexistent/coskq.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DatasetTest, CloneIsDeepAndIndependent) {
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"a"});
+  Dataset copy = ds.Clone();
+  copy.AddObject(Point{1, 1}, {"b"});
+  EXPECT_EQ(ds.NumObjects(), 1u);
+  EXPECT_EQ(copy.NumObjects(), 2u);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,92 @@
+#include "data/term_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(TermSetTest, NormalizeSortsAndDedups) {
+  TermSet s{5, 1, 3, 1, 5};
+  NormalizeTermSet(&s);
+  EXPECT_EQ(s, (TermSet{1, 3, 5}));
+}
+
+TEST(TermSetTest, Contains) {
+  TermSet s{1, 3, 5};
+  EXPECT_TRUE(TermSetContains(s, 3));
+  EXPECT_FALSE(TermSetContains(s, 4));
+  EXPECT_FALSE(TermSetContains({}, 0));
+}
+
+TEST(TermSetTest, Intersect) {
+  EXPECT_TRUE(TermSetsIntersect({1, 3, 5}, {5, 7}));
+  EXPECT_FALSE(TermSetsIntersect({1, 3, 5}, {2, 4, 6}));
+  EXPECT_FALSE(TermSetsIntersect({}, {1}));
+}
+
+TEST(TermSetTest, UnionIntersectionDifference) {
+  TermSet a{1, 2, 3};
+  TermSet b{2, 3, 4};
+  EXPECT_EQ(TermSetUnion(a, b), (TermSet{1, 2, 3, 4}));
+  EXPECT_EQ(TermSetIntersection(a, b), (TermSet{2, 3}));
+  EXPECT_EQ(TermSetDifference(a, b), (TermSet{1}));
+  EXPECT_EQ(TermSetDifference(b, a), (TermSet{4}));
+  EXPECT_EQ(TermSetIntersectionSize(a, b), 2u);
+}
+
+TEST(TermSetTest, Subset) {
+  EXPECT_TRUE(TermSetIsSubset({1, 3}, {1, 2, 3}));
+  EXPECT_TRUE(TermSetIsSubset({}, {1}));
+  EXPECT_FALSE(TermSetIsSubset({1, 4}, {1, 2, 3}));
+}
+
+TEST(TermSetTest, MergeInto) {
+  TermSet target{1, 5};
+  TermSetMergeInto(&target, {2, 5, 9});
+  EXPECT_EQ(target, (TermSet{1, 2, 5, 9}));
+  TermSetMergeInto(&target, {});
+  EXPECT_EQ(target, (TermSet{1, 2, 5, 9}));
+}
+
+// Property sweep: set-algebra identities on random sets.
+class TermSetAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TermSetAlgebraTest, Identities) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    TermSet a;
+    TermSet b;
+    for (int i = 0; i < 20; ++i) {
+      if (rng.Bernoulli(0.4)) a.push_back(static_cast<TermId>(
+          rng.UniformUint64(30)));
+      if (rng.Bernoulli(0.4)) b.push_back(static_cast<TermId>(
+          rng.UniformUint64(30)));
+    }
+    NormalizeTermSet(&a);
+    NormalizeTermSet(&b);
+    const TermSet u = TermSetUnion(a, b);
+    const TermSet i = TermSetIntersection(a, b);
+    const TermSet d = TermSetDifference(a, b);
+    // |A ∪ B| + |A ∩ B| = |A| + |B|.
+    EXPECT_EQ(u.size() + i.size(), a.size() + b.size());
+    // A \ B and A ∩ B partition A.
+    EXPECT_EQ(TermSetUnion(d, i), a);
+    // Intersection nonempty iff TermSetsIntersect.
+    EXPECT_EQ(!i.empty(), TermSetsIntersect(a, b));
+    // Subset relations.
+    EXPECT_TRUE(TermSetIsSubset(a, u));
+    EXPECT_TRUE(TermSetIsSubset(i, a));
+    EXPECT_TRUE(TermSetIsSubset(i, b));
+    EXPECT_EQ(TermSetIntersectionSize(a, b), i.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermSetAlgebraTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace coskq

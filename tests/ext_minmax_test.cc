@@ -1,0 +1,224 @@
+#include "ext/minmax_coskq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ext/unified_cost.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+// Exhaustive oracle over ALL objects (the MinMax costs are not monotone,
+// so redundant members can be beneficial; only full subset enumeration is
+// assumption-free). Tiny datasets only.
+double SubsetOracle(const Dataset& ds, const CoskqQuery& q,
+                    MinMaxVariant variant) {
+  const size_t n = ds.NumObjects();
+  EXPECT_LE(n, 16u) << "instance too large for the subset oracle";
+  double best = std::numeric_limits<double>::infinity();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<ObjectId> set;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        set.push_back(static_cast<ObjectId>(i));
+      }
+    }
+    if (!SetCoversKeywords(ds, q.keywords, set)) {
+      continue;
+    }
+    best = std::min(best,
+                    EvaluateMinMaxCost(variant, ds, q.location, set));
+  }
+  return best;
+}
+
+Dataset TinyDataset(uint64_t seed, size_t n, size_t vocab) {
+  Rng rng(seed);
+  Dataset ds;
+  for (size_t i = 0; i < vocab; ++i) {
+    std::string word = "w";
+    word += std::to_string(i);
+    ds.mutable_vocabulary().GetOrAdd(word);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TermSet terms;
+    const size_t count = 1 + rng.UniformUint64(2);
+    for (size_t k = 0; k < count; ++k) {
+      terms.push_back(static_cast<TermId>(rng.UniformUint64(vocab)));
+    }
+    NormalizeTermSet(&terms);
+    ds.AddObjectWithTerms(Point{rng.UniformDouble(), rng.UniformDouble()},
+                          terms);
+  }
+  return ds;
+}
+
+class MinMaxOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinMaxOracleTest, ExactMatchesSubsetOracle) {
+  Dataset ds = TinyDataset(GetParam(), 13, 5);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  Rng rng(GetParam() + 1000);
+  for (MinMaxVariant variant : {MinMaxVariant::kSum, MinMaxVariant::kMax}) {
+    MinMaxExact exact(ctx, variant);
+    MinMaxGreedy greedy(ctx, variant);
+    for (int trial = 0; trial < 6; ++trial) {
+      CoskqQuery q;
+      q.location = Point{rng.UniformDouble(), rng.UniformDouble()};
+      TermSet kw;
+      for (int k = 0; k < 2; ++k) {
+        kw.push_back(static_cast<TermId>(rng.UniformUint64(5)));
+      }
+      NormalizeTermSet(&kw);
+      q.keywords = kw;
+      const double want = SubsetOracle(ds, q, variant);
+      const CoskqResult got = exact.Solve(q);
+      const CoskqResult heuristic = greedy.Solve(q);
+      if (!std::isfinite(want)) {
+        EXPECT_FALSE(got.feasible);
+        continue;
+      }
+      ASSERT_TRUE(got.feasible) << MinMaxVariantName(variant);
+      EXPECT_NEAR(got.cost, want, 1e-9) << MinMaxVariantName(variant);
+      ASSERT_TRUE(heuristic.feasible);
+      EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, heuristic.set));
+      EXPECT_GE(heuristic.cost, want - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinMaxOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MinMaxTest, AnchorCanBeatEveryIrredundantCover) {
+  // Hand-built witness of non-monotonicity: the only cover objects are far
+  // from q but close to each other; an extra keyword-less... (an object
+  // with an irrelevant keyword) sits on q. Under MinMax2 the anchor is
+  // free (the spread dominates), under MinMax it halves... reduces cost
+  // when min-dist dominates the added spread.
+  Dataset ds;
+  ds.AddObject(Point{1.0, 0.0}, {"a"});        // 0: cover member.
+  ds.AddObject(Point{1.02, 0.0}, {"b"});       // 1: cover member.
+  ds.AddObject(Point{0.0, 0.0}, {"other"});    // 2: potential anchor at q.
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  CoskqQuery q;
+  q.location = Point{0.0, 0.0};
+  q.keywords = {ds.vocabulary().Find("a"), ds.vocabulary().Find("b")};
+  NormalizeTermSet(&q.keywords);
+
+  // Without the anchor: min-dist = 1.0, spread = 0.02.
+  const double cover_only = EvaluateMinMaxCost(
+      MinMaxVariant::kSum, ds, q.location, {0, 1});
+  EXPECT_NEAR(cover_only, 1.02, 1e-12);
+  // With the anchor: min-dist = 0, spread = 1.02.
+  const double with_anchor = EvaluateMinMaxCost(
+      MinMaxVariant::kSum, ds, q.location, {0, 1, 2});
+  EXPECT_NEAR(with_anchor, 1.02, 1e-12);
+  // For MinMax2 the anchor strictly wins: max(0, 1.02) < max(1, 1.02)
+  // fails (equal)... place the anchor so it does: the spread with the
+  // anchor is 1.02 vs cover-only max(1.0, 0.02) = 1.0. Verify the solver
+  // returns the true optimum either way.
+  MinMaxExact exact2(ctx, MinMaxVariant::kMax);
+  const CoskqResult r2 = exact2.Solve(q);
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_NEAR(r2.cost, 1.0, 1e-12);  // Cover-only is optimal here.
+
+  // Now move the cover pair apart so the spread dominates everything and
+  // the anchor becomes free under MinMax2.
+  Dataset ds2;
+  ds2.AddObject(Point{1.0, 0.0}, {"a"});
+  ds2.AddObject(Point{-1.0, 0.0}, {"b"});
+  ds2.AddObject(Point{0.0, 0.0}, {"other"});
+  IrTree tree2(&ds2);
+  CoskqContext ctx2{&ds2, &tree2};
+  CoskqQuery q2;
+  q2.location = Point{0.0, 0.2};
+  q2.keywords = {ds2.vocabulary().Find("a"), ds2.vocabulary().Find("b")};
+  NormalizeTermSet(&q2.keywords);
+  MinMaxExact exact_sum(ctx2, MinMaxVariant::kSum);
+  const CoskqResult rs = exact_sum.Solve(q2);
+  ASSERT_TRUE(rs.feasible);
+  // Cover-only: min-dist sqrt(1+0.04), spread 2 -> ~3.0198. With anchor:
+  // min-dist 0.2, spread 2 -> 2.2. The anchored set must win.
+  EXPECT_NEAR(rs.cost, 2.2, 1e-9);
+  EXPECT_EQ(rs.set, (std::vector<ObjectId>{0, 1, 2}));
+}
+
+TEST(MinMaxTest, MatchesUnifiedCostSpecialization) {
+  Dataset ds = test::MakeRandomDataset(100, 15, 3.0, 909);
+  Rng rng(910);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ObjectId> set;
+    for (int i = 0; i < 3; ++i) {
+      set.push_back(static_cast<ObjectId>(rng.UniformUint64(100)));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    EXPECT_NEAR(
+        EvaluateUnifiedCost(UnifiedCostSpec::MinMax(), ds, q, set),
+        0.5 * EvaluateMinMaxCost(MinMaxVariant::kSum, ds, q, set), 1e-12);
+    EXPECT_NEAR(
+        EvaluateUnifiedCost(UnifiedCostSpec::MinMax2(), ds, q, set),
+        0.5 * EvaluateMinMaxCost(MinMaxVariant::kMax, ds, q, set), 1e-12);
+  }
+}
+
+TEST(MinMaxTest, MediumScaleGreedyVsExactConsistency) {
+  Dataset ds = test::MakeRandomDataset(400, 40, 3.0, 911);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  for (MinMaxVariant variant : {MinMaxVariant::kSum, MinMaxVariant::kMax}) {
+    MinMaxExact exact(ctx, variant);
+    MinMaxGreedy greedy(ctx, variant);
+    for (int trial = 0; trial < 6; ++trial) {
+      const CoskqQuery q = test::MakeRandomQuery(ds, 4, 912 + trial);
+      const CoskqResult a = exact.Solve(q);
+      const CoskqResult b = greedy.Solve(q);
+      ASSERT_EQ(a.feasible, b.feasible);
+      if (a.feasible) {
+        EXPECT_LE(a.cost, b.cost + 1e-12) << MinMaxVariantName(variant);
+        EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, a.set));
+        EXPECT_NEAR(
+            EvaluateMinMaxCost(variant, ds, q.location, a.set), a.cost,
+            1e-12);
+      }
+    }
+  }
+}
+
+TEST(MinMaxTest, EmptyAndInfeasible) {
+  Dataset ds = test::MakeRandomDataset(50, 10, 3.0, 913);
+  const TermId ghost = ds.mutable_vocabulary().GetOrAdd("ghost");
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  MinMaxExact exact(ctx, MinMaxVariant::kSum);
+  CoskqQuery empty;
+  empty.location = Point{0.5, 0.5};
+  EXPECT_TRUE(exact.Solve(empty).feasible);
+  CoskqQuery impossible;
+  impossible.location = Point{0.5, 0.5};
+  impossible.keywords = {ghost};
+  EXPECT_FALSE(exact.Solve(impossible).feasible);
+}
+
+TEST(MinMaxTest, NamesAndVariant) {
+  EXPECT_EQ(MinMaxVariantName(MinMaxVariant::kSum), "MinMax");
+  EXPECT_EQ(MinMaxVariantName(MinMaxVariant::kMax), "MinMax2");
+  Dataset ds = test::MakeRandomDataset(20, 5, 2.0, 914);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  EXPECT_EQ(MinMaxExact(ctx, MinMaxVariant::kSum).name(), "MinMax-Exact");
+  EXPECT_EQ(MinMaxGreedy(ctx, MinMaxVariant::kMax).name(),
+            "MinMax2-Greedy");
+}
+
+}  // namespace
+}  // namespace coskq

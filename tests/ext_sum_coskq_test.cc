@@ -1,0 +1,160 @@
+#include "ext/sum_coskq.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+// Reference: exhaustive Sum-optimal cover over all relevant objects.
+double BruteSumOptimal(const Dataset& ds, const CoskqQuery& q) {
+  std::vector<std::vector<ObjectId>> lists(q.keywords.size());
+  for (const SpatialObject& obj : ds.objects()) {
+    for (size_t k = 0; k < q.keywords.size(); ++k) {
+      if (obj.ContainsTerm(q.keywords[k])) {
+        lists[k].push_back(obj.id);
+      }
+    }
+  }
+  for (const auto& list : lists) {
+    if (list.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<ObjectId> chosen;
+  // DFS over keywords; cost counts distinct chosen objects once.
+  struct Rec {
+    const Dataset& ds;
+    const CoskqQuery& q;
+    const std::vector<std::vector<ObjectId>>& lists;
+    double& best;
+    std::vector<ObjectId>& chosen;
+
+    double CostOf() const {
+      std::vector<ObjectId> dedup = chosen;
+      std::sort(dedup.begin(), dedup.end());
+      dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+      double sum = 0.0;
+      for (ObjectId id : dedup) {
+        sum += Distance(q.location, ds.object(id).location);
+      }
+      return sum;
+    }
+
+    void Go(const TermSet& uncovered) {
+      if (CostOf() >= best) {
+        return;
+      }
+      if (uncovered.empty()) {
+        best = CostOf();
+        return;
+      }
+      size_t slot = q.keywords.size();
+      for (size_t k = 0; k < q.keywords.size(); ++k) {
+        if (TermSetContains(uncovered, q.keywords[k]) &&
+            (slot == q.keywords.size() ||
+             lists[k].size() < lists[slot].size())) {
+          slot = k;
+        }
+      }
+      for (ObjectId id : lists[slot]) {
+        chosen.push_back(id);
+        Go(TermSetDifference(uncovered, ds.object(id).keywords));
+        chosen.pop_back();
+      }
+    }
+  };
+  Rec rec{ds, q, lists, best, chosen};
+  rec.Go(q.keywords);
+  return best;
+}
+
+double HarmonicNumber(size_t n) {
+  double h = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    h += 1.0 / static_cast<double>(i);
+  }
+  return h;
+}
+
+class SumCoskqTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SumCoskqTest, ExactMatchesBruteForceAndGreedyWithinHarmonicBound) {
+  Dataset ds = test::MakeRandomDataset(120, 20, 3.0, GetParam());
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  SumExact exact(ctx);
+  SumGreedy greedy(ctx);
+  for (int trial = 0; trial < 8; ++trial) {
+    const CoskqQuery q =
+        test::MakeRandomQuery(ds, 4, GetParam() * 31 + trial);
+    const double opt = BruteSumOptimal(ds, q);
+    const CoskqResult got = exact.Solve(q);
+    const CoskqResult approx = greedy.Solve(q);
+    ASSERT_TRUE(got.feasible);
+    EXPECT_NEAR(got.cost, opt, 1e-9);
+    ASSERT_TRUE(approx.feasible);
+    EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, approx.set));
+    EXPECT_GE(approx.cost, opt - 1e-12);
+    EXPECT_LE(approx.cost,
+              HarmonicNumber(q.keywords.size()) * opt + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SumCoskqTest,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+TEST(SumCoskqTest, InfeasibleAndEmptyQueries) {
+  Dataset ds = test::MakeRandomDataset(50, 10, 3.0, 211);
+  const TermId ghost = ds.mutable_vocabulary().GetOrAdd("ghost");
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  SumExact exact(ctx);
+  SumGreedy greedy(ctx);
+  CoskqQuery empty;
+  empty.location = Point{0.5, 0.5};
+  EXPECT_TRUE(exact.Solve(empty).feasible);
+  EXPECT_EQ(exact.Solve(empty).cost, 0.0);
+  CoskqQuery impossible;
+  impossible.location = Point{0.5, 0.5};
+  impossible.keywords = {ghost};
+  EXPECT_FALSE(exact.Solve(impossible).feasible);
+  EXPECT_FALSE(greedy.Solve(impossible).feasible);
+}
+
+TEST(SumCoskqTest, SingleKeywordIsNearestNeighbor) {
+  Dataset ds = test::MakeRandomDataset(200, 15, 3.0, 212);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  SumExact exact(ctx);
+  Rng rng(213);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TermId t = static_cast<TermId>(rng.UniformUint64(15));
+    CoskqQuery q;
+    q.location = Point{rng.UniformDouble(), rng.UniformDouble()};
+    q.keywords = {t};
+    double nn_dist = 0.0;
+    if (tree.KeywordNn(q.location, t, &nn_dist) == kInvalidObjectId) {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(exact.Solve(q).cost, nn_dist);
+  }
+}
+
+TEST(SumCoskqTest, SumCostEvaluator) {
+  Dataset ds;
+  ds.AddObject(Point{3, 4}, {"a"});
+  ds.AddObject(Point{0, 1}, {"b"});
+  EXPECT_DOUBLE_EQ(EvaluateSumCost(ds, Point{0, 0}, {0, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(EvaluateSumCost(ds, Point{0, 0}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,111 @@
+#include "ext/topk_coskq.h"
+
+#include <gtest/gtest.h>
+
+#include "core/owner_driven_exact.h"
+#include "index/irtree.h"
+#include "test_util.h"
+
+namespace coskq {
+namespace {
+
+class TopkTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopkTest, Top1MatchesExactSolver) {
+  Dataset ds = test::MakeRandomDataset(100, 15, 3.0, GetParam());
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    OwnerDrivenExact exact(ctx, type);
+    for (int trial = 0; trial < 5; ++trial) {
+      const CoskqQuery q =
+          test::MakeRandomQuery(ds, 3, GetParam() * 7 + trial);
+      const CoskqResult want = exact.Solve(q);
+      const TopkCoskqResult got = SolveTopkCoskq(ctx, q, type, 1);
+      if (!want.feasible) {
+        EXPECT_TRUE(got.answers.empty());
+        continue;
+      }
+      ASSERT_EQ(got.answers.size(), 1u);
+      EXPECT_NEAR(got.answers.front().cost, want.cost, 1e-9);
+    }
+  }
+}
+
+TEST_P(TopkTest, AnswersAreSortedDistinctAndFeasible) {
+  Dataset ds = test::MakeRandomDataset(80, 12, 3.0, GetParam() + 50);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  const CoskqQuery q = test::MakeRandomQuery(ds, 3, GetParam() + 51);
+  const TopkCoskqResult got =
+      SolveTopkCoskq(ctx, q, CostType::kMaxSum, 5);
+  ASSERT_FALSE(got.answers.empty());
+  for (size_t i = 0; i < got.answers.size(); ++i) {
+    EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, got.answers[i].set));
+    EXPECT_NEAR(EvaluateCost(CostType::kMaxSum, ds, q.location,
+                             got.answers[i].set),
+                got.answers[i].cost, 1e-12);
+    if (i > 0) {
+      EXPECT_GE(got.answers[i].cost, got.answers[i - 1].cost);
+      EXPECT_NE(got.answers[i].set, got.answers[i - 1].set);
+    }
+  }
+  // All answers pairwise distinct.
+  for (size_t i = 0; i < got.answers.size(); ++i) {
+    for (size_t j = i + 1; j < got.answers.size(); ++j) {
+      EXPECT_NE(got.answers[i].set, got.answers[j].set);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopkTest, ::testing::Values(301, 302, 303));
+
+TEST(TopkTest, KLargerThanAnswerSpace) {
+  // One object per keyword: exactly one irredundant cover exists.
+  Dataset ds;
+  ds.AddObject(Point{0.1, 0.1}, {"a"});
+  ds.AddObject(Point{0.2, 0.2}, {"b"});
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  CoskqQuery q;
+  q.location = Point{0, 0};
+  q.keywords = {ds.vocabulary().Find("a"), ds.vocabulary().Find("b")};
+  NormalizeTermSet(&q.keywords);
+  const TopkCoskqResult got = SolveTopkCoskq(ctx, q, CostType::kDia, 10);
+  ASSERT_EQ(got.answers.size(), 1u);
+  EXPECT_EQ(got.answers.front().set, (std::vector<ObjectId>{0, 1}));
+}
+
+TEST(TopkTest, InfeasibleGivesNoAnswers) {
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"a"});
+  const TermId ghost = ds.mutable_vocabulary().GetOrAdd("ghost");
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  CoskqQuery q;
+  q.location = Point{0, 0};
+  q.keywords = {ghost};
+  EXPECT_TRUE(SolveTopkCoskq(ctx, q, CostType::kMaxSum, 3).answers.empty());
+}
+
+TEST(TopkTest, SecondBestIsTrulySecondBest) {
+  // Hand-built instance: keyword "a" at two locations, "b" at one.
+  Dataset ds;
+  ds.AddObject(Point{0.1, 0.0}, {"a"});   // near
+  ds.AddObject(Point{0.5, 0.0}, {"a"});   // far
+  ds.AddObject(Point{0.0, 0.1}, {"b"});
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  CoskqQuery q;
+  q.location = Point{0, 0};
+  q.keywords = {ds.vocabulary().Find("a"), ds.vocabulary().Find("b")};
+  NormalizeTermSet(&q.keywords);
+  const TopkCoskqResult got = SolveTopkCoskq(ctx, q, CostType::kMaxSum, 2);
+  ASSERT_EQ(got.answers.size(), 2u);
+  EXPECT_EQ(got.answers[0].set, (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(got.answers[1].set, (std::vector<ObjectId>{1, 2}));
+  EXPECT_LT(got.answers[0].cost, got.answers[1].cost);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,115 @@
+#include "ext/unified_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+std::vector<ObjectId> RandomSet(size_t n, size_t universe, Rng* rng) {
+  std::vector<ObjectId> set;
+  for (size_t i = 0; i < n; ++i) {
+    set.push_back(static_cast<ObjectId>(rng->UniformUint64(universe)));
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+class UnifiedCostPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The unified cost with (α=0.5, φ1=max, φ2=1) is exactly half the core
+// MaxSum cost, and with (α=0.5, φ1=max, φ2=∞) half the Dia cost — i.e. the
+// minimizers coincide.
+TEST_P(UnifiedCostPropertyTest, SpecializesToCoreCosts) {
+  Dataset ds = test::MakeRandomDataset(150, 25, 3.0, GetParam());
+  Rng rng(GetParam() + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    const auto set = RandomSet(1 + rng.UniformUint64(5), 150, &rng);
+    const double maxsum = EvaluateCost(CostType::kMaxSum, ds, q, set);
+    const double dia = EvaluateCost(CostType::kDia, ds, q, set);
+    EXPECT_NEAR(EvaluateUnifiedCost(UnifiedCostSpec::MaxSum(), ds, q, set),
+                0.5 * maxsum, 1e-12);
+    EXPECT_NEAR(EvaluateUnifiedCost(UnifiedCostSpec::Dia(), ds, q, set),
+                0.5 * dia, 1e-12);
+  }
+}
+
+// Sum instantiation: α = 1, φ1 = sum gives Σ d(o, q) exactly.
+TEST_P(UnifiedCostPropertyTest, SumInstantiation) {
+  Dataset ds = test::MakeRandomDataset(100, 20, 3.0, GetParam());
+  Rng rng(GetParam() + 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    const auto set = RandomSet(1 + rng.UniformUint64(4), 100, &rng);
+    double want = 0.0;
+    for (ObjectId id : set) {
+      want += Distance(q, ds.object(id).location);
+    }
+    EXPECT_NEAR(EvaluateUnifiedCost(UnifiedCostSpec::Sum(), ds, q, set),
+                want, 1e-12);
+  }
+}
+
+// MinMax family: the query-object component is the minimum distance.
+TEST_P(UnifiedCostPropertyTest, MinMaxInstantiations) {
+  Dataset ds = test::MakeRandomDataset(100, 20, 3.0, GetParam());
+  Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.UniformDouble(), rng.UniformDouble()};
+    const auto set = RandomSet(1 + rng.UniformUint64(4), 100, &rng);
+    double min_d = std::numeric_limits<double>::infinity();
+    for (ObjectId id : set) {
+      min_d = std::min(min_d, Distance(q, ds.object(id).location));
+    }
+    const double pair = ComputeComponents(ds, q, set).max_pairwise_dist;
+    EXPECT_NEAR(EvaluateUnifiedCost(UnifiedCostSpec::MinMax(), ds, q, set),
+                0.5 * (min_d + pair), 1e-12);
+    EXPECT_NEAR(EvaluateUnifiedCost(UnifiedCostSpec::MinMax2(), ds, q, set),
+                0.5 * std::max(min_d, pair), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnifiedCostPropertyTest,
+                         ::testing::Values(101, 102, 103));
+
+TEST(UnifiedCostTest, ComponentsAggregatesCorrectly) {
+  Dataset ds;
+  ds.AddObject(Point{1, 0}, {"a"});
+  ds.AddObject(Point{0, 2}, {"b"});
+  ds.AddObject(Point{0, 3}, {"c"});
+  const Point q{0, 0};
+  const std::vector<ObjectId> set{0, 1, 2};
+  EXPECT_DOUBLE_EQ(QueryObjectComponent(QueryAggregate::kSum, ds, q, set),
+                   6.0);
+  EXPECT_DOUBLE_EQ(QueryObjectComponent(QueryAggregate::kMax, ds, q, set),
+                   3.0);
+  EXPECT_DOUBLE_EQ(QueryObjectComponent(QueryAggregate::kMin, ds, q, set),
+                   1.0);
+}
+
+TEST(UnifiedCostTest, EmptySetIsFree) {
+  Dataset ds;
+  ds.AddObject(Point{1, 1}, {"a"});
+  EXPECT_EQ(EvaluateUnifiedCost(UnifiedCostSpec::SumMax(), ds, Point{0, 0},
+                                {}),
+            0.0);
+}
+
+TEST(UnifiedCostTest, ToStringNamesParameters) {
+  EXPECT_EQ(UnifiedCostSpec::MaxSum().ToString(),
+            "unified(alpha=0.5, phi1=max, phi2=1)");
+  EXPECT_EQ(UnifiedCostSpec::Dia().ToString(),
+            "unified(alpha=0.5, phi1=max, phi2=inf)");
+  EXPECT_EQ(UnifiedCostSpec::Sum().ToString(),
+            "unified(alpha=1, phi1=sum, phi2=1)");
+}
+
+}  // namespace
+}  // namespace coskq

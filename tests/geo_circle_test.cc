@@ -1,0 +1,117 @@
+#include "geo/circle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(CircleTest, ContainsPoint) {
+  Circle c({0, 0}, 1.0);
+  EXPECT_TRUE(c.Contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(c.Contains(Point{1.0, 0.0}));  // Closed disk: boundary counts.
+  EXPECT_FALSE(c.Contains(Point{1.0, 0.1}));
+}
+
+TEST(CircleTest, IntersectsCircle) {
+  Circle a({0, 0}, 1.0);
+  EXPECT_TRUE(a.Intersects(Circle({1.5, 0}, 1.0)));
+  EXPECT_TRUE(a.Intersects(Circle({2.0, 0}, 1.0)));  // Tangent.
+  EXPECT_FALSE(a.Intersects(Circle({2.5, 0}, 1.0)));
+}
+
+TEST(CircleTest, ContainsCircle) {
+  Circle outer({0, 0}, 2.0);
+  EXPECT_TRUE(outer.Contains(Circle({0.5, 0}, 1.0)));
+  EXPECT_TRUE(outer.Contains(Circle({1.0, 0}, 1.0)));  // Internally tangent.
+  EXPECT_FALSE(outer.Contains(Circle({1.5, 0}, 1.0)));
+  EXPECT_FALSE(Circle({0, 0}, 1.0).Contains(outer));
+}
+
+TEST(CircleTest, IntersectsRect) {
+  Circle c({0, 0}, 1.0);
+  EXPECT_TRUE(c.Intersects(Rect(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(c.Intersects(Rect(0.8, 0.8, 2, 2)));  // Corner beyond radius.
+  EXPECT_TRUE(c.Intersects(Rect(-2, -2, 2, 2)));     // Circle inside rect.
+}
+
+TEST(CircleTest, ContainsRect) {
+  Circle c({0, 0}, std::sqrt(2.0) + 1e-12);
+  EXPECT_TRUE(c.Contains(Rect(-1, -1, 1, 1)));
+  EXPECT_FALSE(Circle({0, 0}, 1.0).Contains(Rect(-1, -1, 1, 1)));
+}
+
+TEST(CircleTest, BoundingRect) {
+  Circle c({1, 2}, 3.0);
+  EXPECT_EQ(c.BoundingRect(), Rect(-2, -1, 4, 5));
+}
+
+TEST(LensTest, ContainsBothSeeds) {
+  Point a{0, 0};
+  Point b{1, 0};
+  const double r = Distance(a, b);
+  EXPECT_TRUE(LensContains(a, b, r, a));
+  EXPECT_TRUE(LensContains(a, b, r, b));
+  EXPECT_TRUE(LensContains(a, b, r, Point{0.5, 0.5}));
+  EXPECT_FALSE(LensContains(a, b, r, Point{-0.1, 0}));
+}
+
+TEST(LensTest, DiameterOfEqualRadiusLensIsSqrt3R) {
+  Point a{0, 0};
+  Point b{2, 0};
+  // r = d(a,b): the classic owner lens; its diameter is sqrt(3) * r.
+  EXPECT_NEAR(LensDiameter(a, b, 2.0), std::sqrt(3.0) * 2.0, 1e-12);
+}
+
+TEST(LensTest, DiameterDegenerateCases) {
+  Point a{0, 0};
+  // Coincident centers: the lens is the full disk, diameter 2r.
+  EXPECT_NEAR(LensDiameter(a, a, 1.5), 3.0, 1e-12);
+  // Centers farther than 2r: empty lens.
+  EXPECT_EQ(LensDiameter(a, Point{10, 0}, 1.0), 0.0);
+}
+
+TEST(LensTest, DiameterUpperBoundsSampledPairs) {
+  Rng rng(99);
+  Point a{0, 0};
+  Point b{1, 0};
+  const double r = 1.0;
+  const double diameter = LensDiameter(a, b, r);
+  std::vector<Point> members;
+  while (members.size() < 200) {
+    Point p{rng.UniformDouble(-1, 2), rng.UniformDouble(-1.5, 1.5)};
+    if (LensContains(a, b, r, p)) {
+      members.push_back(p);
+    }
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      EXPECT_LE(Distance(members[i], members[j]), diameter + 1e-12);
+    }
+  }
+}
+
+TEST(ChordTest, KnownConfiguration) {
+  // Unit circles at distance 1: boundaries meet at (0.5, ±sqrt(3)/2);
+  // chord length sqrt(3).
+  Circle a({0, 0}, 1.0);
+  Circle b({1, 0}, 1.0);
+  EXPECT_NEAR(CircleBoundaryChord(a, b), std::sqrt(3.0), 1e-12);
+}
+
+TEST(ChordTest, NoIntersection) {
+  EXPECT_EQ(CircleBoundaryChord(Circle({0, 0}, 1.0), Circle({5, 0}, 1.0)),
+            0.0);
+  // One circle strictly inside the other.
+  EXPECT_EQ(CircleBoundaryChord(Circle({0, 0}, 3.0), Circle({0.1, 0}, 1.0)),
+            0.0);
+  // Concentric.
+  EXPECT_EQ(CircleBoundaryChord(Circle({0, 0}, 1.0), Circle({0, 0}, 1.0)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace coskq

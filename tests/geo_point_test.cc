@@ -1,0 +1,52 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetricBitwise) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Point a{rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)};
+    Point b{rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)};
+    // Exact bitwise symmetry matters: the CoSKQ bound proofs assume the two
+    // directions of a pairwise distance compare equal.
+    EXPECT_EQ(Distance(a, b), Distance(b, a));
+    EXPECT_EQ(SquaredDistance(a, b), SquaredDistance(b, a));
+  }
+}
+
+TEST(PointTest, TriangleInequalityHolds) {
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    Point a{rng.UniformDouble(), rng.UniformDouble()};
+    Point b{rng.UniformDouble(), rng.UniformDouble()};
+    Point c{rng.UniformDouble(), rng.UniformDouble()};
+    EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+  }
+}
+
+TEST(PointTest, Midpoint) {
+  Point m = Midpoint({0, 0}, {2, 4});
+  EXPECT_EQ(m, (Point{1, 2}));
+}
+
+TEST(PointTest, EqualityAndToString) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{2, 1}));
+  EXPECT_EQ((Point{1.5, -2}).ToString(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace coskq

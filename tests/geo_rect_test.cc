@@ -1,0 +1,114 @@
+#include "geo/rect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0, 0}));
+}
+
+TEST(RectTest, ExpandFromEmptyYieldsPoint) {
+  Rect r;
+  r.ExpandToInclude(Point{2, 3});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains(Point{2, 3}));
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Center(), (Point{2, 3}));
+}
+
+TEST(RectTest, ExpandAccumulates) {
+  Rect r;
+  r.ExpandToInclude(Point{0, 0});
+  r.ExpandToInclude(Point{4, 2});
+  r.ExpandToInclude(Point{-1, 1});
+  EXPECT_EQ(r, Rect(-1, 0, 4, 2));
+  EXPECT_DOUBLE_EQ(r.Area(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+}
+
+TEST(RectTest, UnionAndContainment) {
+  Rect a(0, 0, 2, 2);
+  Rect b(1, 1, 3, 4);
+  Rect u = Rect::Union(a, b);
+  EXPECT_EQ(u, Rect(0, 0, 3, 4));
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(RectTest, UnionWithEmpty) {
+  Rect a(0, 0, 1, 1);
+  EXPECT_EQ(Rect::Union(a, Rect()), a);
+  EXPECT_EQ(Rect::Union(Rect(), a), a);
+  EXPECT_TRUE(a.Contains(Rect()));
+}
+
+TEST(RectTest, Intersects) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Rect(2, 2, 3, 3)));  // Shared corner.
+  EXPECT_FALSE(a.Intersects(Rect(2.1, 0, 3, 1)));
+  EXPECT_FALSE(a.Intersects(Rect()));
+}
+
+TEST(RectTest, MinDistanceRegions) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_EQ(r.MinDistance(Point{1, 1}), 0.0);    // Inside.
+  EXPECT_EQ(r.MinDistance(Point{2, 2}), 0.0);    // On boundary.
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point{4, 1}), 2.0);   // Right side.
+  EXPECT_DOUBLE_EQ(r.MinDistance(Point{5, 6}), 5.0);   // Corner (3-4-5).
+}
+
+TEST(RectTest, MaxDistance) {
+  Rect r(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(r.MaxDistance(Point{0, 0}),
+                   Distance(Point{0, 0}, Point{2, 2}));
+  EXPECT_DOUBLE_EQ(r.MaxDistance(Point{1, 1}),
+                   Distance(Point{1, 1}, Point{0, 0}));
+}
+
+TEST(RectTest, IntersectionArea) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect(1, 1, 3, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(Rect(5, 5, 6, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(a), 4.0);
+}
+
+// Property sweep: MinDistance is a true lower bound on the distance to any
+// contained point, and MaxDistance an upper bound.
+class RectDistanceBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectDistanceBoundTest, MinMaxDistanceBracketContainedPoints) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x1 = rng.UniformDouble(-5, 5);
+    const double x2 = rng.UniformDouble(-5, 5);
+    const double y1 = rng.UniformDouble(-5, 5);
+    const double y2 = rng.UniformDouble(-5, 5);
+    Rect r(std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+           std::max(y1, y2));
+    Point q{rng.UniformDouble(-8, 8), rng.UniformDouble(-8, 8)};
+    for (int i = 0; i < 20; ++i) {
+      Point inside{rng.UniformDouble(r.min_x, r.max_x + 1e-300),
+                   rng.UniformDouble(r.min_y, r.max_y + 1e-300)};
+      ASSERT_TRUE(r.Contains(inside));
+      EXPECT_LE(r.MinDistance(q), Distance(q, inside) + 1e-12);
+      EXPECT_GE(r.MaxDistance(q), Distance(q, inside) - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectDistanceBoundTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace coskq

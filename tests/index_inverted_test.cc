@@ -1,0 +1,64 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace coskq {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset ds;
+  ds.AddObject(Point{0, 0}, {"cafe", "wifi"});
+  ds.AddObject(Point{1, 0}, {"museum"});
+  ds.AddObject(Point{0, 1}, {"cafe", "museum"});
+  ds.AddObject(Point{1, 1}, {"park"});
+  return ds;
+}
+
+TEST(InvertedIndexTest, PostingsMatchObjects) {
+  Dataset ds = TinyDataset();
+  InvertedIndex index(ds);
+  const TermId cafe = ds.vocabulary().Find("cafe");
+  const TermId museum = ds.vocabulary().Find("museum");
+  EXPECT_EQ(index.Postings(cafe), (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(index.Postings(museum), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(index.TotalPostings(), 6u);
+  EXPECT_EQ(index.NumTerms(), 4u);
+}
+
+TEST(InvertedIndexTest, UnknownTermEmpty) {
+  Dataset ds = TinyDataset();
+  InvertedIndex index(ds);
+  EXPECT_TRUE(index.Postings(999).empty());
+}
+
+TEST(InvertedIndexTest, RelevantObjectsUnion) {
+  Dataset ds = TinyDataset();
+  InvertedIndex index(ds);
+  TermSet terms{ds.vocabulary().Find("cafe"), ds.vocabulary().Find("park")};
+  NormalizeTermSet(&terms);
+  EXPECT_EQ(index.RelevantObjects(terms), (std::vector<ObjectId>{0, 2, 3}));
+}
+
+TEST(InvertedIndexTest, PostingsSortedAndCompleteOnSynthetic) {
+  Dataset ds = test::MakeRandomDataset(500, 60, 4.0, 77);
+  InvertedIndex index(ds);
+  size_t postings = 0;
+  for (TermId t = 0; t < ds.vocabulary().size(); ++t) {
+    const auto& list = index.Postings(t);
+    EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+    EXPECT_EQ(list.size(), ds.TermFrequency(t));
+    for (ObjectId id : list) {
+      EXPECT_TRUE(ds.object(id).ContainsTerm(t));
+    }
+    postings += list.size();
+  }
+  EXPECT_EQ(postings, ds.TotalKeywordCount());
+  EXPECT_EQ(index.TotalPostings(), ds.TotalKeywordCount());
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,160 @@
+// Edge-case and mixed-workload tests for the R-tree beyond the basic
+// agreement sweeps: interleaved bulk/insert/delete lifecycles, degenerate
+// geometry, and fan-out boundary configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(RTreeEdgeTest, InsertAfterBulkLoadStaysConsistent) {
+  Rng rng(11);
+  std::vector<RTree::Item> items;
+  for (ObjectId id = 0; id < 300; ++id) {
+    items.push_back(
+        RTree::Item{id, Point{rng.UniformDouble(), rng.UniformDouble()}});
+  }
+  RTree tree;
+  tree.BulkLoad(items);
+  for (ObjectId id = 300; id < 600; ++id) {
+    const RTree::Item item{
+        id, Point{rng.UniformDouble(), rng.UniformDouble()}};
+    items.push_back(item);
+    tree.Insert(item.id, item.point);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 600u);
+  std::vector<ObjectId> got;
+  tree.Search(Rect(0, 0, 1, 1), &got);
+  EXPECT_EQ(got.size(), 600u);
+}
+
+TEST(RTreeEdgeTest, DeleteEverythingThenReuse) {
+  RTree tree;
+  Rng rng(12);
+  std::vector<RTree::Item> items;
+  for (ObjectId id = 0; id < 120; ++id) {
+    const RTree::Item item{
+        id, Point{rng.UniformDouble(), rng.UniformDouble()}};
+    items.push_back(item);
+    tree.Insert(item.id, item.point);
+  }
+  for (const RTree::Item& item : items) {
+    ASSERT_TRUE(tree.Delete(item.id, item.point));
+  }
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+  // The emptied tree accepts new data.
+  tree.Insert(999, Point{0.5, 0.5});
+  EXPECT_EQ(tree.size(), 1u);
+  double d = 0.0;
+  EXPECT_EQ(tree.NearestNeighbor(Point{0, 0}, &d), 999u);
+}
+
+TEST(RTreeEdgeTest, InterleavedInsertDeleteMatchesReference) {
+  RTree tree;
+  Rng rng(13);
+  std::vector<RTree::Item> reference;
+  ObjectId next_id = 0;
+  for (int round = 0; round < 400; ++round) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      const RTree::Item item{
+          next_id++, Point{rng.UniformDouble(), rng.UniformDouble()}};
+      reference.push_back(item);
+      tree.Insert(item.id, item.point);
+    } else {
+      const size_t pick = rng.UniformUint64(reference.size());
+      ASSERT_TRUE(tree.Delete(reference[pick].id, reference[pick].point));
+      reference.erase(reference.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    if (round % 80 == 79) {
+      tree.CheckInvariants();
+      std::vector<ObjectId> got;
+      tree.Search(Rect(0, 0, 1, 1), &got);
+      std::sort(got.begin(), got.end());
+      std::vector<ObjectId> want;
+      for (const auto& item : reference) {
+        want.push_back(item.id);
+      }
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(RTreeEdgeTest, MinimumFanoutOptions) {
+  RTree::Options options;
+  options.max_entries = 4;
+  RTree tree(options);
+  Rng rng(14);
+  for (ObjectId id = 0; id < 200; ++id) {
+    tree.Insert(id, Point{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  tree.CheckInvariants();
+  EXPECT_GE(tree.Height(), 3);  // Tiny fan-out forces a deep tree.
+}
+
+TEST(RTreeEdgeTest, CollinearAndDuplicateHeavyData) {
+  RTree tree;
+  // 50 points on a horizontal line, many duplicated.
+  for (ObjectId id = 0; id < 50; ++id) {
+    tree.Insert(id, Point{0.02 * (id % 10), 0.5});
+  }
+  tree.CheckInvariants();
+  std::vector<ObjectId> got;
+  tree.Search(Rect(0.0, 0.5, 0.1, 0.5), &got);
+  // x in {0, 0.02, 0.04, 0.06, 0.08, 0.1}: ids with id%10 <= 5.
+  EXPECT_EQ(got.size(), 30u);
+  auto knn = tree.KNearest(Point{0.0, 0.5}, 5);
+  ASSERT_EQ(knn.size(), 5u);
+  EXPECT_DOUBLE_EQ(knn.front().second, 0.0);
+}
+
+TEST(RTreeEdgeTest, BoundingRectTracksContents) {
+  RTree tree;
+  EXPECT_TRUE(tree.BoundingRect().IsEmpty());
+  tree.Insert(0, Point{0.25, 0.75});
+  EXPECT_EQ(tree.BoundingRect(), Rect(0.25, 0.75, 0.25, 0.75));
+  tree.Insert(1, Point{0.5, 0.25});
+  EXPECT_EQ(tree.BoundingRect(), Rect(0.25, 0.25, 0.5, 0.75));
+  ASSERT_TRUE(tree.Delete(1, Point{0.5, 0.25}));
+  EXPECT_EQ(tree.BoundingRect(), Rect(0.25, 0.75, 0.25, 0.75));
+}
+
+TEST(RTreeEdgeTest, KNearestWithKLargerThanSize) {
+  RTree tree;
+  tree.Insert(0, Point{0.1, 0.1});
+  tree.Insert(1, Point{0.9, 0.9});
+  const auto got = tree.KNearest(Point{0, 0}, 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 0u);
+  EXPECT_EQ(got[1].first, 1u);
+}
+
+TEST(RTreeEdgeTest, NodeCountShrinksAfterMassDeletes) {
+  RTree tree;
+  Rng rng(15);
+  std::vector<RTree::Item> items;
+  for (ObjectId id = 0; id < 500; ++id) {
+    const RTree::Item item{
+        id, Point{rng.UniformDouble(), rng.UniformDouble()}};
+    items.push_back(item);
+    tree.Insert(item.id, item.point);
+  }
+  const size_t nodes_full = tree.NodeCount();
+  for (size_t i = 0; i < 450; ++i) {
+    ASSERT_TRUE(tree.Delete(items[i].id, items[i].point));
+  }
+  tree.CheckInvariants();
+  EXPECT_LT(tree.NodeCount(), nodes_full);
+  EXPECT_EQ(tree.size(), 50u);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,233 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/circle.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+std::vector<RTree::Item> RandomItems(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTree::Item> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back(RTree::Item{
+        static_cast<ObjectId>(i),
+        Point{rng.UniformDouble(), rng.UniformDouble()}});
+  }
+  return items;
+}
+
+std::vector<ObjectId> BruteRange(const std::vector<RTree::Item>& items,
+                                 const Rect& rect) {
+  std::vector<ObjectId> out;
+  for (const auto& item : items) {
+    if (rect.Contains(item.point)) {
+      out.push_back(item.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  std::vector<ObjectId> out;
+  tree.Search(Rect(0, 0, 1, 1), &out);
+  EXPECT_TRUE(out.empty());
+  double d = 0.0;
+  EXPECT_EQ(tree.NearestNeighbor(Point{0, 0}, &d), kInvalidObjectId);
+}
+
+TEST(RTreeTest, SingleInsertAndSearch) {
+  RTree tree;
+  tree.Insert(7, Point{0.5, 0.5});
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<ObjectId> out;
+  tree.Search(Rect(0, 0, 1, 1), &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{7});
+  out.clear();
+  tree.Search(Rect(0.6, 0.6, 1, 1), &out);
+  EXPECT_TRUE(out.empty());
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, InsertManyMaintainsInvariants) {
+  RTree tree;
+  auto items = RandomItems(500, 42);
+  for (const auto& item : items) {
+    tree.Insert(item.id, item.point);
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  tree.CheckInvariants();
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST(RTreeTest, BulkLoadMaintainsInvariants) {
+  RTree tree;
+  tree.BulkLoad(RandomItems(1000, 43));
+  EXPECT_EQ(tree.size(), 1000u);
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndSmall) {
+  RTree tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+  tree.BulkLoad(RandomItems(3, 44));
+  EXPECT_EQ(tree.size(), 3u);
+  tree.CheckInvariants();
+}
+
+class RTreeRangeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t, bool>> {};
+
+TEST_P(RTreeRangeTest, MatchesBruteForce) {
+  const auto [n, seed, bulk] = GetParam();
+  auto items = RandomItems(n, seed);
+  RTree tree;
+  if (bulk) {
+    tree.BulkLoad(items);
+  } else {
+    for (const auto& item : items) {
+      tree.Insert(item.id, item.point);
+    }
+  }
+  tree.CheckInvariants();
+  Rng rng(seed + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double x1 = rng.UniformDouble();
+    const double x2 = rng.UniformDouble();
+    const double y1 = rng.UniformDouble();
+    const double y2 = rng.UniformDouble();
+    Rect rect(std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+              std::max(y1, y2));
+    std::vector<ObjectId> got;
+    tree.Search(rect, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRange(items, rect));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeRangeTest,
+    ::testing::Combine(::testing::Values<size_t>(10, 100, 700),
+                       ::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Bool()));
+
+TEST(RTreeTest, CircleSearchMatchesBruteForce) {
+  auto items = RandomItems(400, 45);
+  RTree tree;
+  tree.BulkLoad(items);
+  Rng rng(46);
+  for (int trial = 0; trial < 20; ++trial) {
+    Circle circle(Point{rng.UniformDouble(), rng.UniformDouble()},
+                  rng.UniformDouble(0.01, 0.4));
+    std::vector<ObjectId> got;
+    tree.Search(circle, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<ObjectId> want;
+    for (const auto& item : items) {
+      if (circle.Contains(item.point)) {
+        want.push_back(item.id);
+      }
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+class RTreeKnnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeKnnTest, MatchesBruteForceOrder) {
+  auto items = RandomItems(300, GetParam());
+  RTree tree;
+  tree.BulkLoad(items);
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 10; ++trial) {
+    Point q{rng.UniformDouble(), rng.UniformDouble()};
+    const size_t k = 1 + rng.UniformUint64(20);
+    auto got = tree.KNearest(q, k);
+    ASSERT_EQ(got.size(), std::min(k, items.size()));
+    // Distances are ascending.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LE(got[i - 1].second, got[i].second);
+    }
+    // The k-th distance matches the brute-force k-th smallest.
+    std::vector<double> dists;
+    for (const auto& item : items) {
+      dists.push_back(Distance(q, item.point));
+    }
+    std::sort(dists.begin(), dists.end());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].second, dists[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeKnnTest, ::testing::Values(7, 8, 9));
+
+TEST(RTreeTest, DeleteRemovesAndPreservesInvariants) {
+  auto items = RandomItems(200, 50);
+  RTree tree;
+  for (const auto& item : items) {
+    tree.Insert(item.id, item.point);
+  }
+  Rng rng(51);
+  std::vector<RTree::Item> remaining = items;
+  for (int round = 0; round < 150; ++round) {
+    const size_t pick = rng.UniformUint64(remaining.size());
+    const RTree::Item victim = remaining[pick];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+    ASSERT_TRUE(tree.Delete(victim.id, victim.point));
+    EXPECT_EQ(tree.size(), remaining.size());
+    if (round % 25 == 0) {
+      tree.CheckInvariants();
+      std::vector<ObjectId> got;
+      tree.Search(Rect(0, 0, 1, 1), &got);
+      EXPECT_EQ(got.size(), remaining.size());
+    }
+  }
+  tree.CheckInvariants();
+}
+
+TEST(RTreeTest, DeleteMissingReturnsFalse) {
+  RTree tree;
+  tree.Insert(1, Point{0.1, 0.1});
+  EXPECT_FALSE(tree.Delete(2, Point{0.1, 0.1}));
+  EXPECT_FALSE(tree.Delete(1, Point{0.2, 0.2}));
+  EXPECT_TRUE(tree.Delete(1, Point{0.1, 0.1}));
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RTree tree;
+  for (ObjectId id = 0; id < 100; ++id) {
+    tree.Insert(id, Point{0.5, 0.5});
+  }
+  tree.CheckInvariants();
+  std::vector<ObjectId> got;
+  tree.Search(Rect(0.5, 0.5, 0.5, 0.5), &got);
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(RTreeTest, VisitEarlyStop) {
+  RTree tree;
+  tree.BulkLoad(RandomItems(100, 52));
+  int visited = 0;
+  tree.Visit(Rect(0, 0, 1, 1), [&visited](ObjectId, const Point&) {
+    ++visited;
+    return visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+}  // namespace
+}  // namespace coskq

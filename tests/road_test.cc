@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "road/road_coskq.h"
+#include "road/road_generator.h"
+#include "road/road_graph.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+TEST(RoadGraphTest, BasicTopology) {
+  RoadGraph g;
+  const RoadNodeId a = g.AddNode({0, 0});
+  const RoadNodeId b = g.AddNode({1, 0});
+  const RoadNodeId c = g.AddNode({1, 1});
+  g.AddEuclideanEdge(a, b);
+  g.AddEuclideanEdge(b, c);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Neighbors(b).size(), 2u);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_DOUBLE_EQ(g.ShortestDistance(a, c), 2.0);
+  // Network distance exceeds the Euclidean one.
+  EXPECT_GT(g.ShortestDistance(a, c), Distance({0, 0}, {1, 1}));
+}
+
+TEST(RoadGraphTest, ShortcutChangesShortestPath) {
+  RoadGraph g;
+  const RoadNodeId a = g.AddNode({0, 0});
+  const RoadNodeId b = g.AddNode({1, 0});
+  const RoadNodeId c = g.AddNode({1, 1});
+  g.AddEuclideanEdge(a, b);
+  g.AddEuclideanEdge(b, c);
+  g.AddEdge(a, c, 0.5);  // A tunnel.
+  EXPECT_DOUBLE_EQ(g.ShortestDistance(a, c), 0.5);
+  EXPECT_DOUBLE_EQ(g.ShortestDistance(c, a), 0.5);
+}
+
+TEST(RoadGraphTest, DisconnectedComponentsAreUnreachable) {
+  RoadGraph g;
+  const RoadNodeId a = g.AddNode({0, 0});
+  g.AddNode({5, 5});  // Isolated.
+  EXPECT_FALSE(g.IsConnected());
+  const auto dist = g.ShortestDistances(a);
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST(RoadGraphTest, DijkstraMatchesFloydWarshall) {
+  Rng rng(77);
+  RoadNetworkSpec spec;
+  spec.grid_size = 5;
+  spec.num_objects = 1;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  const size_t n = w.graph.NumNodes();
+  // Floyd-Warshall reference.
+  std::vector<std::vector<double>> fw(n, std::vector<double>(n,
+                                                             kUnreachable));
+  for (size_t i = 0; i < n; ++i) {
+    fw[i][i] = 0.0;
+    for (const auto& e : w.graph.Neighbors(static_cast<RoadNodeId>(i))) {
+      fw[i][e.to] = std::min(fw[i][e.to], e.length);
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        fw[i][j] = std::min(fw[i][j], fw[i][k] + fw[k][j]);
+      }
+    }
+  }
+  for (size_t s = 0; s < n; s += 3) {
+    const auto dist = w.graph.ShortestDistances(static_cast<RoadNodeId>(s));
+    for (size_t t = 0; t < n; ++t) {
+      EXPECT_NEAR(dist[t], fw[s][t], 1e-9);
+    }
+  }
+}
+
+TEST(RoadGraphTest, BoundedSearchNeverUnderestimates) {
+  Rng rng(78);
+  RoadNetworkSpec spec;
+  spec.grid_size = 8;
+  spec.num_objects = 1;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  const auto full = w.graph.ShortestDistances(0);
+  const auto bounded = w.graph.ShortestDistances(0, 0.3);
+  for (size_t i = 0; i < full.size(); ++i) {
+    if (bounded[i] != kUnreachable) {
+      EXPECT_NEAR(bounded[i], full[i], 1e-12);
+      EXPECT_LE(bounded[i], 0.3);
+    } else if (full[i] != kUnreachable) {
+      EXPECT_GT(full[i], 0.3 - 1e-12);
+    }
+  }
+}
+
+TEST(RoadGeneratorTest, ProducesConnectedNetworkWithObjects) {
+  Rng rng(79);
+  RoadNetworkSpec spec;
+  spec.grid_size = 10;
+  spec.num_objects = 500;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  EXPECT_EQ(w.graph.NumNodes(), 100u);
+  EXPECT_TRUE(w.graph.IsConnected());
+  EXPECT_EQ(w.dataset.NumObjects(), 500u);
+  EXPECT_EQ(w.node_of.size(), 500u);
+  // Object locations coincide with their node's location and the inverse
+  // mapping is consistent.
+  for (ObjectId id = 0; id < 500; ++id) {
+    EXPECT_EQ(w.dataset.object(id).location,
+              w.graph.location(w.node_of[id]));
+    const auto& at = w.objects_at[w.node_of[id]];
+    EXPECT_NE(std::find(at.begin(), at.end(), id), at.end());
+  }
+}
+
+TEST(RoadOracleTest, CachesAndIsSymmetric) {
+  Rng rng(80);
+  RoadNetworkSpec spec;
+  spec.grid_size = 6;
+  spec.num_objects = 10;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  RoadDistanceOracle oracle(&w.graph);
+  const double d1 = oracle.Between(0, 7);
+  const double d2 = oracle.Between(7, 0);
+  EXPECT_NEAR(d1, d2, 1e-12);
+  EXPECT_LE(oracle.CachedSources(), 2u);
+  EXPECT_EQ(oracle.Between(3, 3), 0.0);
+}
+
+// Exhaustive subset oracle over all relevant objects (exponential; tiny
+// instances only). Unlike the cover-DFS solvers, this is immune to any
+// monotonicity reasoning and validates them end to end.
+double SubsetOracle(const RoadWorkload& w, const RoadCoskqQuery& q,
+                    CostType type) {
+  RoadDistanceOracle oracle(&w.graph);
+  std::vector<ObjectId> relevant;
+  for (const SpatialObject& obj : w.dataset.objects()) {
+    if (obj.ContainsAnyOf(q.keywords)) {
+      relevant.push_back(obj.id);
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = relevant.size();
+  if (n > 18) {
+    ADD_FAILURE() << "instance too large for the subset oracle";
+    return best;
+  }
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<ObjectId> set;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        set.push_back(relevant[i]);
+      }
+    }
+    if (!SetCoversKeywords(w.dataset, q.keywords, set)) {
+      continue;
+    }
+    best = std::min(best,
+                    EvaluateRoadCost(type, w, &oracle, q.node, set));
+  }
+  return best;
+}
+
+class RoadCoskqTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoadCoskqTest, ExactMatchesSubsetOracle) {
+  Rng rng(GetParam());
+  RoadNetworkSpec spec;
+  spec.grid_size = 6;
+  spec.num_objects = 40;
+  spec.vocab_size = 10;
+  spec.avg_keywords_per_object = 2.0;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  const auto relevant_count = [&w](const TermSet& kw) {
+    size_t count = 0;
+    for (const SpatialObject& obj : w.dataset.objects()) {
+      count += obj.ContainsAnyOf(kw) ? 1 : 0;
+    }
+    return count;
+  };
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      RoadCoskqQuery q;
+      q.node = static_cast<RoadNodeId>(
+          rng.UniformUint64(w.graph.NumNodes()));
+      // Keep the instance small enough for the exponential subset oracle.
+      TermSet kw;
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        kw.clear();
+        for (int k = 0; k < 2; ++k) {
+          kw.push_back(static_cast<TermId>(rng.UniformUint64(10)));
+        }
+        NormalizeTermSet(&kw);
+        if (relevant_count(kw) <= 16) {
+          break;
+        }
+      }
+      if (relevant_count(kw) > 16) {
+        continue;  // Extremely unlikely; skip rather than blow up.
+      }
+      q.keywords = kw;
+      const double want = SubsetOracle(w, q, type);
+      const CoskqResult got = SolveRoadCoskqExact(w, q, type);
+      const CoskqResult heuristic = SolveRoadCoskqGreedy(w, q, type);
+      if (!std::isfinite(want)) {
+        EXPECT_FALSE(got.feasible);
+        EXPECT_FALSE(heuristic.feasible);
+        continue;
+      }
+      ASSERT_TRUE(got.feasible);
+      EXPECT_NEAR(got.cost, want, 1e-9) << CostTypeName(type);
+      ASSERT_TRUE(heuristic.feasible);
+      EXPECT_TRUE(SetCoversKeywords(w.dataset, q.keywords, heuristic.set));
+      EXPECT_GE(heuristic.cost, want - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadCoskqTest,
+                         ::testing::Values(401, 402, 403, 404));
+
+TEST(RoadCoskqTest, NetworkAnswersDifferFromEuclidean) {
+  // A river network: two bank roads joined by one bridge. Euclidean-near
+  // objects across the river are network-far; a correct network solver must
+  // prefer same-bank sets.
+  RoadGraph g;
+  std::vector<RoadNodeId> south;
+  std::vector<RoadNodeId> north;
+  for (int i = 0; i < 10; ++i) {
+    south.push_back(g.AddNode({0.1 * i, 0.0}));
+    north.push_back(g.AddNode({0.1 * i, 0.1}));
+  }
+  for (int i = 0; i + 1 < 10; ++i) {
+    g.AddEuclideanEdge(south[i], south[i + 1]);
+    g.AddEuclideanEdge(north[i], north[i + 1]);
+  }
+  g.AddEuclideanEdge(south[9], north[9]);  // The only bridge, far east.
+
+  RoadWorkload w;
+  w.graph = std::move(g);
+  w.objects_at.resize(w.graph.NumNodes());
+  auto add_object = [&w](RoadNodeId node, const char* word) {
+    const ObjectId id = w.dataset.AddObject(w.graph.location(node), {word});
+    w.node_of.push_back(node);
+    w.objects_at[node].push_back(id);
+    return id;
+  };
+  // Query at the west end of the south bank. Keyword "a" exists right
+  // across the river (Euclidean-near, network-far) and a bit east on the
+  // same bank (Euclidean-farther, network-near).
+  add_object(north[0], "a");            // Across the river.
+  const ObjectId same_bank = add_object(south[3], "a");
+  RoadCoskqQuery q;
+  q.node = south[0];
+  q.keywords = {w.dataset.vocabulary().Find("a")};
+  const CoskqResult result =
+      SolveRoadCoskqExact(w, q, CostType::kMaxSum);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.set, (std::vector<ObjectId>{same_bank}));
+  EXPECT_NEAR(result.cost, 0.3, 1e-9);
+}
+
+TEST(RoadCoskqTest, EmptyAndInfeasibleQueries) {
+  Rng rng(90);
+  RoadNetworkSpec spec;
+  spec.grid_size = 4;
+  spec.num_objects = 10;
+  spec.vocab_size = 5;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  RoadCoskqQuery empty;
+  empty.node = 0;
+  EXPECT_TRUE(SolveRoadCoskqExact(w, empty, CostType::kDia).feasible);
+  EXPECT_EQ(SolveRoadCoskqExact(w, empty, CostType::kDia).cost, 0.0);
+  RoadCoskqQuery impossible;
+  impossible.node = 0;
+  impossible.keywords = {
+      w.dataset.mutable_vocabulary().GetOrAdd("never-used")};
+  EXPECT_FALSE(SolveRoadCoskqExact(w, impossible, CostType::kDia).feasible);
+  EXPECT_FALSE(
+      SolveRoadCoskqGreedy(w, impossible, CostType::kDia).feasible);
+}
+
+TEST(RoadCoskqTest, GreedyNeverBeatsExactAndBothDeterministic) {
+  Rng rng(91);
+  RoadNetworkSpec spec;
+  spec.grid_size = 8;
+  spec.num_objects = 200;
+  spec.vocab_size = 30;
+  RoadWorkload w = GenerateRoadWorkload(spec, &rng);
+  for (int trial = 0; trial < 6; ++trial) {
+    RoadCoskqQuery q;
+    q.node = static_cast<RoadNodeId>(rng.UniformUint64(w.graph.NumNodes()));
+    TermSet kw;
+    for (int k = 0; k < 3; ++k) {
+      kw.push_back(static_cast<TermId>(rng.UniformUint64(30)));
+    }
+    NormalizeTermSet(&kw);
+    q.keywords = kw;
+    const CoskqResult exact = SolveRoadCoskqExact(w, q, CostType::kMaxSum);
+    const CoskqResult exact2 = SolveRoadCoskqExact(w, q, CostType::kMaxSum);
+    const CoskqResult greedy =
+        SolveRoadCoskqGreedy(w, q, CostType::kMaxSum);
+    ASSERT_EQ(exact.feasible, greedy.feasible);
+    EXPECT_EQ(exact.set, exact2.set);
+    if (exact.feasible) {
+      EXPECT_LE(exact.cost, greedy.cost + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coskq

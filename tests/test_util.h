@@ -1,0 +1,44 @@
+#ifndef COSKQ_TESTS_TEST_UTIL_H_
+#define COSKQ_TESTS_TEST_UTIL_H_
+
+// Helpers shared by the test suites: small random datasets and queries with
+// reproducible seeds.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/query.h"
+#include "data/query_gen.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace test {
+
+/// A small synthetic dataset: `n` objects in the unit square, vocabulary
+/// `vocab`, ~`avg_kw` keywords per object, deterministic in `seed`.
+inline Dataset MakeRandomDataset(size_t n, size_t vocab, double avg_kw,
+                                 uint64_t seed) {
+  SyntheticSpec spec;
+  spec.num_objects = n;
+  spec.vocab_size = vocab;
+  spec.avg_keywords_per_object = avg_kw;
+  spec.zipf_theta = 0.7;
+  spec.cluster_fraction = 0.5;
+  spec.num_clusters = 4;
+  Rng rng(seed);
+  return GenerateSynthetic(spec, &rng);
+}
+
+/// A random query with `k` keywords drawn from the frequent band.
+inline CoskqQuery MakeRandomQuery(const Dataset& dataset, size_t k,
+                                  uint64_t seed) {
+  QueryGenerator gen(&dataset);
+  Rng rng(seed);
+  return gen.Generate(k, &rng);
+}
+
+}  // namespace test
+}  // namespace coskq
+
+#endif  // COSKQ_TESTS_TEST_UTIL_H_

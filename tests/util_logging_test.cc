@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace coskq {
+namespace {
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  COSKQ_CHECK(true) << "never shown";
+  COSKQ_CHECK_EQ(1, 1);
+  COSKQ_CHECK_LT(1, 2);
+  COSKQ_CHECK_LE(2, 2);
+  COSKQ_CHECK_GT(3, 2);
+  COSKQ_CHECK_GE(3, 3);
+  COSKQ_CHECK_NE(1, 2);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(COSKQ_CHECK(false) << "boom", "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqAbortsWithValues) {
+  EXPECT_DEATH(COSKQ_CHECK_EQ(1, 2), "1 vs. 2");
+}
+
+TEST(LoggingTest, SeverityThresholdRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,87 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace coskq {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.stddev(), 0.0);
+  EXPECT_EQ(stat.ToString(), "(empty)");
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(4.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_EQ(stat.mean(), 4.0);
+  EXPECT_EQ(stat.min(), 4.0);
+  EXPECT_EQ(stat.max(), 4.0);
+  EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 10; ++i) {
+    const double x = i * 1.5 - 3.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75.0), 7.5);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace coskq {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  EXPECT_EQ(SplitString("a b c", ' '),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, CollapsesEmptyPieces) {
+  EXPECT_EQ(SplitString("  a   b ", ' '),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", ' ').empty());
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(TrimWhitespace("nochange"), "nochange");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(AsciiToLowerTest, Basic) {
+  EXPECT_EQ(AsciiToLower("HeLLo 42!"), "hello 42!");
+}
+
+TEST(ParseDoubleTest, Valid) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(ParseUint64Test, Valid) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(ParseUint64Test, RejectsNegativeAndJunk) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12ab", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+}
+
+TEST(FormatWithCommasTest, Basic) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1868821), "1,868,821");
+}
+
+}  // namespace
+}  // namespace coskq

@@ -1,0 +1,169 @@
+// coskq_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate <preset|objects> <out.txt> [--scale S] [--seed N]
+//       Writes a synthetic dataset ("hotel"/"gn"/"web" presets at the given
+//       scale, or a plain object count) in the text format.
+//   query <dataset.txt> <solver> <x> <y> <kw> [kw...]
+//       Loads a dataset, builds the IR-tree, runs one query, prints the set.
+//   solvers
+//       Lists the solver registry names.
+//
+// Examples:
+//   coskq_cli generate hotel /tmp/hotel.txt --scale 1
+//   coskq_cli query /tmp/hotel.txt maxsum-exact 0.4 0.6 t1 t5 t9
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/solvers.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "index/irtree.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace coskq {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  coskq_cli generate <hotel|gn|web|COUNT> <out.txt> "
+               "[--scale S] [--seed N]\n"
+               "  coskq_cli query <dataset.txt> <solver> <x> <y> <kw...>\n"
+               "  coskq_cli solvers\n");
+  return 2;
+}
+
+int RunGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Usage();
+  }
+  double scale = 0.01;
+  uint64_t seed = 1;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--scale") {
+      ParseDouble(args[i + 1], &scale);
+    } else if (args[i] == "--seed") {
+      ParseUint64(args[i + 1], &seed);
+    } else {
+      return Usage();
+    }
+  }
+  SyntheticSpec spec;
+  if (args[0] == "hotel") {
+    spec = HotelLikeSpec(scale);
+  } else if (args[0] == "gn") {
+    spec = GnLikeSpec(scale);
+  } else if (args[0] == "web") {
+    spec = WebLikeSpec(scale);
+  } else {
+    uint64_t count = 0;
+    if (!ParseUint64(args[0], &count) || count == 0) {
+      return Usage();
+    }
+    spec.num_objects = count;
+    spec.vocab_size = std::max<size_t>(50, count / 10);
+  }
+  Rng rng(seed);
+  const Dataset dataset = GenerateSynthetic(spec, &rng);
+  const Status status = dataset.SaveToFile(args[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s objects (%s unique words) to %s\n",
+              FormatWithCommas(dataset.NumObjects()).c_str(),
+              FormatWithCommas(dataset.vocabulary().size()).c_str(),
+              args[1].c_str());
+  return 0;
+}
+
+int RunQuery(const std::vector<std::string>& args) {
+  if (args.size() < 5) {
+    return Usage();
+  }
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).value();
+  WallTimer build_timer;
+  IrTree index(&dataset);
+  CoskqContext context{&dataset, &index};
+  std::printf("loaded %s objects, IR-tree built in %.1f ms\n",
+              FormatWithCommas(dataset.NumObjects()).c_str(),
+              build_timer.ElapsedMillis());
+
+  auto solver = MakeSolver(args[1], context);
+  if (solver == nullptr) {
+    std::fprintf(stderr, "unknown solver '%s'; try 'coskq_cli solvers'\n",
+                 args[1].c_str());
+    return 1;
+  }
+  CoskqQuery query;
+  if (!ParseDouble(args[2], &query.location.x) ||
+      !ParseDouble(args[3], &query.location.y)) {
+    return Usage();
+  }
+  for (size_t i = 4; i < args.size(); ++i) {
+    const TermId t = dataset.vocabulary().Find(args[i]);
+    if (t == Vocabulary::kInvalidTermId) {
+      std::fprintf(stderr, "keyword '%s' does not occur in the dataset\n",
+                   args[i].c_str());
+      return 1;
+    }
+    query.keywords.push_back(t);
+  }
+  NormalizeTermSet(&query.keywords);
+
+  const CoskqResult result = solver->Solve(query);
+  if (!result.feasible) {
+    std::printf("infeasible: some keyword matches no object\n");
+    return 0;
+  }
+  std::printf("%s: cost %.6f in %.2f ms (%llu candidates)\n",
+              solver->name().c_str(), result.cost, result.stats.elapsed_ms,
+              static_cast<unsigned long long>(result.stats.candidates));
+  for (ObjectId id : result.set) {
+    const SpatialObject& obj = dataset.object(id);
+    std::printf("  #%u (%.6f, %.6f)", obj.id, obj.location.x,
+                obj.location.y);
+    for (TermId t : obj.keywords) {
+      std::printf(" %s", dataset.vocabulary().TermString(t).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "generate") {
+    return RunGenerate(args);
+  }
+  if (command == "query") {
+    return RunQuery(args);
+  }
+  if (command == "solvers") {
+    for (const std::string& name : AvailableSolverNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main(int argc, char** argv) { return coskq::Run(argc, argv); }
