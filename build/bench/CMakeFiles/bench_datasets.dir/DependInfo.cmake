@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_datasets.cc" "bench/CMakeFiles/bench_datasets.dir/bench_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_datasets.dir/bench_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/coskq_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coskq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/coskq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/coskq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/coskq_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coskq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dia_vary_qkw.dir/bench_dia_vary_qkw.cc.o"
+  "CMakeFiles/bench_dia_vary_qkw.dir/bench_dia_vary_qkw.cc.o.d"
+  "bench_dia_vary_qkw"
+  "bench_dia_vary_qkw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dia_vary_qkw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_road.dir/bench_ext_road.cc.o"
+  "CMakeFiles/bench_ext_road.dir/bench_ext_road.cc.o.d"
+  "bench_ext_road"
+  "bench_ext_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

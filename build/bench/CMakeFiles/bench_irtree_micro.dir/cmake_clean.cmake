@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_irtree_micro.dir/bench_irtree_micro.cc.o"
+  "CMakeFiles/bench_irtree_micro.dir/bench_irtree_micro.cc.o.d"
+  "bench_irtree_micro"
+  "bench_irtree_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irtree_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

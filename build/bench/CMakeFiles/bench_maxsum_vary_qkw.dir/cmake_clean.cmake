@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxsum_vary_qkw.dir/bench_maxsum_vary_qkw.cc.o"
+  "CMakeFiles/bench_maxsum_vary_qkw.dir/bench_maxsum_vary_qkw.cc.o.d"
+  "bench_maxsum_vary_qkw"
+  "bench_maxsum_vary_qkw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxsum_vary_qkw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

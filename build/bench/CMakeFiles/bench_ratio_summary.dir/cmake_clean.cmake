@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratio_summary.dir/bench_ratio_summary.cc.o"
+  "CMakeFiles/bench_ratio_summary.dir/bench_ratio_summary.cc.o.d"
+  "bench_ratio_summary"
+  "bench_ratio_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vary_okw.dir/bench_vary_okw.cc.o"
+  "CMakeFiles/bench_vary_okw.dir/bench_vary_okw.cc.o.d"
+  "bench_vary_okw"
+  "bench_vary_okw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vary_okw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

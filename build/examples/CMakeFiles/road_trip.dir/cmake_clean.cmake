@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_trip.dir/road_trip.cpp.o"
+  "CMakeFiles/road_trip.dir/road_trip.cpp.o.d"
+  "road_trip"
+  "road_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_assembly.dir/team_assembly.cpp.o"
+  "CMakeFiles/team_assembly.dir/team_assembly.cpp.o.d"
+  "team_assembly"
+  "team_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_benchlib.dir/bench_config.cc.o"
+  "CMakeFiles/coskq_benchlib.dir/bench_config.cc.o.d"
+  "CMakeFiles/coskq_benchlib.dir/experiments.cc.o"
+  "CMakeFiles/coskq_benchlib.dir/experiments.cc.o.d"
+  "CMakeFiles/coskq_benchlib.dir/harness.cc.o"
+  "CMakeFiles/coskq_benchlib.dir/harness.cc.o.d"
+  "CMakeFiles/coskq_benchlib.dir/table.cc.o"
+  "CMakeFiles/coskq_benchlib.dir/table.cc.o.d"
+  "libcoskq_benchlib.a"
+  "libcoskq_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/coskq_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/coskq_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/cao_appro.cc" "src/core/CMakeFiles/coskq_core.dir/cao_appro.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/cao_appro.cc.o.d"
+  "/root/repo/src/core/cao_exact.cc" "src/core/CMakeFiles/coskq_core.dir/cao_exact.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/cao_exact.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/coskq_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/nn_set.cc" "src/core/CMakeFiles/coskq_core.dir/nn_set.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/nn_set.cc.o.d"
+  "/root/repo/src/core/owner_driven_appro.cc" "src/core/CMakeFiles/coskq_core.dir/owner_driven_appro.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/owner_driven_appro.cc.o.d"
+  "/root/repo/src/core/owner_driven_exact.cc" "src/core/CMakeFiles/coskq_core.dir/owner_driven_exact.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/owner_driven_exact.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/coskq_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/solvers.cc" "src/core/CMakeFiles/coskq_core.dir/solvers.cc.o" "gcc" "src/core/CMakeFiles/coskq_core.dir/solvers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/coskq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/coskq_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/coskq_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coskq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

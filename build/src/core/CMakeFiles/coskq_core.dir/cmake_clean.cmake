@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_core.dir/brute_force.cc.o"
+  "CMakeFiles/coskq_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/coskq_core.dir/candidates.cc.o"
+  "CMakeFiles/coskq_core.dir/candidates.cc.o.d"
+  "CMakeFiles/coskq_core.dir/cao_appro.cc.o"
+  "CMakeFiles/coskq_core.dir/cao_appro.cc.o.d"
+  "CMakeFiles/coskq_core.dir/cao_exact.cc.o"
+  "CMakeFiles/coskq_core.dir/cao_exact.cc.o.d"
+  "CMakeFiles/coskq_core.dir/cost.cc.o"
+  "CMakeFiles/coskq_core.dir/cost.cc.o.d"
+  "CMakeFiles/coskq_core.dir/nn_set.cc.o"
+  "CMakeFiles/coskq_core.dir/nn_set.cc.o.d"
+  "CMakeFiles/coskq_core.dir/owner_driven_appro.cc.o"
+  "CMakeFiles/coskq_core.dir/owner_driven_appro.cc.o.d"
+  "CMakeFiles/coskq_core.dir/owner_driven_exact.cc.o"
+  "CMakeFiles/coskq_core.dir/owner_driven_exact.cc.o.d"
+  "CMakeFiles/coskq_core.dir/solver.cc.o"
+  "CMakeFiles/coskq_core.dir/solver.cc.o.d"
+  "CMakeFiles/coskq_core.dir/solvers.cc.o"
+  "CMakeFiles/coskq_core.dir/solvers.cc.o.d"
+  "libcoskq_core.a"
+  "libcoskq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoskq_core.a"
+)

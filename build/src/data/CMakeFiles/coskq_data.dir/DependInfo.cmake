@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/coskq_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/coskq_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/object.cc" "src/data/CMakeFiles/coskq_data.dir/object.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/object.cc.o.d"
+  "/root/repo/src/data/query_gen.cc" "src/data/CMakeFiles/coskq_data.dir/query_gen.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/query_gen.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/coskq_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/synthetic.cc.o.d"
+  "/root/repo/src/data/term_set.cc" "src/data/CMakeFiles/coskq_data.dir/term_set.cc.o" "gcc" "src/data/CMakeFiles/coskq_data.dir/term_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/coskq_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coskq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

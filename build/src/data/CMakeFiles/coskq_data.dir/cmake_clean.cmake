@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_data.dir/augment.cc.o"
+  "CMakeFiles/coskq_data.dir/augment.cc.o.d"
+  "CMakeFiles/coskq_data.dir/dataset.cc.o"
+  "CMakeFiles/coskq_data.dir/dataset.cc.o.d"
+  "CMakeFiles/coskq_data.dir/object.cc.o"
+  "CMakeFiles/coskq_data.dir/object.cc.o.d"
+  "CMakeFiles/coskq_data.dir/query_gen.cc.o"
+  "CMakeFiles/coskq_data.dir/query_gen.cc.o.d"
+  "CMakeFiles/coskq_data.dir/synthetic.cc.o"
+  "CMakeFiles/coskq_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/coskq_data.dir/term_set.cc.o"
+  "CMakeFiles/coskq_data.dir/term_set.cc.o.d"
+  "libcoskq_data.a"
+  "libcoskq_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_ext.dir/minmax_coskq.cc.o"
+  "CMakeFiles/coskq_ext.dir/minmax_coskq.cc.o.d"
+  "CMakeFiles/coskq_ext.dir/sum_coskq.cc.o"
+  "CMakeFiles/coskq_ext.dir/sum_coskq.cc.o.d"
+  "CMakeFiles/coskq_ext.dir/topk_coskq.cc.o"
+  "CMakeFiles/coskq_ext.dir/topk_coskq.cc.o.d"
+  "CMakeFiles/coskq_ext.dir/unified_cost.cc.o"
+  "CMakeFiles/coskq_ext.dir/unified_cost.cc.o.d"
+  "libcoskq_ext.a"
+  "libcoskq_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_geo.dir/circle.cc.o"
+  "CMakeFiles/coskq_geo.dir/circle.cc.o.d"
+  "CMakeFiles/coskq_geo.dir/point.cc.o"
+  "CMakeFiles/coskq_geo.dir/point.cc.o.d"
+  "CMakeFiles/coskq_geo.dir/rect.cc.o"
+  "CMakeFiles/coskq_geo.dir/rect.cc.o.d"
+  "libcoskq_geo.a"
+  "libcoskq_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_index.dir/inverted_index.cc.o"
+  "CMakeFiles/coskq_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/coskq_index.dir/irtree.cc.o"
+  "CMakeFiles/coskq_index.dir/irtree.cc.o.d"
+  "CMakeFiles/coskq_index.dir/rtree.cc.o"
+  "CMakeFiles/coskq_index.dir/rtree.cc.o.d"
+  "libcoskq_index.a"
+  "libcoskq_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_road.dir/road_coskq.cc.o"
+  "CMakeFiles/coskq_road.dir/road_coskq.cc.o.d"
+  "CMakeFiles/coskq_road.dir/road_generator.cc.o"
+  "CMakeFiles/coskq_road.dir/road_generator.cc.o.d"
+  "CMakeFiles/coskq_road.dir/road_graph.cc.o"
+  "CMakeFiles/coskq_road.dir/road_graph.cc.o.d"
+  "libcoskq_road.a"
+  "libcoskq_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

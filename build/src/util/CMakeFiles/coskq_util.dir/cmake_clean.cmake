@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_util.dir/logging.cc.o"
+  "CMakeFiles/coskq_util.dir/logging.cc.o.d"
+  "CMakeFiles/coskq_util.dir/random.cc.o"
+  "CMakeFiles/coskq_util.dir/random.cc.o.d"
+  "CMakeFiles/coskq_util.dir/stats.cc.o"
+  "CMakeFiles/coskq_util.dir/stats.cc.o.d"
+  "CMakeFiles/coskq_util.dir/status.cc.o"
+  "CMakeFiles/coskq_util.dir/status.cc.o.d"
+  "CMakeFiles/coskq_util.dir/string_util.cc.o"
+  "CMakeFiles/coskq_util.dir/string_util.cc.o.d"
+  "CMakeFiles/coskq_util.dir/timer.cc.o"
+  "CMakeFiles/coskq_util.dir/timer.cc.o.d"
+  "libcoskq_util.a"
+  "libcoskq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

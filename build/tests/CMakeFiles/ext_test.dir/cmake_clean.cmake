@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_test.dir/ext_minmax_test.cc.o"
+  "CMakeFiles/ext_test.dir/ext_minmax_test.cc.o.d"
+  "CMakeFiles/ext_test.dir/ext_sum_coskq_test.cc.o"
+  "CMakeFiles/ext_test.dir/ext_sum_coskq_test.cc.o.d"
+  "CMakeFiles/ext_test.dir/ext_topk_test.cc.o"
+  "CMakeFiles/ext_test.dir/ext_topk_test.cc.o.d"
+  "CMakeFiles/ext_test.dir/ext_unified_cost_test.cc.o"
+  "CMakeFiles/ext_test.dir/ext_unified_cost_test.cc.o.d"
+  "ext_test"
+  "ext_test.pdb"
+  "ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coskq_cli.dir/coskq_cli.cc.o"
+  "CMakeFiles/coskq_cli.dir/coskq_cli.cc.o.d"
+  "coskq_cli"
+  "coskq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coskq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
