@@ -1,13 +1,23 @@
-// T1 — "Table 1: datasets used in the experiments".
+// T1 — "Table 1: datasets used in the experiments" + T1b, the repo's
+// throughput trajectory.
 //
 // Prints the statistics of the three synthesized evaluation datasets next to
 // the published statistics of the real Hotel / GN / Web datasets they stand
 // in for, plus IR-tree construction metrics. See EXPERIMENTS.md (T1).
+//
+// T1b then replays the paper's per-configuration query batch (500 queries at
+// COSKQ_BENCH_QUERIES=500) through the BatchEngine on every dataset,
+// sequentially and at COSKQ_BENCH_THREADS workers, verifies the parallel
+// results are bit-identical to the sequential ones, and writes the series to
+// BENCH_datasets.json so successive commits can track queries-per-second.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "benchlib/bench_config.h"
 #include "benchlib/harness.h"
+#include "benchlib/json_writer.h"
 #include "benchlib/table.h"
 #include "util/string_util.h"
 
@@ -27,6 +37,9 @@ constexpr PublishedStats kPublished[] = {
     {"GN", 1868821, 222409, 18374228},
     {"Web", 579727, 2899175, 249132883},
 };
+
+// |q.ψ| for the throughput batch: the middle of the paper's {3..15} sweep.
+constexpr size_t kThroughputKeywords = 6;
 
 void Run() {
   const BenchConfig config = BenchConfig::FromEnv();
@@ -59,8 +72,65 @@ void Run() {
   std::printf(
       "\nNote: \"ours\" are synthetic stand-ins generated at scale=%g with\n"
       "matched keywords-per-object and Zipf keyword frequencies; the real\n"
-      "datasets are not redistributable (see EXPERIMENTS.md).\n",
+      "datasets are not redistributable (see EXPERIMENTS.md).\n\n",
       config.scale);
+
+  std::printf("== T1b: batch throughput, sequential vs parallel ==\n");
+  std::printf("solvers {maxsum-appro, dia-appro}, |q.psi|=%zu, %zu queries\n",
+              kThroughputKeywords, config.queries);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("bench_datasets/throughput");
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(config.queries);
+  json.Key("query_keywords").Value(kThroughputKeywords);
+  json.Key("seed").Value(config.seed);
+  json.Key("cells").BeginArray();
+
+  TablePrinter tput({"Dataset", "Solver", "Threads", "Seq wall", "Par wall",
+                     "Seq qps", "Par qps", "Speedup", "p95 latency",
+                     "Identical"});
+  for (const BenchWorkload& w : workloads) {
+    const std::vector<CoskqQuery> queries =
+        MakeQueries(w, kThroughputKeywords, config);
+    for (const char* solver : {"maxsum-appro", "dia-appro"}) {
+      const ThroughputResult r =
+          RunThroughput(w, solver, queries, config.threads);
+      tput.AddRow({w.name, solver, std::to_string(r.parallel.threads),
+                   FormatMillis(r.sequential.wall_ms),
+                   FormatMillis(r.parallel.wall_ms),
+                   FormatDouble(r.sequential.QueriesPerSecond(), 1),
+                   FormatDouble(r.parallel.QueriesPerSecond(), 1),
+                   FormatDouble(r.speedup, 2) + "x",
+                   FormatMillis(r.parallel.p95_ms),
+                   r.identical ? "yes" : "NO"});
+      json.BeginObject();
+      json.Key("dataset").Value(w.name);
+      json.Key("solver").Value(solver);
+      json.Key("threads").Value(r.parallel.threads);
+      json.Key("sequential_wall_ms").Value(r.sequential.wall_ms);
+      json.Key("parallel_wall_ms").Value(r.parallel.wall_ms);
+      json.Key("sequential_qps").Value(r.sequential.QueriesPerSecond());
+      json.Key("parallel_qps").Value(r.parallel.QueriesPerSecond());
+      json.Key("speedup").Value(r.speedup);
+      json.Key("p50_ms").Value(r.parallel.p50_ms);
+      json.Key("p95_ms").Value(r.parallel.p95_ms);
+      json.Key("p99_ms").Value(r.parallel.p99_ms);
+      json.Key("identical").Value(r.identical);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  tput.Print();
+
+  const std::string path = "BENCH_datasets.json";
+  const Status status = WriteTextFile(path, json.TakeString());
+  if (status.ok()) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
 }
 
 }  // namespace

@@ -6,10 +6,17 @@
 // |q.ψ| = 10. This harness applies the same construction with the sizes
 // multiplied by the configured scale. See EXPERIMENTS.md (E4).
 
+// The harness also replays each size's query batch through the BatchEngine
+// sequentially and at COSKQ_BENCH_THREADS workers — the throughput
+// trajectory over dataset size — and records it in BENCH_scalability.json
+// with the parallel-vs-sequential bit-identity check.
+
 #include <cstdio>
+#include <string>
 
 #include "benchlib/bench_config.h"
 #include "benchlib/experiments.h"
+#include "benchlib/json_writer.h"
 #include "benchlib/table.h"
 #include "data/augment.h"
 #include "util/random.h"
@@ -32,6 +39,15 @@ void Run() {
   // Base GN-like dataset, grown per step.
   BenchWorkload base = MakeGnWorkload(config);
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("bench_scalability/throughput");
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(config.queries);
+  json.Key("query_keywords").Value(kQueryKeywords);
+  json.Key("seed").Value(config.seed);
+  json.Key("cells").BeginArray();
+
   for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
     std::printf("-- cost_%s --\n", std::string(CostTypeName(type)).c_str());
     TablePrinter time_table({"|O|", "Exact(paper) time", "Cao-Exact time",
@@ -40,6 +56,10 @@ void Run() {
     TablePrinter ratio_table(
         {"|O|", "Appro(paper) ratio", "Cao-Appro1 ratio",
          "Cao-Appro2 ratio"});
+    TablePrinter tput_table({"|O|", "Threads", "Seq wall", "Par wall",
+                             "Seq qps", "Par qps", "Speedup", "Identical"});
+    const std::string appro_solver =
+        type == CostType::kDia ? "dia-appro" : "maxsum-appro";
     for (size_t paper_size : paper_sizes) {
       const size_t target = static_cast<size_t>(
           static_cast<double>(paper_size) * config.scale);
@@ -63,12 +83,48 @@ void Run() {
                           FormatCellRatio(r.appro_owner),
                           FormatCellRatio(r.appro_cao1),
                           FormatCellRatio(r.appro_cao2)});
+
+      const ThroughputResult t =
+          RunThroughput(workload, appro_solver, queries, config.threads);
+      tput_table.AddRow({FormatWithCommas(workload.dataset.NumObjects()),
+                         std::to_string(t.parallel.threads),
+                         FormatMillis(t.sequential.wall_ms),
+                         FormatMillis(t.parallel.wall_ms),
+                         FormatDouble(t.sequential.QueriesPerSecond(), 1),
+                         FormatDouble(t.parallel.QueriesPerSecond(), 1),
+                         FormatDouble(t.speedup, 2) + "x",
+                         t.identical ? "yes" : "NO"});
+      json.BeginObject();
+      json.Key("objects").Value(workload.dataset.NumObjects());
+      json.Key("solver").Value(appro_solver);
+      json.Key("threads").Value(t.parallel.threads);
+      json.Key("sequential_wall_ms").Value(t.sequential.wall_ms);
+      json.Key("parallel_wall_ms").Value(t.parallel.wall_ms);
+      json.Key("sequential_qps").Value(t.sequential.QueriesPerSecond());
+      json.Key("parallel_qps").Value(t.parallel.QueriesPerSecond());
+      json.Key("speedup").Value(t.speedup);
+      json.Key("p95_ms").Value(t.parallel.p95_ms);
+      json.Key("identical").Value(t.identical);
+      json.EndObject();
     }
     std::printf("(a) running time\n");
     time_table.Print();
     std::printf("(b) approximation ratios avg [min, max]\n");
     ratio_table.Print();
+    std::printf("(c) %s batch throughput, sequential vs parallel\n",
+                appro_solver.c_str());
+    tput_table.Print();
     std::printf("\n");
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const std::string path = "BENCH_scalability.json";
+  const Status status = WriteTextFile(path, json.TakeString());
+  if (status.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
   }
 }
 

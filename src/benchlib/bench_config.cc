@@ -36,13 +36,17 @@ BenchConfig BenchConfig::FromEnv() {
   config.cell_budget_s =
       EnvDouble("COSKQ_BENCH_BUDGET_S", config.cell_budget_s);
   config.seed = EnvUint64("COSKQ_BENCH_SEED", config.seed);
+  config.threads = static_cast<int>(
+      EnvUint64("COSKQ_BENCH_THREADS", static_cast<uint64_t>(config.threads)));
   return config;
 }
 
 std::string BenchConfig::ToString() const {
   std::ostringstream os;
   os << "scale=" << scale << " queries/cell=" << queries
-     << " cell-budget=" << cell_budget_s << "s seed=" << seed;
+     << " cell-budget=" << cell_budget_s << "s seed=" << seed
+     << " threads=" << (threads == 0 ? std::string("hw")
+                                     : std::to_string(threads));
   return os.str();
 }
 

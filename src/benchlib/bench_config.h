@@ -21,11 +21,14 @@ namespace coskq {
 ///                          in seconds; slow baselines report a truncated
 ///                          ">= avg" once they exceed it (default 20)
 ///   COSKQ_BENCH_SEED       RNG seed for datasets and queries
+///   COSKQ_BENCH_THREADS    worker threads for the BatchEngine throughput
+///                          sections (0 = hardware_concurrency)
 struct BenchConfig {
   double scale = 0.02;
   size_t queries = 20;
   double cell_budget_s = 20.0;
   uint64_t seed = 20130622;
+  int threads = 0;
 
   /// Reads the environment overrides.
   static BenchConfig FromEnv();

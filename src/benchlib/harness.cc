@@ -114,6 +114,36 @@ std::vector<double> ReferenceCosts(CoskqSolver* solver,
   return costs;
 }
 
+ThroughputResult RunThroughput(const BenchWorkload& workload,
+                               const std::string& solver_name,
+                               const std::vector<CoskqQuery>& queries,
+                               int threads) {
+  ThroughputResult out;
+  BatchOptions options;
+  options.solver_name = solver_name;
+  options.num_threads = 1;
+  const BatchEngine sequential(workload.context(), options);
+  const BatchOutcome seq = sequential.Run(queries);
+  COSKQ_CHECK(seq.status.ok()) << seq.status.ToString();
+  options.num_threads = threads;
+  const BatchEngine concurrent(workload.context(), options);
+  const BatchOutcome par = concurrent.Run(queries);
+  COSKQ_CHECK(par.status.ok()) << par.status.ToString();
+
+  out.sequential = seq.stats;
+  out.parallel = par.stats;
+  out.identical = seq.results.size() == par.results.size();
+  for (size_t i = 0; out.identical && i < seq.results.size(); ++i) {
+    out.identical = seq.results[i].feasible == par.results[i].feasible &&
+                    seq.results[i].set == par.results[i].set &&
+                    seq.results[i].cost == par.results[i].cost;
+  }
+  out.speedup = par.stats.wall_ms > 0.0
+                    ? seq.stats.wall_ms / par.stats.wall_ms
+                    : 0.0;
+  return out;
+}
+
 std::string FormatCellTime(const CellResult& cell) {
   if (cell.completed == 0) {
     return "-";

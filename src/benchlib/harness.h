@@ -9,6 +9,7 @@
 #include "core/solver.h"
 #include "data/dataset.h"
 #include "data/query.h"
+#include "engine/batch_engine.h"
 #include "index/irtree.h"
 #include "util/stats.h"
 
@@ -74,6 +75,27 @@ CellResult RunCell(CoskqSolver* solver,
 /// reference for approximate algorithms.
 std::vector<double> ReferenceCosts(CoskqSolver* solver,
                                    const std::vector<CoskqQuery>& queries);
+
+/// One sequential-vs-parallel throughput measurement of `solver_name` over
+/// `queries` on the workload's context: the paper's per-query experiment
+/// replayed through the BatchEngine at 1 thread and at `threads` workers,
+/// with the parallel results verified bit-identical to the sequential ones.
+struct ThroughputResult {
+  BatchStats sequential;
+  BatchStats parallel;
+  /// True iff every parallel (feasible, set, cost) triple equals its
+  /// sequential counterpart — the concurrency-correctness check the
+  /// batch engine promises.
+  bool identical = false;
+  /// sequential wall clock / parallel wall clock.
+  double speedup = 0.0;
+};
+
+/// Runs the comparison; `threads` 0 picks hardware_concurrency.
+ThroughputResult RunThroughput(const BenchWorkload& workload,
+                               const std::string& solver_name,
+                               const std::vector<CoskqQuery>& queries,
+                               int threads);
 
 /// "12.3 ms" or ">= 12.3 ms" when the cell was truncated; "-" when empty.
 std::string FormatCellTime(const CellResult& cell);

@@ -1,0 +1,62 @@
+#ifndef COSKQ_BENCHLIB_JSON_WRITER_H_
+#define COSKQ_BENCHLIB_JSON_WRITER_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace coskq {
+
+/// Minimal streaming JSON builder for the benchmark reports (BENCH_*.json).
+/// No external dependency, no DOM: callers emit tokens in document order and
+/// the writer handles commas, nesting, string escaping, and non-finite
+/// numbers (rendered as null, which consuming dashboards treat as missing).
+///
+/// Usage:
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("qps").Value(123.4);
+///   json.Key("runs").BeginArray().Value(1).Value(2).EndArray();
+///   json.EndObject();
+///   WriteTextFile("BENCH_foo.json", json.TakeString());
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be directly inside an object and followed by
+  /// exactly one value (or container).
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+
+  /// The finished document; the writer must be back at nesting depth zero.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+  void AppendEscaped(const std::string& v);
+
+  std::string out_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace coskq
+
+#endif  // COSKQ_BENCHLIB_JSON_WRITER_H_

@@ -4,6 +4,11 @@
 #include <string>
 #include <vector>
 
+// FormatDouble / FormatMillis moved to util/string_util.h so non-benchlib
+// layers (the batch engine, the CLI) can use them; kept included here for
+// the existing harness call sites.
+#include "util/string_util.h"
+
 namespace coskq {
 
 /// Minimal aligned-column table printer for the figure/table harnesses.
@@ -25,13 +30,6 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
-
-/// Formats a double with `digits` significant-ish decimal places, trimming
-/// trailing zeros ("1.25", "0.001", "12").
-std::string FormatDouble(double value, int digits);
-
-/// Formats a milliseconds measurement: "12.3 ms", "1.25 s" when >= 1000.
-std::string FormatMillis(double ms);
 
 }  // namespace coskq
 

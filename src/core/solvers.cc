@@ -10,14 +10,21 @@ namespace coskq {
 
 std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
                                         const CoskqContext& context) {
+  return MakeSolver(name, context, SolverOptions());
+}
+
+std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
+                                        const CoskqContext& context,
+                                        const SolverOptions& options) {
   const auto type_of = [&name]() {
     return name.ends_with("-dia") ? CostType::kDia : CostType::kMaxSum;
   };
-  if (name == "maxsum-exact") {
-    return std::make_unique<OwnerDrivenExact>(context, CostType::kMaxSum);
-  }
-  if (name == "dia-exact") {
-    return std::make_unique<OwnerDrivenExact>(context, CostType::kDia);
+  if (name == "maxsum-exact" || name == "dia-exact") {
+    OwnerDrivenExact::Options owner_options;
+    owner_options.deadline_ms = options.deadline_ms;
+    return std::make_unique<OwnerDrivenExact>(
+        context, name == "dia-exact" ? CostType::kDia : CostType::kMaxSum,
+        owner_options);
   }
   if (name == "maxsum-appro") {
     return std::make_unique<OwnerDrivenAppro>(context, CostType::kMaxSum);
@@ -26,7 +33,9 @@ std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
     return std::make_unique<OwnerDrivenAppro>(context, CostType::kDia);
   }
   if (name == "cao-exact-maxsum" || name == "cao-exact-dia") {
-    return std::make_unique<CaoExact>(context, type_of());
+    CaoExact::Options cao_options;
+    cao_options.deadline_ms = options.deadline_ms;
+    return std::make_unique<CaoExact>(context, type_of(), cao_options);
   }
   if (name == "cao-appro1-maxsum" || name == "cao-appro1-dia") {
     return std::make_unique<CaoAppro1>(context, type_of());

@@ -9,6 +9,17 @@
 
 namespace coskq {
 
+/// Registry-level knobs honored by every solver that supports them, so
+/// callers (benchmarks, the batch engine, the CLI) can configure solvers
+/// uniformly without naming concrete classes.
+struct SolverOptions {
+  /// Optional per-query wall-clock deadline in milliseconds (0 = none).
+  /// Propagated to the solvers with deadline support (the exact search
+  /// engines); solvers that always finish quickly ignore it. When hit, the
+  /// solve returns its incumbent with stats.truncated set.
+  double deadline_ms = 0.0;
+};
+
 /// Creates a solver by its registry name. Available names:
 ///   "maxsum-exact", "maxsum-appro", "dia-exact", "dia-appro"   (the paper)
 ///   "cao-exact-maxsum",  "cao-exact-dia"                       (baseline)
@@ -18,6 +29,11 @@ namespace coskq {
 /// Returns nullptr for an unknown name.
 std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
                                         const CoskqContext& context);
+
+/// As above, with registry-level options applied.
+std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
+                                        const CoskqContext& context,
+                                        const SolverOptions& options);
 
 /// All registry names accepted by MakeSolver.
 std::vector<std::string> AvailableSolverNames();

@@ -1,0 +1,137 @@
+#ifndef COSKQ_ENGINE_BATCH_ENGINE_H_
+#define COSKQ_ENGINE_BATCH_ENGINE_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/solvers.h"
+#include "data/query.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// Configuration of one batch execution.
+struct BatchOptions {
+  /// Registry name of the solver answering every query in the batch
+  /// (see MakeSolver).
+  std::string solver_name = "maxsum-appro";
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). Each
+  /// worker owns a private solver instance, so any registry solver works
+  /// under concurrency (solvers are thread-compatible by contract:
+  /// concurrent Solve calls on distinct instances over one immutable
+  /// context are safe).
+  int num_threads = 0;
+  /// Per-query wall-clock deadline in milliseconds, propagated to solvers
+  /// with deadline support (0 = none). A deadline-hit solve returns its
+  /// incumbent with stats.truncated set; it is not an error and does not
+  /// cancel the batch.
+  double deadline_ms = 0.0;
+  /// Treat an infeasible query (a keyword no object carries) as a batch
+  /// error: the failing query's result is kept, the remaining un-started
+  /// queries are cancelled, and the outcome status reports the first
+  /// offending query index. Off by default — mixed workloads legitimately
+  /// contain infeasible queries.
+  bool cancel_on_infeasible = false;
+};
+
+/// Aggregated statistics of one batch execution. All aggregation happens
+/// after the workers join, in query order, so the numbers are deterministic
+/// for a fixed set of per-query results (latencies excepted — they are wall
+/// clock by nature).
+struct BatchStats {
+  /// Worker threads actually used.
+  int threads = 0;
+  /// End-to-end wall clock of the batch, including worker startup/join.
+  double wall_ms = 0.0;
+  /// Queries executed / cancelled before starting / infeasible / truncated
+  /// by the per-query deadline.
+  size_t executed = 0;
+  size_t cancelled = 0;
+  size_t infeasible = 0;
+  size_t truncated = 0;
+  /// Latency distribution of the executed solves (solver-reported
+  /// elapsed_ms): streaming avg/min/max plus interpolated percentiles.
+  RunningStat solve_ms;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Solver work counters summed over the executed solves.
+  uint64_t candidates = 0;
+  uint64_t pairs_examined = 0;
+  uint64_t sets_evaluated = 0;
+  /// Approximation-ratio summary vs. the reference costs passed to Run
+  /// (empty when none were given), matching the bench_ratio_summary
+  /// conventions: per-query ratio cost/reference over queries whose
+  /// reference is finite and positive, and the count answered optimally
+  /// (ratio <= 1 + 1e-9).
+  RunningStat ratio;
+  double ratio_p95 = 0.0;
+  size_t optimal_count = 0;
+
+  /// Executed queries per second (0 when nothing executed).
+  double QueriesPerSecond() const;
+
+  /// One-line human rendering for logs and the CLI.
+  std::string ToString() const;
+};
+
+/// The outcome of one batch: per-query results in *input order* regardless
+/// of which worker answered which query, plus aggregate statistics.
+struct BatchOutcome {
+  /// OK unless the batch was cancelled (see BatchOptions) or could not run
+  /// at all (unknown solver name, in which case nothing executed).
+  Status status;
+  /// results[i] answers queries[i]. For a cancelled (never started) query
+  /// the slot holds a default-constructed CoskqResult and executed[i] == 0.
+  std::vector<CoskqResult> results;
+  /// executed[i] == 1 iff queries[i] was actually solved.
+  std::vector<uint8_t> executed;
+  BatchStats stats;
+};
+
+/// Fixed-size worker pool executing batches of CoSKQ queries concurrently
+/// over one immutable CoskqContext.
+///
+/// Determinism: every registry solver is deterministic, and each query is
+/// solved exactly once by some worker's private solver instance, so the
+/// per-query results (set, cost, feasibility) of an N-thread run are
+/// bit-identical to a sequential run — only timings and the aggregate
+/// wall clock differ. Queries are claimed from a shared atomic cursor
+/// (dynamic load balancing); results land in their input slot.
+///
+/// Thread safety of the shared read path: the engine relies on Dataset,
+/// IrTree/RTree, and InvertedIndex being strictly immutable after
+/// construction (see DESIGN.md "Immutability & threading"); building the
+/// context or mutating the dataset while a batch is in flight is undefined.
+class BatchEngine {
+ public:
+  /// The context must outlive the engine and every Run call.
+  BatchEngine(const CoskqContext& context, const BatchOptions& options);
+
+  /// Executes the batch and blocks until every query is answered or the
+  /// batch is cancelled. When `reference_costs` is non-null, the i-th entry
+  /// (for i < reference_costs->size()) is the reference (exact) cost used
+  /// for the approximation-ratio summary; NaN/non-positive entries are
+  /// skipped. Safe to call repeatedly and from multiple threads.
+  BatchOutcome Run(const std::vector<CoskqQuery>& queries,
+                   const std::vector<double>* reference_costs = nullptr) const;
+
+  /// The worker count a Run call will use (options resolved against
+  /// hardware_concurrency).
+  int ResolvedThreads() const;
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  CoskqContext context_;
+  BatchOptions options_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_ENGINE_BATCH_ENGINE_H_

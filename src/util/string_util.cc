@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -101,6 +102,31 @@ std::string FormatWithCommas(uint64_t n) {
   }
   std::reverse(result.begin(), result.end());
   return result;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  std::string s(buffer);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string FormatMillis(double ms) {
+  if (ms >= 1000.0) {
+    return FormatDouble(ms / 1000.0, 2) + " s";
+  }
+  if (ms >= 1.0) {
+    return FormatDouble(ms, 2) + " ms";
+  }
+  return FormatDouble(ms * 1000.0, 1) + " us";
 }
 
 }  // namespace coskq

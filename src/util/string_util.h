@@ -29,6 +29,13 @@ bool ParseUint64(std::string_view text, uint64_t* value);
 /// Formats `n` with thousands separators, e.g. 1868821 -> "1,868,821".
 std::string FormatWithCommas(uint64_t n);
 
+/// Formats a double with `digits` decimal places, trimming trailing zeros
+/// ("1.25", "0.001", "12").
+std::string FormatDouble(double value, int digits);
+
+/// Formats a milliseconds measurement: "12.3 ms", "1.25 s" when >= 1000.
+std::string FormatMillis(double ms);
+
 }  // namespace coskq
 
 #endif  // COSKQ_UTIL_STRING_UTIL_H_

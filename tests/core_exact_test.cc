@@ -7,6 +7,7 @@
 #include "core/cao_exact.h"
 #include "core/nn_set.h"
 #include "core/owner_driven_exact.h"
+#include "core/solvers.h"
 #include "index/irtree.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -217,6 +218,70 @@ TEST(OwnerDrivenExactTest, StatsArePopulated) {
   EXPECT_GT(result.stats.candidates, 0u);
   EXPECT_GE(result.stats.elapsed_ms, 0.0);
 }
+
+// Differential sweep over the whole solver registry, seeds 0-49: on a small
+// random instance per seed,
+//  * every exact solver ("*-exact*") matches the brute-force optimum
+//    exactly;
+//  * every solver's answer is genuinely feasible and priced correctly;
+//  * the paper's approximate algorithms respect their proven ratio bounds
+//    (1.375 for MaxSum, sqrt(3) for Dia);
+//  * no solver ever reports stats.truncated without a deadline.
+class RegistrySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegistrySweepTest, AllSolversAgreeWithOracleOnRandomInstances) {
+  const uint64_t seed = GetParam();
+  // Vary the instance shape with the seed so the sweep covers sparse and
+  // dense vocabularies, and 3-5 query keywords.
+  const size_t n = 40 + (seed % 5) * 15;
+  const size_t vocab = 8 + (seed % 7) * 3;
+  const double avg_kw = 2.0 + 0.25 * static_cast<double>(seed % 5);
+  const size_t query_kw = 3 + seed % 3;
+  Dataset ds = test::MakeRandomDataset(n, vocab, avg_kw, seed * 977 + 11);
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  const CoskqQuery q = test::MakeRandomQuery(ds, query_kw, seed * 31 + 5);
+
+  for (CostType type : {CostType::kMaxSum, CostType::kDia}) {
+    const bool is_dia = type == CostType::kDia;
+    BruteForceSolver oracle(ctx, type);
+    const CoskqResult want = oracle.Solve(q);
+    for (const std::string& name : AvailableSolverNames()) {
+      // Each registry name is bound to one cost function; only test the
+      // solvers optimizing/evaluating the current one.
+      auto solver = MakeSolver(name, ctx);
+      ASSERT_NE(solver, nullptr) << name;
+      if ((solver->cost_type() == CostType::kDia) != is_dia) {
+        continue;
+      }
+      SCOPED_TRACE(name + " seed " + std::to_string(seed));
+      const CoskqResult got = solver->Solve(q);
+      ASSERT_EQ(got.feasible, want.feasible);
+      EXPECT_FALSE(got.stats.truncated)
+          << "truncated without a deadline";
+      if (!want.feasible) {
+        EXPECT_TRUE(got.set.empty());
+        continue;
+      }
+      // Feasibility and correct pricing hold for every solver.
+      EXPECT_TRUE(SetCoversKeywords(ds, q.keywords, got.set));
+      EXPECT_NEAR(EvaluateCost(type, ds, q.location, got.set), got.cost,
+                  1e-12);
+      // No solver may beat the oracle.
+      EXPECT_GE(got.cost, want.cost - 1e-9);
+      if (name.find("exact") != std::string::npos ||
+          name.find("brute-force") != std::string::npos) {
+        EXPECT_NEAR(got.cost, want.cost, 1e-9);
+      }
+      if (name == "maxsum-appro" || name == "dia-appro") {
+        EXPECT_LE(got.cost, ApproRatioBound(type) * want.cost + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistrySweepTest,
+                         ::testing::Range<uint64_t>(0, 50));
 
 TEST(NnSetTest, MatchesIrTreePerKeyword) {
   Dataset ds = test::MakeRandomDataset(300, 25, 3.0, 11);

@@ -1,0 +1,341 @@
+// The parallel batch engine, tested the way a concurrent read path earns
+// trust:
+//  * differential — N-thread output must be bit-identical to sequential
+//    output, for exact and approximate solvers alike;
+//  * metamorphic — shuffling the batch, splitting it in two, and varying
+//    the thread count must leave every per-query result unchanged;
+//  * failure handling — unknown solvers are clean errors, infeasible
+//    queries cancel the remainder when asked to, per-query deadlines
+//    propagate without ever marking an undeadlined solve truncated.
+//
+// The TSan CI job runs this binary with COSKQ_TEST_THREADS=8 so every
+// assertion below doubles as a data-race probe over the shared immutable
+// context (Dataset + IR-tree).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solvers.h"
+#include "engine/batch_engine.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+// Worker counts exercised everywhere: sequential, small, the CI TSan count
+// (>= 8), and whatever the hardware reports. COSKQ_TEST_THREADS, when set,
+// is added on top so CI can push the count higher without a rebuild.
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts = {1, 2, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    counts.push_back(static_cast<int>(hw));
+  }
+  if (const char* env = std::getenv("COSKQ_TEST_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      counts.push_back(n);
+    }
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+std::vector<CoskqResult> SolveSequentially(
+    const std::string& solver_name, const CoskqContext& context,
+    const std::vector<CoskqQuery>& queries) {
+  auto solver = MakeSolver(solver_name, context);
+  std::vector<CoskqResult> results;
+  results.reserve(queries.size());
+  for (const CoskqQuery& q : queries) {
+    results.push_back(solver->Solve(q));
+  }
+  return results;
+}
+
+// Bit-identical on the answer fields (timings naturally differ).
+void ExpectSameAnswers(const std::vector<CoskqResult>& want,
+                       const std::vector<CoskqResult>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].feasible, got[i].feasible) << "query " << i;
+    EXPECT_EQ(want[i].set, got[i].set) << "query " << i;
+    EXPECT_EQ(want[i].cost, got[i].cost) << "query " << i;
+  }
+}
+
+class BatchEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = test::MakeRandomDataset(300, 25, 3.0, 20130622);
+    index_ = std::make_unique<IrTree>(&dataset_);
+    context_ = CoskqContext{&dataset_, index_.get()};
+    Rng rng(7);
+    QueryGenerator gen(&dataset_);
+    for (int i = 0; i < 40; ++i) {
+      queries_.push_back(gen.Generate(3 + i % 4, &rng));
+    }
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<IrTree> index_;
+  CoskqContext context_;
+  std::vector<CoskqQuery> queries_;
+};
+
+TEST_F(BatchEngineTest, UnknownSolverIsACleanError) {
+  BatchOptions options;
+  options.solver_name = "no-such-solver";
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run(queries_);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(outcome.stats.executed, 0u);
+  for (uint8_t e : outcome.executed) {
+    EXPECT_EQ(e, 0);
+  }
+}
+
+// The heart of the suite: for every solver family and every thread count,
+// the batch answers are bit-identical to a sequential loop over one solver.
+TEST_F(BatchEngineTest, ParallelOutputBitIdenticalToSequential) {
+  for (const std::string& solver :
+       {std::string("maxsum-appro"), std::string("dia-appro"),
+        std::string("maxsum-exact"), std::string("dia-exact"),
+        std::string("cao-appro2-maxsum")}) {
+    const std::vector<CoskqResult> want =
+        SolveSequentially(solver, context_, queries_);
+    for (int threads : ThreadCounts()) {
+      BatchOptions options;
+      options.solver_name = solver;
+      options.num_threads = threads;
+      BatchEngine engine(context_, options);
+      const BatchOutcome outcome = engine.Run(queries_);
+      ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+      EXPECT_EQ(outcome.stats.executed, queries_.size());
+      EXPECT_EQ(outcome.stats.cancelled, 0u);
+      SCOPED_TRACE(solver + " @" + std::to_string(threads) + " threads");
+      ExpectSameAnswers(want, outcome.results);
+    }
+  }
+}
+
+TEST_F(BatchEngineTest, ShufflingTheBatchPermutesTheResults) {
+  BatchOptions options;
+  options.solver_name = "maxsum-appro";
+  options.num_threads = 4;
+  BatchEngine engine(context_, options);
+  const BatchOutcome base = engine.Run(queries_);
+  ASSERT_TRUE(base.status.ok());
+
+  std::vector<size_t> perm(queries_.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(99);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.UniformUint64(i)]);
+  }
+  std::vector<CoskqQuery> shuffled;
+  shuffled.reserve(perm.size());
+  for (size_t i : perm) {
+    shuffled.push_back(queries_[i]);
+  }
+  const BatchOutcome got = engine.Run(shuffled);
+  ASSERT_TRUE(got.status.ok());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(got.results[i].feasible, base.results[perm[i]].feasible);
+    EXPECT_EQ(got.results[i].set, base.results[perm[i]].set);
+    EXPECT_EQ(got.results[i].cost, base.results[perm[i]].cost);
+  }
+}
+
+TEST_F(BatchEngineTest, SplittingTheBatchChangesNothing) {
+  BatchOptions options;
+  options.solver_name = "dia-appro";
+  options.num_threads = 3;
+  BatchEngine engine(context_, options);
+  const BatchOutcome whole = engine.Run(queries_);
+  ASSERT_TRUE(whole.status.ok());
+
+  const size_t half = queries_.size() / 2;
+  const std::vector<CoskqQuery> first(queries_.begin(),
+                                      queries_.begin() + half);
+  const std::vector<CoskqQuery> second(queries_.begin() + half,
+                                       queries_.end());
+  const BatchOutcome a = engine.Run(first);
+  const BatchOutcome b = engine.Run(second);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  std::vector<CoskqResult> stitched = a.results;
+  stitched.insert(stitched.end(), b.results.begin(), b.results.end());
+  ExpectSameAnswers(whole.results, stitched);
+}
+
+TEST_F(BatchEngineTest, RepeatedRunsAreDeterministic) {
+  BatchOptions options;
+  options.solver_name = "maxsum-exact";
+  options.num_threads = 8;
+  BatchEngine engine(context_, options);
+  const BatchOutcome a = engine.Run(queries_);
+  const BatchOutcome b = engine.Run(queries_);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  ExpectSameAnswers(a.results, b.results);
+  // Work counters are summed in input order after the join, so they are
+  // exactly reproducible as well.
+  EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+  EXPECT_EQ(a.stats.pairs_examined, b.stats.pairs_examined);
+  EXPECT_EQ(a.stats.sets_evaluated, b.stats.sets_evaluated);
+  EXPECT_EQ(a.stats.infeasible, b.stats.infeasible);
+}
+
+TEST_F(BatchEngineTest, NoDeadlineMeansNoTruncation) {
+  BatchOptions options;
+  options.solver_name = "maxsum-exact";
+  options.num_threads = 4;
+  options.deadline_ms = 0.0;
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run(queries_);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.stats.truncated, 0u);
+  for (const CoskqResult& r : outcome.results) {
+    EXPECT_FALSE(r.stats.truncated);
+  }
+}
+
+// A (near-)zero deadline propagated to a deadline-aware exact solver must
+// still produce feasible answers — the solver returns its incumbent — and
+// the aggregate truncation count must match the per-result flags.
+TEST_F(BatchEngineTest, TinyDeadlineStillYieldsFeasibleIncumbents) {
+  BatchOptions options;
+  options.solver_name = "dia-exact";
+  options.num_threads = 4;
+  options.deadline_ms = 1e-9;
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run(queries_);
+  ASSERT_TRUE(outcome.status.ok());
+  size_t truncated = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    const CoskqResult& r = outcome.results[i];
+    if (r.stats.truncated) {
+      ++truncated;
+    }
+    if (r.feasible) {
+      EXPECT_TRUE(SetCoversKeywords(dataset_, queries_[i].keywords, r.set));
+    }
+  }
+  EXPECT_EQ(outcome.stats.truncated, truncated);
+}
+
+TEST_F(BatchEngineTest, RatioSummaryMatchesManualComputation) {
+  const std::vector<CoskqResult> exact =
+      SolveSequentially("maxsum-exact", context_, queries_);
+  std::vector<double> reference;
+  reference.reserve(exact.size());
+  for (const CoskqResult& r : exact) {
+    reference.push_back(r.cost);
+  }
+  BatchOptions options;
+  options.solver_name = "maxsum-appro";
+  options.num_threads = 4;
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run(queries_, &reference);
+  ASSERT_TRUE(outcome.status.ok());
+
+  RunningStat want;
+  size_t optimal = 0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (!outcome.results[i].feasible || !std::isfinite(reference[i]) ||
+        reference[i] <= 0.0) {
+      continue;
+    }
+    const double ratio = outcome.results[i].cost / reference[i];
+    want.Add(ratio);
+    if (ratio <= 1.0 + 1e-9) {
+      ++optimal;
+    }
+  }
+  EXPECT_EQ(outcome.stats.ratio.count(), want.count());
+  EXPECT_DOUBLE_EQ(outcome.stats.ratio.mean(), want.mean());
+  EXPECT_DOUBLE_EQ(outcome.stats.ratio.max(), want.max());
+  EXPECT_EQ(outcome.stats.optimal_count, optimal);
+  // Every ratio honors the paper's proven bound.
+  EXPECT_LE(outcome.stats.ratio.max(),
+            ApproRatioBound(CostType::kMaxSum) + 1e-9);
+}
+
+TEST_F(BatchEngineTest, CancelOnInfeasibleStopsTheBatch) {
+  // Plant an infeasible query (ghost keyword) in the middle of the batch.
+  Dataset ds = dataset_.Clone();
+  const TermId ghost = ds.mutable_vocabulary().GetOrAdd("ghost-keyword");
+  IrTree tree(&ds);
+  CoskqContext ctx{&ds, &tree};
+  std::vector<CoskqQuery> queries = queries_;
+  const size_t bad = queries.size() / 2;
+  queries[bad].keywords = {ghost};
+
+  BatchOptions options;
+  options.solver_name = "maxsum-appro";
+  options.cancel_on_infeasible = true;
+  options.num_threads = 1;
+  BatchEngine engine(ctx, options);
+  const BatchOutcome outcome = engine.Run(queries);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_NE(outcome.status.message().find(std::to_string(bad)),
+            std::string::npos)
+      << outcome.status.ToString();
+  // Single-threaded, the executed set is exactly the prefix through the
+  // offending query; everything after was cancelled before starting.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(outcome.executed[i], i <= bad ? 1 : 0) << "query " << i;
+  }
+  EXPECT_EQ(outcome.stats.cancelled, queries.size() - bad - 1);
+
+  // Concurrently the exact cut point is scheduling-dependent, but the batch
+  // must still report the error, and every result that did execute must be
+  // identical to its sequential counterpart.
+  options.num_threads = 8;
+  BatchEngine parallel(ctx, options);
+  const BatchOutcome outcome8 = parallel.Run(queries);
+  EXPECT_FALSE(outcome8.status.ok());
+  const std::vector<CoskqResult> sequential =
+      SolveSequentially("maxsum-appro", ctx, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (outcome8.executed[i] == 0) {
+      continue;
+    }
+    EXPECT_EQ(outcome8.results[i].set, sequential[i].set) << "query " << i;
+    EXPECT_EQ(outcome8.results[i].cost, sequential[i].cost) << "query " << i;
+  }
+}
+
+TEST_F(BatchEngineTest, ResolvedThreadsHonorsExplicitCountAndDefault) {
+  BatchOptions options;
+  options.num_threads = 5;
+  EXPECT_EQ(BatchEngine(context_, options).ResolvedThreads(), 5);
+  options.num_threads = 0;
+  EXPECT_GE(BatchEngine(context_, options).ResolvedThreads(), 1);
+}
+
+TEST_F(BatchEngineTest, EmptyBatchIsANoOp) {
+  BatchOptions options;
+  options.solver_name = "maxsum-appro";
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run({});
+  EXPECT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.stats.executed, 0u);
+  EXPECT_TRUE(outcome.results.empty());
+  EXPECT_EQ(outcome.stats.QueriesPerSecond(), 0.0);
+}
+
+}  // namespace
+}  // namespace coskq

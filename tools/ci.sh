@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI matrix for the coskq tree: {Release, ThreadSanitizer, ASan+UBSan} x the
+# fast test tier (`ctest -L fast`). The Release job also runs the slow tier.
+#
+# The TSan job is the enforcement mechanism for the BatchEngine contract
+# that concurrent solves over one immutable CoskqContext are race-free: it
+# re-runs engine_batch_test with COSKQ_TEST_THREADS=8 so every batch
+# assertion doubles as an 8-worker race probe.
+#
+# Usage: tools/ci.sh [job...]
+#   jobs: release tsan asan  (default: all three, in that order)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=("$@")
+if [ ${#JOBS[@]} -eq 0 ]; then
+  JOBS=(release tsan asan)
+fi
+
+NPROC=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+configure_and_build() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$NPROC"
+}
+
+run_fast_tests() {
+  local dir=$1
+  ctest --test-dir "$dir" --output-on-failure -L fast -j "$NPROC"
+}
+
+for job in "${JOBS[@]}"; do
+  case "$job" in
+    release)
+      echo "== CI job: Release, full test suite =="
+      configure_and_build build-ci-release -DCMAKE_BUILD_TYPE=Release \
+          -DCOSKQ_SANITIZE=""
+      ctest --test-dir build-ci-release --output-on-failure -j "$NPROC"
+      ;;
+    tsan)
+      echo "== CI job: ThreadSanitizer, fast tier + 8-thread batch =="
+      configure_and_build build-ci-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCOSKQ_SANITIZE=thread -DCOSKQ_BUILD_BENCHMARKS=OFF \
+          -DCOSKQ_BUILD_EXAMPLES=OFF
+      run_fast_tests build-ci-tsan
+      COSKQ_TEST_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+          ./build-ci-tsan/tests/engine_batch_test
+      ;;
+    asan)
+      echo "== CI job: AddressSanitizer+UBSan, fast tier =="
+      configure_and_build build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DCOSKQ_SANITIZE=address,undefined -DCOSKQ_BUILD_BENCHMARKS=OFF \
+          -DCOSKQ_BUILD_EXAMPLES=OFF
+      run_fast_tests build-ci-asan
+      ;;
+    *)
+      echo "unknown CI job '$job' (expected release, tsan, or asan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "CI matrix complete: ${JOBS[*]}"

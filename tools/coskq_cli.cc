@@ -6,12 +6,18 @@
 //       scale, or a plain object count) in the text format.
 //   query <dataset.txt> <solver> <x> <y> <kw> [kw...]
 //       Loads a dataset, builds the IR-tree, runs one query, prints the set.
+//   batch <dataset.txt> <solver> <queries> <keywords>
+//         [--threads N] [--seed S] [--deadline-ms D]
+//       Generates a random query batch the paper's way and executes it on
+//       the parallel BatchEngine (N worker threads; 0 or omitted = all
+//       hardware threads), printing the aggregate latency/throughput stats.
 //   solvers
 //       Lists the solver registry names.
 //
 // Examples:
 //   coskq_cli generate hotel /tmp/hotel.txt --scale 1
 //   coskq_cli query /tmp/hotel.txt maxsum-exact 0.4 0.6 t1 t5 t9
+//   coskq_cli batch /tmp/hotel.txt maxsum-appro 500 6 --threads 8
 
 #include <cstdio>
 #include <cstring>
@@ -20,7 +26,9 @@
 
 #include "core/solvers.h"
 #include "data/dataset.h"
+#include "data/query_gen.h"
 #include "data/synthetic.h"
+#include "engine/batch_engine.h"
 #include "index/irtree.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -35,6 +43,9 @@ int Usage() {
                "  coskq_cli generate <hotel|gn|web|COUNT> <out.txt> "
                "[--scale S] [--seed N]\n"
                "  coskq_cli query <dataset.txt> <solver> <x> <y> <kw...>\n"
+               "  coskq_cli batch <dataset.txt> <solver> <queries> "
+               "<keywords>\n"
+               "            [--threads N] [--seed S] [--deadline-ms D]\n"
                "  coskq_cli solvers\n");
   return 2;
 }
@@ -142,6 +153,77 @@ int RunQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunBatch(const std::vector<std::string>& args) {
+  if (args.size() < 4) {
+    return Usage();
+  }
+  uint64_t num_queries = 0;
+  uint64_t num_keywords = 0;
+  if (!ParseUint64(args[2], &num_queries) || num_queries == 0 ||
+      !ParseUint64(args[3], &num_keywords) || num_keywords == 0) {
+    return Usage();
+  }
+  uint64_t seed = 1;
+  uint64_t threads = 0;
+  double deadline_ms = 0.0;
+  for (size_t i = 4; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--threads") {
+      if (!ParseUint64(args[i + 1], &threads)) {
+        return Usage();
+      }
+    } else if (args[i] == "--seed") {
+      if (!ParseUint64(args[i + 1], &seed)) {
+        return Usage();
+      }
+    } else if (args[i] == "--deadline-ms") {
+      if (!ParseDouble(args[i + 1], &deadline_ms)) {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).value();
+  WallTimer build_timer;
+  IrTree index(&dataset);
+  CoskqContext context{&dataset, &index};
+  std::printf("loaded %s objects, IR-tree built in %.1f ms\n",
+              FormatWithCommas(dataset.NumObjects()).c_str(),
+              build_timer.ElapsedMillis());
+
+  QueryGenerator gen(&dataset);
+  Rng rng(seed);
+  std::vector<CoskqQuery> queries;
+  queries.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    queries.push_back(gen.Generate(num_keywords, &rng));
+  }
+
+  BatchOptions options;
+  options.solver_name = args[1];
+  options.num_threads = static_cast<int>(threads);
+  options.deadline_ms = deadline_ms;
+  BatchEngine engine(context, options);
+  const BatchOutcome outcome = engine.Run(queries);
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s x %llu queries (|q.psi|=%llu, seed %llu)\n",
+              args[1].c_str(),
+              static_cast<unsigned long long>(num_queries),
+              static_cast<unsigned long long>(num_keywords),
+              static_cast<unsigned long long>(seed));
+  std::printf("%s\n", outcome.stats.ToString().c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -153,6 +235,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "query") {
     return RunQuery(args);
+  }
+  if (command == "batch") {
+    return RunBatch(args);
   }
   if (command == "solvers") {
     for (const std::string& name : AvailableSolverNames()) {
