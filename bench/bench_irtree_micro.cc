@@ -16,6 +16,7 @@
 #include "index/inverted_index.h"
 #include "index/irtree.h"
 #include "index/rtree.h"
+#include "index/search_scratch.h"
 #include "util/random.h"
 
 namespace coskq {
@@ -113,6 +114,45 @@ BENCHMARK(BM_InvertedScanKeywordNn)
     ->Args({10000, 2000})
     ->Args({50000, 2000});
 
+// N(q) retrieval, the per-query op every solver issues first: one KeywordNn
+// per query keyword. Baseline allocates a fresh priority queue per keyword
+// and re-intersects node term summaries at every visit.
+void BM_IrTreeNnSet(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset& ds = SharedDataset(n);
+  const IrTree& tree = SharedIrTree(n);
+  QueryGenerator gen(&ds);
+  Rng rng(11);
+  for (auto _ : state) {
+    const CoskqQuery q = gen.Generate(5, &rng);
+    TermSet missing;
+    benchmark::DoNotOptimize(tree.NnSet(q.location, q.keywords, &missing));
+  }
+}
+BENCHMARK(BM_IrTreeNnSet)->Arg(10000)->Arg(50000);
+
+// Masked/pooled counterpart: one BeginQuery builds the keyword bitmask, the
+// five keyword searches share cached node masks and the pooled heap. Same
+// rng seed as BM_IrTreeNnSet, so the query stream (and answers) match.
+void BM_IrTreeNnSetMasked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset& ds = SharedDataset(n);
+  const IrTree& tree = SharedIrTree(n);
+  QueryGenerator gen(&ds);
+  Rng rng(11);
+  SearchScratch scratch;
+  for (auto _ : state) {
+    const CoskqQuery q = gen.Generate(5, &rng);
+    scratch.BeginQuery(q.location, q.keywords, tree.node_id_limit(),
+                       ds.NumObjects());
+    TermSet missing;
+    benchmark::DoNotOptimize(
+        tree.NnSet(q.location, q.keywords, &missing, &scratch));
+    scratch.FinishQuery();
+  }
+}
+BENCHMARK(BM_IrTreeNnSetMasked)->Arg(10000)->Arg(50000);
+
 void BM_IrTreeRangeRelevant(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const Dataset& ds = SharedDataset(n);
@@ -128,6 +168,29 @@ void BM_IrTreeRangeRelevant(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IrTreeRangeRelevant)->Arg(10000)->Arg(50000);
+
+// Masked counterpart of BM_IrTreeRangeRelevant (same rng seed, same query
+// stream): keyword relevance per node is one cached-mask AND instead of a
+// sorted-set intersection.
+void BM_IrTreeRangeRelevantMasked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset& ds = SharedDataset(n);
+  const IrTree& tree = SharedIrTree(n);
+  QueryGenerator gen(&ds);
+  Rng rng(7);
+  SearchScratch scratch;
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    const CoskqQuery q = gen.Generate(5, &rng);
+    scratch.BeginQuery(q.location, q.keywords, tree.node_id_limit(),
+                       ds.NumObjects());
+    out.clear();
+    tree.RangeRelevant(Circle(q.location, 0.05), q.keywords, &out, &scratch);
+    scratch.FinishQuery();
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_IrTreeRangeRelevantMasked)->Arg(10000)->Arg(50000);
 
 void BM_LinearScanRangeRelevant(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

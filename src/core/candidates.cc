@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "geo/circle.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
+
+namespace {
+
+void SortByDistanceThenId(std::vector<Candidate>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dist_q != b.dist_q) {
+                return a.dist_q < b.dist_q;
+              }
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
 
 std::vector<Candidate> RelevantCandidatesInDisk(const CoskqContext& context,
                                                 const CoskqQuery& query,
@@ -18,14 +33,29 @@ std::vector<Candidate> RelevantCandidatesInDisk(const CoskqContext& context,
     const Point& p = context.dataset->object(id).location;
     candidates.push_back(Candidate{id, p, Distance(query.location, p)});
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.dist_q != b.dist_q) {
-                return a.dist_q < b.dist_q;
-              }
-              return a.id < b.id;
-            });
+  SortByDistanceThenId(&candidates);
   return candidates;
+}
+
+void RelevantCandidatesInDisk(const CoskqContext& context,
+                              const CoskqQuery& query, double radius,
+                              SearchScratch* scratch,
+                              std::vector<Candidate>* out) {
+  out->clear();
+  if (scratch == nullptr) {
+    *out = RelevantCandidatesInDisk(context, query, radius);
+    return;
+  }
+  std::vector<ObjectId>& ids = scratch->id_buffer();
+  ids.clear();
+  context.index->RangeRelevant(Circle(query.location, radius), query.keywords,
+                               &ids, scratch);
+  out->reserve(ids.size());
+  for (ObjectId id : ids) {
+    const Point& p = context.dataset->object(id).location;
+    out->push_back(Candidate{id, p, scratch->QueryDistance(id, p)});
+  }
+  SortByDistanceThenId(out);
 }
 
 }  // namespace coskq

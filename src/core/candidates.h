@@ -27,6 +27,15 @@ std::vector<Candidate> RelevantCandidatesInDisk(const CoskqContext& context,
                                                 const CoskqQuery& query,
                                                 double radius);
 
+/// Masked/cached variant writing into a caller-owned buffer (cleared
+/// first), so a solver can reuse one vector's capacity across a batch. The
+/// range query prunes on the scratch's bitmask and distances go through its
+/// memo; output is bit-identical to the baseline.
+void RelevantCandidatesInDisk(const CoskqContext& context,
+                              const CoskqQuery& query, double radius,
+                              SearchScratch* scratch,
+                              std::vector<Candidate>* out);
+
 }  // namespace coskq
 
 #endif  // COSKQ_CORE_CANDIDATES_H_

@@ -2,9 +2,12 @@
 #define COSKQ_CORE_CAO_APPRO_H_
 
 #include <string>
+#include <vector>
 
+#include "core/candidates.h"
 #include "core/cost.h"
 #include "core/solver.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
 
@@ -14,7 +17,16 @@ namespace coskq {
 /// under their MaxMax cost).
 class CaoAppro1 : public CoskqSolver {
  public:
-  CaoAppro1(const CoskqContext& context, CostType type);
+  struct Options {
+    /// Query-scoped keyword bitmasks + pooled scratch (A/B switch for the
+    /// hot-path benchmark); results are bit-identical either way.
+    bool use_query_masks = true;
+  };
+
+  CaoAppro1(const CoskqContext& context, CostType type,
+            const Options& options);
+  CaoAppro1(const CoskqContext& context, CostType type)
+      : CaoAppro1(context, type, Options()) {}
 
   CoskqResult Solve(const CoskqQuery& query) override;
   std::string name() const override;
@@ -22,6 +34,8 @@ class CaoAppro1 : public CoskqSolver {
 
  private:
   CostType type_;
+  Options options_;
+  SearchScratch scratch_;
 };
 
 /// Baseline approximate algorithm 2 of Cao et al. (SIGMOD 2011): improve
@@ -32,7 +46,16 @@ class CaoAppro1 : public CoskqSolver {
 /// under their MaxMax cost).
 class CaoAppro2 : public CoskqSolver {
  public:
-  CaoAppro2(const CoskqContext& context, CostType type);
+  struct Options {
+    /// Query-scoped keyword bitmasks + pooled scratch (A/B switch for the
+    /// hot-path benchmark); results are bit-identical either way.
+    bool use_query_masks = true;
+  };
+
+  CaoAppro2(const CoskqContext& context, CostType type,
+            const Options& options);
+  CaoAppro2(const CoskqContext& context, CostType type)
+      : CaoAppro2(context, type, Options()) {}
 
   CoskqResult Solve(const CoskqQuery& query) override;
   std::string name() const override;
@@ -40,6 +63,13 @@ class CaoAppro2 : public CoskqSolver {
 
  private:
   CostType type_;
+  Options options_;
+  /// Per-solver scratch and buffers pooled across Solve calls; one solver
+  /// instance serves one thread.
+  SearchScratch scratch_;
+  std::vector<ObjectId> anchor_ids_;
+  std::vector<Candidate> anchors_;
+  std::vector<ObjectId> candidate_set_;
 };
 
 }  // namespace coskq

@@ -1,8 +1,8 @@
 #include "core/cao_exact.h"
 
 #include <algorithm>
+#include <bit>
 
-#include "core/candidates.h"
 #include "core/nn_set.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -15,7 +15,7 @@ namespace {
 class CoverSearch {
  public:
   CoverSearch(const Dataset& dataset, const CoskqQuery& query, CostType type,
-              const std::vector<Candidate>& cands,
+              const std::vector<Candidate>& cands, SearchScratch* scratch,
               std::vector<ObjectId>* cur_set, double* cur_cost,
               SolveStats* stats, const WallTimer* timer, double deadline_ms)
       : dataset_(dataset),
@@ -25,15 +25,34 @@ class CoverSearch {
         stats_(stats),
         timer_(timer),
         deadline_ms_(deadline_ms),
-        tracker_(&dataset, query.location, type) {
+        tracker_(&dataset, query.location, type, scratch) {
+    // Per-keyword candidate lists. In masked mode the membership tests
+    // collapse to bit probes of the cached per-candidate masks; bit k of a
+    // mask is the k-th query keyword in sorted order, which is exactly the
+    // iteration order of query.keywords, so both paths build identical
+    // lists (and the branch choice below, keyed on list sizes with first
+    // minimum winning, is identical too).
+    lists_.reserve(query.keywords.size());
     for (TermId t : query.keywords) {
-      KeywordList list{t, {}};
+      lists_.push_back(KeywordList{t, {}});
+    }
+    if (scratch != nullptr && scratch->mask_active()) {
       for (uint32_t i = 0; i < cands.size(); ++i) {
-        if (dataset.object(cands[i].id).ContainsTerm(t)) {
-          list.indices.push_back(i);  // cands_ is distance-sorted already.
+        const uint64_t mask = scratch->ObjectMask(
+            cands[i].id, dataset.object(cands[i].id).keywords);
+        for (uint64_t m = mask; m != 0; m &= m - 1) {
+          lists_[static_cast<size_t>(std::countr_zero(m))].indices.push_back(
+              i);
         }
       }
-      lists_.push_back(std::move(list));
+    } else {
+      for (size_t k = 0; k < lists_.size(); ++k) {
+        for (uint32_t i = 0; i < cands.size(); ++i) {
+          if (dataset.object(cands[i].id).ContainsTerm(lists_[k].term)) {
+            lists_[k].indices.push_back(i);  // cands_ is distance-sorted.
+          }
+        }
+      }
     }
   }
 
@@ -104,7 +123,9 @@ class CoverSearch {
 
 CaoExact::CaoExact(const CoskqContext& context, CostType type,
                    const Options& options)
-    : CoskqSolver(context), type_(type), options_(options) {}
+    : CoskqSolver(context), type_(type), options_(options) {
+  scratch_.set_enabled(options_.use_query_masks);
+}
 
 std::string CaoExact::name() const {
   std::string result = "Cao-Exact-";
@@ -115,31 +136,36 @@ std::string CaoExact::name() const {
 CoskqResult CaoExact::Solve(const CoskqQuery& query) {
   WallTimer timer;
   SolveStats stats;
+  scratch_.BeginQuery(query.location, query.keywords, index().node_id_limit(),
+                      dataset().NumObjects());
+  const auto finalize = [&](CoskqResult result) {
+    scratch_.FinishQuery();
+    result.stats.dist_cache_hits = scratch_.dist_cache_hits();
+    result.stats.dist_cache_misses = scratch_.dist_cache_misses();
+    result.stats.scratch_reallocs = scratch_.realloc_events();
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  };
   if (query.keywords.empty()) {
-    CoskqResult result = MakeResult(query, {}, stats);
-    result.stats.elapsed_ms = timer.ElapsedMillis();
-    return result;
+    return finalize(MakeResult(query, {}, stats));
   }
-  const NnSetInfo nn = ComputeNnSet(context_, query);
+  const NnSetInfo nn = ComputeNnSet(context_, query, &scratch_);
   if (!nn.feasible) {
-    CoskqResult result = Infeasible(stats);
-    result.stats.elapsed_ms = timer.ElapsedMillis();
-    return result;
+    return finalize(Infeasible(stats));
   }
   std::vector<ObjectId> cur_set = nn.set;
-  double cur_cost = EvaluateCost(type_, dataset(), query.location, cur_set);
+  double cur_cost =
+      EvaluateCost(type_, dataset(), query.location, cur_set, &scratch_);
 
-  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
-      context_, query, cur_cost * (1.0 + 1e-12));
-  stats.candidates = cands.size();
+  RelevantCandidatesInDisk(context_, query, cur_cost * (1.0 + 1e-12),
+                           &scratch_, &cands_);
+  stats.candidates = cands_.size();
 
-  CoverSearch search(dataset(), query, type_, cands, &cur_set, &cur_cost,
-                     &stats, &timer, options_.deadline_ms);
+  CoverSearch search(dataset(), query, type_, cands_, &scratch_, &cur_set,
+                     &cur_cost, &stats, &timer, options_.deadline_ms);
   search.Run(query.keywords);
 
-  CoskqResult result = MakeResult(query, std::move(cur_set), stats);
-  result.stats.elapsed_ms = timer.ElapsedMillis();
-  return result;
+  return finalize(MakeResult(query, std::move(cur_set), stats));
 }
 
 }  // namespace coskq

@@ -2,9 +2,12 @@
 #define COSKQ_CORE_CAO_EXACT_H_
 
 #include <string>
+#include <vector>
 
+#include "core/candidates.h"
 #include "core/cost.h"
 #include "core/solver.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
 
@@ -25,6 +28,9 @@ class CaoExact : public CoskqSolver {
     /// the search stops and the incumbent is returned with stats.truncated
     /// set. Benchmark use only.
     double deadline_ms = 0.0;
+    /// Query-scoped keyword bitmasks + pooled scratch + distance memo (A/B
+    /// switch for the hot-path benchmark); results are bit-identical.
+    bool use_query_masks = true;
   };
 
   CaoExact(const CoskqContext& context, CostType type, const Options& options);
@@ -38,6 +44,10 @@ class CaoExact : public CoskqSolver {
  private:
   CostType type_;
   Options options_;
+  /// Per-solver scratch and candidate buffer pooled across Solve calls; one
+  /// solver instance serves one thread.
+  SearchScratch scratch_;
+  std::vector<Candidate> cands_;
 };
 
 }  // namespace coskq

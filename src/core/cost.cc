@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/search_scratch.h"
 #include "util/logging.h"
 
 namespace coskq {
@@ -54,9 +55,34 @@ CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
   return components;
 }
 
+CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
+                                 const std::vector<ObjectId>& set,
+                                 SearchScratch* cache) {
+  if (cache == nullptr || !cache->enabled()) {
+    return ComputeComponents(dataset, q, set);
+  }
+  CostComponents components;
+  for (size_t i = 0; i < set.size(); ++i) {
+    const Point& pi = dataset.object(set[i]).location;
+    components.max_query_dist =
+        std::max(components.max_query_dist, cache->QueryDistance(set[i], pi));
+    for (size_t j = i + 1; j < set.size(); ++j) {
+      const Point& pj = dataset.object(set[j]).location;
+      components.max_pairwise_dist =
+          std::max(components.max_pairwise_dist, Distance(pi, pj));
+    }
+  }
+  return components;
+}
+
 double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
                     const std::vector<ObjectId>& set) {
   return CombineCost(type, ComputeComponents(dataset, q, set));
+}
+
+double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
+                    const std::vector<ObjectId>& set, SearchScratch* cache) {
+  return CombineCost(type, ComputeComponents(dataset, q, set, cache));
 }
 
 bool SetCoversKeywords(const Dataset& dataset, const TermSet& keywords,
@@ -100,18 +126,41 @@ DistanceOwners FindDistanceOwners(const Dataset& dataset, const Point& q,
 
 SetCostTracker::SetCostTracker(const Dataset* dataset, const Point& q,
                                CostType type)
-    : dataset_(dataset), query_(q), type_(type) {
+    : SetCostTracker(dataset, q, type, nullptr) {}
+
+SetCostTracker::SetCostTracker(const Dataset* dataset, const Point& q,
+                               CostType type, SearchScratch* cache)
+    : dataset_(dataset), query_(q), type_(type), cache_(cache) {
   COSKQ_CHECK(dataset != nullptr);
+  stack_.push_back(CostComponents{});
+}
+
+void SetCostTracker::Reset(const Point& q, SearchScratch* cache) {
+  COSKQ_DCHECK(ids_.empty());
+  query_ = q;
+  cache_ = cache;
+  ids_.clear();
+  points_.clear();
+  stack_.clear();
   stack_.push_back(CostComponents{});
 }
 
 void SetCostTracker::Push(ObjectId id) {
   const Point& p = dataset_->object(id).location;
   CostComponents next = stack_.back();
-  next.max_query_dist = std::max(next.max_query_dist, Distance(query_, p));
-  for (const Point& existing : points_) {
-    next.max_pairwise_dist =
-        std::max(next.max_pairwise_dist, Distance(existing, p));
+  if (cache_ != nullptr && cache_->enabled()) {
+    next.max_query_dist =
+        std::max(next.max_query_dist, cache_->QueryDistance(id, p));
+    for (const Point& existing : points_) {
+      next.max_pairwise_dist =
+          std::max(next.max_pairwise_dist, Distance(existing, p));
+    }
+  } else {
+    next.max_query_dist = std::max(next.max_query_dist, Distance(query_, p));
+    for (const Point& existing : points_) {
+      next.max_pairwise_dist =
+          std::max(next.max_pairwise_dist, Distance(existing, p));
+    }
   }
   ids_.push_back(id);
   points_.push_back(p);

@@ -11,6 +11,8 @@
 
 namespace coskq {
 
+class SearchScratch;
+
 /// The two cost functions of the paper.
 ///
 ///  * kMaxSum: cost(S) = max_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2)
@@ -45,10 +47,22 @@ double CombineCost(CostType type, const CostComponents& components);
 CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
                                  const std::vector<ObjectId>& set);
 
+/// As above, memoizing every distance through `cache` (which must have been
+/// bound to `q` by BeginQuery). Falls back to the plain path when `cache`
+/// is null or disabled; results are bit-identical either way because the
+/// memo stores the output of the same Distance() calls.
+CostComponents ComputeComponents(const Dataset& dataset, const Point& q,
+                                 const std::vector<ObjectId>& set,
+                                 SearchScratch* cache);
+
 /// Full cost of `set` under `type`. Empty sets cost 0; callers guard
 /// feasibility separately.
 double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
                     const std::vector<ObjectId>& set);
+
+/// Distance-memoized variant; same fallback contract as ComputeComponents.
+double EvaluateCost(CostType type, const Dataset& dataset, const Point& q,
+                    const std::vector<ObjectId>& set, SearchScratch* cache);
 
 /// True iff the keyword sets of `set` jointly cover `keywords`.
 bool SetCoversKeywords(const Dataset& dataset, const TermSet& keywords,
@@ -78,6 +92,16 @@ class SetCostTracker {
  public:
   SetCostTracker(const Dataset* dataset, const Point& q, CostType type);
 
+  /// As above with a per-query distance memo; every distance still comes
+  /// from the same Distance() computation, so costs are bit-identical.
+  SetCostTracker(const Dataset* dataset, const Point& q, CostType type,
+                 SearchScratch* cache);
+
+  /// Rebinds the tracker to a new query, keeping the capacity of its
+  /// internal buffers (zero steady-state allocation across a batch). The
+  /// tracker must be empty (fully popped) when Reset is called.
+  void Reset(const Point& q, SearchScratch* cache);
+
   /// Adds `id` to the set. Duplicate pushes are allowed and harmless for
   /// cost purposes (distance 0 to the twin).
   void Push(ObjectId id);
@@ -95,6 +119,7 @@ class SetCostTracker {
   const Dataset* dataset_;
   Point query_;
   CostType type_;
+  SearchScratch* cache_ = nullptr;  // Not owned; may be null.
   std::vector<ObjectId> ids_;
   std::vector<Point> points_;
   std::vector<CostComponents> stack_;  // stack_[k] = components of first k.

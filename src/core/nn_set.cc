@@ -3,13 +3,20 @@
 #include <algorithm>
 
 #include "geo/point.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
 
 NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query) {
+  return ComputeNnSet(context, query, nullptr);
+}
+
+NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query,
+                       SearchScratch* scratch) {
   NnSetInfo info;
   TermSet missing;
-  info.set = context.index->NnSet(query.location, query.keywords, &missing);
+  info.set =
+      context.index->NnSet(query.location, query.keywords, &missing, scratch);
   if (!missing.empty() || query.keywords.empty()) {
     info.feasible = query.keywords.empty();
     info.set.clear();
@@ -17,10 +24,11 @@ NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query) {
   }
   info.feasible = true;
   for (ObjectId id : info.set) {
-    info.max_dist =
-        std::max(info.max_dist,
-                 Distance(query.location,
-                          context.dataset->object(id).location));
+    const Point& location = context.dataset->object(id).location;
+    const double d = scratch != nullptr
+                         ? scratch->QueryDistance(id, location)
+                         : Distance(query.location, location);
+    info.max_dist = std::max(info.max_dist, d);
   }
   return info;
 }

@@ -25,6 +25,13 @@ struct NnSetInfo {
 /// Computes N(q) with one keyword-NN query per query keyword on the IR-tree.
 NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query);
 
+/// Masked/cached variant: keyword-NN traversals prune on the scratch's
+/// query bitmask and d_f is computed through its distance memo. `scratch`
+/// must be bound to `query` via BeginQuery; bit-identical to the baseline
+/// (and equal to it when the scratch is disabled).
+NnSetInfo ComputeNnSet(const CoskqContext& context, const CoskqQuery& query,
+                       SearchScratch* scratch);
+
 }  // namespace coskq
 
 #endif  // COSKQ_CORE_NN_SET_H_

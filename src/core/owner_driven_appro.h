@@ -1,10 +1,15 @@
 #ifndef COSKQ_CORE_OWNER_DRIVEN_APPRO_H_
 #define COSKQ_CORE_OWNER_DRIVEN_APPRO_H_
 
-#include <string>
+#include <stdint.h>
 
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
 #include "core/cost.h"
 #include "core/solver.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
 
@@ -25,9 +30,22 @@ namespace coskq {
 /// Guarantees: cost(answer) <= 1.375 · OPT for MaxSum and <= sqrt(3) · OPT
 /// for Dia (the geometry of the owner disk ∩ query disk bounds the spread of
 /// the greedy set relative to any optimal set sharing the same owner).
+///
+/// With `use_query_masks` (default) traversals, coverage tests, and cost
+/// evaluations run through the solver's private SearchScratch (bitmasks +
+/// distance memo + pooled buffers); results are bit-identical either way.
 class OwnerDrivenAppro : public CoskqSolver {
  public:
-  OwnerDrivenAppro(const CoskqContext& context, CostType type);
+  struct Options {
+    /// Query-scoped keyword bitmasks + scratch-pooled buffers + distance
+    /// memo; identical results, A/B switch for the hot-path benchmark.
+    bool use_query_masks = true;
+  };
+
+  OwnerDrivenAppro(const CoskqContext& context, CostType type,
+                   const Options& options);
+  OwnerDrivenAppro(const CoskqContext& context, CostType type)
+      : OwnerDrivenAppro(context, type, Options()) {}
 
   CoskqResult Solve(const CoskqQuery& query) override;
   std::string name() const override;
@@ -35,6 +53,16 @@ class OwnerDrivenAppro : public CoskqSolver {
 
  private:
   CostType type_;
+  Options options_;
+  /// Per-solver scratch and enumeration buffers pooled across Solve calls;
+  /// one solver instance serves one thread.
+  SearchScratch scratch_;
+  std::vector<Candidate> cands_;
+  std::vector<std::vector<uint32_t>> lists_;
+  std::vector<double> nn_dist_;
+  std::vector<uint32_t> nn_index_;
+  std::vector<ObjectId> greedy_set_;
+  std::vector<uint8_t> covered_;
 };
 
 }  // namespace coskq

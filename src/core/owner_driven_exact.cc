@@ -1,6 +1,7 @@
 #include "core/owner_driven_exact.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -20,32 +21,74 @@ namespace {
 // other bounds compare identically computed quantities and need no slack.
 double TriangleSlack(double scale) { return 1e-9 * (scale + 1.0); }
 
+// A candidate pairwise-owner pair (indices into the candidate array).
+struct PairCand {
+  uint32_t i;
+  uint32_t j;
+  double d_ij;
+  double cost_lb;
+};
+
 // findBestFeasibleSet (the per-owner-triplet subroutine): the best feasible
 // set containing the owner triplet plus extras drawn from a prefix of the
-// pair's lens members, beating *cur_cost. The per-keyword candidate lists
-// over the lens are built once per pair by the caller; each invocation
-// restricts them to lens positions < prefix_end (the query-owner disk).
+// pair's lens members, beating *cur_cost. One finder lives per solver and
+// is rebound per query (BeginQuery) and per pair (BeginPair), so its
+// per-keyword lists and cost tracker keep their capacity across the batch.
+//
+// Two interchangeable search modes: the baseline walks sorted TermSets; the
+// masked mode (active query bitmask covering all keywords) tracks uncovered
+// keywords as a uint64. Bit k of every mask is the k-th query keyword in
+// sorted order and set bits are consumed in ascending order, so branch
+// selection — "uncovered keyword with the fewest in-prefix candidates",
+// first minimum winning — is identical in both modes.
 class BestSetFinder {
  public:
-  BestSetFinder(const Dataset& dataset, const CoskqQuery& query,
-                CostType type, const std::vector<Candidate>& lens,
-                std::vector<ObjectId>* cur_set, double* cur_cost,
-                SolveStats* stats)
-      : dataset_(dataset),
-        query_(query),
-        lens_(lens),
-        cur_set_(cur_set),
-        cur_cost_(cur_cost),
-        stats_(stats),
-        tracker_(&dataset, query.location, type) {
-    // Per-query-keyword candidate lists over the lens, in lens (distance
-    // from q) order.
-    lists_.resize(query.keywords.size());
-    for (uint32_t i = 0; i < lens.size(); ++i) {
-      const TermSet& kw = dataset.object(lens[i].id).keywords;
-      for (size_t k = 0; k < query.keywords.size(); ++k) {
-        if (TermSetContains(kw, query.keywords[k])) {
-          lists_[k].push_back(i);
+  BestSetFinder(const Dataset& dataset, CostType type)
+      : dataset_(dataset), tracker_(&dataset, Point{}, type) {}
+
+  void BeginQuery(const CoskqQuery& query, SearchScratch* scratch,
+                  std::vector<ObjectId>* cur_set, double* cur_cost,
+                  SolveStats* stats) {
+    query_ = &query;
+    scratch_ = scratch;
+    masked_ = scratch != nullptr && scratch->mask_active() &&
+              scratch->mask().num_keywords() == query.keywords.size();
+    cur_set_ = cur_set;
+    cur_cost_ = cur_cost;
+    stats_ = stats;
+    tracker_.Reset(query.location, scratch);
+    if (lists_.size() < query.keywords.size()) {
+      lists_.resize(query.keywords.size());
+    }
+  }
+
+  // Per-query-keyword candidate lists over the lens, in lens (distance
+  // from q) order. `lens_mask` parallels `lens` in masked mode (unused
+  // otherwise).
+  void BeginPair(const std::vector<Candidate>& lens,
+                 const std::vector<uint64_t>& lens_mask) {
+    lens_ = &lens;
+    lens_mask_ = &lens_mask;
+    const size_t num_kw = query_->keywords.size();
+    for (size_t k = 0; k < num_kw; ++k) {
+      lists_[k].clear();
+    }
+    if (masked_) {
+      for (uint32_t i = 0; i < lens.size(); ++i) {
+        uint64_t m = lens_mask[i];
+        while (m != 0) {
+          const int k = std::countr_zero(m);
+          m &= m - 1;
+          lists_[static_cast<size_t>(k)].push_back(i);
+        }
+      }
+    } else {
+      for (uint32_t i = 0; i < lens.size(); ++i) {
+        const TermSet& kw = dataset_.object(lens[i].id).keywords;
+        for (size_t k = 0; k < num_kw; ++k) {
+          if (TermSetContains(kw, query_->keywords[k])) {
+            lists_[k].push_back(i);
+          }
         }
       }
     }
@@ -55,12 +98,21 @@ class BestSetFinder {
   // lens[0, prefix_end).
   void Run(const std::vector<ObjectId>& base, uint32_t prefix_end) {
     prefix_end_ = prefix_end;
-    TermSet covered;
-    for (ObjectId id : base) {
-      tracker_.Push(id);
-      TermSetMergeInto(&covered, dataset_.object(id).keywords);
+    if (masked_) {
+      uint64_t covered = 0;
+      for (ObjectId id : base) {
+        tracker_.Push(id);
+        covered |= scratch_->ObjectMask(id, dataset_.object(id).keywords);
+      }
+      DfsMask(scratch_->mask().full_mask() & ~covered);
+    } else {
+      TermSet covered;
+      for (ObjectId id : base) {
+        tracker_.Push(id);
+        TermSetMergeInto(&covered, dataset_.object(id).keywords);
+      }
+      Dfs(TermSetDifference(query_->keywords, covered));
     }
-    Dfs(TermSetDifference(query_.keywords, covered));
     for (size_t i = 0; i < base.size(); ++i) {
       tracker_.Pop();
     }
@@ -69,10 +121,16 @@ class BestSetFinder {
  private:
   // Index into lists_ for a (query) keyword.
   size_t KeywordSlot(TermId t) const {
-    const auto it = std::lower_bound(query_.keywords.begin(),
-                                     query_.keywords.end(), t);
-    COSKQ_DCHECK(it != query_.keywords.end() && *it == t);
-    return static_cast<size_t>(it - query_.keywords.begin());
+    const auto it = std::lower_bound(query_->keywords.begin(),
+                                     query_->keywords.end(), t);
+    COSKQ_DCHECK(it != query_->keywords.end() && *it == t);
+    return static_cast<size_t>(it - query_->keywords.begin());
+  }
+
+  size_t PrefixCount(const std::vector<uint32_t>& list) const {
+    return static_cast<size_t>(
+        std::lower_bound(list.begin(), list.end(), prefix_end_) -
+        list.begin());
   }
 
   void Dfs(const TermSet& uncovered) {
@@ -87,18 +145,15 @@ class BestSetFinder {
     }
     // Branch on the uncovered keyword with the fewest candidates (counted
     // within the active prefix).
-    size_t best_slot = query_.keywords.size();
+    size_t best_slot = query_->keywords.size();
     size_t best_count = 0;
     for (TermId t : uncovered) {
       const size_t slot = KeywordSlot(t);
-      const auto& list = lists_[slot];
-      const size_t count = static_cast<size_t>(
-          std::lower_bound(list.begin(), list.end(), prefix_end_) -
-          list.begin());
+      const size_t count = PrefixCount(lists_[slot]);
       if (count == 0) {
         return;  // Uncoverable within the region.
       }
-      if (best_slot == query_.keywords.size() || count < best_count) {
+      if (best_slot == query_->keywords.size() || count < best_count) {
         best_slot = slot;
         best_count = count;
       }
@@ -107,7 +162,7 @@ class BestSetFinder {
       if (index >= prefix_end_) {
         break;  // Lists ascend in lens position.
       }
-      const ObjectId id = lens_[index].id;
+      const ObjectId id = (*lens_)[index].id;
       if (tracker_.Contains(id)) {
         continue;  // Already chosen (would not cover the branch keyword).
       }
@@ -117,12 +172,53 @@ class BestSetFinder {
     }
   }
 
+  void DfsMask(uint64_t uncovered) {
+    if (tracker_.cost() >= *cur_cost_) {
+      return;
+    }
+    if (uncovered == 0) {
+      ++stats_->sets_evaluated;
+      *cur_cost_ = tracker_.cost();
+      *cur_set_ = tracker_.ids();
+      return;
+    }
+    const size_t num_kw = query_->keywords.size();
+    size_t best_slot = num_kw;
+    size_t best_count = 0;
+    for (uint64_t m = uncovered; m != 0; m &= m - 1) {
+      const size_t slot = static_cast<size_t>(std::countr_zero(m));
+      const size_t count = PrefixCount(lists_[slot]);
+      if (count == 0) {
+        return;
+      }
+      if (best_slot == num_kw || count < best_count) {
+        best_slot = slot;
+        best_count = count;
+      }
+    }
+    for (uint32_t index : lists_[best_slot]) {
+      if (index >= prefix_end_) {
+        break;
+      }
+      const ObjectId id = (*lens_)[index].id;
+      if (tracker_.Contains(id)) {
+        continue;
+      }
+      tracker_.Push(id);
+      DfsMask(uncovered & ~(*lens_mask_)[index]);
+      tracker_.Pop();
+    }
+  }
+
   const Dataset& dataset_;
-  const CoskqQuery& query_;
-  const std::vector<Candidate>& lens_;
-  std::vector<ObjectId>* cur_set_;
-  double* cur_cost_;
-  SolveStats* stats_;
+  const CoskqQuery* query_ = nullptr;
+  SearchScratch* scratch_ = nullptr;
+  bool masked_ = false;
+  const std::vector<Candidate>* lens_ = nullptr;
+  const std::vector<uint64_t>* lens_mask_ = nullptr;
+  std::vector<ObjectId>* cur_set_ = nullptr;
+  double* cur_cost_ = nullptr;
+  SolveStats* stats_ = nullptr;
   uint32_t prefix_end_ = 0;
   SetCostTracker tracker_;
   std::vector<std::vector<uint32_t>> lists_;  // Per query keyword.
@@ -130,9 +226,40 @@ class BestSetFinder {
 
 }  // namespace
 
+// Enumeration buffers pooled across Solve calls (zero steady-state
+// allocations once every buffer has reached its high-water capacity).
+struct OwnerDrivenExact::Workspace {
+  Workspace(const Dataset& dataset, CostType type) : finder(dataset, type) {}
+
+  std::vector<Candidate> cands;
+  std::vector<uint64_t> kw_mask;
+  std::vector<std::vector<uint32_t>> kw_lists;
+  std::vector<size_t> rare_slots;
+  std::vector<PairCand> pairs;
+  std::vector<ObjectId> hits;
+  std::vector<ObjectId> lens_ids;
+  std::vector<Candidate> lens;
+  std::vector<uint64_t> lens_mask;
+  std::vector<ObjectId> base;
+  BestSetFinder finder;
+};
+
 OwnerDrivenExact::OwnerDrivenExact(const CoskqContext& context, CostType type,
                                    const Options& options)
-    : CoskqSolver(context), type_(type), options_(options) {}
+    : CoskqSolver(context),
+      type_(type),
+      options_(options),
+      ws_(std::make_unique<Workspace>(*context.dataset, type)) {
+  scratch_.set_enabled(options_.use_query_masks);
+  if (options_.seed_with_appro) {
+    OwnerDrivenAppro::Options appro_options;
+    appro_options.use_query_masks = options_.use_query_masks;
+    seeder_ =
+        std::make_unique<OwnerDrivenAppro>(context, type, appro_options);
+  }
+}
+
+OwnerDrivenExact::~OwnerDrivenExact() = default;
 
 std::string OwnerDrivenExact::name() const {
   std::string result(CostTypeName(type_));
@@ -151,28 +278,34 @@ std::string OwnerDrivenExact::name() const {
 CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
   WallTimer timer;
   SolveStats stats;
-  if (query.keywords.empty()) {
-    CoskqResult result = MakeResult(query, {}, stats);
+  scratch_.BeginQuery(query.location, query.keywords, index().node_id_limit(),
+                      dataset().NumObjects());
+  const auto finalize = [&](CoskqResult result) {
+    scratch_.FinishQuery();
+    result.stats.dist_cache_hits = scratch_.dist_cache_hits();
+    result.stats.dist_cache_misses = scratch_.dist_cache_misses();
+    result.stats.scratch_reallocs = scratch_.realloc_events();
     result.stats.elapsed_ms = timer.ElapsedMillis();
     return result;
+  };
+  if (query.keywords.empty()) {
+    return finalize(MakeResult(query, {}, stats));
   }
 
-  const NnSetInfo nn = ComputeNnSet(context_, query);
+  const NnSetInfo nn = ComputeNnSet(context_, query, &scratch_);
   if (!nn.feasible) {
-    CoskqResult result = Infeasible(stats);
-    result.stats.elapsed_ms = timer.ElapsedMillis();
-    return result;
+    return finalize(Infeasible(stats));
   }
   std::vector<ObjectId> cur_set = nn.set;
-  double cur_cost = EvaluateCost(type_, dataset(), query.location, cur_set);
+  double cur_cost =
+      EvaluateCost(type_, dataset(), query.location, cur_set, &scratch_);
   const double d_f = nn.max_dist;
 
   // Optional incumbent seeding: the approximate answer is feasible and
   // usually near-optimal, which tightens every bound below before the
   // expensive enumeration starts (exactness is unaffected).
-  if (options_.seed_with_appro) {
-    OwnerDrivenAppro appro(context_, type_);
-    CoskqResult seeded = appro.Solve(query);
+  if (seeder_ != nullptr) {
+    CoskqResult seeded = seeder_->Solve(query);
     if (seeded.feasible && seeded.cost < cur_cost) {
       cur_cost = seeded.cost;
       cur_set = std::move(seeded.set);
@@ -183,8 +316,9 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
   // C(q, curCost); fetch those relevant objects once (tiny relative slack
   // guards the squared-distance boundary test) and spatially index them for
   // the radius-bounded pair and lens retrievals below.
-  const std::vector<Candidate> cands = RelevantCandidatesInDisk(
-      context_, query, cur_cost * (1.0 + 1e-12));
+  RelevantCandidatesInDisk(context_, query, cur_cost * (1.0 + 1e-12),
+                           &scratch_, &ws_->cands);
+  const std::vector<Candidate>& cands = ws_->cands;
   stats.candidates = cands.size();
 
   RTree cand_tree;
@@ -203,27 +337,48 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
   // their lens, so a pair whose lens does not cover the query keywords can
   // be skipped before any per-pair work. With more than 64 query keywords
   // the check degrades to a (still valid) necessary condition on the first
-  // 64.
-  const size_t mask_bits = std::min<size_t>(64, query.keywords.size());
+  // 64. In masked mode the per-object masks come from the scratch cache.
+  const size_t num_kw = query.keywords.size();
+  const bool masked = scratch_.mask_active();
+  const size_t mask_bits = std::min<size_t>(64, num_kw);
   const uint64_t full_mask =
       mask_bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << mask_bits) - 1);
-  std::vector<uint64_t> kw_mask(cands.size(), 0);
-  std::vector<std::vector<uint32_t>> kw_lists(query.keywords.size());
-  for (uint32_t i = 0; i < cands.size(); ++i) {
-    const TermSet& kw = dataset().object(cands[i].id).keywords;
-    for (size_t k = 0; k < query.keywords.size(); ++k) {
-      if (TermSetContains(kw, query.keywords[k])) {
-        if (k < mask_bits) {
-          kw_mask[i] |= uint64_t{1} << k;
+  std::vector<uint64_t>& kw_mask = ws_->kw_mask;
+  kw_mask.assign(cands.size(), 0);
+  std::vector<std::vector<uint32_t>>& kw_lists = ws_->kw_lists;
+  if (kw_lists.size() < num_kw) {
+    kw_lists.resize(num_kw);
+  }
+  for (size_t k = 0; k < num_kw; ++k) {
+    kw_lists[k].clear();
+  }
+  if (masked) {
+    for (uint32_t i = 0; i < cands.size(); ++i) {
+      const uint64_t mask = scratch_.ObjectMask(
+          cands[i].id, dataset().object(cands[i].id).keywords);
+      kw_mask[i] = mask;
+      for (uint64_t m = mask; m != 0; m &= m - 1) {
+        kw_lists[static_cast<size_t>(std::countr_zero(m))].push_back(i);
+      }
+    }
+  } else {
+    for (uint32_t i = 0; i < cands.size(); ++i) {
+      const TermSet& kw = dataset().object(cands[i].id).keywords;
+      for (size_t k = 0; k < num_kw; ++k) {
+        if (TermSetContains(kw, query.keywords[k])) {
+          if (k < mask_bits) {
+            kw_mask[i] |= uint64_t{1} << k;
+          }
+          kw_lists[k].push_back(i);
         }
-        kw_lists[k].push_back(i);
       }
     }
   }
   // The rarest query keywords' candidate lists, for the cheap per-pair
   // viability check below (any feasible set with pairwise owners (o_i, o_j)
   // must cover each keyword from inside the lens C(o_i,d_ij) ∩ C(o_j,d_ij)).
-  std::vector<size_t> rare_slots(query.keywords.size());
+  std::vector<size_t>& rare_slots = ws_->rare_slots;
+  rare_slots.resize(num_kw);
   for (size_t k = 0; k < rare_slots.size(); ++k) {
     rare_slots[k] = k;
   }
@@ -232,19 +387,18 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
   });
   rare_slots.resize(std::min<size_t>(3, rare_slots.size()));
 
+  const auto pair_dist = [&](uint32_t i, uint32_t j) {
+    return Distance(cands[i].location, cands[j].location);
+  };
+
   // Step 1: generate candidate pairwise-owner pairs. Pairs (i, i) cover the
   // singleton / duplicate-location cases; distinct pairs are retrieved per
   // left endpoint i through a radius-bounded circle query (the incumbent
   // caps the pairwise owner distance at curCost - max(d_i, d_f) for MaxSum
   // and curCost for Dia), so the quadratic scan disappears whenever the
   // incumbent is tight.
-  struct PairCand {
-    uint32_t i;
-    uint32_t j;
-    double d_ij;
-    double cost_lb;
-  };
-  std::vector<PairCand> pairs;
+  std::vector<PairCand>& pairs = ws_->pairs;
+  pairs.clear();
   const double slack = TriangleSlack(d_f);
   const auto consider_pair = [&](uint32_t i, uint32_t j, double d_ij) {
     if (options_.use_pair_distance_bounds) {
@@ -276,7 +430,7 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
     consider_pair(i, i, 0.0);
   }
   if (options_.use_pair_distance_bounds) {
-    std::vector<ObjectId> hits;
+    std::vector<ObjectId>& hits = ws_->hits;
     for (uint32_t i = 0; i < cands.size(); ++i) {
       // Any pair kept by consider_pair satisfies
       // d_ij < curCost - max(d_i, d_f) (MaxSum) resp. d_ij < curCost (Dia).
@@ -290,15 +444,14 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
       cand_tree.Search(Circle(cands[i].location, cap + radius_slack), &hits);
       for (ObjectId j : hits) {
         if (j > i) {
-          consider_pair(i, j,
-                        Distance(cands[i].location, cands[j].location));
+          consider_pair(i, j, pair_dist(i, j));
         }
       }
     }
   } else {
     for (uint32_t i = 0; i < cands.size(); ++i) {
       for (uint32_t j = i + 1; j < cands.size(); ++j) {
-        consider_pair(i, j, Distance(cands[i].location, cands[j].location));
+        consider_pair(i, j, pair_dist(i, j));
       }
     }
   }
@@ -313,8 +466,11 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
   // Step 2: per pair, retrieve the lens members, enumerate query-owner
   // candidates in ascending distance from q, and run findBestFeasibleSet
   // over the corresponding lens prefix.
-  std::vector<ObjectId> lens_ids;
-  std::vector<Candidate> lens;
+  BestSetFinder& finder = ws_->finder;
+  finder.BeginQuery(query, &scratch_, &cur_set, &cur_cost, &stats);
+  std::vector<ObjectId>& lens_ids = ws_->lens_ids;
+  std::vector<Candidate>& lens = ws_->lens;
+  std::vector<uint64_t>& lens_mask = ws_->lens_mask;
   for (const PairCand& pair : pairs) {
     if (options_.deadline_ms > 0.0 &&
         timer.ElapsedMillis() > options_.deadline_ms) {
@@ -346,8 +502,8 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
         if (cand.dist_q >= nearest) {
           continue;  // kw_lists ascend in dist_q; no improvement possible.
         }
-        if (Distance(cand.location, oi.location) <= pair.d_ij &&
-            Distance(cand.location, oj.location) <= pair.d_ij) {
+        if (pair_dist(idx, pair.i) <= pair.d_ij &&
+            pair_dist(idx, pair.j) <= pair.d_ij) {
           nearest = cand.dist_q;
           break;  // Ascending dist_q: the first hit is the minimum.
         }
@@ -378,8 +534,8 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
     uint64_t lens_cover = 0;
     for (ObjectId idx : lens_ids) {
       const Candidate& cand = cands[idx];
-      if (Distance(cand.location, oi.location) <= pair.d_ij &&
-          Distance(cand.location, oj.location) <= pair.d_ij) {
+      if (pair_dist(idx, pair.i) <= pair.d_ij &&
+          pair_dist(idx, pair.j) <= pair.d_ij) {
         lens.push_back(cand);
         lens_cover |= kw_mask[idx];
       }
@@ -415,9 +571,16 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
                 }
                 return a.id < b.id;
               });
+    lens_mask.clear();
+    if (masked) {
+      lens_mask.reserve(lens.size());
+      for (const Candidate& cand : lens) {
+        lens_mask.push_back(scratch_.ObjectMask(
+            cand.id, dataset().object(cand.id).keywords));
+      }
+    }
 
-    BestSetFinder finder(dataset(), query, type_, lens, &cur_set, &cur_cost,
-                         &stats);
+    finder.BeginPair(lens, lens_mask);
     uint32_t prefix_end = 0;
     for (uint32_t mi = 0; mi < lens.size(); ++mi) {
       const Candidate& om = lens[mi];
@@ -442,16 +605,15 @@ CoskqResult OwnerDrivenExact::Solve(const CoskqQuery& query) {
         ++prefix_end;
       }
 
-      std::vector<ObjectId> base = {oi.id, oj.id, om.id};
+      std::vector<ObjectId>& base = ws_->base;
+      base.assign({oi.id, oj.id, om.id});
       std::sort(base.begin(), base.end());
       base.erase(std::unique(base.begin(), base.end()), base.end());
       finder.Run(base, prefix_end);
     }
   }
 
-  CoskqResult result = MakeResult(query, std::move(cur_set), stats);
-  result.stats.elapsed_ms = timer.ElapsedMillis();
-  return result;
+  return finalize(MakeResult(query, std::move(cur_set), stats));
 }
 
 }  // namespace coskq

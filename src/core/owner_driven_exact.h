@@ -1,12 +1,16 @@
 #ifndef COSKQ_CORE_OWNER_DRIVEN_EXACT_H_
 #define COSKQ_CORE_OWNER_DRIVEN_EXACT_H_
 
+#include <memory>
 #include <string>
 
 #include "core/cost.h"
 #include "core/solver.h"
+#include "index/search_scratch.h"
 
 namespace coskq {
+
+class OwnerDrivenAppro;
 
 /// The paper's exact algorithms, MaxSum-Exact and Dia-Exact, expressed in
 /// one distance owner-driven search engine.
@@ -33,6 +37,15 @@ namespace coskq {
 /// because the true optimum is enumerated when its own owner triplet comes
 /// up. The bound families can be disabled individually for the ablation
 /// study (the result stays exact; only the work grows).
+///
+/// Hot path: with `use_query_masks` (default) the solver runs every IR-tree
+/// traversal, keyword-coverage test, and distance computation through its
+/// private SearchScratch — query-scoped bitmasks plus memoized distances —
+/// and reuses all enumeration buffers across Solve calls, making repeat
+/// solves allocation-free in steady state. Results are bit-identical to the
+/// baseline (the masks answer exactly the same containment questions and
+/// the memo stores the same Distance() outputs); the switch exists for the
+/// A/B hot-path benchmark.
 class OwnerDrivenExact : public CoskqSolver {
  public:
   struct Options {
@@ -47,6 +60,9 @@ class OwnerDrivenExact : public CoskqSolver {
     /// bounds). Dramatically shrinks the candidate disk and the pair
     /// distance cap on hard instances.
     bool seed_with_appro = true;
+    /// Query-scoped keyword bitmasks + scratch-pooled buffers + distance
+    /// memo (see class comment). Identical results either way.
+    bool use_query_masks = true;
     /// Optional wall-clock deadline in milliseconds (0 = none). When hit,
     /// the solver stops and returns the incumbent with stats.truncated set.
     /// Intended for benchmark harnesses; leaves exactness guarantees void.
@@ -57,14 +73,24 @@ class OwnerDrivenExact : public CoskqSolver {
                    const Options& options);
   OwnerDrivenExact(const CoskqContext& context, CostType type)
       : OwnerDrivenExact(context, type, Options()) {}
+  ~OwnerDrivenExact() override;
 
   CoskqResult Solve(const CoskqQuery& query) override;
   std::string name() const override;
   CostType cost_type() const override { return type_; }
 
  private:
+  struct Workspace;
+
   CostType type_;
   Options options_;
+  /// Per-solver scratch: one solver instance serves one thread (the
+  /// BatchEngine gives each worker a private instance), so no locking.
+  SearchScratch scratch_;
+  /// Enumeration buffers pooled across Solve calls (defined in the .cc).
+  std::unique_ptr<Workspace> ws_;
+  /// Lazily created incumbent seeder (when seed_with_appro).
+  std::unique_ptr<OwnerDrivenAppro> seeder_;
 };
 
 }  // namespace coskq

@@ -24,6 +24,14 @@ struct SolveStats {
   uint64_t pairs_examined = 0;
   /// Complete feasible sets whose cost was evaluated.
   uint64_t sets_evaluated = 0;
+  /// Hits/misses of the solver's per-query distance memo (SearchScratch);
+  /// both stay 0 on the baseline (masks disabled) path.
+  uint64_t dist_cache_hits = 0;
+  uint64_t dist_cache_misses = 0;
+  /// Pooled scratch buffers that grew during this solve; 0 once the
+  /// solver's SearchScratch is warm (the zero-steady-state-allocation
+  /// property the batch tests assert).
+  uint64_t scratch_reallocs = 0;
   /// True iff the solver hit its optional deadline and returned its best
   /// incumbent instead of finishing the search (benchmark use only; without
   /// a deadline exact solvers always finish and this stays false).

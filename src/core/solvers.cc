@@ -22,26 +22,33 @@ std::unique_ptr<CoskqSolver> MakeSolver(const std::string& name,
   if (name == "maxsum-exact" || name == "dia-exact") {
     OwnerDrivenExact::Options owner_options;
     owner_options.deadline_ms = options.deadline_ms;
+    owner_options.use_query_masks = options.use_query_masks;
     return std::make_unique<OwnerDrivenExact>(
         context, name == "dia-exact" ? CostType::kDia : CostType::kMaxSum,
         owner_options);
   }
-  if (name == "maxsum-appro") {
-    return std::make_unique<OwnerDrivenAppro>(context, CostType::kMaxSum);
-  }
-  if (name == "dia-appro") {
-    return std::make_unique<OwnerDrivenAppro>(context, CostType::kDia);
+  if (name == "maxsum-appro" || name == "dia-appro") {
+    OwnerDrivenAppro::Options appro_options;
+    appro_options.use_query_masks = options.use_query_masks;
+    return std::make_unique<OwnerDrivenAppro>(
+        context, name == "dia-appro" ? CostType::kDia : CostType::kMaxSum,
+        appro_options);
   }
   if (name == "cao-exact-maxsum" || name == "cao-exact-dia") {
     CaoExact::Options cao_options;
     cao_options.deadline_ms = options.deadline_ms;
+    cao_options.use_query_masks = options.use_query_masks;
     return std::make_unique<CaoExact>(context, type_of(), cao_options);
   }
   if (name == "cao-appro1-maxsum" || name == "cao-appro1-dia") {
-    return std::make_unique<CaoAppro1>(context, type_of());
+    CaoAppro1::Options cao_options;
+    cao_options.use_query_masks = options.use_query_masks;
+    return std::make_unique<CaoAppro1>(context, type_of(), cao_options);
   }
   if (name == "cao-appro2-maxsum" || name == "cao-appro2-dia") {
-    return std::make_unique<CaoAppro2>(context, type_of());
+    CaoAppro2::Options cao_options;
+    cao_options.use_query_masks = options.use_query_masks;
+    return std::make_unique<CaoAppro2>(context, type_of(), cao_options);
   }
   if (name == "brute-force-maxsum" || name == "brute-force-dia") {
     return std::make_unique<BruteForceSolver>(context, type_of());

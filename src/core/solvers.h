@@ -18,6 +18,12 @@ struct SolverOptions {
   /// engines); solvers that always finish quickly ignore it. When hit, the
   /// solve returns its incumbent with stats.truncated set.
   double deadline_ms = 0.0;
+  /// Query-scoped keyword bitmasks, pooled per-solver scratch, and the
+  /// distance memo (the hot path; on by default). Disabling reproduces the
+  /// pre-mask baseline execution bit-for-bit — the A/B switch used by the
+  /// differential tests and the hot-path benchmark. The brute-force oracle
+  /// ignores it.
+  bool use_query_masks = true;
 };
 
 /// Creates a solver by its registry name. Available names:

@@ -38,6 +38,14 @@ std::string BatchStats::ToString() const {
   if (truncated > 0) {
     s += " truncated=" + std::to_string(truncated);
   }
+  if (dist_cache_hits + dist_cache_misses > 0) {
+    const double total =
+        static_cast<double>(dist_cache_hits + dist_cache_misses);
+    s += " cache{hits=" + std::to_string(dist_cache_hits) +
+         " misses=" + std::to_string(dist_cache_misses) + " hit_rate=" +
+         FormatDouble(static_cast<double>(dist_cache_hits) / total, 3) +
+         " reallocs=" + std::to_string(scratch_reallocs) + "}";
+  }
   if (ratio.count() > 0) {
     s += " ratio{avg=" + FormatDouble(ratio.mean(), 4) +
          " max=" + FormatDouble(ratio.max(), 4) +
@@ -73,6 +81,7 @@ BatchOutcome BatchEngine::Run(
 
   SolverOptions solver_options;
   solver_options.deadline_ms = options_.deadline_ms;
+  solver_options.use_query_masks = options_.use_query_masks;
   // Validate the solver name before spinning up workers so an unknown name
   // is a clean error, not a per-worker failure.
   if (MakeSolver(options_.solver_name, context_, solver_options) == nullptr) {
@@ -156,6 +165,9 @@ BatchOutcome BatchEngine::Run(
     outcome.stats.candidates += r.stats.candidates;
     outcome.stats.pairs_examined += r.stats.pairs_examined;
     outcome.stats.sets_evaluated += r.stats.sets_evaluated;
+    outcome.stats.dist_cache_hits += r.stats.dist_cache_hits;
+    outcome.stats.dist_cache_misses += r.stats.dist_cache_misses;
+    outcome.stats.scratch_reallocs += r.stats.scratch_reallocs;
     if (r.stats.truncated) {
       ++outcome.stats.truncated;
     }

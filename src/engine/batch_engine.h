@@ -37,6 +37,11 @@ struct BatchOptions {
   /// offending query index. Off by default — mixed workloads legitimately
   /// contain infeasible queries.
   bool cancel_on_infeasible = false;
+  /// Query-scoped keyword bitmasks + pooled per-worker scratch + distance
+  /// memo (the hot path; on by default). Disabling reproduces the baseline
+  /// execution bit-for-bit — the A/B switch for the hot-path benchmark and
+  /// the differential tests.
+  bool use_query_masks = true;
 };
 
 /// Aggregated statistics of one batch execution. All aggregation happens
@@ -64,6 +69,14 @@ struct BatchStats {
   uint64_t candidates = 0;
   uint64_t pairs_examined = 0;
   uint64_t sets_evaluated = 0;
+  /// Distance-memo hits/misses summed over the executed solves (0 when the
+  /// batch ran with use_query_masks off).
+  uint64_t dist_cache_hits = 0;
+  uint64_t dist_cache_misses = 0;
+  /// Pooled scratch buffers that grew, summed over the executed solves.
+  /// Nonzero only during warm-up: each worker's solver allocates on its
+  /// first queries and then reuses, so per-worker steady state adds 0.
+  uint64_t scratch_reallocs = 0;
   /// Approximation-ratio summary vs. the reference costs passed to Run
   /// (empty when none were given), matching the bench_ratio_summary
   /// conventions: per-query ratio cost/reference over queries whose

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "index/quadratic_split.h"
+#include "index/search_scratch.h"
+#include "index/term_signature.h"
 #include "util/logging.h"
 
 namespace coskq {
@@ -15,10 +17,16 @@ using internal_index::StrTile;
 
 struct IrTree::Node {
   bool is_leaf = true;
+  /// Dense preorder id (see AssignNodeIds), indexing the per-node caches of
+  /// SearchScratch.
+  uint32_t id = 0;
   Rect mbr;
   /// Sorted union of all keywords appearing in the subtree — the node-level
   /// inverted-file summary that keyword-aware traversal prunes on.
   TermSet terms;
+  /// Bloom signature of `terms` (see term_signature.h): a clear AND against
+  /// a query-side signature proves the subtree lacks the tested keywords.
+  uint64_t sig = 0;
   std::vector<std::unique_ptr<Node>> children;  // When !is_leaf.
   std::vector<ObjectId> objects;                // When is_leaf.
 
@@ -41,6 +49,7 @@ struct IrTree::Node {
         TermSetMergeInto(&terms, child->terms);
       }
     }
+    sig = TermSetSignature(terms);
   }
 };
 
@@ -55,8 +64,14 @@ IrTree::~IrTree() = default;
 
 void IrTree::BulkLoad() {
   size_ = dataset_->NumObjects();
+  obj_sigs_.resize(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    obj_sigs_[i] =
+        TermSetSignature(dataset_->object(static_cast<ObjectId>(i)).keywords);
+  }
   if (size_ == 0) {
     root_ = std::make_unique<Node>();
+    AssignNodeIds();
     return;
   }
   const size_t cap = static_cast<size_t>(options_.max_entries);
@@ -97,10 +112,32 @@ void IrTree::BulkLoad() {
     level = std::move(next);
   }
   root_ = std::move(level.front());
+  AssignNodeIds();
+}
+
+void IrTree::AssignNodeIds() {
+  struct Assigner {
+    uint32_t next = 0;
+    void Run(Node* node) {
+      node->id = next++;
+      if (!node->is_leaf) {
+        for (const auto& child : node->children) {
+          Run(child.get());
+        }
+      }
+    }
+  };
+  Assigner assigner;
+  assigner.Run(root_.get());
+  next_node_id_ = assigner.next;
 }
 
 void IrTree::Insert(ObjectId id) {
   const SpatialObject& obj = dataset_->object(id);
+  if (obj_sigs_.size() <= id) {
+    obj_sigs_.resize(static_cast<size_t>(id) + 1, 0);
+  }
+  obj_sigs_[id] = TermSetSignature(obj.keywords);
   const int max_entries = options_.max_entries;
   const int min_entries = std::max(2, max_entries * 2 / 5);
 
@@ -115,6 +152,9 @@ void IrTree::Insert(ObjectId id) {
     std::unique_ptr<Node> Run(Node* node) {
       node->mbr.ExpandToInclude(obj.location);
       TermSetMergeInto(&node->terms, obj.keywords);
+      // Union signature of a union of term sets is the OR, so the
+      // incremental update is exact (splits below Recompute from scratch).
+      node->sig |= TermSetSignature(obj.keywords);
       if (node->is_leaf) {
         node->objects.push_back(obj.id);
         if (static_cast<int>(node->objects.size()) <= max_entries) {
@@ -185,9 +225,19 @@ void IrTree::Insert(ObjectId id) {
     root_ = std::move(new_root);
   }
   ++size_;
+  // Keep node ids dense: incremental insertion is a test/maintenance path,
+  // so a preorder renumbering per insert is an acceptable price for flat
+  // per-node cache arrays on the query path.
+  AssignNodeIds();
 }
 
 ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
+  return KeywordNn(p, t, distance,
+                   static_cast<std::vector<uint32_t>*>(nullptr));
+}
+
+ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
+                           std::vector<uint32_t>* visit_log) const {
   struct QueueEntry {
     double distance;
     const Node* node;  // nullptr for object entries.
@@ -213,6 +263,9 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
       return top.id;
     }
     const Node* node = top.node;
+    if (visit_log != nullptr) {
+      visit_log->push_back(node->id);
+    }
     if (node->is_leaf) {
       for (ObjectId id : node->objects) {
         const SpatialObject& obj = dataset_->object(id);
@@ -235,12 +288,105 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
   return kInvalidObjectId;
 }
 
+ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
+                           SearchScratch* scratch) const {
+  if (scratch == nullptr || !scratch->mask_active()) {
+    return KeywordNn(p, t, distance,
+                     scratch != nullptr ? scratch->visit_log() : nullptr);
+  }
+  const int slot = scratch->mask().SlotOf(t);
+  if (slot < 0) {
+    return KeywordNn(p, t, distance, scratch->visit_log());
+  }
+  const uint64_t bit = uint64_t{1} << slot;
+  // Bloom pre-filter for `t`: a clear AND proves non-containment, so the
+  // exact (cached-mask) test only runs on signature-positives. Pruning
+  // decisions are unchanged — the filter has no false negatives.
+  const uint64_t kw_sig = TermSignature(t);
+  // The pooled vector driven by std::push_heap/pop_heap with the same
+  // comparator is the exact algorithm std::priority_queue runs, so entries
+  // pop in the baseline order, ties included.
+  using internal_index::HeapEntry;
+  std::vector<HeapEntry>& heap = scratch->heap();
+  heap.clear();
+  const auto push = [&heap](HeapEntry entry) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+  };
+  std::vector<uint32_t>* visit_log = scratch->visit_log();
+  // Traversals anchored at the query origin (the NnSet case) read node
+  // MinDistance and object distances through the per-query memos — the k
+  // keyword searches of one NnSet share most of their geometry. Anchored
+  // elsewhere (e.g. Cao appro2's per-anchor probes) they compute plain
+  // distances; the memos are keyed to origin() only.
+  const bool from_origin = p == scratch->origin();
+  if (size_ > 0 && (root_->sig & kw_sig) != 0 &&
+      (scratch->NodeMask(root_->id, root_->terms) & bit) != 0) {
+    const double d = from_origin
+                         ? scratch->NodeMinDistance(root_->id, root_->mbr)
+                         : root_->mbr.MinDistance(p);
+    push(HeapEntry{d, root_.get(), kInvalidObjectId});
+  }
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    if (top.node == nullptr) {
+      if (distance != nullptr) {
+        *distance = top.distance;
+      }
+      return top.id;
+    }
+    const Node* node = static_cast<const Node*>(top.node);
+    if (visit_log != nullptr) {
+      visit_log->push_back(node->id);
+    }
+    if (node->is_leaf) {
+      for (ObjectId id : node->objects) {
+        if ((obj_sigs_[id] & kw_sig) == 0) {
+          continue;
+        }
+        const SpatialObject& obj = dataset_->object(id);
+        // Warm cached mask when present, else the baseline's two-probe
+        // containment test with no cache fill — most objects a traversal
+        // touches are never consulted again, and the ones a solver keeps
+        // get their mask computed at the consumption site.
+        uint64_t obj_mask = 0;
+        const bool contains = scratch->CachedObjectMask(id, &obj_mask)
+                                  ? (obj_mask & bit) != 0
+                                  : obj.ContainsTerm(t);
+        if (contains) {
+          const double d = from_origin
+                               ? scratch->QueryDistance(id, obj.location)
+                               : Distance(p, obj.location);
+          push(HeapEntry{d, nullptr, id});
+        }
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if ((child->sig & kw_sig) != 0 &&
+            (scratch->NodeMask(child->id, child->terms) & bit) != 0) {
+          const double d =
+              from_origin ? scratch->NodeMinDistance(child->id, child->mbr)
+                          : child->mbr.MinDistance(p);
+          push(HeapEntry{d, child.get(), kInvalidObjectId});
+        }
+      }
+    }
+  }
+  if (distance != nullptr) {
+    *distance = std::numeric_limits<double>::infinity();
+  }
+  return kInvalidObjectId;
+}
+
 std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
     const Point& p, const TermSet& required, size_t k) const {
   std::vector<std::pair<ObjectId, double>> result;
   if (size_ == 0 || k == 0) {
     return result;
   }
+  result.reserve(std::min(k, size_));
   struct QueueEntry {
     double distance;
     const Node* node;  // nullptr for object entries.
@@ -292,6 +438,7 @@ std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
   if (size_ == 0 || k == 0 || terms.empty()) {
     return result;
   }
+  result.reserve(std::min(k, size_));
   COSKQ_CHECK_GE(alpha, 0.0);
   COSKQ_CHECK_LE(alpha, 1.0);
   const Point lo{root_->mbr.min_x, root_->mbr.min_y};
@@ -353,10 +500,19 @@ std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
 
 std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
                                     TermSet* missing) const {
+  return NnSet(p, terms, missing, nullptr);
+}
+
+std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
+                                    TermSet* missing,
+                                    SearchScratch* scratch) const {
   std::vector<ObjectId> result;
+  result.reserve(terms.size());
   for (TermId t : terms) {
     double distance = 0.0;
-    const ObjectId id = KeywordNn(p, t, &distance);
+    const ObjectId id = scratch != nullptr
+                            ? KeywordNn(p, t, &distance, scratch)
+                            : KeywordNn(p, t, &distance);
     if (id == kInvalidObjectId) {
       if (missing != nullptr) {
         missing->push_back(t);
@@ -375,16 +531,27 @@ std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
 
 void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                            std::vector<ObjectId>* out) const {
+  RangeRelevant(circle, query_terms, out,
+                static_cast<std::vector<uint32_t>*>(nullptr));
+}
+
+void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                           std::vector<ObjectId>* out,
+                           std::vector<uint32_t>* visit_log) const {
   struct Searcher {
     const Dataset& dataset;
     const Circle& circle;
     const TermSet& query_terms;
     std::vector<ObjectId>* out;
+    std::vector<uint32_t>* visit_log;
 
     void Run(const Node* node) {
       if (!circle.Intersects(node->mbr) ||
           !TermSetsIntersect(node->terms, query_terms)) {
         return;
+      }
+      if (visit_log != nullptr) {
+        visit_log->push_back(node->id);
       }
       if (node->is_leaf) {
         for (ObjectId id : node->objects) {
@@ -404,7 +571,86 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
   if (size_ == 0) {
     return;
   }
-  Searcher searcher{*dataset_, circle, query_terms, out};
+  Searcher searcher{*dataset_, circle, query_terms, out, visit_log};
+  searcher.Run(root_.get());
+}
+
+void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                           std::vector<ObjectId>* out,
+                           SearchScratch* scratch) const {
+  uint64_t submask = 0;
+  if (scratch == nullptr || !scratch->mask_active() ||
+      !scratch->mask().SubmaskOf(query_terms, &submask)) {
+    RangeRelevant(circle, query_terms, out,
+                  scratch != nullptr ? scratch->visit_log() : nullptr);
+    return;
+  }
+  // Bloom signature of the tested subset: a clear AND against a node or
+  // object signature proves disjointness, skipping the exact mask test
+  // without changing its outcome (no false negatives).
+  const uint64_t sub_sig = TermSetSignature(query_terms);
+  struct Searcher {
+    const Dataset& dataset;
+    const std::vector<uint64_t>& obj_sigs;
+    const Circle& circle;
+    const TermSet& query_terms;
+    uint64_t submask;
+    uint64_t sub_sig;
+    SearchScratch* scratch;
+    std::vector<ObjectId>* out;
+    std::vector<uint32_t>* visit_log;
+
+    void Run(const Node* node) {
+      // Geometric test first, matching the baseline's short-circuit order;
+      // then the signature, then the cached mask when warm (NnSet ran
+      // first in the solver flow, so nodes near the query usually are),
+      // else the baseline's early-exit merge with no cache fill.
+      if (!circle.Intersects(node->mbr) || (node->sig & sub_sig) == 0) {
+        return;
+      }
+      uint64_t node_mask = 0;
+      const bool relevant = scratch->CachedNodeMask(node->id, &node_mask)
+                                ? (node_mask & submask) != 0
+                                : TermSetsIntersect(node->terms, query_terms);
+      if (!relevant) {
+        return;
+      }
+      if (visit_log != nullptr) {
+        visit_log->push_back(node->id);
+      }
+      if (node->is_leaf) {
+        for (ObjectId id : node->objects) {
+          const SpatialObject& obj = dataset.object(id);
+          if (!circle.Contains(obj.location) ||
+              (obj_sigs[id] & sub_sig) == 0) {
+            continue;
+          }
+          // Warm cached mask if the query already touched this object;
+          // otherwise the baseline's early-exit merge, with no cache fill —
+          // most disk objects are tested exactly once, and the relevant
+          // ones get their mask computed by the solver that consumes them.
+          uint64_t obj_mask = 0;
+          const bool relevant =
+              scratch->CachedObjectMask(id, &obj_mask)
+                  ? (obj_mask & submask) != 0
+                  : obj.ContainsAnyOf(query_terms);
+          if (relevant) {
+            out->push_back(id);
+          }
+        }
+        return;
+      }
+      for (const auto& child : node->children) {
+        Run(child.get());
+      }
+    }
+  };
+  if (size_ == 0) {
+    return;
+  }
+  Searcher searcher{*dataset_, obj_sigs_, circle,
+                    query_terms, submask, sub_sig,
+                    scratch,   out,       scratch->visit_log()};
   searcher.Run(root_.get());
 }
 
@@ -421,6 +667,17 @@ struct IrTree::RelevantStream::Impl {
   const IrTree* tree;
   Point origin;
   TermSet query_terms;
+  /// When masked, prune on scratch-cached bitmasks instead of the sorted
+  /// term sets; the queue itself stays stream-private so streams can be
+  /// interleaved with other masked traversals on the same scratch.
+  SearchScratch* scratch = nullptr;
+  uint64_t submask = 0;
+  /// Bloom signature of `query_terms` (definite-negative pre-filter).
+  uint64_t sub_sig = 0;
+  bool masked = false;
+  /// True when the stream is anchored at the scratch's query origin, so
+  /// node/object distances can be read through the per-query memos.
+  bool from_origin = false;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue;
@@ -428,10 +685,33 @@ struct IrTree::RelevantStream::Impl {
 
 IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
                                        const TermSet& query_terms)
-    : impl_(new Impl{tree, origin, query_terms, {}}) {
+    : RelevantStream(tree, origin, query_terms, nullptr) {}
+
+IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
+                                       const TermSet& query_terms,
+                                       SearchScratch* scratch)
+    : impl_(new Impl{tree, origin, query_terms, nullptr, 0, 0, false, false,
+                     {}}) {
   COSKQ_CHECK(tree != nullptr);
-  if (tree->size_ > 0 &&
-      TermSetsIntersect(tree->root_->terms, impl_->query_terms)) {
+  uint64_t submask = 0;
+  if (scratch != nullptr && scratch->mask_active() &&
+      scratch->mask().SubmaskOf(query_terms, &submask)) {
+    impl_->scratch = scratch;
+    impl_->submask = submask;
+    impl_->sub_sig = TermSetSignature(query_terms);
+    impl_->masked = true;
+    impl_->from_origin = origin == scratch->origin();
+  }
+  if (tree->size_ == 0) {
+    return;
+  }
+  const bool root_relevant =
+      impl_->masked
+          ? (tree->root_->sig & impl_->sub_sig) != 0 &&
+                (scratch->NodeMask(tree->root_->id, tree->root_->terms) &
+                 submask) != 0
+          : TermSetsIntersect(tree->root_->terms, impl_->query_terms);
+  if (root_relevant) {
     impl_->queue.push(Impl::QueueEntry{
         tree->root_->mbr.MinDistance(origin), tree->root_.get(),
         kInvalidObjectId});
@@ -443,6 +723,12 @@ IrTree::RelevantStream::~RelevantStream() = default;
 std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
   auto& queue = impl_->queue;
   const Dataset& dataset = *impl_->tree->dataset_;
+  const bool masked = impl_->masked;
+  SearchScratch* scratch = impl_->scratch;
+  const uint64_t submask = impl_->submask;
+  const uint64_t sub_sig = impl_->sub_sig;
+  const bool from_origin = impl_->from_origin;
+  const std::vector<uint64_t>& obj_sigs = impl_->tree->obj_sigs_;
   while (!queue.empty()) {
     Impl::QueueEntry top = queue.top();
     queue.pop();
@@ -453,16 +739,44 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
     if (node->is_leaf) {
       for (ObjectId id : node->objects) {
         const SpatialObject& obj = dataset.object(id);
-        if (obj.ContainsAnyOf(impl_->query_terms)) {
-          queue.push(Impl::QueueEntry{Distance(impl_->origin, obj.location),
-                                      nullptr, id});
+        bool relevant;
+        if (masked) {
+          // Signature pre-filter, then the warm cached mask if present,
+          // else the baseline merge with no cache fill (see RangeRelevant).
+          uint64_t obj_mask = 0;
+          relevant = (obj_sigs[id] & sub_sig) != 0 &&
+                     (scratch->CachedObjectMask(id, &obj_mask)
+                          ? (obj_mask & submask) != 0
+                          : obj.ContainsAnyOf(impl_->query_terms));
+        } else {
+          relevant = obj.ContainsAnyOf(impl_->query_terms);
+        }
+        if (relevant) {
+          const double d = masked && from_origin
+                               ? scratch->QueryDistance(id, obj.location)
+                               : Distance(impl_->origin, obj.location);
+          queue.push(Impl::QueueEntry{d, nullptr, id});
         }
       }
     } else {
       for (const auto& child : node->children) {
-        if (TermSetsIntersect(child->terms, impl_->query_terms)) {
-          queue.push(Impl::QueueEntry{child->mbr.MinDistance(impl_->origin),
-                                      child.get(), kInvalidObjectId});
+        bool relevant;
+        if (masked) {
+          uint64_t node_mask = 0;
+          relevant =
+              (child->sig & sub_sig) != 0 &&
+              (scratch->CachedNodeMask(child->id, &node_mask)
+                   ? (node_mask & submask) != 0
+                   : TermSetsIntersect(child->terms, impl_->query_terms));
+        } else {
+          relevant = TermSetsIntersect(child->terms, impl_->query_terms);
+        }
+        if (relevant) {
+          const double d =
+              masked && from_origin
+                  ? scratch->NodeMinDistance(child->id, child->mbr)
+                  : child->mbr.MinDistance(impl_->origin);
+          queue.push(Impl::QueueEntry{d, child.get(), kInvalidObjectId});
         }
       }
     }

@@ -18,6 +18,8 @@
 
 namespace coskq {
 
+class SearchScratch;
+
 /// The IR-tree (Cong et al., VLDB 2009): an R-tree whose every node carries
 /// a summary of the keywords present in its subtree, enabling
 /// keyword-constrained spatial search — the access method all CoSKQ
@@ -65,16 +67,47 @@ class IrTree {
   /// On success `*distance` is the Euclidean distance to it.
   ObjectId KeywordNn(const Point& p, TermId t, double* distance) const;
 
+  /// As above, with every expanded node's id appended to `visit_log` (test
+  /// instrumentation for the masked-vs-baseline differential suite).
+  ObjectId KeywordNn(const Point& p, TermId t, double* distance,
+                     std::vector<uint32_t>* visit_log) const;
+
+  /// Masked fast path: prunes on cached per-node/per-object query-keyword
+  /// bitmasks from `scratch` and runs the best-first loop on the scratch's
+  /// pooled heap. Falls back to the baseline when `scratch` is null,
+  /// disabled, has no active mask, or `t` is not a bound query keyword.
+  /// Guaranteed to expand the identical node sequence and return the
+  /// identical result as the baseline.
+  ObjectId KeywordNn(const Point& p, TermId t, double* distance,
+                     SearchScratch* scratch) const;
+
   /// The nearest-neighbor set N(p) = { NN(p, t) : t ∈ terms }. The result
   /// is deduplicated and sorted by id; ids of keywords with no matching
   /// object are skipped and reported through `missing` when non-null.
   std::vector<ObjectId> NnSet(const Point& p, const TermSet& terms,
                               TermSet* missing) const;
 
+  /// Masked fast path of NnSet; same fallback and bit-identity guarantees
+  /// as the KeywordNn overload.
+  std::vector<ObjectId> NnSet(const Point& p, const TermSet& terms,
+                              TermSet* missing, SearchScratch* scratch) const;
+
   /// Appends to `out` every object inside the closed disk whose keyword set
   /// intersects `query_terms`.
   void RangeRelevant(const Circle& circle, const TermSet& query_terms,
                      std::vector<ObjectId>* out) const;
+
+  /// As above, logging every expanded node id (test instrumentation).
+  void RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                     std::vector<ObjectId>* out,
+                     std::vector<uint32_t>* visit_log) const;
+
+  /// Masked fast path: requires every member of `query_terms` to be a bound
+  /// query keyword (solvers also prune on single keywords or subsets of
+  /// q.ψ); otherwise falls back to the baseline. Bit-identical node
+  /// expansions and output.
+  void RangeRelevant(const Circle& circle, const TermSet& query_terms,
+                     std::vector<ObjectId>* out, SearchScratch* scratch) const;
 
   /// Boolean kNN query (Felipe et al., ICDE 2008): the k objects nearest to
   /// `p` whose keyword sets contain ALL of `required`, in ascending
@@ -99,6 +132,13 @@ class IrTree {
    public:
     RelevantStream(const IrTree* tree, const Point& origin,
                    const TermSet& query_terms);
+
+    /// Masked variant: prunes on the scratch's cached bitmasks when the
+    /// mask is active and covers `query_terms`; baseline otherwise. The
+    /// stream keeps its own queue (only the mask caches are shared), so it
+    /// may be interleaved with other masked traversals on the same scratch.
+    RelevantStream(const IrTree* tree, const Point& origin,
+                   const TermSet& query_terms, SearchScratch* scratch);
     ~RelevantStream();
 
     RelevantStream(const RelevantStream&) = delete;
@@ -116,6 +156,11 @@ class IrTree {
   int Height() const;
   size_t NodeCount() const;
 
+  /// One past the largest node id in the tree. Node ids are dense
+  /// (renumbered in preorder after every structural change), so per-node
+  /// caches in SearchScratch are flat arrays of this length.
+  uint32_t node_id_limit() const { return next_node_id_; }
+
   /// Validates structural invariants: MBR containment, term-summary
   /// soundness (node terms = union of children), uniform leaf depth, and
   /// object count. Aborts on violation; test-only.
@@ -128,11 +173,17 @@ class IrTree {
   friend struct RelevantStreamImplAccess;
 
   void BulkLoad();
+  void AssignNodeIds();
 
   const Dataset* dataset_;
   Options options_;
   std::unique_ptr<Node> root_;
+  /// Per-object one-bit Bloom signatures (see term_signature.h), indexed by
+  /// ObjectId; the O(1) definite-negative pre-filter the masked traversals
+  /// apply before the exact cached-mask test.
+  std::vector<uint64_t> obj_sigs_;
   size_t size_ = 0;
+  uint32_t next_node_id_ = 0;
 };
 
 }  // namespace coskq

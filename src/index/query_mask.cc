@@ -1,0 +1,69 @@
+#include "index/query_mask.h"
+
+#include <algorithm>
+
+namespace coskq {
+
+void QueryTermMask::Reset(const TermSet& query_keywords) {
+  keywords_ = query_keywords;
+  active_ = !keywords_.empty() && keywords_.size() <= 64;
+  if (!active_) {
+    full_mask_ = 0;
+    return;
+  }
+  full_mask_ = keywords_.size() == 64
+                   ? ~uint64_t{0}
+                   : (uint64_t{1} << keywords_.size()) - 1;
+}
+
+int QueryTermMask::SlotOf(TermId t) const {
+  const auto it = std::lower_bound(keywords_.begin(), keywords_.end(), t);
+  if (it == keywords_.end() || *it != t) {
+    return -1;
+  }
+  return static_cast<int>(it - keywords_.begin());
+}
+
+uint64_t QueryTermMask::MaskOf(const TermSet& terms) const {
+  uint64_t mask = 0;
+  // Iterate whichever side is smaller: probing each member of a short set
+  // (a leaf object's handful of keywords) into q.ψ beats running |q.ψ|
+  // progressive searches through it, and vice versa for the wide term
+  // summaries of upper tree nodes. Either direction computes the same mask.
+  if (terms.size() < keywords_.size()) {
+    for (TermId t : terms) {
+      const int slot = SlotOf(t);
+      if (slot >= 0) {
+        mask |= uint64_t{1} << slot;
+      }
+    }
+    return mask;
+  }
+  auto it = terms.begin();
+  for (size_t k = 0; k < keywords_.size() && it != terms.end(); ++k) {
+    it = std::lower_bound(it, terms.end(), keywords_[k]);
+    if (it == terms.end()) {
+      break;
+    }
+    if (*it == keywords_[k]) {
+      mask |= uint64_t{1} << k;
+      ++it;
+    }
+  }
+  return mask;
+}
+
+bool QueryTermMask::SubmaskOf(const TermSet& terms, uint64_t* submask) const {
+  uint64_t mask = 0;
+  for (TermId t : terms) {
+    const int slot = SlotOf(t);
+    if (slot < 0) {
+      return false;
+    }
+    mask |= uint64_t{1} << slot;
+  }
+  *submask = mask;
+  return true;
+}
+
+}  // namespace coskq

@@ -1,0 +1,60 @@
+#ifndef COSKQ_INDEX_QUERY_MASK_H_
+#define COSKQ_INDEX_QUERY_MASK_H_
+
+#include <stdint.h>
+
+#include "data/term_set.h"
+
+namespace coskq {
+
+/// Query-scoped keyword bitmask: maps the query keyword set q.ψ to bit
+/// slots of a uint64_t, so "does this term set cover query keyword k?"
+/// becomes a single AND instruction once a set's mask has been computed.
+///
+/// Slot k corresponds to the k-th query keyword in sorted TermSet order, so
+/// iterating set bits from least to most significant visits keywords in
+/// exactly the order a TermSet loop would — the property that lets masked
+/// search paths make bit-identical branch decisions to the baseline.
+///
+/// The mask is `active()` only for 1..64 query keywords (the paper's
+/// experiments use |q.ψ| ≤ 15). With more keywords, or before Reset, every
+/// masked code path must fall back to the sorted-TermSet baseline; callers
+/// check `active()` once per query, not per node.
+class QueryTermMask {
+ public:
+  QueryTermMask() = default;
+
+  /// Rebinds the mask to a new query keyword set (sorted, deduplicated).
+  void Reset(const TermSet& query_keywords);
+
+  /// True iff bitmask pruning applies: 1 <= |q.ψ| <= 64.
+  bool active() const { return active_; }
+
+  size_t num_keywords() const { return keywords_.size(); }
+  const TermSet& keywords() const { return keywords_; }
+
+  /// All query-keyword bits set; 0 when inactive.
+  uint64_t full_mask() const { return full_mask_; }
+
+  /// Bit slot of a query keyword, or -1 if `t` is not a query keyword.
+  int SlotOf(TermId t) const;
+
+  /// Bits of the query keywords contained in the sorted set `terms`. One
+  /// progressive binary search per query keyword, so the cost is
+  /// O(|q.ψ| log |terms|) — paid once per node/object per query, after
+  /// which every containment test is one AND.
+  uint64_t MaskOf(const TermSet& terms) const;
+
+  /// Mask of `terms` when every member is a query keyword (the common
+  /// "prune on a subset of q.ψ" case); false if any member is not.
+  bool SubmaskOf(const TermSet& terms, uint64_t* submask) const;
+
+ private:
+  TermSet keywords_;
+  uint64_t full_mask_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_QUERY_MASK_H_

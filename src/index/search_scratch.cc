@@ -1,0 +1,126 @@
+#include "index/search_scratch.h"
+
+namespace coskq {
+
+void SearchScratch::BeginQuery(const Point& origin, const TermSet& keywords,
+                               size_t node_id_limit, size_t num_objects) {
+  // Snapshot capacities before sizing so warm-up growth is audited too.
+  capacity_snapshot_.clear();
+  capacity_snapshot_.push_back(node_masks_.capacity());
+  capacity_snapshot_.push_back(node_dists_.capacity());
+  capacity_snapshot_.push_back(obj_masks_.capacity());
+  capacity_snapshot_.push_back(dists_.capacity());
+  capacity_snapshot_.push_back(heap_.capacity());
+  capacity_snapshot_.push_back(id_buffer_.capacity());
+
+  origin_ = origin;
+  ++epoch_;
+  ++queries_started_;
+  dist_hits_ = 0;
+  dist_misses_ = 0;
+  realloc_events_ = 0;
+  if (!enabled_) {
+    mask_.Reset(TermSet{});
+    return;
+  }
+  mask_.Reset(keywords);
+  if (node_masks_.size() < node_id_limit) {
+    node_masks_.resize(node_id_limit);
+    node_dists_.resize(node_id_limit);
+  }
+  if (obj_masks_.size() < num_objects) {
+    obj_masks_.resize(num_objects);
+    dists_.resize(num_objects);
+  }
+}
+
+void SearchScratch::FinishQuery() {
+  if (capacity_snapshot_.size() != 6) {
+    return;  // FinishQuery without a matching BeginQuery.
+  }
+  const size_t capacities[6] = {
+      node_masks_.capacity(), node_dists_.capacity(), obj_masks_.capacity(),
+      dists_.capacity(),      heap_.capacity(),       id_buffer_.capacity()};
+  for (size_t i = 0; i < 6; ++i) {
+    if (capacities[i] != capacity_snapshot_[i]) {
+      ++realloc_events_;
+    }
+  }
+  total_realloc_events_ += realloc_events_;
+  capacity_snapshot_.clear();
+}
+
+uint64_t SearchScratch::NodeMask(uint32_t node_id, const TermSet& node_terms) {
+  if (node_id < node_masks_.size()) {
+    MaskSlot& slot = node_masks_[node_id];
+    if (slot.epoch == epoch_) {
+      return slot.mask;
+    }
+    slot.epoch = epoch_;
+    slot.mask = mask_.MaskOf(node_terms);
+    return slot.mask;
+  }
+  return mask_.MaskOf(node_terms);
+}
+
+bool SearchScratch::CachedObjectMask(ObjectId id, uint64_t* mask) const {
+  if (id < obj_masks_.size() && obj_masks_[id].epoch == epoch_) {
+    *mask = obj_masks_[id].mask;
+    return true;
+  }
+  return false;
+}
+
+bool SearchScratch::CachedNodeMask(uint32_t node_id, uint64_t* mask) const {
+  if (node_id < node_masks_.size() && node_masks_[node_id].epoch == epoch_) {
+    *mask = node_masks_[node_id].mask;
+    return true;
+  }
+  return false;
+}
+
+double SearchScratch::NodeMinDistance(uint32_t node_id, const Rect& mbr) {
+  if (node_id < node_dists_.size()) {
+    DistSlot& slot = node_dists_[node_id];
+    if (slot.epoch == epoch_) {
+      return slot.distance;
+    }
+    slot.epoch = epoch_;
+    slot.distance = mbr.MinDistance(origin_);
+    return slot.distance;
+  }
+  return mbr.MinDistance(origin_);
+}
+
+uint64_t SearchScratch::ObjectMask(ObjectId id, const TermSet& keywords) {
+  if (id < obj_masks_.size()) {
+    MaskSlot& slot = obj_masks_[id];
+    if (slot.epoch == epoch_) {
+      return slot.mask;
+    }
+    slot.epoch = epoch_;
+    slot.mask = mask_.MaskOf(keywords);
+    return slot.mask;
+  }
+  return mask_.MaskOf(keywords);
+}
+
+double SearchScratch::QueryDistance(ObjectId id, const Point& location) {
+  if (!enabled_) {
+    return Distance(origin_, location);
+  }
+  if (id < dists_.size()) {
+    DistSlot& slot = dists_[id];
+    if (slot.epoch == epoch_) {
+      ++dist_hits_;
+      return slot.distance;
+    }
+    slot.epoch = epoch_;
+    slot.distance = Distance(origin_, location);
+    ++dist_misses_;
+    return slot.distance;
+  }
+  return Distance(origin_, location);
+}
+
+}  // namespace coskq

@@ -1,0 +1,175 @@
+#ifndef COSKQ_INDEX_SEARCH_SCRATCH_H_
+#define COSKQ_INDEX_SEARCH_SCRATCH_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "data/object.h"
+#include "data/term_set.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+#include "index/query_mask.h"
+
+namespace coskq {
+
+namespace internal_index {
+
+/// Best-first queue entry pooled in SearchScratch. Field layout and
+/// comparator mirror the IR-tree's internal QueueEntry exactly, so a pooled
+/// std::push_heap/pop_heap loop pops entries in the same order (ties
+/// included) as the baseline std::priority_queue.
+struct HeapEntry {
+  double distance;
+  const void* node;  // nullptr for object entries.
+  ObjectId id;
+  bool operator>(const HeapEntry& other) const {
+    return distance > other.distance;
+  }
+};
+
+}  // namespace internal_index
+
+/// Per-query search state pooled across a batch: query-keyword bitmask
+/// caches for IR-tree nodes and objects, memoized query-to-object and
+/// query-to-node distances, and reusable traversal buffers. (Pairwise
+/// object distances are deliberately NOT memoized: a 2-D Euclidean
+/// distance costs less than the table probe that would replace it.) One SearchScratch belongs to exactly one
+/// solver instance (and therefore to one thread under the BatchEngine's
+/// one-solver-per-worker contract); it is never shared.
+///
+/// Lifecycle per query:
+///   scratch.BeginQuery(q.λ, q.ψ, tree.node_id_limit(), dataset.NumObjects());
+///   ... masked traversals / cached distance lookups ...
+///   scratch.FinishQuery();   // audits pooled-buffer growth
+///
+/// Caches are invalidated by a per-query epoch stamp instead of clearing, so
+/// BeginQuery is O(1) in the cache sizes once the arrays are grown. After
+/// the first few queries of a batch every pooled buffer has reached its
+/// steady-state capacity and `realloc_events()` stays 0 — the property the
+/// batch tests assert.
+///
+/// With `set_enabled(false)` (the A/B baseline switch) `mask_active()` is
+/// false and the distance memo is bypassed: every scratch-aware overload in
+/// the index and the solvers then behaves exactly like the baseline path.
+class SearchScratch {
+ public:
+  SearchScratch() = default;
+
+  SearchScratch(const SearchScratch&) = delete;
+  SearchScratch& operator=(const SearchScratch&) = delete;
+
+  /// Master switch; disabling reproduces the pre-mask baseline behavior.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Starts a new query: bumps the cache epoch, rebinds the keyword mask,
+  /// sizes the cache arrays, and resets the per-query counters. Capacity
+  /// snapshots for the realloc audit are taken *before* any sizing, so
+  /// first-query warm-up growth is visible in realloc_events().
+  void BeginQuery(const Point& origin, const TermSet& keywords,
+                  size_t node_id_limit, size_t num_objects);
+
+  /// Ends the query: counts pooled buffers whose capacity changed since
+  /// BeginQuery into realloc_events() / total_realloc_events().
+  void FinishQuery();
+
+  const QueryTermMask& mask() const { return mask_; }
+
+  /// True iff masked traversal applies: scratch enabled and 1..64 query
+  /// keywords bound by BeginQuery.
+  bool mask_active() const { return enabled_ && mask_.active(); }
+
+  const Point& origin() const { return origin_; }
+
+  /// Cached query-keyword mask of IR-tree node `node_id` (computed from
+  /// `node_terms` on first access this query).
+  uint64_t NodeMask(uint32_t node_id, const TermSet& node_terms);
+
+  /// Cached query-keyword mask of object `id` (computed from `keywords` on
+  /// first access this query).
+  uint64_t ObjectMask(ObjectId id, const TermSet& keywords);
+
+  /// Reads object `id`'s cached mask without computing it: true and sets
+  /// `*mask` when the entry is warm this query. Lets traversals use the
+  /// cached mask when present but fall back to a cheaper one-shot exact
+  /// test (with no cache fill) when cold.
+  bool CachedObjectMask(ObjectId id, uint64_t* mask) const;
+
+  /// Same read-only lookup for node masks.
+  bool CachedNodeMask(uint32_t node_id, uint64_t* mask) const;
+
+  /// Memoized MinDistance(origin, node MBR), keyed by node id and valid for
+  /// this query's epoch. The value is computed with the same
+  /// Rect::MinDistance call as the baseline, so reads are bit-identical;
+  /// the k per-keyword searches of one NnSet hit this cache k-1 times per
+  /// shared node. Only valid for traversals anchored at origin().
+  double NodeMinDistance(uint32_t node_id, const Rect& mbr);
+
+  /// Memoized d(origin, o). `location` must be object `id`'s location; the
+  /// value is computed with the same Distance() call as the baseline, so
+  /// cached reads are bit-identical. Bypasses the memo when disabled.
+  double QueryDistance(ObjectId id, const Point& location);
+
+  /// Pooled best-first heap storage. Exclusively owned by one traversal at
+  /// a time; traversals clear it on entry.
+  std::vector<internal_index::HeapEntry>& heap() { return heap_; }
+
+  /// Pooled object-id buffer (range-query hits etc.). Same ownership rule.
+  std::vector<ObjectId>& id_buffer() { return id_buffer_; }
+
+  /// Distance-memo hits/misses of the current query (valid any time between
+  /// BeginQuery calls; zero while disabled).
+  uint64_t dist_cache_hits() const { return dist_hits_; }
+  uint64_t dist_cache_misses() const { return dist_misses_; }
+
+  /// Pooled buffers that changed capacity during the last
+  /// BeginQuery..FinishQuery window.
+  uint64_t realloc_events() const { return realloc_events_; }
+  uint64_t total_realloc_events() const { return total_realloc_events_; }
+  uint64_t queries_started() const { return queries_started_; }
+
+  /// Test instrumentation: when non-null, masked IR-tree traversals append
+  /// the id of every node they expand. Not owned; callers manage lifetime
+  /// and clearing.
+  void set_visit_log(std::vector<uint32_t>* log) { visit_log_ = log; }
+  std::vector<uint32_t>* visit_log() const { return visit_log_; }
+
+ private:
+  /// Epoch-stamped cache entries packed value-next-to-stamp so a lookup
+  /// touches one cache line, not one per array.
+  struct MaskSlot {
+    uint64_t epoch = 0;
+    uint64_t mask = 0;
+  };
+  struct DistSlot {
+    uint64_t epoch = 0;
+    double distance = 0.0;
+  };
+
+  bool enabled_ = true;
+  QueryTermMask mask_;
+  Point origin_;
+  uint64_t epoch_ = 0;
+
+  std::vector<MaskSlot> node_masks_;
+  std::vector<DistSlot> node_dists_;
+  std::vector<MaskSlot> obj_masks_;
+  std::vector<DistSlot> dists_;
+
+  std::vector<internal_index::HeapEntry> heap_;
+  std::vector<ObjectId> id_buffer_;
+
+  uint64_t dist_hits_ = 0;
+  uint64_t dist_misses_ = 0;
+  uint64_t realloc_events_ = 0;
+  uint64_t total_realloc_events_ = 0;
+  uint64_t queries_started_ = 0;
+  std::vector<size_t> capacity_snapshot_;
+
+  std::vector<uint32_t>* visit_log_ = nullptr;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_SEARCH_SCRATCH_H_

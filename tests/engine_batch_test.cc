@@ -326,6 +326,78 @@ TEST_F(BatchEngineTest, ResolvedThreadsHonorsExplicitCountAndDefault) {
   EXPECT_GE(BatchEngine(context_, options).ResolvedThreads(), 1);
 }
 
+// Masks off must reproduce the masked batch bit-for-bit — the engine-level
+// face of the differential suite in core_mask_diff_test.
+TEST_F(BatchEngineTest, MasksOnAndOffProduceIdenticalBatches) {
+  for (const std::string& solver :
+       {std::string("maxsum-exact"), std::string("dia-appro"),
+        std::string("cao-appro2-maxsum")}) {
+    BatchOptions masked;
+    masked.solver_name = solver;
+    masked.num_threads = 4;
+    masked.use_query_masks = true;
+    BatchOptions baseline = masked;
+    baseline.use_query_masks = false;
+    const BatchOutcome want = BatchEngine(context_, baseline).Run(queries_);
+    const BatchOutcome got = BatchEngine(context_, masked).Run(queries_);
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_TRUE(got.status.ok());
+    SCOPED_TRACE(solver);
+    ExpectSameAnswers(want.results, got.results);
+    // The baseline path must never touch the distance memo.
+    EXPECT_EQ(want.stats.dist_cache_hits, 0u);
+    EXPECT_EQ(want.stats.dist_cache_misses, 0u);
+  }
+}
+
+// The zero-steady-state-allocation property: each worker's solver pools its
+// scratch across the batch, so once the first half of a doubled batch has
+// pushed every buffer to its high-water mark, the identical second half must
+// not allocate at all.
+TEST_F(BatchEngineTest, WarmScratchStopsReallocating) {
+  std::vector<CoskqQuery> doubled = queries_;
+  doubled.insert(doubled.end(), queries_.begin(), queries_.end());
+  for (const std::string& solver :
+       {std::string("maxsum-appro"), std::string("maxsum-exact")}) {
+    BatchOptions options;
+    options.solver_name = solver;
+    options.num_threads = 1;  // One worker => one solver sees every query.
+    BatchEngine engine(context_, options);
+    const BatchOutcome outcome = engine.Run(doubled);
+    ASSERT_TRUE(outcome.status.ok());
+    uint64_t second_half = 0;
+    for (size_t i = queries_.size(); i < doubled.size(); ++i) {
+      second_half += outcome.results[i].stats.scratch_reallocs;
+    }
+    EXPECT_EQ(second_half, 0u)
+        << solver << ": warm scratch still allocating";
+  }
+}
+
+TEST_F(BatchEngineTest, CacheCountersAggregateAcrossTheBatch) {
+  BatchOptions options;
+  options.solver_name = "maxsum-exact";
+  options.num_threads = 4;
+  BatchEngine engine(context_, options);
+  const BatchOutcome outcome = engine.Run(queries_);
+  ASSERT_TRUE(outcome.status.ok());
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t reallocs = 0;
+  for (const CoskqResult& r : outcome.results) {
+    hits += r.stats.dist_cache_hits;
+    misses += r.stats.dist_cache_misses;
+    reallocs += r.stats.scratch_reallocs;
+  }
+  EXPECT_EQ(outcome.stats.dist_cache_hits, hits);
+  EXPECT_EQ(outcome.stats.dist_cache_misses, misses);
+  EXPECT_EQ(outcome.stats.scratch_reallocs, reallocs);
+  // The exact solver revisits distances heavily; the memo must be earning
+  // its keep on this workload, and the counters must reach ToString.
+  EXPECT_GT(hits, 0u);
+  EXPECT_NE(outcome.stats.ToString().find("cache{"), std::string::npos);
+}
+
 TEST_F(BatchEngineTest, EmptyBatchIsANoOp) {
   BatchOptions options;
   options.solver_name = "maxsum-appro";

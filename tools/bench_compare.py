@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and flag performance regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Walks both documents in parallel and compares every numeric metric that has
+a direction:
+
+  * keys ending in ``_ms``, ``_ms_per_op``, or ``_s``  -- lower is better
+  * keys ending in ``qps`` or ``speedup``              -- higher is better
+
+Everything else (counters, seeds, sizes, booleans, strings) is ignored.
+Rows are labelled by the path through the document, using each record's
+identifying fields (op / solver / dataset / threads / query_keywords) when
+present, so the table stays readable as reports grow.
+
+Exit status: 0 when no comparable metric regressed by more than
+``--threshold`` percent (default 20), 1 otherwise. Improvements and small
+fluctuations never fail the run; missing counterparts are reported but are
+not failures (new metrics appear as benchmarks evolve).
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_ms", "_ms_per_op", "_s")
+HIGHER_IS_BETTER = ("qps", "speedup")
+
+ID_KEYS = ("op", "solver", "dataset", "threads", "query_keywords", "name")
+
+
+def metric_direction(key):
+    """Returns -1 (lower better), +1 (higher better), or 0 (not a metric)."""
+    for suffix in LOWER_IS_BETTER:
+        if key.endswith(suffix):
+            return -1
+    for suffix in HIGHER_IS_BETTER:
+        if key.endswith(suffix):
+            return 1
+    return 0
+
+
+def record_label(node, fallback):
+    """A human-readable identifier for one JSON object."""
+    parts = []
+    for key in ID_KEYS:
+        if key in node and not isinstance(node[key], (dict, list)):
+            parts.append("%s=%s" % (key, node[key]))
+    return " ".join(parts) if parts else fallback
+
+
+def walk(node, path, out):
+    """Collects (path_label, key) -> value for every directional metric."""
+    if isinstance(node, dict):
+        label = record_label(node, path)
+        for key, value in node.items():
+            if isinstance(value, (dict, list)):
+                walk(value, "%s.%s" % (path, key) if path else key, out)
+            elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and metric_direction(key) != 0:
+                out[(label, key)] = float(value)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            walk(item, "%s[%d]" % (path, i), out)
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    walk(doc, "", out)
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    args = parser.parse_args(argv)
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    rows = []
+    regressions = []
+    for key in sorted(set(base) | set(cur)):
+        label, metric = key
+        b = base.get(key)
+        c = cur.get(key)
+        if b is None or c is None:
+            rows.append((label, metric, b, c, None, "missing"))
+            continue
+        direction = metric_direction(metric)
+        if b == 0:
+            delta_pct = 0.0 if c == 0 else float("inf")
+        else:
+            delta_pct = (c - b) / abs(b) * 100.0
+        # A regression is slower (_ms up) or less throughput (qps down).
+        regressed_pct = delta_pct if direction < 0 else -delta_pct
+        status = "ok"
+        if regressed_pct > args.threshold:
+            status = "REGRESSED"
+            regressions.append((label, metric, regressed_pct))
+        elif regressed_pct < -args.threshold:
+            status = "improved"
+        rows.append((label, metric, b, c, delta_pct, status))
+
+    def fmt(v):
+        if v is None:
+            return "-"
+        return "%.4g" % v
+
+    headers = ("metric", "baseline", "current", "delta", "status")
+    table = []
+    for label, metric, b, c, delta_pct, status in rows:
+        delta = "-" if delta_pct is None else "%+.1f%%" % delta_pct
+        table.append(("%s %s" % (label, metric), fmt(b), fmt(c), delta,
+                      status))
+    widths = [max(len(headers[i]), *(len(r[i]) for r in table)) if table
+              else len(headers[i]) for i in range(5)]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in table:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(5)))
+
+    if regressions:
+        print()
+        print("FAIL: %d metric(s) regressed more than %.0f%%:"
+              % (len(regressions), args.threshold))
+        for label, metric, pct in regressions:
+            print("  %s %s: %.1f%% worse" % (label, metric, pct))
+        return 1
+    print()
+    print("OK: no metric regressed more than %.0f%%." % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

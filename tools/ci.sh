@@ -7,8 +7,15 @@
 # re-runs engine_batch_test with COSKQ_TEST_THREADS=8 so every batch
 # assertion doubles as an 8-worker race probe.
 #
+# The perf job is opt-in (not part of the default matrix): it builds
+# Release, runs the hot-path A/B benchmark at smoke scale, and compares the
+# fresh BENCH_hotpath.json against the committed one with
+# tools/bench_compare.py. The comparison is informational on shared CI
+# runners (noisy neighbours); run it locally at full scale before accepting
+# a perf-sensitive change.
+#
 # Usage: tools/ci.sh [job...]
-#   jobs: release tsan asan  (default: all three, in that order)
+#   jobs: release tsan asan perf  (default: release tsan asan)
 
 set -euo pipefail
 
@@ -57,8 +64,24 @@ for job in "${JOBS[@]}"; do
           -DCOSKQ_BUILD_EXAMPLES=OFF
       run_fast_tests build-ci-asan
       ;;
+    perf)
+      echo "== CI job: perf smoke, hot-path A/B benchmark =="
+      configure_and_build build-ci-perf -DCMAKE_BUILD_TYPE=Release \
+          -DCOSKQ_SANITIZE=""
+      mkdir -p build-ci-perf/perf
+      ( cd build-ci-perf/perf &&
+        COSKQ_BENCH_SCALE="${COSKQ_BENCH_SCALE:-0.01}" \
+        COSKQ_BENCH_QUERIES="${COSKQ_BENCH_QUERIES:-20}" \
+            ../bench/bench_hotpath )
+      if [ -f BENCH_hotpath.json ]; then
+        # Informational on shared runners: timing noise there is far larger
+        # than the 20% gate, so a miss must not fail the matrix.
+        python3 tools/bench_compare.py BENCH_hotpath.json \
+            build-ci-perf/perf/BENCH_hotpath.json || true
+      fi
+      ;;
     *)
-      echo "unknown CI job '$job' (expected release, tsan, or asan)" >&2
+      echo "unknown CI job '$job' (expected release, tsan, asan, or perf)" >&2
       exit 2
       ;;
   esac

@@ -7,10 +7,12 @@
 //   query <dataset.txt> <solver> <x> <y> <kw> [kw...]
 //       Loads a dataset, builds the IR-tree, runs one query, prints the set.
 //   batch <dataset.txt> <solver> <queries> <keywords>
-//         [--threads N] [--seed S] [--deadline-ms D]
+//         [--threads N] [--seed S] [--deadline-ms D] [--no-masks]
 //       Generates a random query batch the paper's way and executes it on
 //       the parallel BatchEngine (N worker threads; 0 or omitted = all
-//       hardware threads), printing the aggregate latency/throughput stats.
+//       hardware threads), printing the aggregate latency stats (p50/p95/
+//       p99), throughput, and the distance-memo hit counters. --no-masks
+//       runs the pre-mask baseline hot path (A/B comparison).
 //   solvers
 //       Lists the solver registry names.
 //
@@ -45,7 +47,8 @@ int Usage() {
                "  coskq_cli query <dataset.txt> <solver> <x> <y> <kw...>\n"
                "  coskq_cli batch <dataset.txt> <solver> <queries> "
                "<keywords>\n"
-               "            [--threads N] [--seed S] [--deadline-ms D]\n"
+               "            [--threads N] [--seed S] [--deadline-ms D] "
+               "[--no-masks]\n"
                "  coskq_cli solvers\n");
   return 2;
 }
@@ -166,7 +169,16 @@ int RunBatch(const std::vector<std::string>& args) {
   uint64_t seed = 1;
   uint64_t threads = 0;
   double deadline_ms = 0.0;
-  for (size_t i = 4; i + 1 < args.size(); i += 2) {
+  bool use_query_masks = true;
+  for (size_t i = 4; i < args.size();) {
+    if (args[i] == "--no-masks") {
+      use_query_masks = false;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Usage();
+    }
     if (args[i] == "--threads") {
       if (!ParseUint64(args[i + 1], &threads)) {
         return Usage();
@@ -182,6 +194,7 @@ int RunBatch(const std::vector<std::string>& args) {
     } else {
       return Usage();
     }
+    i += 2;
   }
 
   StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
@@ -209,6 +222,7 @@ int RunBatch(const std::vector<std::string>& args) {
   options.solver_name = args[1];
   options.num_threads = static_cast<int>(threads);
   options.deadline_ms = deadline_ms;
+  options.use_query_masks = use_query_masks;
   BatchEngine engine(context, options);
   const BatchOutcome outcome = engine.Run(queries);
   if (!outcome.status.ok()) {
