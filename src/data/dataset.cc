@@ -1,6 +1,7 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -159,6 +160,13 @@ StatusOr<Dataset> ParseLines(std::istream& in, const std::string& origin) {
     if (!ParseDouble(fields[0], &x) || !ParseDouble(fields[1], &y)) {
       return Status::Corruption(origin + ":" + std::to_string(line_number) +
                                 ": malformed coordinates");
+    }
+    // strtod happily parses "nan"/"inf"; a non-finite location would poison
+    // every distance computed against it, so reject it here with the same
+    // file:line provenance as a parse failure.
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return Status::Corruption(origin + ":" + std::to_string(line_number) +
+                                ": non-finite coordinates");
     }
     std::vector<std::string> words(fields.begin() + 2, fields.end());
     dataset.AddObject(Point{x, y}, words);

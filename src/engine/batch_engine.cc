@@ -70,6 +70,31 @@ int BatchEngine::ResolvedThreads() const {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+namespace {
+
+// Run-entry validation of caller-supplied options. Everything here used to
+// be undefined behavior (negative thread counts cast through size_t, NaN
+// deadlines never firing); with the options now arriving over the wire from
+// untrusted clients they must be clean errors instead.
+Status ValidateBatchOptions(const BatchOptions& options) {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0, got " +
+        std::to_string(options.num_threads));
+  }
+  if (options.num_threads > kMaxBatchThreads) {
+    return Status::InvalidArgument(
+        "num_threads " + std::to_string(options.num_threads) +
+        " exceeds the sanity cap " + std::to_string(kMaxBatchThreads));
+  }
+  if (std::isnan(options.deadline_ms) || options.deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0 and not NaN");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 BatchOutcome BatchEngine::Run(
     const std::vector<CoskqQuery>& queries,
     const std::vector<double>* reference_costs) const {
@@ -77,6 +102,11 @@ BatchOutcome BatchEngine::Run(
   const size_t n = queries.size();
   outcome.results.resize(n);
   outcome.executed.assign(n, 0);
+
+  outcome.status = ValidateBatchOptions(options_);
+  if (!outcome.status.ok()) {
+    return outcome;
+  }
   outcome.stats.threads = ResolvedThreads();
 
   SolverOptions solver_options;

@@ -15,7 +15,14 @@
 
 namespace coskq {
 
-/// Configuration of one batch execution.
+/// Sanity cap on BatchOptions::num_threads: far above any real machine, low
+/// enough that a corrupt or hostile request cannot ask the engine to spawn
+/// an unbounded number of threads.
+inline constexpr int kMaxBatchThreads = 4096;
+
+/// Configuration of one batch execution. Validated at Run entry: a negative
+/// or NaN deadline, a negative thread count, or a thread count above
+/// kMaxBatchThreads makes Run return InvalidArgument with nothing executed.
 struct BatchOptions {
   /// Registry name of the solver answering every query in the batch
   /// (see MakeSolver).

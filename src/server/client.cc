@@ -1,0 +1,191 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coskq {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+CoskqClient::~CoskqClient() { Close(); }
+
+Status CoskqClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return ErrnoStatus("socket");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    Close();
+    return status;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  return Status::OK();
+}
+
+void CoskqClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status CoskqClient::SendFrame(Verb verb, uint32_t request_id,
+                              const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::IoError("not connected");
+  }
+  const std::string frame = EncodeFrame(verb, request_id, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> CoskqClient::ReceiveFrame() {
+  if (fd_ < 0) {
+    return Status::IoError("not connected");
+  }
+  Frame frame;
+  while (true) {
+    const FrameReader::Next next = reader_.Pop(&frame);
+    if (next == FrameReader::Next::kFrame) {
+      return frame;
+    }
+    if (next == FrameReader::Next::kCorrupt) {
+      return Status::Corruption("response stream: " + reader_.error());
+    }
+    char buf[16 * 1024];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("read");
+    }
+    reader_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<Frame> CoskqClient::ReceiveMatching(uint32_t request_id) {
+  while (true) {
+    StatusOr<Frame> frame = ReceiveFrame();
+    if (!frame.ok() || frame->request_id == request_id) {
+      return frame;
+    }
+  }
+}
+
+StatusOr<uint32_t> CoskqClient::SendQuery(const QueryRequest& request) {
+  const uint32_t id = next_request_id_++;
+  COSKQ_RETURN_IF_ERROR(
+      SendFrame(Verb::kQuery, id, EncodeQueryRequest(request)));
+  return id;
+}
+
+StatusOr<QueryReply> CoskqClient::ParseQueryReply(const Frame& frame) {
+  QueryReply reply;
+  switch (frame.verb) {
+    case Verb::kResult:
+      reply.kind = QueryReply::Kind::kResult;
+      if (!DecodeQueryResult(frame.payload, &reply.result)) {
+        return Status::Corruption("malformed RESULT payload");
+      }
+      return reply;
+    case Verb::kOverloaded:
+      reply.kind = QueryReply::Kind::kOverloaded;
+      if (!DecodeOverloadedReply(frame.payload, &reply.overloaded)) {
+        return Status::Corruption("malformed OVERLOADED payload");
+      }
+      return reply;
+    case Verb::kError:
+      reply.kind = QueryReply::Kind::kError;
+      if (!DecodeErrorReply(frame.payload, &reply.error)) {
+        return Status::Corruption("malformed ERROR payload");
+      }
+      return reply;
+    default:
+      return Status::Corruption(
+          "unexpected response verb " +
+          std::to_string(static_cast<int>(frame.verb)));
+  }
+}
+
+StatusOr<QueryReply> CoskqClient::Query(const QueryRequest& request) {
+  StatusOr<uint32_t> id = SendQuery(request);
+  if (!id.ok()) {
+    return id.status();
+  }
+  StatusOr<Frame> frame = ReceiveMatching(*id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  return ParseQueryReply(*frame);
+}
+
+StatusOr<StatsReply> CoskqClient::Stats() {
+  const uint32_t id = next_request_id_++;
+  COSKQ_RETURN_IF_ERROR(SendFrame(Verb::kStats, id, std::string()));
+  StatusOr<Frame> frame = ReceiveMatching(id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->verb != Verb::kStatsReply) {
+    return Status::Corruption("expected STATS reply");
+  }
+  StatsReply stats;
+  if (!DecodeStatsReply(frame->payload, &stats)) {
+    return Status::Corruption("malformed STATS payload");
+  }
+  return stats;
+}
+
+Status CoskqClient::Ping() {
+  const uint32_t id = next_request_id_++;
+  COSKQ_RETURN_IF_ERROR(SendFrame(Verb::kPing, id, std::string()));
+  StatusOr<Frame> frame = ReceiveMatching(id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->verb != Verb::kPong) {
+    return Status::Corruption("expected PONG");
+  }
+  return Status::OK();
+}
+
+}  // namespace coskq

@@ -1,0 +1,78 @@
+#ifndef COSKQ_SERVER_CLIENT_H_
+#define COSKQ_SERVER_CLIENT_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "server/codec.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// A reply to one QUERY: either a solver result, an OVERLOADED shed, or an
+/// application-level ERROR. All three are in-band protocol outcomes, kept
+/// apart from transport failures (which surface as a non-OK Status).
+struct QueryReply {
+  enum class Kind { kResult, kOverloaded, kError };
+  Kind kind = Kind::kResult;
+  /// Valid when kind == kResult.
+  QueryResult result;
+  /// Valid when kind == kOverloaded.
+  OverloadedReply overloaded;
+  /// Valid when kind == kError.
+  ErrorReply error;
+};
+
+/// Blocking TCP client for the CoSKQ wire protocol. Used by the tests and
+/// the coskq_load generator; deliberately minimal — one socket, synchronous
+/// round-trips, plus a raw Send/Receive pair for pipelined use.
+///
+/// Not thread-safe; use one client per thread.
+class CoskqClient {
+ public:
+  CoskqClient() = default;
+  ~CoskqClient();
+
+  CoskqClient(const CoskqClient&) = delete;
+  CoskqClient& operator=(const CoskqClient&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad).
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Synchronous round-trips. Each sends one request frame and blocks for
+  /// the response with the matching request id (frames for other ids — not
+  /// expected from a compliant server on a synchronous connection — are
+  /// skipped).
+  StatusOr<QueryReply> Query(const QueryRequest& request);
+  StatusOr<StatsReply> Stats();
+  Status Ping();
+
+  /// Pipelining primitives: send without waiting, then collect responses.
+  /// Returns the request id assigned to the frame.
+  StatusOr<uint32_t> SendQuery(const QueryRequest& request);
+  /// Receives the next frame of any verb (blocking). EOF surfaces as an
+  /// IoError mentioning "closed".
+  StatusOr<Frame> ReceiveFrame();
+
+  /// Parses a response frame into a QueryReply. Corrupt payloads and
+  /// non-QUERY response verbs are a Corruption error.
+  static StatusOr<QueryReply> ParseQueryReply(const Frame& frame);
+
+ private:
+  Status SendFrame(Verb verb, uint32_t request_id,
+                   const std::string& payload);
+  StatusOr<Frame> ReceiveMatching(uint32_t request_id);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_SERVER_CLIENT_H_

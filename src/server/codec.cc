@@ -1,0 +1,75 @@
+#include "server/codec.h"
+
+namespace coskq {
+
+namespace {
+
+uint64_t ReadLe(const std::string& buf, size_t pos, int bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void FrameReader::Append(const char* data, size_t n) {
+  if (corrupt_) {
+    return;  // Framing already lost; buffering more would be wasted work.
+  }
+  // Reclaim the consumed prefix before it dominates the buffer. Amortized
+  // O(1): each byte is moved at most once per kFrameHeaderBytes of progress.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameReader::Next FrameReader::Pop(Frame* out) {
+  if (corrupt_) {
+    return Next::kCorrupt;
+  }
+  if (buffer_.size() - pos_ < kFrameHeaderBytes) {
+    return Next::kNeedMore;
+  }
+  const uint16_t magic = static_cast<uint16_t>(ReadLe(buffer_, pos_, 2));
+  const uint8_t version = static_cast<uint8_t>(buffer_[pos_ + 2]);
+  const uint8_t verb = static_cast<uint8_t>(buffer_[pos_ + 3]);
+  const uint32_t request_id =
+      static_cast<uint32_t>(ReadLe(buffer_, pos_ + 4, 4));
+  const uint32_t payload_len =
+      static_cast<uint32_t>(ReadLe(buffer_, pos_ + 8, 4));
+  if (magic != kProtocolMagic) {
+    corrupt_ = true;
+    error_ = "bad frame magic";
+    return Next::kCorrupt;
+  }
+  if (version != kProtocolVersion) {
+    corrupt_ = true;
+    error_ = "unsupported protocol version " + std::to_string(version);
+    return Next::kCorrupt;
+  }
+  if (!IsKnownVerb(verb)) {
+    corrupt_ = true;
+    error_ = "unknown verb " + std::to_string(verb);
+    return Next::kCorrupt;
+  }
+  if (payload_len > max_payload_bytes_) {
+    corrupt_ = true;
+    error_ = "payload length " + std::to_string(payload_len) +
+             " exceeds limit " + std::to_string(max_payload_bytes_);
+    return Next::kCorrupt;
+  }
+  if (buffer_.size() - pos_ < kFrameHeaderBytes + payload_len) {
+    return Next::kNeedMore;
+  }
+  out->verb = static_cast<Verb>(verb);
+  out->request_id = request_id;
+  out->payload.assign(buffer_, pos_ + kFrameHeaderBytes, payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return Next::kFrame;
+}
+
+}  // namespace coskq

@@ -1,0 +1,62 @@
+#ifndef COSKQ_SERVER_CODEC_H_
+#define COSKQ_SERVER_CODEC_H_
+
+#include <stddef.h>
+
+#include <string>
+
+#include "server/protocol.h"
+
+namespace coskq {
+
+/// Incremental frame decoder for one byte stream. TCP delivers arbitrary
+/// chunks — a frame may arrive torn across many reads, and one read may
+/// carry many frames — so the reader buffers whatever it is fed and yields
+/// complete frames as they materialize.
+///
+/// Corruption (bad magic, unknown version, unknown verb, oversized payload
+/// length) poisons the reader permanently: framing is lost and the only safe
+/// recovery is closing the connection. The oversized-length check fires on
+/// the header alone, before any payload is buffered, so a hostile length
+/// cannot balloon memory.
+///
+/// Not thread-safe; each connection owns one FrameReader.
+class FrameReader {
+ public:
+  enum class Next {
+    /// A complete frame was popped into `out`.
+    kFrame,
+    /// The buffered bytes end mid-frame; feed more and try again.
+    kNeedMore,
+    /// The stream is corrupt (see error()); close the connection.
+    kCorrupt,
+  };
+
+  explicit FrameReader(size_t max_payload_bytes = kMaxPayloadBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Buffers `n` raw bytes from the stream.
+  void Append(const char* data, size_t n);
+
+  /// Pops the next complete frame, if any. Call in a loop after Append until
+  /// it stops returning kFrame. Once kCorrupt is returned, every later call
+  /// returns kCorrupt as well.
+  Next Pop(Frame* out);
+
+  /// Human-readable reason after kCorrupt.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (torn-frame remainder).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  size_t max_payload_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;  // Consumed prefix of buffer_.
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_SERVER_CODEC_H_

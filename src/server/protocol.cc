@@ -1,0 +1,338 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace coskq {
+
+namespace {
+
+/// Appends fixed-width little-endian integers / IEEE doubles to a string.
+/// The protocol is explicit-byte-order on the wire, so encode/decode never
+/// depend on host endianness or struct layout.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutLe(v, 2); }
+  void PutU32(uint32_t v) { PutLe(v, 4); }
+  void PutU64(uint64_t v) { PutLe(v, 8); }
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(const std::string& s) {
+    PutU16(static_cast<uint16_t>(s.size()));
+    out_->append(s);
+  }
+
+ private:
+  void PutLe(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian reads over an untrusted payload. Every
+/// getter returns false once the payload is exhausted; decoders propagate
+/// that instead of reading past the end.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) {
+      return false;
+    }
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU16(uint16_t* v) {
+    uint64_t raw = 0;
+    if (!GetLe(&raw, 2)) {
+      return false;
+    }
+    *v = static_cast<uint16_t>(raw);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    uint64_t raw = 0;
+    if (!GetLe(&raw, 4)) {
+      return false;
+    }
+    *v = static_cast<uint32_t>(raw);
+    return true;
+  }
+  bool GetU64(uint64_t* v) { return GetLe(v, 8); }
+  bool GetDouble(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) {
+      return false;
+    }
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint16_t len = 0;
+    if (!GetU16(&len) || pos_ + len > data_.size()) {
+      return false;
+    }
+    s->assign(data_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool GetLe(uint64_t* v, int bytes) {
+    if (pos_ + static_cast<size_t>(bytes) > data_.size()) {
+      return false;
+    }
+    uint64_t raw = 0;
+    for (int i = 0; i < bytes; ++i) {
+      raw |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += bytes;
+    *v = raw;
+    return true;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsKnownVerb(uint8_t v) {
+  switch (static_cast<Verb>(v)) {
+    case Verb::kQuery:
+    case Verb::kStats:
+    case Verb::kPing:
+    case Verb::kResult:
+    case Verb::kStatsReply:
+    case Verb::kPong:
+    case Verb::kOverloaded:
+    case Verb::kError:
+      return true;
+  }
+  return false;
+}
+
+std::string EncodeFrame(Verb verb, uint32_t request_id,
+                        const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  WireWriter w(&frame);
+  w.PutU16(kProtocolMagic);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(verb));
+  w.PutU32(request_id);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+std::string SolverRegistryName(SolverKind kind, CostType cost) {
+  const bool maxsum = cost == CostType::kMaxSum;
+  switch (kind) {
+    case SolverKind::kExact:
+      return maxsum ? "maxsum-exact" : "dia-exact";
+    case SolverKind::kAppro:
+      return maxsum ? "maxsum-appro" : "dia-appro";
+    case SolverKind::kCaoExact:
+      return maxsum ? "cao-exact-maxsum" : "cao-exact-dia";
+    case SolverKind::kCaoAppro1:
+      return maxsum ? "cao-appro1-maxsum" : "cao-appro1-dia";
+    case SolverKind::kCaoAppro2:
+      return maxsum ? "cao-appro2-maxsum" : "cao-appro2-dia";
+    case SolverKind::kBruteForce:
+      return maxsum ? "brute-force-maxsum" : "brute-force-dia";
+  }
+  return "";
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutDouble(request.x);
+  w.PutDouble(request.y);
+  w.PutU8(static_cast<uint8_t>(request.cost_type));
+  w.PutU8(static_cast<uint8_t>(request.solver));
+  w.PutDouble(request.deadline_ms);
+  w.PutU16(static_cast<uint16_t>(request.keywords.size()));
+  for (const std::string& kw : request.keywords) {
+    w.PutString(kw);
+  }
+  return payload;
+}
+
+bool DecodeQueryRequest(const std::string& payload, QueryRequest* out) {
+  WireReader r(payload);
+  uint8_t cost = 0;
+  uint8_t solver = 0;
+  uint16_t num_keywords = 0;
+  if (!r.GetDouble(&out->x) || !r.GetDouble(&out->y) || !r.GetU8(&cost) ||
+      !r.GetU8(&solver) || !r.GetDouble(&out->deadline_ms) ||
+      !r.GetU16(&num_keywords)) {
+    return false;
+  }
+  if (cost > static_cast<uint8_t>(CostType::kDia)) {
+    return false;
+  }
+  out->cost_type = static_cast<CostType>(cost);
+  out->solver = static_cast<SolverKind>(solver);
+  if (SolverRegistryName(out->solver, out->cost_type).empty()) {
+    return false;
+  }
+  out->keywords.clear();
+  out->keywords.reserve(num_keywords);
+  for (uint16_t i = 0; i < num_keywords; ++i) {
+    std::string kw;
+    if (!r.GetString(&kw)) {
+      return false;
+    }
+    out->keywords.push_back(std::move(kw));
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeQueryResult(const QueryResult& result) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU8(static_cast<uint8_t>(result.outcome));
+  w.PutDouble(result.cost);
+  w.PutDouble(result.solve_ms);
+  w.PutU32(static_cast<uint32_t>(result.set.size()));
+  for (uint32_t id : result.set) {
+    w.PutU32(id);
+  }
+  return payload;
+}
+
+bool DecodeQueryResult(const std::string& payload, QueryResult* out) {
+  WireReader r(payload);
+  uint8_t outcome = 0;
+  uint32_t count = 0;
+  if (!r.GetU8(&outcome) ||
+      outcome > static_cast<uint8_t>(QueryOutcome::kInfeasible) ||
+      !r.GetDouble(&out->cost) || !r.GetDouble(&out->solve_ms) ||
+      !r.GetU32(&count)) {
+    return false;
+  }
+  out->outcome = static_cast<QueryOutcome>(outcome);
+  out->set.clear();
+  out->set.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id = 0;
+    if (!r.GetU32(&id)) {
+      return false;
+    }
+    out->set.push_back(id);
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeOverloadedReply(const OverloadedReply& reply) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU32(reply.retry_after_ms);
+  w.PutU32(reply.queue_depth);
+  return payload;
+}
+
+bool DecodeOverloadedReply(const std::string& payload, OverloadedReply* out) {
+  WireReader r(payload);
+  return r.GetU32(&out->retry_after_ms) && r.GetU32(&out->queue_depth) &&
+         r.AtEnd();
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU16(static_cast<uint16_t>(reply.code));
+  w.PutString(reply.message);
+  return payload;
+}
+
+bool DecodeErrorReply(const std::string& payload, ErrorReply* out) {
+  WireReader r(payload);
+  uint16_t code = 0;
+  if (!r.GetU16(&code) || !r.GetString(&out->message) || !r.AtEnd()) {
+    return false;
+  }
+  if (code > static_cast<uint16_t>(StatusCode::kInternal)) {
+    return false;
+  }
+  out->code = static_cast<StatusCode>(code);
+  return true;
+}
+
+std::string EncodeStatsReply(const StatsReply& reply) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU64(reply.connections_accepted);
+  w.PutU64(reply.connections_active);
+  w.PutU64(reply.queries_received);
+  w.PutU64(reply.queries_executed);
+  w.PutU64(reply.queries_shed);
+  w.PutU64(reply.queries_truncated);
+  w.PutU64(reply.queries_infeasible);
+  w.PutU64(reply.queries_errored);
+  w.PutU64(reply.queries_active);
+  w.PutU64(reply.queue_depth);
+  w.PutDouble(reply.uptime_s);
+  w.PutDouble(reply.mean_ms);
+  w.PutDouble(reply.p50_ms);
+  w.PutDouble(reply.p95_ms);
+  w.PutDouble(reply.p99_ms);
+  return payload;
+}
+
+bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
+  WireReader r(payload);
+  return r.GetU64(&out->connections_accepted) &&
+         r.GetU64(&out->connections_active) &&
+         r.GetU64(&out->queries_received) &&
+         r.GetU64(&out->queries_executed) && r.GetU64(&out->queries_shed) &&
+         r.GetU64(&out->queries_truncated) &&
+         r.GetU64(&out->queries_infeasible) &&
+         r.GetU64(&out->queries_errored) && r.GetU64(&out->queries_active) &&
+         r.GetU64(&out->queue_depth) && r.GetDouble(&out->uptime_s) &&
+         r.GetDouble(&out->mean_ms) && r.GetDouble(&out->p50_ms) &&
+         r.GetDouble(&out->p95_ms) && r.GetDouble(&out->p99_ms) && r.AtEnd();
+}
+
+std::string StatsReply::ToString() const {
+  std::string s = "accepted=" + std::to_string(connections_accepted) +
+                  " conns=" + std::to_string(connections_active) +
+                  " received=" + std::to_string(queries_received) +
+                  " executed=" + std::to_string(queries_executed) +
+                  " shed=" + std::to_string(queries_shed) +
+                  " active=" + std::to_string(queries_active) +
+                  " queued=" + std::to_string(queue_depth) +
+                  " latency{avg=" + FormatMillis(mean_ms) +
+                  " p50=" + FormatMillis(p50_ms) +
+                  " p95=" + FormatMillis(p95_ms) +
+                  " p99=" + FormatMillis(p99_ms) + "}";
+  if (queries_truncated > 0) {
+    s += " truncated=" + std::to_string(queries_truncated);
+  }
+  if (queries_infeasible > 0) {
+    s += " infeasible=" + std::to_string(queries_infeasible);
+  }
+  if (queries_errored > 0) {
+    s += " errors=" + std::to_string(queries_errored);
+  }
+  return s;
+}
+
+}  // namespace coskq

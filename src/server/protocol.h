@@ -1,0 +1,168 @@
+#ifndef COSKQ_SERVER_PROTOCOL_H_
+#define COSKQ_SERVER_PROTOCOL_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// The CoSKQ wire protocol: length-prefixed binary frames over TCP, all
+/// integers and doubles little-endian.
+///
+/// Frame layout (header is kFrameHeaderBytes, payload follows immediately):
+///
+///   offset  size  field
+///   0       2     magic       0x4351 ("QC" on the wire)
+///   2       1     version     kProtocolVersion
+///   3       1     verb        Verb enumerator
+///   4       4     request_id  echoed verbatim in the response frame
+///   8       4     payload_len bytes after the header, <= kMaxPayloadBytes
+///
+/// A connection carries independent request/response pairs matched by
+/// request_id; the server answers QUERY frames out of order with respect to
+/// PING/STATS (which never enter the admission queue), so clients that
+/// pipeline must match on request_id, not arrival order.
+
+inline constexpr uint16_t kProtocolMagic = 0x4351;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Upper bound on a frame payload. A QUERY is a handful of keywords and a
+/// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
+/// a corrupt or hostile stream and is rejected before buffering.
+inline constexpr size_t kMaxPayloadBytes = 1u << 20;
+
+/// Frame verbs. Requests are 1..15, responses 17..31 so a stray response
+/// fed to the server (or vice versa) is caught at dispatch.
+enum class Verb : uint8_t {
+  kQuery = 1,
+  kStats = 2,
+  kPing = 3,
+  kResult = 17,
+  kStatsReply = 18,
+  kPong = 19,
+  kOverloaded = 20,
+  kError = 21,
+};
+
+/// True iff `v` holds a defined Verb enumerator.
+bool IsKnownVerb(uint8_t v);
+
+/// One decoded frame: the header fields plus the raw payload bytes.
+struct Frame {
+  Verb verb = Verb::kPing;
+  uint32_t request_id = 0;
+  std::string payload;
+};
+
+/// Encodes a complete frame (header + payload) ready to write to a socket.
+std::string EncodeFrame(Verb verb, uint32_t request_id,
+                        const std::string& payload);
+
+/// Solver families selectable over the wire. Combined with the CostType a
+/// family names one registry solver (see SolverRegistryName).
+enum class SolverKind : uint8_t {
+  kExact = 0,
+  kAppro = 1,
+  kCaoExact = 2,
+  kCaoAppro1 = 3,
+  kCaoAppro2 = 4,
+  kBruteForce = 5,
+};
+
+/// Maps (kind, cost) to the MakeSolver registry name, e.g.
+/// (kAppro, kMaxSum) -> "maxsum-appro". Returns an empty string for an
+/// out-of-range kind byte.
+std::string SolverRegistryName(SolverKind kind, CostType cost);
+
+/// QUERY payload: the query location and keywords (as strings — the server
+/// owns the vocabulary interning), the solver selection, and the per-request
+/// deadline propagated into BatchOptions::deadline_ms (0 = none).
+struct QueryRequest {
+  double x = 0.0;
+  double y = 0.0;
+  CostType cost_type = CostType::kMaxSum;
+  SolverKind solver = SolverKind::kAppro;
+  double deadline_ms = 0.0;
+  std::vector<std::string> keywords;
+};
+
+/// Solver outcome reported in a RESULT payload.
+enum class QueryOutcome : uint8_t {
+  /// Solved to completion.
+  kExecuted = 0,
+  /// The per-request deadline fired; the reply carries the incumbent.
+  kDeadlineTruncated = 1,
+  /// Some query keyword matches no object; the set is empty, cost +inf.
+  kInfeasible = 2,
+};
+
+/// RESULT payload.
+struct QueryResult {
+  QueryOutcome outcome = QueryOutcome::kExecuted;
+  double cost = 0.0;
+  /// Server-side solve time (solver-reported elapsed_ms).
+  double solve_ms = 0.0;
+  std::vector<uint32_t> set;
+};
+
+/// OVERLOADED payload: the admission queue was full. The client should back
+/// off for ~retry_after_ms before retrying; queue_depth is informational.
+struct OverloadedReply {
+  uint32_t retry_after_ms = 0;
+  uint32_t queue_depth = 0;
+};
+
+/// ERROR payload: a Status the server could not express as a RESULT
+/// (malformed request payload, unknown solver, invalid deadline, draining).
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+/// STATS payload: a point-in-time snapshot of the server counters and the
+/// service-latency distribution (arrival to response enqueue) over the most
+/// recent window.
+struct StatsReply {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t queries_received = 0;
+  uint64_t queries_executed = 0;
+  uint64_t queries_shed = 0;
+  uint64_t queries_truncated = 0;
+  uint64_t queries_infeasible = 0;
+  uint64_t queries_errored = 0;
+  uint64_t queries_active = 0;
+  uint64_t queue_depth = 0;
+  double uptime_s = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// One-line human rendering for logs and the load generator.
+  std::string ToString() const;
+};
+
+/// Payload encoders. Deterministic byte-for-byte for identical inputs.
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeQueryResult(const QueryResult& result);
+std::string EncodeOverloadedReply(const OverloadedReply& reply);
+std::string EncodeErrorReply(const ErrorReply& reply);
+std::string EncodeStatsReply(const StatsReply& reply);
+
+/// Payload decoders: false on truncated, oversized, or otherwise malformed
+/// payloads (never aborts — wire bytes are untrusted input).
+bool DecodeQueryRequest(const std::string& payload, QueryRequest* out);
+bool DecodeQueryResult(const std::string& payload, QueryResult* out);
+bool DecodeOverloadedReply(const std::string& payload, OverloadedReply* out);
+bool DecodeErrorReply(const std::string& payload, ErrorReply* out);
+bool DecodeStatsReply(const std::string& payload, StatsReply* out);
+
+}  // namespace coskq
+
+#endif  // COSKQ_SERVER_PROTOCOL_H_

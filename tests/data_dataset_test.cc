@@ -82,6 +82,43 @@ TEST(DatasetTest, ParseRejectsMalformed) {
             StatusCode::kCorruption);
 }
 
+// strtod accepts "nan"/"inf" spellings, so the loader must reject them
+// explicitly — a non-finite coordinate would poison every distance.
+TEST(DatasetTest, ParseRejectsNonFiniteCoordinates) {
+  for (const char* line : {"nan 1.0 cafe\n", "1.0 inf cafe\n",
+                           "-inf 0.0 cafe\n", "0.0 NaN cafe\n"}) {
+    auto result = Dataset::ParseFromString(line);
+    ASSERT_FALSE(result.ok()) << line;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption) << line;
+    EXPECT_NE(result.status().ToString().find("non-finite"),
+              std::string::npos)
+        << line;
+  }
+}
+
+// Regression: a malformed row in a file must be reported with the file name
+// and the 1-based line number of the offending row (comments and blank
+// lines count toward the numbering; they are how the file is edited).
+TEST(DatasetTest, LoadReportsFileAndLineOfCorruptRow) {
+  const std::string path = ::testing::TempDir() + "/coskq_corrupt.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# header comment\n", f);
+    std::fputs("0.5 0.25 cafe wifi\n", f);
+    std::fputs("\n", f);
+    std::fputs("3.5 oops museum\n", f);  // Line 4: malformed y.
+    std::fclose(f);
+  }
+  auto result = Dataset::LoadFromFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  EXPECT_NE(message.find(":4"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
 TEST(DatasetTest, ObjectWithNoKeywordsAllowed) {
   auto ds = Dataset::ParseFromString("1.0 2.0\n");
   ASSERT_TRUE(ds.ok());

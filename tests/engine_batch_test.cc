@@ -398,6 +398,40 @@ TEST_F(BatchEngineTest, CacheCountersAggregateAcrossTheBatch) {
   EXPECT_NE(outcome.stats.ToString().find("cache{"), std::string::npos);
 }
 
+// Options now arrive over the wire from untrusted clients; each bad shape
+// must be a clean InvalidArgument with nothing executed, not UB.
+TEST_F(BatchEngineTest, InvalidOptionsAreRejectedAtRunEntry) {
+  struct Case {
+    const char* name;
+    BatchOptions options;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"negative threads", {}});
+  cases.back().options.num_threads = -1;
+  cases.push_back({"absurd threads", {}});
+  cases.back().options.num_threads = kMaxBatchThreads + 1;
+  cases.push_back({"negative deadline", {}});
+  cases.back().options.deadline_ms = -1.0;
+  cases.push_back({"nan deadline", {}});
+  cases.back().options.deadline_ms = std::nan("");
+
+  for (const Case& c : cases) {
+    BatchEngine engine(context_, c.options);
+    const BatchOutcome outcome = engine.Run(queries_);
+    EXPECT_FALSE(outcome.status.ok()) << c.name;
+    EXPECT_EQ(outcome.status.code(), StatusCode::kInvalidArgument) << c.name;
+    EXPECT_EQ(outcome.stats.executed, 0u) << c.name;
+    for (uint8_t e : outcome.executed) {
+      EXPECT_EQ(e, 0) << c.name;
+    }
+  }
+
+  // The cap itself is fine; just below it must not be rejected for shape.
+  BatchOptions at_cap;
+  at_cap.num_threads = kMaxBatchThreads;
+  EXPECT_TRUE(BatchEngine(context_, at_cap).Run({}).status.ok());
+}
+
 TEST_F(BatchEngineTest, EmptyBatchIsANoOp) {
   BatchOptions options;
   options.solver_name = "maxsum-appro";

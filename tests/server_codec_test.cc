@@ -1,0 +1,339 @@
+// Wire-format tests for the server protocol: the incremental FrameReader
+// against torn/partial/corrupt streams, and round-trip + truncation sweeps
+// for every payload codec. Everything here is pure in-memory byte pushing —
+// no sockets — so failures localize to the codec, not the event loop.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/codec.h"
+#include "server/protocol.h"
+
+namespace coskq {
+namespace {
+
+QueryRequest MakeRequest() {
+  QueryRequest request;
+  request.x = 0.25;
+  request.y = -3.5;
+  request.cost_type = CostType::kDia;
+  request.solver = SolverKind::kCaoAppro2;
+  request.deadline_ms = 12.5;
+  request.keywords = {"cafe", "museum", "park"};
+  return request;
+}
+
+// --------------------------------------------------------------------------
+// FrameReader.
+
+TEST(FrameReaderTest, SingleFrameInOneAppend) {
+  const std::string wire = EncodeFrame(Verb::kPing, 42, "");
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame.verb, Verb::kPing);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+// The central torn-frame property: splitting the byte stream at *every*
+// possible boundary must yield exactly the same frames.
+TEST(FrameReaderTest, TornAtEveryByteBoundary) {
+  const std::string wire =
+      EncodeFrame(Verb::kQuery, 7, EncodeQueryRequest(MakeRequest())) +
+      EncodeFrame(Verb::kStats, 8, "") +
+      EncodeFrame(Verb::kError, 9,
+                  EncodeErrorReply({StatusCode::kInternal, "boom"}));
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    FrameReader reader;
+    reader.Append(wire.data(), split);
+    std::vector<Frame> frames;
+    Frame frame;
+    while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+      frames.push_back(frame);
+    }
+    reader.Append(wire.data() + split, wire.size() - split);
+    while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+      frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u) << "split at byte " << split;
+    EXPECT_EQ(frames[0].verb, Verb::kQuery);
+    EXPECT_EQ(frames[0].request_id, 7u);
+    EXPECT_EQ(frames[1].verb, Verb::kStats);
+    EXPECT_EQ(frames[1].request_id, 8u);
+    EXPECT_EQ(frames[2].verb, Verb::kError);
+    EXPECT_EQ(frames[2].request_id, 9u);
+    QueryRequest decoded;
+    ASSERT_TRUE(DecodeQueryRequest(frames[0].payload, &decoded))
+        << "split at byte " << split;
+    EXPECT_EQ(decoded.keywords, MakeRequest().keywords);
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameReaderTest, ByteByByteFeed) {
+  const std::string wire =
+      EncodeFrame(Verb::kResult, 3,
+                  EncodeQueryResult({QueryOutcome::kExecuted, 1.5, 0.25,
+                                     {10, 20, 30}}));
+  FrameReader reader;
+  Frame frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.Append(wire.data() + i, 1);
+    ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore)
+        << "frame completed early at byte " << i;
+  }
+  reader.Append(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  QueryResult result;
+  ASSERT_TRUE(DecodeQueryResult(frame.payload, &result));
+  EXPECT_EQ(result.set, (std::vector<uint32_t>{10, 20, 30}));
+}
+
+TEST(FrameReaderTest, ManyFramesInOneAppend) {
+  std::string wire;
+  for (uint32_t id = 0; id < 100; ++id) {
+    wire += EncodeFrame(Verb::kPing, id, "");
+  }
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  for (uint32_t id = 0; id < 100; ++id) {
+    ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+    EXPECT_EQ(frame.request_id, id);
+  }
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kNeedMore);
+}
+
+TEST(FrameReaderTest, GarbageHeaderIsCorrupt) {
+  const std::string garbage = "GET / HTTP/1.1\r\n";
+  FrameReader reader;
+  reader.Append(garbage.data(), garbage.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+  EXPECT_NE(reader.error().find("magic"), std::string::npos);
+  // Corruption is permanent: more (even valid) bytes do not recover it.
+  const std::string valid = EncodeFrame(Verb::kPing, 1, "");
+  reader.Append(valid.data(), valid.size());
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+}
+
+TEST(FrameReaderTest, WrongVersionIsCorrupt) {
+  std::string wire = EncodeFrame(Verb::kPing, 1, "");
+  wire[2] = static_cast<char>(kProtocolVersion + 1);
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+  EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST(FrameReaderTest, UnknownVerbIsCorrupt) {
+  std::string wire = EncodeFrame(Verb::kPing, 1, "");
+  wire[3] = static_cast<char>(99);
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+  EXPECT_NE(reader.error().find("verb"), std::string::npos);
+}
+
+// A hostile length must be rejected from the 12 header bytes alone, before
+// any payload is buffered.
+TEST(FrameReaderTest, OversizedLengthRejectedFromHeaderAlone) {
+  std::string header = EncodeFrame(Verb::kQuery, 1, "").substr(
+      0, kFrameHeaderBytes);
+  const uint32_t huge = static_cast<uint32_t>(kMaxPayloadBytes) + 1;
+  header[8] = static_cast<char>(huge & 0xff);
+  header[9] = static_cast<char>((huge >> 8) & 0xff);
+  header[10] = static_cast<char>((huge >> 16) & 0xff);
+  header[11] = static_cast<char>((huge >> 24) & 0xff);
+  FrameReader reader;
+  reader.Append(header.data(), header.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+  EXPECT_NE(reader.error().find("exceeds"), std::string::npos);
+}
+
+TEST(FrameReaderTest, PayloadAtLimitIsAccepted) {
+  FrameReader reader(/*max_payload_bytes=*/64);
+  const std::string wire = EncodeFrame(Verb::kQuery, 5, std::string(64, 'x'));
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Pop(&frame), FrameReader::Next::kFrame);
+  EXPECT_EQ(frame.payload.size(), 64u);
+
+  const std::string over = EncodeFrame(Verb::kQuery, 6, std::string(65, 'x'));
+  reader.Append(over.data(), over.size());
+  EXPECT_EQ(reader.Pop(&frame), FrameReader::Next::kCorrupt);
+}
+
+// Long-lived connection: the internal buffer compaction must never corrupt
+// frames that straddle a compaction point.
+TEST(FrameReaderTest, SustainedStreamSurvivesCompaction) {
+  FrameReader reader;
+  Frame frame;
+  const std::string payload(1000, 'p');
+  uint32_t popped = 0;
+  for (uint32_t id = 0; id < 200; ++id) {
+    const std::string wire = EncodeFrame(Verb::kQuery, id, payload);
+    // Feed in two uneven chunks to keep a torn tail around.
+    const size_t cut = wire.size() / 3;
+    reader.Append(wire.data(), cut);
+    while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+      ASSERT_EQ(frame.request_id, popped++);
+      ASSERT_EQ(frame.payload, payload);
+    }
+    reader.Append(wire.data() + cut, wire.size() - cut);
+    while (reader.Pop(&frame) == FrameReader::Next::kFrame) {
+      ASSERT_EQ(frame.request_id, popped++);
+      ASSERT_EQ(frame.payload, payload);
+    }
+  }
+  EXPECT_EQ(popped, 200u);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Payload codecs: round trips.
+
+TEST(PayloadCodecTest, QueryRequestRoundTrip) {
+  const QueryRequest request = MakeRequest();
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(EncodeQueryRequest(request), &decoded));
+  EXPECT_EQ(decoded.x, request.x);
+  EXPECT_EQ(decoded.y, request.y);
+  EXPECT_EQ(decoded.cost_type, request.cost_type);
+  EXPECT_EQ(decoded.solver, request.solver);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.keywords, request.keywords);
+}
+
+TEST(PayloadCodecTest, QueryResultRoundTrip) {
+  QueryResult result;
+  result.outcome = QueryOutcome::kDeadlineTruncated;
+  result.cost = 123.456;
+  result.solve_ms = 7.5;
+  result.set = {0, 1, 4294967295u};
+  QueryResult decoded;
+  ASSERT_TRUE(DecodeQueryResult(EncodeQueryResult(result), &decoded));
+  EXPECT_EQ(decoded.outcome, result.outcome);
+  EXPECT_EQ(decoded.cost, result.cost);
+  EXPECT_EQ(decoded.solve_ms, result.solve_ms);
+  EXPECT_EQ(decoded.set, result.set);
+}
+
+TEST(PayloadCodecTest, OverloadedRoundTrip) {
+  OverloadedReply decoded;
+  ASSERT_TRUE(
+      DecodeOverloadedReply(EncodeOverloadedReply({50, 64}), &decoded));
+  EXPECT_EQ(decoded.retry_after_ms, 50u);
+  EXPECT_EQ(decoded.queue_depth, 64u);
+}
+
+TEST(PayloadCodecTest, ErrorRoundTrip) {
+  ErrorReply decoded;
+  ASSERT_TRUE(DecodeErrorReply(
+      EncodeErrorReply({StatusCode::kInvalidArgument, "bad deadline"}),
+      &decoded));
+  EXPECT_EQ(decoded.code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(decoded.message, "bad deadline");
+}
+
+TEST(PayloadCodecTest, StatsRoundTrip) {
+  StatsReply stats;
+  stats.connections_accepted = 10;
+  stats.connections_active = 3;
+  stats.queries_received = 1000;
+  stats.queries_executed = 900;
+  stats.queries_shed = 80;
+  stats.queries_truncated = 5;
+  stats.queries_infeasible = 9;
+  stats.queries_errored = 6;
+  stats.queries_active = 2;
+  stats.queue_depth = 7;
+  stats.uptime_s = 12.5;
+  stats.mean_ms = 1.25;
+  stats.p50_ms = 1.0;
+  stats.p95_ms = 4.0;
+  stats.p99_ms = 9.0;
+  StatsReply decoded;
+  ASSERT_TRUE(DecodeStatsReply(EncodeStatsReply(stats), &decoded));
+  EXPECT_EQ(decoded.connections_accepted, 10u);
+  EXPECT_EQ(decoded.queries_shed, 80u);
+  EXPECT_EQ(decoded.queue_depth, 7u);
+  EXPECT_EQ(decoded.p99_ms, 9.0);
+}
+
+// --------------------------------------------------------------------------
+// Payload codecs: malformed input. Every proper prefix of a valid encoding
+// must decode to false — never crash, never accept.
+
+template <typename T>
+void ExpectAllPrefixesRejected(const std::string& wire,
+                               bool (*decode)(const std::string&, T*)) {
+  for (size_t len = 0; len < wire.size(); ++len) {
+    T out;
+    EXPECT_FALSE(decode(wire.substr(0, len), &out))
+        << "accepted a " << len << "-byte prefix of a " << wire.size()
+        << "-byte payload";
+  }
+}
+
+TEST(PayloadCodecTest, TruncationSweeps) {
+  ExpectAllPrefixesRejected(EncodeQueryRequest(MakeRequest()),
+                            DecodeQueryRequest);
+  ExpectAllPrefixesRejected(
+      EncodeQueryResult({QueryOutcome::kExecuted, 1.0, 2.0, {1, 2, 3}}),
+      DecodeQueryResult);
+  ExpectAllPrefixesRejected(EncodeOverloadedReply({50, 64}),
+                            DecodeOverloadedReply);
+  ExpectAllPrefixesRejected(
+      EncodeErrorReply({StatusCode::kInternal, "message"}), DecodeErrorReply);
+  ExpectAllPrefixesRejected(EncodeStatsReply(StatsReply{}), DecodeStatsReply);
+}
+
+TEST(PayloadCodecTest, TrailingJunkRejected) {
+  QueryRequest decoded;
+  EXPECT_FALSE(
+      DecodeQueryRequest(EncodeQueryRequest(MakeRequest()) + "x", &decoded));
+  QueryResult result;
+  EXPECT_FALSE(DecodeQueryResult(
+      EncodeQueryResult({QueryOutcome::kExecuted, 1.0, 2.0, {}}) + "x",
+      &result));
+}
+
+TEST(PayloadCodecTest, BadEnumBytesRejected) {
+  std::string wire = EncodeQueryRequest(MakeRequest());
+  wire[16] = 9;  // cost_type byte past kDia.
+  QueryRequest decoded;
+  EXPECT_FALSE(DecodeQueryRequest(wire, &decoded));
+
+  wire = EncodeQueryRequest(MakeRequest());
+  wire[17] = 99;  // solver byte outside SolverKind.
+  EXPECT_FALSE(DecodeQueryRequest(wire, &decoded));
+
+  std::string result_wire =
+      EncodeQueryResult({QueryOutcome::kExecuted, 1.0, 2.0, {}});
+  result_wire[0] = 7;  // outcome byte past kInfeasible.
+  QueryResult result;
+  EXPECT_FALSE(DecodeQueryResult(result_wire, &result));
+}
+
+TEST(PayloadCodecTest, SolverRegistryNameCoversEveryCombination) {
+  for (uint8_t kind = 0; kind <= 5; ++kind) {
+    for (CostType cost : {CostType::kMaxSum, CostType::kDia}) {
+      EXPECT_FALSE(
+          SolverRegistryName(static_cast<SolverKind>(kind), cost).empty());
+    }
+  }
+  EXPECT_TRUE(SolverRegistryName(static_cast<SolverKind>(6), CostType::kMaxSum)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace coskq

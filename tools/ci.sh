@@ -7,12 +7,19 @@
 # re-runs engine_batch_test with COSKQ_TEST_THREADS=8 so every batch
 # assertion doubles as an 8-worker race probe.
 #
+# The fast tier includes the serving layer (server_codec_test and the
+# server_loopback_test, which binds a real epoll server on localhost), so
+# both sanitizer jobs exercise the event loop, the wire codecs, and the
+# worker handoff on every build.
+#
 # The perf job is opt-in (not part of the default matrix): it builds
-# Release, runs the hot-path A/B benchmark at smoke scale, and compares the
+# Release, runs the hot-path A/B benchmark at smoke scale, compares the
 # fresh BENCH_hotpath.json against the committed one with
-# tools/bench_compare.py. The comparison is informational on shared CI
-# runners (noisy neighbours); run it locally at full scale before accepting
-# a perf-sensitive change.
+# tools/bench_compare.py, and finishes with a 10-second coskq_load soak
+# against a live `coskq_cli serve` instance (saturation + graceful SIGTERM
+# drain must both hold). The benchmark comparison is informational on
+# shared CI runners (noisy neighbours); run it locally at full scale before
+# accepting a perf-sensitive change.
 #
 # Usage: tools/ci.sh [job...]
 #   jobs: release tsan asan perf  (default: release tsan asan)
@@ -79,6 +86,28 @@ for job in "${JOBS[@]}"; do
         python3 tools/bench_compare.py BENCH_hotpath.json \
             build-ci-perf/perf/BENCH_hotpath.json || true
       fi
+
+      echo "== perf: 10-second coskq_load soak against a live server =="
+      SOAK_DIR=build-ci-perf/soak
+      mkdir -p "$SOAK_DIR"
+      ./build-ci-perf/tools/coskq_cli generate 20000 "$SOAK_DIR/soak.txt" \
+          --seed 7 > /dev/null
+      ./build-ci-perf/tools/coskq_cli serve "$SOAK_DIR/soak.txt" --port 0 \
+          --workers 2 --queue-cap 16 --port-file "$SOAK_DIR/port" &
+      SERVE_PID=$!
+      for _ in $(seq 1 100); do
+        [ -s "$SOAK_DIR/port" ] && break
+        sleep 0.1
+      done
+      [ -s "$SOAK_DIR/port" ] || { echo "server never bound"; exit 1; }
+      # Offered load well above two workers' capacity: the soak passes only
+      # if the server keeps answering (shedding OVERLOADED as needed) for
+      # the whole window without a transport error or accept-loop stall.
+      ./build-ci-perf/tools/coskq_load 127.0.0.1 "$(cat "$SOAK_DIR/port")" \
+          "$SOAK_DIR/soak.txt" --qps 200 --duration-s 10 --connections 4 \
+          --deadline-ms 50 --seed 11
+      kill -TERM "$SERVE_PID"
+      wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
       ;;
     *)
       echo "unknown CI job '$job' (expected release, tsan, asan, or perf)" >&2

@@ -13,6 +13,12 @@
 //       hardware threads), printing the aggregate latency stats (p50/p95/
 //       p99), throughput, and the distance-memo hit counters. --no-masks
 //       runs the pre-mask baseline hot path (A/B comparison).
+//   serve <dataset.txt> [--port P] [--workers N] [--queue-cap Q]
+//         [--max-deadline-ms D] [--port-file PATH]
+//       Loads the dataset, builds the IR-tree, and serves the CoSKQ wire
+//       protocol (QUERY/STATS/PING) on 127.0.0.1:P (P = 0 binds an
+//       ephemeral port; --port-file writes the bound port for scripts).
+//       Drains gracefully on SIGTERM/SIGINT and prints the final stats.
 //   solvers
 //       Lists the solver registry names.
 //
@@ -20,6 +26,7 @@
 //   coskq_cli generate hotel /tmp/hotel.txt --scale 1
 //   coskq_cli query /tmp/hotel.txt maxsum-exact 0.4 0.6 t1 t5 t9
 //   coskq_cli batch /tmp/hotel.txt maxsum-appro 500 6 --threads 8
+//   coskq_cli serve /tmp/hotel.txt --port 7311 --workers 8
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +39,7 @@
 #include "data/synthetic.h"
 #include "engine/batch_engine.h"
 #include "index/irtree.h"
+#include "server/server.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -49,6 +57,9 @@ int Usage() {
                "<keywords>\n"
                "            [--threads N] [--seed S] [--deadline-ms D] "
                "[--no-masks]\n"
+               "  coskq_cli serve <dataset.txt> [--port P] [--workers N] "
+               "[--queue-cap Q]\n"
+               "            [--max-deadline-ms D] [--port-file PATH]\n"
                "  coskq_cli solvers\n");
   return 2;
 }
@@ -238,6 +249,81 @@ int RunBatch(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunServe(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  ServerOptions options;
+  options.num_workers = 0;  // All hardware threads by default.
+  std::string port_file;
+  for (size_t i = 1; i < args.size();) {
+    if (i + 1 >= args.size()) {
+      return Usage();
+    }
+    uint64_t value = 0;
+    if (args[i] == "--port") {
+      if (!ParseUint64(args[i + 1], &value) || value > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (args[i] == "--workers") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.num_workers = static_cast<int>(value);
+    } else if (args[i] == "--queue-cap") {
+      if (!ParseUint64(args[i + 1], &value) || value == 0) {
+        return Usage();
+      }
+      options.queue_capacity = value;
+    } else if (args[i] == "--max-deadline-ms") {
+      if (!ParseDouble(args[i + 1], &options.max_deadline_ms)) {
+        return Usage();
+      }
+    } else if (args[i] == "--port-file") {
+      port_file = args[i + 1];
+    } else {
+      return Usage();
+    }
+    i += 2;
+  }
+
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).value();
+  WallTimer build_timer;
+  IrTree index(&dataset);
+  CoskqContext context{&dataset, &index};
+  std::printf("loaded %s objects, IR-tree built in %.1f ms\n",
+              FormatWithCommas(dataset.NumObjects()).c_str(),
+              build_timer.ElapsedMillis());
+
+  CoskqServer server(context, options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  CoskqServer::InstallSignalHandlers(&server);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    }
+  }
+  std::printf("serving on %s:%u (workers=%d queue=%zu); SIGTERM drains\n",
+              options.host.c_str(), server.port(), options.num_workers,
+              options.queue_capacity);
+  std::fflush(stdout);
+  server.Wait();
+  std::printf("drained: %s\n", server.stats().ToString().c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -252,6 +338,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "batch") {
     return RunBatch(args);
+  }
+  if (command == "serve") {
+    return RunServe(args);
   }
   if (command == "solvers") {
     for (const std::string& name : AvailableSolverNames()) {

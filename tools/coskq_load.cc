@@ -1,0 +1,336 @@
+// coskq_load — open-loop load generator for the CoSKQ query service.
+//
+// Drives a running `coskq_cli serve` instance at a target arrival rate:
+// request k is *scheduled* at k/QPS seconds after start regardless of how
+// fast earlier requests completed (open loop — no coordinated omission), so
+// a saturated server shows up as shed OVERLOADED responses and latency
+// inflation instead of a silently reduced offered rate.
+//
+//   coskq_load <host> <port> <dataset.txt>
+//       [--qps Q] [--duration-s D] [--connections C] [--keywords K]
+//       [--solver exact|appro|cao-exact|cao-appro1|cao-appro2|brute-force]
+//       [--cost maxsum|dia] [--deadline-ms D] [--deadline-jitter-ms J]
+//       [--seed S]
+//
+// The dataset file is the one the server loaded; it is read only to
+// reproduce the vocabulary so generated queries carry real keywords. Each
+// request draws its deadline uniformly from [D-J, D+J] (clamped at >= 0;
+// 0 = none). Prints achieved throughput, the response mix, and a
+// log-scaled latency histogram with p50/p95/p99.
+//
+// Exit status: 0 when every request got an in-band protocol response
+// (RESULT / OVERLOADED / ERROR); 1 on transport failures or when nothing
+// succeeded at all.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/query_gen.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace coskq {
+namespace {
+
+struct LoadConfig {
+  std::string host;
+  uint16_t port = 0;
+  std::string dataset_path;
+  double qps = 200.0;
+  double duration_s = 5.0;
+  int connections = 4;
+  size_t keywords = 4;
+  SolverKind solver = SolverKind::kAppro;
+  CostType cost = CostType::kMaxSum;
+  double deadline_ms = 0.0;
+  double deadline_jitter_ms = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Per-request record; kind -1 marks a transport failure.
+struct Sample {
+  double latency_ms = 0.0;
+  int kind = -1;
+  QueryOutcome outcome = QueryOutcome::kExecuted;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: coskq_load <host> <port> <dataset.txt> [--qps Q] "
+      "[--duration-s D]\n"
+      "       [--connections C] [--keywords K] [--solver KIND] "
+      "[--cost maxsum|dia]\n"
+      "       [--deadline-ms D] [--deadline-jitter-ms J] [--seed S]\n");
+  return 2;
+}
+
+bool ParseSolverKind(const std::string& name, SolverKind* out) {
+  if (name == "exact") {
+    *out = SolverKind::kExact;
+  } else if (name == "appro") {
+    *out = SolverKind::kAppro;
+  } else if (name == "cao-exact") {
+    *out = SolverKind::kCaoExact;
+  } else if (name == "cao-appro1") {
+    *out = SolverKind::kCaoAppro1;
+  } else if (name == "cao-appro2") {
+    *out = SolverKind::kCaoAppro2;
+  } else if (name == "brute-force") {
+    *out = SolverKind::kBruteForce;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Latency histogram over doubling buckets starting at 0.25 ms.
+void PrintHistogram(const std::vector<double>& latencies) {
+  if (latencies.empty()) {
+    return;
+  }
+  constexpr int kBuckets = 14;
+  size_t counts[kBuckets] = {0};
+  for (double ms : latencies) {
+    double bound = 0.25;
+    int b = 0;
+    while (b < kBuckets - 1 && ms > bound) {
+      bound *= 2.0;
+      ++b;
+    }
+    ++counts[b];
+  }
+  const size_t peak = *std::max_element(counts, counts + kBuckets);
+  double bound = 0.25;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] > 0) {
+      const int bar =
+          static_cast<int>(40.0 * static_cast<double>(counts[b]) /
+                           static_cast<double>(peak));
+      std::printf("  %8s %-40s %zu\n",
+                  (b == kBuckets - 1 ? "> " + FormatMillis(bound / 2)
+                                     : "<= " + FormatMillis(bound))
+                      .c_str(),
+                  std::string(static_cast<size_t>(std::max(bar, 1)), '#')
+                      .c_str(),
+                  counts[b]);
+    }
+    bound *= 2.0;
+  }
+}
+
+int RunLoad(const LoadConfig& config) {
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(config.dataset_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset dataset = std::move(loaded).value();
+
+  // Pre-generate every request so the send loops do no work but pacing.
+  const size_t total =
+      static_cast<size_t>(config.qps * config.duration_s + 0.5);
+  if (total == 0) {
+    std::fprintf(stderr, "error: qps * duration rounds to zero requests\n");
+    return 1;
+  }
+  QueryGenerator gen(&dataset);
+  Rng rng(config.seed);
+  std::vector<QueryRequest> requests;
+  requests.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const CoskqQuery q = gen.Generate(config.keywords, &rng);
+    QueryRequest request;
+    request.x = q.location.x;
+    request.y = q.location.y;
+    request.cost_type = config.cost;
+    request.solver = config.solver;
+    request.deadline_ms = config.deadline_ms;
+    if (config.deadline_ms > 0.0 && config.deadline_jitter_ms > 0.0) {
+      request.deadline_ms = std::max(
+          0.0, rng.UniformDouble(config.deadline_ms - config.deadline_jitter_ms,
+                                 config.deadline_ms + config.deadline_jitter_ms));
+    }
+    request.keywords.reserve(q.keywords.size());
+    for (TermId t : q.keywords) {
+      request.keywords.push_back(dataset.vocabulary().TermString(t));
+    }
+    requests.push_back(std::move(request));
+  }
+
+  // Thread t sends requests t, t+C, t+2C, ... each at its scheduled time.
+  std::vector<Sample> samples(total);
+  std::atomic<size_t> transport_errors{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.connections);
+  for (int t = 0; t < config.connections; ++t) {
+    threads.emplace_back([&, t] {
+      CoskqClient client;
+      if (!client.Connect(config.host, config.port).ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      for (size_t i = static_cast<size_t>(t); i < total;
+           i += static_cast<size_t>(config.connections)) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / config.qps));
+        std::this_thread::sleep_until(scheduled);
+        WallTimer timer;
+        StatusOr<QueryReply> reply = client.Query(requests[i]);
+        samples[i].latency_ms = timer.ElapsedMillis();
+        if (!reply.ok()) {
+          transport_errors.fetch_add(1);
+          return;  // The connection is unusable; stop this lane.
+        }
+        samples[i].kind = static_cast<int>(reply->kind);
+        if (reply->kind == QueryReply::Kind::kResult) {
+          samples[i].outcome = reply->result.outcome;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Aggregate.
+  size_t ok = 0;
+  size_t truncated = 0;
+  size_t infeasible = 0;
+  size_t overloaded = 0;
+  size_t errors = 0;
+  std::vector<double> ok_latencies;
+  ok_latencies.reserve(total);
+  for (const Sample& s : samples) {
+    switch (s.kind) {
+      case static_cast<int>(QueryReply::Kind::kResult):
+        if (s.outcome == QueryOutcome::kDeadlineTruncated) {
+          ++truncated;
+        } else if (s.outcome == QueryOutcome::kInfeasible) {
+          ++infeasible;
+        }
+        ++ok;
+        ok_latencies.push_back(s.latency_ms);
+        break;
+      case static_cast<int>(QueryReply::Kind::kOverloaded):
+        ++overloaded;
+        break;
+      case static_cast<int>(QueryReply::Kind::kError):
+        ++errors;
+        break;
+      default:
+        break;  // Transport failure or never sent; counted separately.
+    }
+  }
+
+  std::printf("offered %zu requests at %s qps over %s connections\n", total,
+              FormatDouble(config.qps, 1).c_str(),
+              FormatWithCommas(config.connections).c_str());
+  std::printf(
+      "answered %zu (%s/s): results=%zu (truncated=%zu infeasible=%zu) "
+      "overloaded=%zu errors=%zu transport_errors=%zu\n",
+      ok + overloaded + errors,
+      FormatDouble(static_cast<double>(ok) / wall_s, 1).c_str(), ok,
+      truncated, infeasible, overloaded, errors, transport_errors.load());
+  if (!ok_latencies.empty()) {
+    std::printf("latency p50=%s p95=%s p99=%s max=%s\n",
+                FormatMillis(Percentile(ok_latencies, 50.0)).c_str(),
+                FormatMillis(Percentile(ok_latencies, 95.0)).c_str(),
+                FormatMillis(Percentile(ok_latencies, 99.0)).c_str(),
+                FormatMillis(*std::max_element(ok_latencies.begin(),
+                                               ok_latencies.end()))
+                    .c_str());
+    PrintHistogram(ok_latencies);
+  }
+  return (transport_errors.load() == 0 && ok > 0) ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 4) {
+    return Usage();
+  }
+  LoadConfig config;
+  config.host = argv[1];
+  uint64_t port = 0;
+  if (!ParseUint64(argv[2], &port) || port == 0 || port > 65535) {
+    return Usage();
+  }
+  config.port = static_cast<uint16_t>(port);
+  config.dataset_path = argv[3];
+  std::vector<std::string> args(argv + 4, argv + argc);
+  for (size_t i = 0; i + 1 < args.size() + 1; i += 2) {
+    if (i + 1 >= args.size()) {
+      return Usage();
+    }
+    uint64_t value = 0;
+    if (args[i] == "--qps") {
+      if (!ParseDouble(args[i + 1], &config.qps) || config.qps <= 0) {
+        return Usage();
+      }
+    } else if (args[i] == "--duration-s") {
+      if (!ParseDouble(args[i + 1], &config.duration_s) ||
+          config.duration_s <= 0) {
+        return Usage();
+      }
+    } else if (args[i] == "--connections") {
+      if (!ParseUint64(args[i + 1], &value) || value == 0 || value > 1024) {
+        return Usage();
+      }
+      config.connections = static_cast<int>(value);
+    } else if (args[i] == "--keywords") {
+      if (!ParseUint64(args[i + 1], &value) || value == 0) {
+        return Usage();
+      }
+      config.keywords = value;
+    } else if (args[i] == "--solver") {
+      if (!ParseSolverKind(args[i + 1], &config.solver)) {
+        return Usage();
+      }
+    } else if (args[i] == "--cost") {
+      if (args[i + 1] == "maxsum") {
+        config.cost = CostType::kMaxSum;
+      } else if (args[i + 1] == "dia") {
+        config.cost = CostType::kDia;
+      } else {
+        return Usage();
+      }
+    } else if (args[i] == "--deadline-ms") {
+      if (!ParseDouble(args[i + 1], &config.deadline_ms)) {
+        return Usage();
+      }
+    } else if (args[i] == "--deadline-jitter-ms") {
+      if (!ParseDouble(args[i + 1], &config.deadline_jitter_ms)) {
+        return Usage();
+      }
+    } else if (args[i] == "--seed") {
+      if (!ParseUint64(args[i + 1], &config.seed)) {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  return RunLoad(config);
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main(int argc, char** argv) { return coskq::Main(argc, argv); }
