@@ -1,0 +1,267 @@
+// F1/F2 — Frozen flat IR-tree A/B benchmark: contiguous SoA node layout
+// versus the pointer tree, plus snapshot cold-start timing.
+//
+// F1 replays solver batches through the BatchEngine on the hotel-like and
+// web-like workloads with the frozen fast path off and on (the same IrTree,
+// toggled via set_frozen_enabled, so the only variable is the memory layout
+// the traversals walk). Both sides must return bit-identical results — any
+// divergence aborts the benchmark. The geometric-mean speedup across all
+// cells is the headline number.
+//
+// F2 times index preparation three ways: STR rebuild from the dataset,
+// SaveSnapshot, and LoadSnapshot (mmap). load_speedup = rebuild / load is
+// the cold-start win a server gets from `serve --index-snapshot`.
+//
+// Writes BENCH_irtree_layout.json for tools/bench_compare.py.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/json_writer.h"
+#include "benchlib/table.h"
+#include "engine/batch_engine.h"
+#include "index/irtree.h"
+#include "index/snapshot.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace coskq {
+namespace {
+
+constexpr size_t kTimingRounds = 3;
+
+struct SolverCell {
+  std::string solver;
+  std::string dataset;
+  int threads = 0;
+  BatchStats pointer;
+  BatchStats frozen;
+  bool identical = false;
+  double speedup = 0.0;
+};
+
+SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
+                       int threads, const std::vector<CoskqQuery>& queries) {
+  SolverCell cell;
+  cell.solver = solver;
+  cell.dataset = w.name;
+  cell.threads = threads;
+
+  BatchOptions options;
+  options.solver_name = solver;
+  options.num_threads = threads;
+  options.use_query_masks = true;
+  BatchEngine engine(w.context(), options);
+
+  // Warm-up once per side; the warm walls calibrate a repeat count so each
+  // timed round runs at least ~250 ms of solves — a single batch at small
+  // scales finishes in single-digit milliseconds, where timer and scheduler
+  // noise swamps a 10-20% layout effect.
+  w.index->set_frozen_enabled(false);
+  BatchOutcome pointer = engine.Run(queries);
+  w.index->set_frozen_enabled(true);
+  BatchOutcome frozen = engine.Run(queries);
+  const double warm_wall =
+      std::max(pointer.stats.wall_ms, frozen.stats.wall_ms);
+  const size_t repeats = static_cast<size_t>(std::min(
+      1000.0, std::max(1.0, std::ceil(250.0 / std::max(0.01, warm_wall)))));
+
+  // Interleaved rounds, each side's wall averaged over its repeats; keep
+  // each side's fastest round so a scheduler hiccup penalizes one round,
+  // not one layout.
+  auto run_side = [&](bool frozen_on, BatchOutcome* outcome) {
+    w.index->set_frozen_enabled(frozen_on);
+    double total = 0.0;
+    for (size_t r = 0; r < repeats; ++r) {
+      BatchOutcome o = engine.Run(queries);
+      total += o.stats.wall_ms;
+      *outcome = std::move(o);
+    }
+    return total / static_cast<double>(repeats);
+  };
+  double pointer_wall = run_side(false, &pointer);
+  double frozen_wall = run_side(true, &frozen);
+  for (size_t round = 1; round < kTimingRounds; ++round) {
+    pointer_wall = std::min(pointer_wall, run_side(false, &pointer));
+    frozen_wall = std::min(frozen_wall, run_side(true, &frozen));
+  }
+  pointer.stats.wall_ms = pointer_wall;
+  frozen.stats.wall_ms = frozen_wall;
+
+  cell.pointer = pointer.stats;
+  cell.frozen = frozen.stats;
+  cell.identical = pointer.results.size() == frozen.results.size();
+  for (size_t i = 0; cell.identical && i < pointer.results.size(); ++i) {
+    cell.identical =
+        pointer.results[i].feasible == frozen.results[i].feasible &&
+        pointer.results[i].set == frozen.results[i].set &&
+        pointer.results[i].cost == frozen.results[i].cost;
+  }
+  cell.speedup = frozen.stats.wall_ms > 0.0
+                     ? pointer.stats.wall_ms / frozen.stats.wall_ms
+                     : 0.0;
+  return cell;
+}
+
+struct ColdStartCell {
+  std::string dataset;
+  double rebuild_ms = 0.0;
+  double save_ms = 0.0;
+  double load_ms = 0.0;
+  double load_speedup = 0.0;
+  uint64_t snapshot_bytes = 0;
+};
+
+ColdStartCell RunColdStart(const BenchWorkload& w) {
+  ColdStartCell cell;
+  cell.dataset = w.name;
+  const std::string path = "/tmp/coskq_bench_layout_" + w.name + ".cqix";
+
+  // Preparation is millisecond-scale, so take the min over more rounds than
+  // the solver A/B needs.
+  constexpr size_t kColdStartRounds = 7;
+  WallTimer timer;
+  for (size_t round = 0; round < kColdStartRounds; ++round) {
+    timer.Restart();
+    IrTree rebuilt(&w.dataset);
+    rebuilt.Freeze();
+    const double b = timer.ElapsedMillis();
+    cell.rebuild_ms = round == 0 ? b : std::min(cell.rebuild_ms, b);
+
+    timer.Restart();
+    if (!SaveSnapshot(&rebuilt, path).ok()) {
+      std::fprintf(stderr, "FATAL: SaveSnapshot failed\n");
+      std::exit(1);
+    }
+    const double s = timer.ElapsedMillis();
+    cell.save_ms = round == 0 ? s : std::min(cell.save_ms, s);
+
+    timer.Restart();
+    auto loaded = LoadSnapshot(&w.dataset, path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "FATAL: LoadSnapshot failed: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    const double l = timer.ElapsedMillis();
+    cell.load_ms = round == 0 ? l : std::min(cell.load_ms, l);
+    if ((*loaded)->NodeCount() != w.index->NodeCount()) {
+      std::fprintf(stderr, "FATAL: snapshot-loaded tree shape diverged\n");
+      std::exit(1);
+    }
+  }
+  auto info = ReadSnapshotInfo(path);
+  cell.snapshot_bytes = info.ok() ? info->file_bytes : 0;
+  std::remove(path.c_str());
+  cell.load_speedup =
+      cell.load_ms > 0.0 ? cell.rebuild_ms / cell.load_ms : 0.0;
+  return cell;
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  std::printf("== F1/F2: frozen flat IR-tree vs pointer tree ==\n");
+  std::printf("config: %s\n\n", config.ToString().c_str());
+
+  BenchWorkload hotel = MakeHotelWorkload(config);
+  BenchWorkload web = MakeWebWorkload(config);
+  hotel.index->Freeze();
+  web.index->Freeze();
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("bench_irtree_layout");
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(config.queries);
+  json.Key("seed").Value(config.seed);
+
+  std::printf("== F1: solver batches, pointer vs frozen layout ==\n");
+  TablePrinter e2e({"Dataset", "Solver", "Threads", "Pointer wall",
+                    "Frozen wall", "Speedup", "Frozen qps", "Identical"});
+  json.Key("solvers").BeginArray();
+  double log_speedup_sum = 0.0;
+  size_t cells = 0;
+  for (BenchWorkload* wp : {&hotel, &web}) {
+    const std::vector<CoskqQuery> queries = MakeQueries(*wp, 6, config);
+    for (const char* solver : {"maxsum-appro", "dia-appro"}) {
+      const SolverCell cell = RunSolverAb(*wp, solver, 1, queries);
+      e2e.AddRow({cell.dataset, cell.solver, std::to_string(cell.threads),
+                  FormatMillis(cell.pointer.wall_ms),
+                  FormatMillis(cell.frozen.wall_ms),
+                  FormatDouble(cell.speedup, 2) + "x",
+                  FormatDouble(cell.frozen.QueriesPerSecond(), 1),
+                  cell.identical ? "yes" : "NO"});
+      json.BeginObject();
+      json.Key("dataset").Value(cell.dataset);
+      json.Key("solver").Value(cell.solver);
+      json.Key("threads").Value(cell.threads);
+      json.Key("pointer_wall_ms").Value(cell.pointer.wall_ms);
+      json.Key("frozen_wall_ms").Value(cell.frozen.wall_ms);
+      json.Key("speedup").Value(cell.speedup);
+      json.Key("frozen_qps").Value(cell.frozen.QueriesPerSecond());
+      json.Key("frozen_p95_ms").Value(cell.frozen.p95_ms);
+      json.Key("identical").Value(cell.identical);
+      json.EndObject();
+      if (!cell.identical) {
+        std::fprintf(stderr, "FATAL: frozen batch diverged (%s on %s)\n",
+                     solver, wp->name.c_str());
+        std::exit(1);
+      }
+      if (cell.speedup > 0.0) {
+        log_speedup_sum += std::log(cell.speedup);
+        ++cells;
+      }
+    }
+  }
+  json.EndArray();
+  e2e.Print();
+  const double geomean =
+      cells > 0 ? std::exp(log_speedup_sum / static_cast<double>(cells)) : 0.0;
+  std::printf("\ngeomean solver-batch speedup: %.2fx\n", geomean);
+  json.Key("geomean_speedup").Value(geomean);
+
+  std::printf("\n== F2: cold start — STR rebuild vs snapshot load ==\n");
+  TablePrinter cold({"Dataset", "Rebuild", "Save", "Load (mmap)",
+                     "Load speedup", "Snapshot bytes"});
+  json.Key("cold_start").BeginArray();
+  for (BenchWorkload* wp : {&hotel, &web}) {
+    const ColdStartCell cell = RunColdStart(*wp);
+    cold.AddRow({cell.dataset, FormatMillis(cell.rebuild_ms),
+                 FormatMillis(cell.save_ms), FormatMillis(cell.load_ms),
+                 FormatDouble(cell.load_speedup, 1) + "x",
+                 FormatWithCommas(cell.snapshot_bytes)});
+    json.BeginObject();
+    json.Key("dataset").Value(cell.dataset);
+    json.Key("rebuild_ms").Value(cell.rebuild_ms);
+    json.Key("save_ms").Value(cell.save_ms);
+    json.Key("load_ms").Value(cell.load_ms);
+    json.Key("load_speedup").Value(cell.load_speedup);
+    json.Key("snapshot_bytes").Value(cell.snapshot_bytes);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  cold.Print();
+
+  const std::string path = "BENCH_irtree_layout.json";
+  const Status status = WriteTextFile(path, json.TakeString());
+  if (status.ok()) {
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "data/dataset.h"
 
+#include <string.h>
+
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -52,6 +54,7 @@ ObjectId Dataset::AddObject(const Point& location,
 
 ObjectId Dataset::AddObjectWithTerms(const Point& location, TermSet terms) {
   NormalizeTermSet(&terms);
+  checksum_cached_.store(false, std::memory_order_relaxed);
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   mbr_.ExpandToInclude(location);
   total_keyword_count_ += terms.size();
@@ -102,6 +105,7 @@ std::vector<TermId> Dataset::TermsByFrequencyDesc() const {
 void Dataset::ReplaceKeywords(ObjectId id, TermSet terms) {
   COSKQ_CHECK_LT(id, objects_.size());
   NormalizeTermSet(&terms);
+  checksum_cached_.store(false, std::memory_order_relaxed);
   SpatialObject& obj = objects_[id];
   total_keyword_count_ -= obj.keywords.size();
   for (TermId t : obj.keywords) {
@@ -116,6 +120,40 @@ void Dataset::ReplaceKeywords(ObjectId id, TermSet terms) {
     ++term_frequency_[t];
   }
   obj.keywords = std::move(terms);
+}
+
+uint64_t Dataset::ContentChecksum() const {
+  if (checksum_cached_.load(std::memory_order_acquire)) {
+    return checksum_cache_.load(std::memory_order_relaxed);
+  }
+  // FNV-1a over a canonical little-endian u64 stream. Coordinates are
+  // hashed by bit pattern, so the digest is exact (no formatting round
+  // trip) and any content difference changes it with high probability.
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&mix](double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+    memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(objects_.size());
+  for (const SpatialObject& obj : objects_) {
+    mix_double(obj.location.x);
+    mix_double(obj.location.y);
+    mix(obj.keywords.size());
+    for (TermId t : obj.keywords) {
+      mix(t);
+    }
+  }
+  checksum_cache_.store(h, std::memory_order_relaxed);
+  checksum_cached_.store(true, std::memory_order_release);
+  return h;
 }
 
 Status Dataset::SaveToFile(const std::string& path) const {

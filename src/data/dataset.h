@@ -3,8 +3,10 @@
 
 #include <stdint.h>
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "data/object.h"
@@ -47,9 +49,23 @@ class Dataset {
   Dataset() = default;
 
   // Movable but not copyable: datasets can be large, and accidental copies
-  // would dominate benchmark timings.
-  Dataset(Dataset&&) = default;
-  Dataset& operator=(Dataset&&) = default;
+  // would dominate benchmark timings. Moves are spelled out because the
+  // checksum-memo atomics are not movable themselves.
+  Dataset(Dataset&& other) noexcept { *this = std::move(other); }
+  Dataset& operator=(Dataset&& other) noexcept {
+    objects_ = std::move(other.objects_);
+    vocab_ = std::move(other.vocab_);
+    mbr_ = other.mbr_;
+    term_frequency_ = std::move(other.term_frequency_);
+    total_keyword_count_ = other.total_keyword_count_;
+    checksum_cached_.store(
+        other.checksum_cached_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    checksum_cache_.store(
+        other.checksum_cache_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
 
@@ -91,6 +107,16 @@ class Dataset {
   /// the "effect of average |o.ψ|" experiment). Updates statistics.
   void ReplaceKeywords(ObjectId id, TermSet terms);
 
+  /// Order-sensitive FNV-1a digest of the dataset content: object count,
+  /// every object's coordinate bits, and every keyword id. Index snapshots
+  /// embed it so a snapshot can only be loaded against the exact dataset it
+  /// was built from (keyword ids are interning-order dependent, so even a
+  /// re-ordered file with identical objects is a different dataset).
+  /// Computed on first call and cached (mutators invalidate), so repeated
+  /// callers — snapshot load, server provenance — pay the O(content) walk
+  /// once. Safe to call from concurrent readers.
+  uint64_t ContentChecksum() const;
+
   /// Serialization: one object per line, "x y word1 word2 ...".
   Status SaveToFile(const std::string& path) const;
   static StatusOr<Dataset> LoadFromFile(const std::string& path);
@@ -104,6 +130,12 @@ class Dataset {
   Rect mbr_;
   std::vector<uint32_t> term_frequency_;
   uint64_t total_keyword_count_ = 0;
+
+  // ContentChecksum memo. Concurrent first calls may both compute (and
+  // store the identical value); mutators reset the flag. Atomics keep the
+  // read-mostly path sanitizer-clean without a lock.
+  mutable std::atomic<bool> checksum_cached_{false};
+  mutable std::atomic<uint64_t> checksum_cache_{0};
 };
 
 }  // namespace coskq

@@ -72,6 +72,25 @@ size_t TermSetIntersectionSize(const TermSet& a, const TermSet& b) {
   return count;
 }
 
+bool TermSpanContains(const TermId* terms, size_t count, TermId t) {
+  return std::binary_search(terms, terms + count, t);
+}
+
+bool TermSpanIntersects(const TermId* terms, size_t count, const TermSet& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < count && j < b.size()) {
+    if (terms[i] < b[j]) {
+      ++i;
+    } else if (b[j] < terms[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
 void TermSetMergeInto(TermSet* target, const TermSet& addition) {
   if (addition.empty()) {
     return;

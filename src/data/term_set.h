@@ -44,6 +44,14 @@ size_t TermSetIntersectionSize(const TermSet& a, const TermSet& b);
 /// Merges `addition` into the sorted set `target` in place.
 void TermSetMergeInto(TermSet* target, const TermSet& addition);
 
+/// Span variants of the containment/intersection tests, for term sets stored
+/// as raw (begin, count) slices of a term arena (the frozen IR-tree layout).
+/// The spans obey the same sorted/deduplicated invariant as TermSet, and the
+/// implementations run the identical comparison sequences, so outcomes match
+/// the vector-based helpers bit for bit.
+bool TermSpanContains(const TermId* terms, size_t count, TermId t);
+bool TermSpanIntersects(const TermId* terms, size_t count, const TermSet& b);
+
 }  // namespace coskq
 
 #endif  // COSKQ_DATA_TERM_SET_H_

@@ -1,0 +1,128 @@
+#ifndef COSKQ_INDEX_FROZEN_LAYOUT_H_
+#define COSKQ_INDEX_FROZEN_LAYOUT_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "data/object.h"
+#include "data/term_set.h"
+
+namespace coskq {
+namespace internal_index {
+
+/// One node of the frozen (flat) IR-tree. Nodes are stored in breadth-first
+/// "slot" order (root = slot 0), so the children of any node occupy a
+/// contiguous slot range and the per-child MINDIST scan reads contiguous
+/// stretches of the structure-of-arrays MBR blocks below.
+///
+/// The record is a fixed 32-byte POD written verbatim (little-endian) into
+/// index snapshots, so its layout is part of the snapshot format: any field
+/// change requires a snapshot version bump (see snapshot.h).
+struct FrozenNodeRecord {
+  /// Dense preorder id carried over from the pointer tree. Visit logs and
+  /// the per-node caches of SearchScratch are keyed by this id, which is why
+  /// frozen traversal is observationally identical to the pointer tree even
+  /// though storage order (BFS) differs from id order (preorder).
+  uint32_t id;
+  /// Internal nodes: slot of the first child; children occupy
+  /// [first_child, first_child + entry_count). Unused (0) for leaves.
+  uint32_t first_child;
+  /// Leaves: index of the first entry in the leaf-entry arrays; entries
+  /// occupy [entry_begin, entry_begin + entry_count). Unused (0) otherwise.
+  uint32_t entry_begin;
+  /// Number of children (internal) or leaf entries (leaf).
+  uint16_t entry_count;
+  /// Bit 0: leaf. Remaining bits reserved (zero).
+  uint16_t flags;
+  /// Term-summary span [term_begin, term_begin + term_count) in the arena:
+  /// the node's sorted keyword-union summary.
+  uint32_t term_begin;
+  uint32_t term_count;
+  /// One-bit Bloom signature of the term summary (see term_signature.h).
+  uint64_t sig;
+
+  bool is_leaf() const { return (flags & 1u) != 0; }
+};
+
+static_assert(sizeof(FrozenNodeRecord) == 32,
+              "FrozenNodeRecord is part of the snapshot format");
+static_assert(std::is_trivially_copyable<FrozenNodeRecord>::value,
+              "FrozenNodeRecord must be memcpy-safe");
+
+/// The frozen IR-tree: every array the flat traversals touch, as raw
+/// pointers into one contiguous, 8-byte-aligned body buffer. The buffer is
+/// laid out exactly like the body of an index snapshot (see snapshot.cc), so
+/// saving is a single write and loading can point straight into an mmap.
+///
+/// Array groups, all indexed as described:
+///  * nodes[slot]                     — BFS-ordered node records.
+///  * min_x/min_y/max_x/max_y[slot]   — node MBRs, structure-of-arrays form;
+///    a parent's per-child MINDIST scan reads four contiguous ranges.
+///  * terms[...]                      — term arena: node summaries and leaf
+///    objects' keyword sets as sorted spans.
+///  * leaf_ids/leaf_x/leaf_y/leaf_sigs/leaf_term_begin/leaf_term_count[i]
+///    — leaf entries packed in traversal order: object id, location,
+///    Bloom signature, and keyword span, so a leaf scan never touches the
+///    Dataset.
+struct FrozenView {
+  const FrozenNodeRecord* nodes = nullptr;
+  const double* min_x = nullptr;
+  const double* min_y = nullptr;
+  const double* max_x = nullptr;
+  const double* max_y = nullptr;
+  const TermId* terms = nullptr;
+  const ObjectId* leaf_ids = nullptr;
+  const double* leaf_x = nullptr;
+  const double* leaf_y = nullptr;
+  const uint64_t* leaf_sigs = nullptr;
+  const uint32_t* leaf_term_begin = nullptr;
+  const uint32_t* leaf_term_count = nullptr;
+
+  uint32_t num_nodes = 0;
+  uint32_t num_leaf_entries = 0;
+  uint32_t num_terms = 0;
+  uint32_t height = 0;
+
+  const TermId* node_terms(const FrozenNodeRecord& n) const {
+    return terms + n.term_begin;
+  }
+};
+
+/// Owns the storage behind a FrozenView: either a heap buffer (built by
+/// IrTree::Freeze or by a read-based snapshot load) or an mmap of a snapshot
+/// file. Exactly one of the two is active.
+struct FrozenStore {
+  FrozenStore() = default;
+  ~FrozenStore();
+
+  FrozenStore(const FrozenStore&) = delete;
+  FrozenStore& operator=(const FrozenStore&) = delete;
+
+  FrozenView view;
+
+  /// Heap-owned body buffer (layout identical to the snapshot body).
+  std::vector<uint8_t> owned;
+
+  /// When loaded via mmap: base and length of the whole mapped file (the
+  /// body starts at the snapshot header size). Unmapped on destruction.
+  void* mapped = nullptr;
+  size_t mapped_size = 0;
+
+  /// Body size in bytes for the given array counts (each section 8-aligned).
+  static size_t BodyBytes(uint32_t num_nodes, uint32_t num_leaf_entries,
+                          uint32_t num_terms);
+
+  /// Points `view` at the arrays inside `body` (which must hold BodyBytes
+  /// bytes, 8-byte aligned) and records the counts.
+  void BindView(const uint8_t* body, uint32_t num_nodes,
+                uint32_t num_leaf_entries, uint32_t num_terms,
+                uint32_t height);
+};
+
+}  // namespace internal_index
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_FROZEN_LAYOUT_H_

@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "index/frozen_layout.h"
+#include "index/irtree_node.h"
 #include "index/quadratic_split.h"
 #include "index/search_scratch.h"
 #include "index/term_signature.h"
@@ -11,47 +13,11 @@
 
 namespace coskq {
 
+using internal_index::FrozenNodeRecord;
+using internal_index::FrozenView;
 using internal_index::QuadraticSplit;
 using internal_index::RectEnlargement;
 using internal_index::StrTile;
-
-struct IrTree::Node {
-  bool is_leaf = true;
-  /// Dense preorder id (see AssignNodeIds), indexing the per-node caches of
-  /// SearchScratch.
-  uint32_t id = 0;
-  Rect mbr;
-  /// Sorted union of all keywords appearing in the subtree — the node-level
-  /// inverted-file summary that keyword-aware traversal prunes on.
-  TermSet terms;
-  /// Bloom signature of `terms` (see term_signature.h): a clear AND against
-  /// a query-side signature proves the subtree lacks the tested keywords.
-  uint64_t sig = 0;
-  std::vector<std::unique_ptr<Node>> children;  // When !is_leaf.
-  std::vector<ObjectId> objects;                // When is_leaf.
-
-  size_t EntryCount() const {
-    return is_leaf ? objects.size() : children.size();
-  }
-
-  void Recompute(const Dataset& dataset) {
-    mbr = Rect();
-    terms.clear();
-    if (is_leaf) {
-      for (ObjectId id : objects) {
-        const SpatialObject& obj = dataset.object(id);
-        mbr.ExpandToInclude(obj.location);
-        TermSetMergeInto(&terms, obj.keywords);
-      }
-    } else {
-      for (const auto& child : children) {
-        mbr.ExpandToInclude(child->mbr);
-        TermSetMergeInto(&terms, child->terms);
-      }
-    }
-    sig = TermSetSignature(terms);
-  }
-};
 
 IrTree::IrTree(const Dataset* dataset, const Options& options)
     : dataset_(dataset), options_(options) {
@@ -132,7 +98,15 @@ void IrTree::AssignNodeIds() {
   next_node_id_ = assigner.next;
 }
 
-void IrTree::Insert(ObjectId id) {
+Status IrTree::Insert(ObjectId id) {
+  if (root_ == nullptr) {
+    return Status::Unimplemented(
+        "Insert on a snapshot-loaded (frozen-only) IrTree; rebuild the "
+        "index from the dataset to mutate it");
+  }
+  // A frozen view would silently desync from the mutated pointer tree, so
+  // drop it: queries fall back to pointer traversal until the next Freeze().
+  frozen_.reset();
   const SpatialObject& obj = dataset_->object(id);
   if (obj_sigs_.size() <= id) {
     obj_sigs_.resize(static_cast<size_t>(id) + 1, 0);
@@ -229,6 +203,7 @@ void IrTree::Insert(ObjectId id) {
   // so a preorder renumbering per insert is an acceptable price for flat
   // per-node cache arrays on the query path.
   AssignNodeIds();
+  return Status::OK();
 }
 
 ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
@@ -238,6 +213,9 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
 
 ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
                            std::vector<uint32_t>* visit_log) const {
+  if (UseFrozen()) {
+    return FrozenKeywordNn(p, t, distance, visit_log);
+  }
   struct QueueEntry {
     double distance;
     const Node* node;  // nullptr for object entries.
@@ -297,6 +275,9 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
   const int slot = scratch->mask().SlotOf(t);
   if (slot < 0) {
     return KeywordNn(p, t, distance, scratch->visit_log());
+  }
+  if (UseFrozen()) {
+    return FrozenKeywordNnMasked(p, t, slot, distance, scratch);
   }
   const uint64_t bit = uint64_t{1} << slot;
   // Bloom pre-filter for `t`: a clear AND proves non-containment, so the
@@ -386,6 +367,9 @@ std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
   if (size_ == 0 || k == 0) {
     return result;
   }
+  COSKQ_CHECK(root_ != nullptr)
+      << "BooleanKnn requires the pointer tree; not available on a "
+         "snapshot-loaded (frozen-only) index";
   result.reserve(std::min(k, size_));
   struct QueueEntry {
     double distance;
@@ -438,6 +422,9 @@ std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
   if (size_ == 0 || k == 0 || terms.empty()) {
     return result;
   }
+  COSKQ_CHECK(root_ != nullptr)
+      << "TopkRanked requires the pointer tree; not available on a "
+         "snapshot-loaded (frozen-only) index";
   result.reserve(std::min(k, size_));
   COSKQ_CHECK_GE(alpha, 0.0);
   COSKQ_CHECK_LE(alpha, 1.0);
@@ -538,6 +525,10 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
 void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                            std::vector<ObjectId>* out,
                            std::vector<uint32_t>* visit_log) const {
+  if (UseFrozen()) {
+    FrozenRangeRelevant(circle, query_terms, out, visit_log);
+    return;
+  }
   struct Searcher {
     const Dataset& dataset;
     const Circle& circle;
@@ -583,6 +574,10 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
       !scratch->mask().SubmaskOf(query_terms, &submask)) {
     RangeRelevant(circle, query_terms, out,
                   scratch != nullptr ? scratch->visit_log() : nullptr);
+    return;
+  }
+  if (UseFrozen()) {
+    FrozenRangeRelevantMasked(circle, query_terms, submask, out, scratch);
     return;
   }
   // Bloom signature of the tested subset: a clear AND against a node or
@@ -657,7 +652,10 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
 struct IrTree::RelevantStream::Impl {
   struct QueueEntry {
     double distance;
-    const Node* node;  // nullptr for object entries.
+    /// IrTree::Node* in pointer mode, FrozenNodeRecord* in frozen mode;
+    /// nullptr for object entries. The comparator reads only the distance,
+    /// so heap behavior is identical across modes.
+    const void* node;
     ObjectId id;
     bool operator>(const QueueEntry& other) const {
       return distance > other.distance;
@@ -667,6 +665,10 @@ struct IrTree::RelevantStream::Impl {
   const IrTree* tree;
   Point origin;
   TermSet query_terms;
+  /// Non-null when the stream runs on the frozen flat layout; the traversal
+  /// then mirrors the pointer walk slot-for-slot (same visit order, same
+  /// predicates, same arithmetic).
+  const FrozenView* fv = nullptr;
   /// When masked, prune on scratch-cached bitmasks instead of the sorted
   /// term sets; the queue itself stays stream-private so streams can be
   /// interleaved with other masked traversals on the same scratch.
@@ -690,8 +692,8 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
 IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
                                        const TermSet& query_terms,
                                        SearchScratch* scratch)
-    : impl_(new Impl{tree, origin, query_terms, nullptr, 0, 0, false, false,
-                     {}}) {
+    : impl_(new Impl{tree, origin, query_terms, nullptr, nullptr, 0, 0,
+                     false, false, {}}) {
   COSKQ_CHECK(tree != nullptr);
   uint64_t submask = 0;
   if (scratch != nullptr && scratch->mask_active() &&
@@ -703,6 +705,27 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
     impl_->from_origin = origin == scratch->origin();
   }
   if (tree->size_ == 0) {
+    return;
+  }
+  if (tree->UseFrozen()) {
+    const FrozenView& v = tree->frozen_->view;
+    impl_->fv = &v;
+    const FrozenNodeRecord& root = v.nodes[0];
+    const bool root_relevant =
+        impl_->masked
+            ? (root.sig & impl_->sub_sig) != 0 &&
+                  (scratch->NodeMask(root.id, v.node_terms(root),
+                                     root.term_count) &
+                   submask) != 0
+            : TermSpanIntersects(v.node_terms(root), root.term_count,
+                                 impl_->query_terms);
+    if (root_relevant) {
+      // Same arithmetic as Rect::MinDistance on the (non-empty) root MBR.
+      impl_->queue.push(Impl::QueueEntry{
+          Rect(v.min_x[0], v.min_y[0], v.max_x[0], v.max_y[0])
+              .MinDistance(origin),
+          &root, kInvalidObjectId});
+    }
     return;
   }
   const bool root_relevant =
@@ -721,6 +744,85 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
 IrTree::RelevantStream::~RelevantStream() = default;
 
 std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
+  if (impl_->fv != nullptr) {
+    // Frozen mode: the pointer loop below, transliterated onto the flat
+    // arrays. Predicate order, distances, and scratch interactions are
+    // identical, so the emitted stream matches the pointer stream bit for
+    // bit.
+    auto& queue = impl_->queue;
+    const FrozenView& v = *impl_->fv;
+    const bool masked = impl_->masked;
+    SearchScratch* scratch = impl_->scratch;
+    const uint64_t submask = impl_->submask;
+    const uint64_t sub_sig = impl_->sub_sig;
+    const bool from_origin = impl_->from_origin;
+    while (!queue.empty()) {
+      const Impl::QueueEntry top = queue.top();
+      queue.pop();
+      if (top.node == nullptr) {
+        return std::make_pair(top.id, top.distance);
+      }
+      const FrozenNodeRecord& node =
+          *static_cast<const FrozenNodeRecord*>(top.node);
+      if (node.is_leaf()) {
+        const uint32_t begin = node.entry_begin;
+        const uint32_t end = begin + node.entry_count;
+        for (uint32_t e = begin; e < end; ++e) {
+          const ObjectId id = v.leaf_ids[e];
+          bool relevant;
+          if (masked) {
+            uint64_t obj_mask = 0;
+            relevant =
+                (v.leaf_sigs[e] & sub_sig) != 0 &&
+                (scratch->CachedObjectMask(id, &obj_mask)
+                     ? (obj_mask & submask) != 0
+                     : TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                          v.leaf_term_count[e],
+                                          impl_->query_terms));
+          } else {
+            relevant = TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                          v.leaf_term_count[e],
+                                          impl_->query_terms);
+          }
+          if (relevant) {
+            const Point location{v.leaf_x[e], v.leaf_y[e]};
+            const double d = masked && from_origin
+                                 ? scratch->QueryDistance(id, location)
+                                 : Distance(impl_->origin, location);
+            queue.push(Impl::QueueEntry{d, nullptr, id});
+          }
+        }
+      } else {
+        const uint32_t first = node.first_child;
+        const uint32_t last = first + node.entry_count;
+        for (uint32_t c = first; c < last; ++c) {
+          const FrozenNodeRecord& child = v.nodes[c];
+          bool relevant;
+          if (masked) {
+            uint64_t node_mask = 0;
+            relevant = (child.sig & sub_sig) != 0 &&
+                       (scratch->CachedNodeMask(child.id, &node_mask)
+                            ? (node_mask & submask) != 0
+                            : TermSpanIntersects(v.node_terms(child),
+                                                 child.term_count,
+                                                 impl_->query_terms));
+          } else {
+            relevant = TermSpanIntersects(v.node_terms(child),
+                                          child.term_count,
+                                          impl_->query_terms);
+          }
+          if (relevant) {
+            const Rect mbr(v.min_x[c], v.min_y[c], v.max_x[c], v.max_y[c]);
+            const double d = masked && from_origin
+                                 ? scratch->NodeMinDistance(child.id, mbr)
+                                 : mbr.MinDistance(impl_->origin);
+            queue.push(Impl::QueueEntry{d, &child, kInvalidObjectId});
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
   auto& queue = impl_->queue;
   const Dataset& dataset = *impl_->tree->dataset_;
   const bool masked = impl_->masked;
@@ -735,7 +837,7 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
     if (top.node == nullptr) {
       return std::make_pair(top.id, top.distance);
     }
-    const Node* node = top.node;
+    const Node* node = static_cast<const Node*>(top.node);
     if (node->is_leaf) {
       for (ObjectId id : node->objects) {
         const SpatialObject& obj = dataset.object(id);
@@ -788,6 +890,9 @@ int IrTree::Height() const {
   if (size_ == 0) {
     return 0;
   }
+  if (root_ == nullptr) {
+    return static_cast<int>(frozen_->view.height);
+  }
   int height = 1;
   const Node* node = root_.get();
   while (!node->is_leaf) {
@@ -798,6 +903,9 @@ int IrTree::Height() const {
 }
 
 size_t IrTree::NodeCount() const {
+  if (root_ == nullptr) {
+    return frozen_->view.num_nodes;
+  }
   struct Counter {
     size_t count = 0;
     void Run(const Node* node) {
@@ -815,6 +923,13 @@ size_t IrTree::NodeCount() const {
 }
 
 void IrTree::CheckInvariants() const {
+  COSKQ_CHECK(root_ != nullptr || frozen_ != nullptr);
+  if (frozen_ != nullptr) {
+    CheckFrozenInvariants();
+  }
+  if (root_ == nullptr) {
+    return;
+  }
   struct Checker {
     const Dataset& dataset;
     int max_entries;

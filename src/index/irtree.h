@@ -15,10 +15,16 @@
 #include "geo/circle.h"
 #include "geo/point.h"
 #include "geo/rect.h"
+#include "util/status.h"
 
 namespace coskq {
 
 class SearchScratch;
+
+namespace internal_index {
+struct FrozenStore;
+class SnapshotAccess;
+}  // namespace internal_index
 
 /// The IR-tree (Cong et al., VLDB 2009): an R-tree whose every node carries
 /// a summary of the keywords present in its subtree, enabling
@@ -61,7 +67,31 @@ class IrTree {
   /// Dynamically inserts one object of the dataset (by id) into the tree.
   /// Used by tests and by incremental-maintenance scenarios; bulk loading
   /// covers the static evaluation setting.
-  void Insert(ObjectId id);
+  ///
+  /// Inserting into a tree that has been Freeze()-d invalidates the frozen
+  /// view (queries fall back to the pointer tree until Freeze() is called
+  /// again) — the flat arrays are never silently left stale. Inserting into
+  /// a snapshot-loaded tree (frozen-only, no pointer tree) is an error.
+  Status Insert(ObjectId id);
+
+  /// Compacts the pointer tree into the frozen flat representation
+  /// (breadth-first node records, structure-of-arrays child MBRs, a term
+  /// arena, and packed leaf entries; see frozen_layout.h). All query paths
+  /// then run the frozen fast path, which expands the identical node
+  /// sequence and returns bit-identical results. Idempotent. The pointer
+  /// tree is retained, so Insert stays possible (it invalidates the frozen
+  /// view).
+  void Freeze();
+
+  /// True iff the frozen representation exists (after Freeze() or for a
+  /// snapshot-loaded tree).
+  bool frozen() const { return frozen_ != nullptr; }
+
+  /// A/B switch for benchmarking: when disabled, queries use the pointer
+  /// tree even if a frozen view exists. Ignored (stays on) for
+  /// snapshot-loaded trees, which have no pointer tree to fall back to.
+  void set_frozen_enabled(bool enabled) { frozen_enabled_ = enabled; }
+  bool frozen_enabled() const { return frozen_enabled_; }
 
   /// Nearest object containing keyword `t`; kInvalidObjectId if none.
   /// On success `*distance` is the Euclidean distance to it.
@@ -171,9 +201,44 @@ class IrTree {
  private:
   struct Node;
   friend struct RelevantStreamImplAccess;
+  /// Snapshot save/load (snapshot.cc) reads the frozen store and constructs
+  /// frozen-only trees through the private constructor below.
+  friend class internal_index::SnapshotAccess;
+
+  /// Constructs a frozen-only tree (no pointer tree) around a loaded
+  /// snapshot store. Only reachable via LoadSnapshot.
+  IrTree(const Dataset* dataset, const Options& options,
+         std::unique_ptr<internal_index::FrozenStore> store);
 
   void BulkLoad();
   void AssignNodeIds();
+
+  /// True iff queries should take the frozen fast path. A frozen-only tree
+  /// always does (there is no pointer tree to fall back to).
+  bool UseFrozen() const {
+    return frozen_ != nullptr && (frozen_enabled_ || root_ == nullptr);
+  }
+
+  // Frozen fast paths (irtree_frozen.cc). Each mirrors the corresponding
+  // pointer-tree traversal exactly: same child visit order, same pruning
+  // predicates, same heap discipline, same distance arithmetic — so results,
+  // costs, and node-visit logs are bit-identical.
+  ObjectId FrozenKeywordNn(const Point& p, TermId t, double* distance,
+                           std::vector<uint32_t>* visit_log) const;
+  ObjectId FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
+                                 double* distance,
+                                 SearchScratch* scratch) const;
+  void FrozenRangeRelevant(const Circle& circle, const TermSet& query_terms,
+                           std::vector<ObjectId>* out,
+                           std::vector<uint32_t>* visit_log) const;
+  void FrozenRangeRelevantMasked(const Circle& circle,
+                                 const TermSet& query_terms, uint64_t submask,
+                                 std::vector<ObjectId>* out,
+                                 SearchScratch* scratch) const;
+  /// Structural validation of the frozen arrays against the dataset (used
+  /// by CheckInvariants for snapshot-loaded trees, and to cross-check the
+  /// frozen view against the pointer tree after Freeze()).
+  void CheckFrozenInvariants() const;
 
   const Dataset* dataset_;
   Options options_;
@@ -184,6 +249,9 @@ class IrTree {
   std::vector<uint64_t> obj_sigs_;
   size_t size_ = 0;
   uint32_t next_node_id_ = 0;
+  /// Frozen flat representation (see frozen_layout.h); null until Freeze().
+  std::unique_ptr<internal_index::FrozenStore> frozen_;
+  bool frozen_enabled_ = true;
 };
 
 }  // namespace coskq

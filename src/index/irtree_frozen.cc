@@ -1,0 +1,690 @@
+// Frozen flat IR-tree: IrTree::Freeze() and the frozen fast paths.
+//
+// The frozen representation stores the tree as contiguous arrays (see
+// frozen_layout.h): breadth-first node records, structure-of-arrays node
+// MBRs so a parent's per-child MINDIST scan reads four contiguous double
+// ranges, a term arena holding every node summary and leaf object keyword
+// set as sorted spans, and leaf entries (id, location, Bloom signature,
+// keyword span) packed in traversal order so leaf scans never touch the
+// Dataset.
+//
+// Bit-identity contract: every frozen traversal mirrors its pointer-tree
+// counterpart exactly — same child visit order (BFS slots preserve the
+// pointer tree's child order), same pruning predicates evaluated in the same
+// short-circuit order, the same best-first heap discipline over entries
+// compared by distance only, and the same floating-point arithmetic
+// (Rect::MinDistance's max/max/sqrt sequence reproduced over the SoA
+// arrays). Node records keep the pointer tree's preorder ids, so visit logs
+// and the SearchScratch per-node caches are keyed identically. The
+// index_frozen_diff_test suite proves the contract over 50 seeds.
+
+#include <string.h>
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "index/frozen_layout.h"
+#include "index/irtree.h"
+#include "index/irtree_node.h"
+#include "index/search_scratch.h"
+#include "index/term_signature.h"
+#include "util/logging.h"
+
+namespace coskq {
+
+using internal_index::FrozenNodeRecord;
+using internal_index::FrozenStore;
+using internal_index::FrozenView;
+
+namespace internal_index {
+
+namespace {
+
+constexpr size_t Align8(size_t n) { return (n + 7) & ~size_t{7}; }
+
+/// Byte offsets of every section inside the frozen body buffer. The layout
+/// is shared verbatim with the snapshot file body (snapshot.cc), each
+/// section 8-byte aligned so an mmap'd body can be read in place.
+struct BodyLayout {
+  size_t nodes;
+  size_t min_x, min_y, max_x, max_y;
+  size_t terms;
+  size_t leaf_ids, leaf_x, leaf_y, leaf_sigs;
+  size_t leaf_term_begin, leaf_term_count;
+  size_t total;
+
+  BodyLayout(uint32_t num_nodes, uint32_t num_leaf_entries,
+             uint32_t num_terms) {
+    size_t off = 0;
+    const auto section = [&off](size_t bytes) {
+      const size_t begin = off;
+      off += Align8(bytes);
+      return begin;
+    };
+    nodes = section(size_t{num_nodes} * sizeof(FrozenNodeRecord));
+    min_x = section(size_t{num_nodes} * sizeof(double));
+    min_y = section(size_t{num_nodes} * sizeof(double));
+    max_x = section(size_t{num_nodes} * sizeof(double));
+    max_y = section(size_t{num_nodes} * sizeof(double));
+    terms = section(size_t{num_terms} * sizeof(TermId));
+    leaf_ids = section(size_t{num_leaf_entries} * sizeof(ObjectId));
+    leaf_x = section(size_t{num_leaf_entries} * sizeof(double));
+    leaf_y = section(size_t{num_leaf_entries} * sizeof(double));
+    leaf_sigs = section(size_t{num_leaf_entries} * sizeof(uint64_t));
+    leaf_term_begin = section(size_t{num_leaf_entries} * sizeof(uint32_t));
+    leaf_term_count = section(size_t{num_leaf_entries} * sizeof(uint32_t));
+    total = off;
+  }
+};
+
+}  // namespace
+
+FrozenStore::~FrozenStore() {
+  if (mapped != nullptr) {
+    munmap(mapped, mapped_size);
+  }
+}
+
+size_t FrozenStore::BodyBytes(uint32_t num_nodes, uint32_t num_leaf_entries,
+                              uint32_t num_terms) {
+  return BodyLayout(num_nodes, num_leaf_entries, num_terms).total;
+}
+
+void FrozenStore::BindView(const uint8_t* body, uint32_t num_nodes,
+                           uint32_t num_leaf_entries, uint32_t num_terms,
+                           uint32_t height) {
+  COSKQ_CHECK_EQ(reinterpret_cast<uintptr_t>(body) % 8, 0u)
+      << "frozen body must be 8-byte aligned";
+  const BodyLayout lay(num_nodes, num_leaf_entries, num_terms);
+  view.nodes = reinterpret_cast<const FrozenNodeRecord*>(body + lay.nodes);
+  view.min_x = reinterpret_cast<const double*>(body + lay.min_x);
+  view.min_y = reinterpret_cast<const double*>(body + lay.min_y);
+  view.max_x = reinterpret_cast<const double*>(body + lay.max_x);
+  view.max_y = reinterpret_cast<const double*>(body + lay.max_y);
+  view.terms = reinterpret_cast<const TermId*>(body + lay.terms);
+  view.leaf_ids = reinterpret_cast<const ObjectId*>(body + lay.leaf_ids);
+  view.leaf_x = reinterpret_cast<const double*>(body + lay.leaf_x);
+  view.leaf_y = reinterpret_cast<const double*>(body + lay.leaf_y);
+  view.leaf_sigs = reinterpret_cast<const uint64_t*>(body + lay.leaf_sigs);
+  view.leaf_term_begin =
+      reinterpret_cast<const uint32_t*>(body + lay.leaf_term_begin);
+  view.leaf_term_count =
+      reinterpret_cast<const uint32_t*>(body + lay.leaf_term_count);
+  view.num_nodes = num_nodes;
+  view.num_leaf_entries = num_leaf_entries;
+  view.num_terms = num_terms;
+  view.height = height;
+}
+
+}  // namespace internal_index
+
+namespace {
+
+/// Per-child squared MINDIST over the contiguous SoA slot range
+/// [first, first + count): the sub/max/mul part of Rect::MinDistance's
+/// arithmetic for non-empty rectangles (every node of a non-empty tree has
+/// one), written as a branch-free pass over four contiguous double arrays so
+/// the compiler can vectorize it. The sqrt is deferred to the children that
+/// survive the keyword filter — callers apply std::sqrt(out[i]) there, which
+/// reproduces Rect::MinDistance bit for bit: std::max(std::max(a, 0.0), b)
+/// selects the same value as its std::max({a, 0.0, b}) for every input, a
+/// -0.0 difference cannot survive the squaring, and sqrt of the identical
+/// sum is the identical double.
+inline void ScanChildSquaredDistances(const FrozenView& v, uint32_t first,
+                                      uint32_t count, const Point& p,
+                                      double* __restrict out) {
+  const double* __restrict min_x = v.min_x + first;
+  const double* __restrict min_y = v.min_y + first;
+  const double* __restrict max_x = v.max_x + first;
+  const double* __restrict max_y = v.max_y + first;
+  for (uint32_t i = 0; i < count; ++i) {
+    const double dx = std::max(std::max(min_x[i] - p.x, 0.0), p.x - max_x[i]);
+    const double dy = std::max(std::max(min_y[i] - p.y, 0.0), p.y - max_y[i]);
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+/// MINDIST from `p` to the MBR of the node at `slot` (same arithmetic).
+inline double NodeMinDist(const FrozenView& v, uint32_t slot, const Point& p) {
+  const double dx =
+      std::max(std::max(v.min_x[slot] - p.x, 0.0), p.x - v.max_x[slot]);
+  const double dy =
+      std::max(std::max(v.min_y[slot] - p.y, 0.0), p.y - v.max_y[slot]);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Chunk size of the stack buffer the child-distance scans fill; fan-outs
+/// larger than this are processed in order, one chunk at a time.
+constexpr uint32_t kScanChunk = 64;
+
+}  // namespace
+
+void IrTree::Freeze() {
+  if (frozen_ != nullptr) {
+    return;
+  }
+  COSKQ_CHECK(root_ != nullptr);
+
+  // Breadth-first node order: children of every node end up in a contiguous
+  // slot range, in the pointer tree's child order.
+  std::vector<const Node*> order;
+  order.push_back(root_.get());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Node* n = order[i];
+    if (!n->is_leaf) {
+      for (const auto& child : n->children) {
+        order.push_back(child.get());
+      }
+    }
+  }
+
+  uint64_t term_total = 0;
+  uint64_t leaf_total = 0;
+  for (const Node* n : order) {
+    term_total += n->terms.size();
+    if (n->is_leaf) {
+      leaf_total += n->objects.size();
+      for (ObjectId id : n->objects) {
+        term_total += dataset_->object(id).keywords.size();
+      }
+    }
+    COSKQ_CHECK_LE(n->EntryCount(), size_t{65535})
+        << "fan-out exceeds FrozenNodeRecord::entry_count";
+  }
+  COSKQ_CHECK_LE(order.size(),
+                 size_t{std::numeric_limits<uint32_t>::max()});
+  COSKQ_CHECK_LE(term_total, uint64_t{std::numeric_limits<uint32_t>::max()});
+  const uint32_t num_nodes = static_cast<uint32_t>(order.size());
+  const uint32_t num_leaf_entries = static_cast<uint32_t>(leaf_total);
+  const uint32_t num_terms = static_cast<uint32_t>(term_total);
+
+  auto store = std::make_unique<FrozenStore>();
+  // Zero-filled so section padding bytes are deterministic: snapshots of the
+  // same tree are byte-for-byte identical.
+  store->owned.assign(
+      FrozenStore::BodyBytes(num_nodes, num_leaf_entries, num_terms), 0);
+  uint8_t* body = store->owned.data();
+  const internal_index::BodyLayout lay(num_nodes, num_leaf_entries,
+                                       num_terms);
+  auto* nodes = reinterpret_cast<FrozenNodeRecord*>(body + lay.nodes);
+  auto* min_x = reinterpret_cast<double*>(body + lay.min_x);
+  auto* min_y = reinterpret_cast<double*>(body + lay.min_y);
+  auto* max_x = reinterpret_cast<double*>(body + lay.max_x);
+  auto* max_y = reinterpret_cast<double*>(body + lay.max_y);
+  auto* terms = reinterpret_cast<TermId*>(body + lay.terms);
+  auto* leaf_ids = reinterpret_cast<ObjectId*>(body + lay.leaf_ids);
+  auto* leaf_x = reinterpret_cast<double*>(body + lay.leaf_x);
+  auto* leaf_y = reinterpret_cast<double*>(body + lay.leaf_y);
+  auto* leaf_sigs = reinterpret_cast<uint64_t*>(body + lay.leaf_sigs);
+  auto* leaf_term_begin =
+      reinterpret_cast<uint32_t*>(body + lay.leaf_term_begin);
+  auto* leaf_term_count =
+      reinterpret_cast<uint32_t*>(body + lay.leaf_term_count);
+
+  uint32_t next_child = 1;
+  uint32_t next_term = 0;
+  uint32_t next_leaf = 0;
+  for (uint32_t slot = 0; slot < num_nodes; ++slot) {
+    const Node* n = order[slot];
+    FrozenNodeRecord rec{};
+    rec.id = n->id;
+    rec.sig = n->sig;
+    rec.term_begin = next_term;
+    rec.term_count = static_cast<uint32_t>(n->terms.size());
+    std::copy(n->terms.begin(), n->terms.end(), terms + next_term);
+    next_term += rec.term_count;
+    min_x[slot] = n->mbr.min_x;
+    min_y[slot] = n->mbr.min_y;
+    max_x[slot] = n->mbr.max_x;
+    max_y[slot] = n->mbr.max_y;
+    if (n->is_leaf) {
+      rec.flags = 1;
+      rec.entry_begin = next_leaf;
+      rec.entry_count = static_cast<uint16_t>(n->objects.size());
+      for (ObjectId id : n->objects) {
+        const SpatialObject& obj = dataset_->object(id);
+        leaf_ids[next_leaf] = id;
+        leaf_x[next_leaf] = obj.location.x;
+        leaf_y[next_leaf] = obj.location.y;
+        leaf_sigs[next_leaf] = obj_sigs_[id];
+        leaf_term_begin[next_leaf] = next_term;
+        leaf_term_count[next_leaf] =
+            static_cast<uint32_t>(obj.keywords.size());
+        std::copy(obj.keywords.begin(), obj.keywords.end(),
+                  terms + next_term);
+        next_term += static_cast<uint32_t>(obj.keywords.size());
+        ++next_leaf;
+      }
+    } else {
+      rec.first_child = next_child;
+      rec.entry_count = static_cast<uint16_t>(n->children.size());
+      next_child += static_cast<uint32_t>(n->children.size());
+    }
+    nodes[slot] = rec;
+  }
+  COSKQ_CHECK_EQ(next_child, num_nodes);
+  COSKQ_CHECK_EQ(next_term, num_terms);
+  COSKQ_CHECK_EQ(next_leaf, num_leaf_entries);
+
+  store->BindView(body, num_nodes, num_leaf_entries, num_terms,
+                  static_cast<uint32_t>(Height()));
+  frozen_ = std::move(store);
+}
+
+IrTree::IrTree(const Dataset* dataset, const Options& options,
+               std::unique_ptr<internal_index::FrozenStore> store)
+    : dataset_(dataset), options_(options), frozen_(std::move(store)) {
+  COSKQ_CHECK(dataset != nullptr);
+  COSKQ_CHECK(frozen_ != nullptr);
+  size_ = frozen_->view.num_leaf_entries;
+  next_node_id_ = frozen_->view.num_nodes;
+}
+
+ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
+                                 std::vector<uint32_t>* visit_log) const {
+  const FrozenView& v = frozen_->view;
+  struct QueueEntry {
+    double distance;
+    const FrozenNodeRecord* node;  // nullptr for object entries.
+    ObjectId id;
+    bool operator>(const QueueEntry& other) const {
+      return distance > other.distance;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  if (size_ > 0 &&
+      TermSpanContains(v.node_terms(v.nodes[0]), v.nodes[0].term_count, t)) {
+    queue.push(QueueEntry{NodeMinDist(v, 0, p), &v.nodes[0],
+                          kInvalidObjectId});
+  }
+  double dist_buf[kScanChunk];
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    if (top.node == nullptr) {
+      if (distance != nullptr) {
+        *distance = top.distance;
+      }
+      return top.id;
+    }
+    const FrozenNodeRecord& node = *top.node;
+    if (visit_log != nullptr) {
+      visit_log->push_back(node.id);
+    }
+    if (node.is_leaf()) {
+      const uint32_t begin = node.entry_begin;
+      const uint32_t end = begin + node.entry_count;
+      for (uint32_t e = begin; e < end; ++e) {
+        if (TermSpanContains(v.terms + v.leaf_term_begin[e],
+                             v.leaf_term_count[e], t)) {
+          queue.push(QueueEntry{
+              Distance(p, Point{v.leaf_x[e], v.leaf_y[e]}), nullptr,
+              v.leaf_ids[e]});
+        }
+      }
+    } else {
+      const uint32_t first = node.first_child;
+      const uint32_t count = node.entry_count;
+      for (uint32_t c0 = 0; c0 < count; c0 += kScanChunk) {
+        const uint32_t n = std::min(kScanChunk, count - c0);
+        ScanChildSquaredDistances(v, first + c0, n, p, dist_buf);
+        for (uint32_t i = 0; i < n; ++i) {
+          const FrozenNodeRecord& child = v.nodes[first + c0 + i];
+          if (TermSpanContains(v.node_terms(child), child.term_count, t)) {
+            queue.push(QueueEntry{std::sqrt(dist_buf[i]), &child,
+                                  kInvalidObjectId});
+          }
+        }
+      }
+    }
+  }
+  if (distance != nullptr) {
+    *distance = std::numeric_limits<double>::infinity();
+  }
+  return kInvalidObjectId;
+}
+
+ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
+                                       double* distance,
+                                       SearchScratch* scratch) const {
+  const FrozenView& v = frozen_->view;
+  const uint64_t bit = uint64_t{1} << slot;
+  const uint64_t kw_sig = TermSignature(t);
+  using internal_index::HeapEntry;
+  std::vector<HeapEntry>& heap = scratch->heap();
+  heap.clear();
+  const auto push = [&heap](HeapEntry entry) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+  };
+  std::vector<uint32_t>* visit_log = scratch->visit_log();
+  // Node MINDISTs are recomputed from the SoA arrays instead of read through
+  // the scratch memo: the scan produces the identical values (same inputs,
+  // same arithmetic as the memo's Rect::MinDistance fill), so pruning and
+  // heap order are unchanged. Object distances still go through the
+  // QueryDistance memo when anchored at the query origin, exactly like the
+  // pointer path (same calls, same hit/miss counters).
+  const bool from_origin = p == scratch->origin();
+  if (size_ > 0 && (v.nodes[0].sig & kw_sig) != 0 &&
+      (scratch->NodeMask(v.nodes[0].id, v.node_terms(v.nodes[0]),
+                         v.nodes[0].term_count) &
+       bit) != 0) {
+    push(HeapEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId});
+  }
+  double dist_buf[kScanChunk];
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    if (top.node == nullptr) {
+      if (distance != nullptr) {
+        *distance = top.distance;
+      }
+      return top.id;
+    }
+    const FrozenNodeRecord& node =
+        *static_cast<const FrozenNodeRecord*>(top.node);
+    if (visit_log != nullptr) {
+      visit_log->push_back(node.id);
+    }
+    if (node.is_leaf()) {
+      const uint32_t begin = node.entry_begin;
+      const uint32_t end = begin + node.entry_count;
+      for (uint32_t e = begin; e < end; ++e) {
+        if ((v.leaf_sigs[e] & kw_sig) == 0) {
+          continue;
+        }
+        const ObjectId id = v.leaf_ids[e];
+        uint64_t obj_mask = 0;
+        const bool contains =
+            scratch->CachedObjectMask(id, &obj_mask)
+                ? (obj_mask & bit) != 0
+                : TermSpanContains(v.terms + v.leaf_term_begin[e],
+                                   v.leaf_term_count[e], t);
+        if (contains) {
+          const Point location{v.leaf_x[e], v.leaf_y[e]};
+          const double d = from_origin
+                               ? scratch->QueryDistance(id, location)
+                               : Distance(p, location);
+          push(HeapEntry{d, nullptr, id});
+        }
+      }
+    } else {
+      const uint32_t first = node.first_child;
+      const uint32_t count = node.entry_count;
+      for (uint32_t c0 = 0; c0 < count; c0 += kScanChunk) {
+        const uint32_t n = std::min(kScanChunk, count - c0);
+        ScanChildSquaredDistances(v, first + c0, n, p, dist_buf);
+        for (uint32_t i = 0; i < n; ++i) {
+          const FrozenNodeRecord& child = v.nodes[first + c0 + i];
+          if ((child.sig & kw_sig) != 0 &&
+              (scratch->NodeMask(child.id, v.node_terms(child),
+                                 child.term_count) &
+               bit) != 0) {
+            push(HeapEntry{std::sqrt(dist_buf[i]), &child, kInvalidObjectId});
+          }
+        }
+      }
+    }
+  }
+  if (distance != nullptr) {
+    *distance = std::numeric_limits<double>::infinity();
+  }
+  return kInvalidObjectId;
+}
+
+void IrTree::FrozenRangeRelevant(const Circle& circle,
+                                 const TermSet& query_terms,
+                                 std::vector<ObjectId>* out,
+                                 std::vector<uint32_t>* visit_log) const {
+  if (size_ == 0) {
+    return;
+  }
+  const FrozenView& v = frozen_->view;
+  struct Searcher {
+    const FrozenView& v;
+    const Circle& circle;
+    const TermSet& query_terms;
+    std::vector<ObjectId>* out;
+    std::vector<uint32_t>* visit_log;
+
+    void Run(uint32_t slot) {
+      const FrozenNodeRecord& node = v.nodes[slot];
+      const Rect mbr{v.min_x[slot], v.min_y[slot], v.max_x[slot],
+                     v.max_y[slot]};
+      if (!circle.Intersects(mbr) ||
+          !TermSpanIntersects(v.node_terms(node), node.term_count,
+                              query_terms)) {
+        return;
+      }
+      if (visit_log != nullptr) {
+        visit_log->push_back(node.id);
+      }
+      if (node.is_leaf()) {
+        const uint32_t begin = node.entry_begin;
+        const uint32_t end = begin + node.entry_count;
+        for (uint32_t e = begin; e < end; ++e) {
+          if (circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]}) &&
+              TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                 v.leaf_term_count[e], query_terms)) {
+            out->push_back(v.leaf_ids[e]);
+          }
+        }
+        return;
+      }
+      const uint32_t first = node.first_child;
+      const uint32_t last = first + node.entry_count;
+      for (uint32_t c = first; c < last; ++c) {
+        Run(c);
+      }
+    }
+  };
+  Searcher searcher{v, circle, query_terms, out, visit_log};
+  searcher.Run(0);
+}
+
+void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
+                                       const TermSet& query_terms,
+                                       uint64_t submask,
+                                       std::vector<ObjectId>* out,
+                                       SearchScratch* scratch) const {
+  if (size_ == 0) {
+    return;
+  }
+  const FrozenView& v = frozen_->view;
+  const uint64_t sub_sig = TermSetSignature(query_terms);
+  struct Searcher {
+    const FrozenView& v;
+    const Circle& circle;
+    const TermSet& query_terms;
+    uint64_t submask;
+    uint64_t sub_sig;
+    SearchScratch* scratch;
+    std::vector<ObjectId>* out;
+    std::vector<uint32_t>* visit_log;
+
+    void Run(uint32_t slot) {
+      const FrozenNodeRecord& node = v.nodes[slot];
+      const Rect mbr{v.min_x[slot], v.min_y[slot], v.max_x[slot],
+                     v.max_y[slot]};
+      // Same short-circuit order as the pointer path: geometry, signature,
+      // then the cached mask when warm, else the exact early-exit merge
+      // with no cache fill.
+      if (!circle.Intersects(mbr) || (node.sig & sub_sig) == 0) {
+        return;
+      }
+      uint64_t node_mask = 0;
+      const bool relevant =
+          scratch->CachedNodeMask(node.id, &node_mask)
+              ? (node_mask & submask) != 0
+              : TermSpanIntersects(v.node_terms(node), node.term_count,
+                                   query_terms);
+      if (!relevant) {
+        return;
+      }
+      if (visit_log != nullptr) {
+        visit_log->push_back(node.id);
+      }
+      if (node.is_leaf()) {
+        const uint32_t begin = node.entry_begin;
+        const uint32_t end = begin + node.entry_count;
+        for (uint32_t e = begin; e < end; ++e) {
+          if (!circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]}) ||
+              (v.leaf_sigs[e] & sub_sig) == 0) {
+            continue;
+          }
+          const ObjectId id = v.leaf_ids[e];
+          uint64_t obj_mask = 0;
+          const bool obj_relevant =
+              scratch->CachedObjectMask(id, &obj_mask)
+                  ? (obj_mask & submask) != 0
+                  : TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                       v.leaf_term_count[e], query_terms);
+          if (obj_relevant) {
+            out->push_back(id);
+          }
+        }
+        return;
+      }
+      const uint32_t first = node.first_child;
+      const uint32_t last = first + node.entry_count;
+      for (uint32_t c = first; c < last; ++c) {
+        Run(c);
+      }
+    }
+  };
+  Searcher searcher{v,       circle, query_terms,          submask,
+                    sub_sig, scratch, out, scratch->visit_log()};
+  searcher.Run(0);
+}
+
+void IrTree::CheckFrozenInvariants() const {
+  COSKQ_CHECK(frozen_ != nullptr);
+  const FrozenView& v = frozen_->view;
+  COSKQ_CHECK_GE(v.num_nodes, 1u);
+  COSKQ_CHECK_EQ(static_cast<size_t>(v.num_leaf_entries), size_);
+
+  // Pass 1: BFS structure. Child blocks of internal nodes must tile
+  // [1, num_nodes) in slot order; leaf entry blocks must tile
+  // [0, num_leaf_entries) in slot order; term spans are in-bounds.
+  std::vector<uint32_t> depth(v.num_nodes, 0);
+  std::vector<bool> id_seen(v.num_nodes, false);
+  uint32_t expected_child = 1;
+  uint32_t expected_leaf_entry = 0;
+  int leaf_depth = -1;
+  size_t object_count = 0;
+  for (uint32_t slot = 0; slot < v.num_nodes; ++slot) {
+    const FrozenNodeRecord& node = v.nodes[slot];
+    COSKQ_CHECK_LT(node.id, v.num_nodes);
+    COSKQ_CHECK(!id_seen[node.id]) << "duplicate preorder id";
+    id_seen[node.id] = true;
+    COSKQ_CHECK_LE(static_cast<int>(node.entry_count), options_.max_entries);
+    if (slot != 0) {
+      COSKQ_CHECK_GE(node.entry_count, 1u);
+    }
+    COSKQ_CHECK_LE(uint64_t{node.term_begin} + node.term_count,
+                   uint64_t{v.num_terms});
+    if (node.is_leaf()) {
+      if (leaf_depth < 0) {
+        leaf_depth = static_cast<int>(depth[slot]);
+      }
+      COSKQ_CHECK_EQ(leaf_depth, static_cast<int>(depth[slot]))
+          << "leaves at unequal depth";
+      COSKQ_CHECK_EQ(node.entry_begin, expected_leaf_entry);
+      expected_leaf_entry += node.entry_count;
+      object_count += node.entry_count;
+    } else {
+      COSKQ_CHECK_EQ(node.first_child, expected_child);
+      expected_child += node.entry_count;
+      COSKQ_CHECK_LE(expected_child, v.num_nodes);
+      for (uint32_t c = node.first_child;
+           c < node.first_child + node.entry_count; ++c) {
+        depth[c] = depth[slot] + 1;
+      }
+    }
+  }
+  COSKQ_CHECK_EQ(expected_child, v.num_nodes);
+  COSKQ_CHECK_EQ(expected_leaf_entry, v.num_leaf_entries);
+  COSKQ_CHECK_EQ(object_count, size_);
+  if (size_ > 0) {
+    COSKQ_CHECK_EQ(static_cast<int>(v.height), leaf_depth + 1);
+  }
+
+  // Pass 2 (bottom-up, slots in reverse BFS order): every node's MBR, term
+  // summary, and signature must equal what its children / leaf entries
+  // imply, and leaf entries must match the dataset.
+  std::vector<Rect> expected_mbr(v.num_nodes);
+  std::vector<TermSet> expected_terms(v.num_nodes);
+  for (uint32_t i = v.num_nodes; i-- > 0;) {
+    const FrozenNodeRecord& node = v.nodes[i];
+    Rect mbr;
+    TermSet terms;
+    if (node.is_leaf()) {
+      for (uint32_t e = node.entry_begin;
+           e < node.entry_begin + node.entry_count; ++e) {
+        const ObjectId id = v.leaf_ids[e];
+        const SpatialObject& obj = dataset_->object(id);
+        COSKQ_CHECK_EQ(v.leaf_x[e], obj.location.x);
+        COSKQ_CHECK_EQ(v.leaf_y[e], obj.location.y);
+        COSKQ_CHECK_EQ(v.leaf_sigs[e], TermSetSignature(obj.keywords));
+        COSKQ_CHECK_EQ(static_cast<size_t>(v.leaf_term_count[e]),
+                       obj.keywords.size());
+        COSKQ_CHECK(std::equal(obj.keywords.begin(), obj.keywords.end(),
+                               v.terms + v.leaf_term_begin[e]))
+            << "leaf keyword span mismatch";
+        mbr.ExpandToInclude(obj.location);
+        TermSetMergeInto(&terms, obj.keywords);
+      }
+    } else {
+      for (uint32_t c = node.first_child;
+           c < node.first_child + node.entry_count; ++c) {
+        mbr.ExpandToInclude(expected_mbr[c]);
+        TermSetMergeInto(&terms, expected_terms[c]);
+      }
+    }
+    COSKQ_CHECK(mbr == Rect(v.min_x[i], v.min_y[i], v.max_x[i], v.max_y[i]))
+        << "frozen MBR mismatch";
+    COSKQ_CHECK_EQ(terms.size(), static_cast<size_t>(node.term_count));
+    COSKQ_CHECK(
+        std::equal(terms.begin(), terms.end(), v.terms + node.term_begin))
+        << "frozen term summary mismatch";
+    COSKQ_CHECK_EQ(node.sig, TermSetSignature(terms));
+    expected_mbr[i] = mbr;
+    expected_terms[i] = std::move(terms);
+  }
+
+  // Cross-check against the pointer tree when both representations exist.
+  if (root_ != nullptr) {
+    struct Walker {
+      const FrozenView& v;
+      uint32_t next_leaf_entry = 0;
+      void Run(const Node* node, uint32_t slot) {
+        const FrozenNodeRecord& rec = v.nodes[slot];
+        COSKQ_CHECK_EQ(rec.id, node->id);
+        COSKQ_CHECK_EQ(rec.is_leaf(), node->is_leaf);
+        COSKQ_CHECK_EQ(static_cast<size_t>(rec.entry_count),
+                       node->EntryCount());
+        if (node->is_leaf) {
+          for (size_t k = 0; k < node->objects.size(); ++k) {
+            COSKQ_CHECK_EQ(v.leaf_ids[rec.entry_begin + k],
+                           node->objects[k]);
+          }
+        } else {
+          for (size_t k = 0; k < node->children.size(); ++k) {
+            Run(node->children[k].get(),
+                rec.first_child + static_cast<uint32_t>(k));
+          }
+        }
+      }
+    };
+    Walker walker{v};
+    walker.Run(root_.get(), 0);
+  }
+}
+
+}  // namespace coskq

@@ -1,0 +1,60 @@
+#ifndef COSKQ_INDEX_IRTREE_NODE_H_
+#define COSKQ_INDEX_IRTREE_NODE_H_
+
+#include <stdint.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/object.h"
+#include "data/term_set.h"
+#include "geo/rect.h"
+#include "index/irtree.h"
+#include "index/term_signature.h"
+
+namespace coskq {
+
+/// The pointer-tree node, shared between the dynamic tree code (irtree.cc)
+/// and the freeze path (irtree_frozen.cc). Private to the index library.
+struct IrTree::Node {
+  bool is_leaf = true;
+  /// Dense preorder id (see AssignNodeIds), indexing the per-node caches of
+  /// SearchScratch.
+  uint32_t id = 0;
+  Rect mbr;
+  /// Sorted union of all keywords appearing in the subtree — the node-level
+  /// inverted-file summary that keyword-aware traversal prunes on.
+  TermSet terms;
+  /// Bloom signature of `terms` (see term_signature.h): a clear AND against
+  /// a query-side signature proves the subtree lacks the tested keywords.
+  uint64_t sig = 0;
+  std::vector<std::unique_ptr<Node>> children;  // When !is_leaf.
+  std::vector<ObjectId> objects;                // When is_leaf.
+
+  size_t EntryCount() const {
+    return is_leaf ? objects.size() : children.size();
+  }
+
+  void Recompute(const Dataset& dataset) {
+    mbr = Rect();
+    terms.clear();
+    if (is_leaf) {
+      for (ObjectId id : objects) {
+        const SpatialObject& obj = dataset.object(id);
+        mbr.ExpandToInclude(obj.location);
+        TermSetMergeInto(&terms, obj.keywords);
+      }
+    } else {
+      for (const auto& child : children) {
+        mbr.ExpandToInclude(child->mbr);
+        TermSetMergeInto(&terms, child->terms);
+      }
+    }
+    sig = TermSetSignature(terms);
+  }
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_IRTREE_NODE_H_

@@ -24,25 +24,26 @@ int QueryTermMask::SlotOf(TermId t) const {
   return static_cast<int>(it - keywords_.begin());
 }
 
-uint64_t QueryTermMask::MaskOf(const TermSet& terms) const {
+uint64_t QueryTermMask::MaskOf(const TermId* terms, size_t count) const {
   uint64_t mask = 0;
   // Iterate whichever side is smaller: probing each member of a short set
   // (a leaf object's handful of keywords) into q.ψ beats running |q.ψ|
   // progressive searches through it, and vice versa for the wide term
   // summaries of upper tree nodes. Either direction computes the same mask.
-  if (terms.size() < keywords_.size()) {
-    for (TermId t : terms) {
-      const int slot = SlotOf(t);
+  if (count < keywords_.size()) {
+    for (size_t i = 0; i < count; ++i) {
+      const int slot = SlotOf(terms[i]);
       if (slot >= 0) {
         mask |= uint64_t{1} << slot;
       }
     }
     return mask;
   }
-  auto it = terms.begin();
-  for (size_t k = 0; k < keywords_.size() && it != terms.end(); ++k) {
-    it = std::lower_bound(it, terms.end(), keywords_[k]);
-    if (it == terms.end()) {
+  const TermId* it = terms;
+  const TermId* end = terms + count;
+  for (size_t k = 0; k < keywords_.size() && it != end; ++k) {
+    it = std::lower_bound(it, end, keywords_[k]);
+    if (it == end) {
       break;
     }
     if (*it == keywords_[k]) {

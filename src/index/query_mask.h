@@ -43,7 +43,14 @@ class QueryTermMask {
   /// progressive binary search per query keyword, so the cost is
   /// O(|q.ψ| log |terms|) — paid once per node/object per query, after
   /// which every containment test is one AND.
-  uint64_t MaskOf(const TermSet& terms) const;
+  uint64_t MaskOf(const TermSet& terms) const {
+    return MaskOf(terms.data(), terms.size());
+  }
+
+  /// Span variant for term sets stored as arena slices (the frozen IR-tree
+  /// layout). Runs the identical probe sequence as the TermSet overload, so
+  /// the computed mask is the same.
+  uint64_t MaskOf(const TermId* terms, size_t count) const;
 
   /// Mask of `terms` when every member is a query keyword (the common
   /// "prune on a subset of q.ψ" case); false if any member is not.

@@ -51,16 +51,21 @@ void SearchScratch::FinishQuery() {
 }
 
 uint64_t SearchScratch::NodeMask(uint32_t node_id, const TermSet& node_terms) {
+  return NodeMask(node_id, node_terms.data(), node_terms.size());
+}
+
+uint64_t SearchScratch::NodeMask(uint32_t node_id, const TermId* node_terms,
+                                 size_t count) {
   if (node_id < node_masks_.size()) {
     MaskSlot& slot = node_masks_[node_id];
     if (slot.epoch == epoch_) {
       return slot.mask;
     }
     slot.epoch = epoch_;
-    slot.mask = mask_.MaskOf(node_terms);
+    slot.mask = mask_.MaskOf(node_terms, count);
     return slot.mask;
   }
-  return mask_.MaskOf(node_terms);
+  return mask_.MaskOf(node_terms, count);
 }
 
 bool SearchScratch::CachedObjectMask(ObjectId id, uint64_t* mask) const {

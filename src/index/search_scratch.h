@@ -86,6 +86,11 @@ class SearchScratch {
   /// `node_terms` on first access this query).
   uint64_t NodeMask(uint32_t node_id, const TermSet& node_terms);
 
+  /// Span variant for the frozen IR-tree layout, where a node's term summary
+  /// is an arena slice. Cache semantics and computed values are identical to
+  /// the TermSet overload (same node id keys the same slot).
+  uint64_t NodeMask(uint32_t node_id, const TermId* node_terms, size_t count);
+
   /// Cached query-keyword mask of object `id` (computed from `keywords` on
   /// first access this query).
   uint64_t ObjectMask(ObjectId id, const TermSet& keywords);

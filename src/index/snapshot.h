@@ -1,0 +1,69 @@
+#ifndef COSKQ_INDEX_SNAPSHOT_H_
+#define COSKQ_INDEX_SNAPSHOT_H_
+
+#include <stdint.h>
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "index/irtree.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// Versioned little-endian index snapshot: the frozen flat IR-tree
+/// (frozen_layout.h) persisted so the server and the batch tools can load a
+/// prebuilt index instead of re-running STR bulk load on every start.
+///
+/// File layout (all integers little-endian):
+///   [48-byte header]  magic "CQIX", version, endian marker 0x0102, dataset
+///                     checksum, object count, max_entries, array counts,
+///                     height, body size
+///   [body]            the frozen arrays, byte-for-byte the FrozenStore body
+///                     buffer (every section 8-byte aligned, so the body can
+///                     be traversed in place from an mmap)
+///   [8-byte trailer]  FNV-1a checksum of header + body
+///
+/// A snapshot is bound to the exact dataset it was built from: LoadSnapshot
+/// recomputes Dataset::ContentChecksum() and refuses a mismatch. Any change
+/// to the header, the FrozenNodeRecord layout, or the body section order
+/// requires bumping kSnapshotVersion.
+inline constexpr uint32_t kSnapshotMagic = 0x58495143u;  // "CQIX"
+inline constexpr uint16_t kSnapshotVersion = 1;
+
+/// Header fields of a snapshot file, as returned by ReadSnapshotInfo
+/// (`coskq_cli index inspect`).
+struct SnapshotInfo {
+  uint16_t version = 0;
+  uint64_t dataset_checksum = 0;
+  uint32_t num_objects = 0;
+  uint32_t max_entries = 0;
+  uint32_t num_nodes = 0;
+  uint32_t num_leaf_entries = 0;
+  uint32_t num_terms = 0;
+  uint32_t height = 0;
+  uint64_t body_bytes = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Writes `tree`'s frozen representation to `path`, freezing first if
+/// needed. Snapshots of the same tree are byte-for-byte identical.
+Status SaveSnapshot(IrTree* tree, const std::string& path);
+
+/// Loads a snapshot into a frozen-only IrTree over `dataset` (which must be
+/// the dataset the snapshot was built from, verified by checksum; it must
+/// outlive the tree). The file is mapped read-only when possible (falling
+/// back to a single read), so loading is O(validation) instead of
+/// O(rebuild). Fails with a Status — never crashes — on truncated, corrupt,
+/// wrong-version, or wrong-dataset files.
+StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
+                                               const std::string& path);
+
+/// Reads and validates a snapshot's header and checksum without a dataset
+/// (the dataset-checksum *match* is not checked; everything else is).
+StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_SNAPSHOT_H_

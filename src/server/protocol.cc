@@ -294,6 +294,10 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutDouble(reply.p50_ms);
   w.PutDouble(reply.p95_ms);
   w.PutDouble(reply.p99_ms);
+  w.PutU8(reply.index_from_snapshot);
+  w.PutDouble(reply.index_prepare_ms);
+  w.PutU64(reply.index_nodes);
+  w.PutU64(reply.index_checksum);
   return payload;
 }
 
@@ -308,7 +312,12 @@ bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
          r.GetU64(&out->queries_errored) && r.GetU64(&out->queries_active) &&
          r.GetU64(&out->queue_depth) && r.GetDouble(&out->uptime_s) &&
          r.GetDouble(&out->mean_ms) && r.GetDouble(&out->p50_ms) &&
-         r.GetDouble(&out->p95_ms) && r.GetDouble(&out->p99_ms) && r.AtEnd();
+         r.GetDouble(&out->p95_ms) && r.GetDouble(&out->p99_ms) &&
+         r.GetU8(&out->index_from_snapshot) &&
+         out->index_from_snapshot <= 1 &&
+         r.GetDouble(&out->index_prepare_ms) &&
+         r.GetU64(&out->index_nodes) && r.GetU64(&out->index_checksum) &&
+         r.AtEnd();
 }
 
 std::string StatsReply::ToString() const {
@@ -332,6 +341,10 @@ std::string StatsReply::ToString() const {
   if (queries_errored > 0) {
     s += " errors=" + std::to_string(queries_errored);
   }
+  s += std::string(" index{") +
+       (index_from_snapshot != 0 ? "snapshot" : "built") +
+       " prepare=" + FormatMillis(index_prepare_ms) +
+       " nodes=" + std::to_string(index_nodes) + "}";
   return s;
 }
 

@@ -29,7 +29,9 @@ namespace coskq {
 /// pipeline must match on request_id, not arrival order.
 
 inline constexpr uint16_t kProtocolMagic = 0x4351;
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Version 2 extended StatsReply with index-provenance fields (snapshot vs
+/// rebuild, prepare time, node count, dataset checksum).
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload. A QUERY is a handful of keywords and a
 /// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
@@ -143,6 +145,18 @@ struct StatsReply {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+
+  // Index provenance (filled from ServerOptions by the host process): how
+  // the IR-tree this server answers from came to be.
+  /// 1 if the index was loaded from a snapshot file, 0 if built in-process.
+  uint8_t index_from_snapshot = 0;
+  /// Wall time of that build or load, in milliseconds.
+  double index_prepare_ms = 0.0;
+  /// Node count of the serving IR-tree.
+  uint64_t index_nodes = 0;
+  /// Dataset content checksum the index is bound to (the same digest a
+  /// snapshot embeds; see Dataset::ContentChecksum).
+  uint64_t index_checksum = 0;
 
   /// One-line human rendering for logs and the load generator.
   std::string ToString() const;

@@ -245,6 +245,10 @@ ServerStatsSnapshot CoskqServer::stats() const {
     snap.queue_depth = queue_.size();
   }
   snap.uptime_s = MillisBetween(start_time_, Clock::now()) / 1e3;
+  snap.index_from_snapshot = options_.index_from_snapshot ? 1 : 0;
+  snap.index_prepare_ms = options_.index_prepare_ms;
+  snap.index_nodes = options_.index_nodes;
+  snap.index_checksum = options_.index_checksum;
   return snap;
 }
 

@@ -52,6 +52,18 @@ struct ServerOptions {
   /// queue overflow and drain timing deterministic in the loopback tests and
   /// saturation demos. 0 (the default) in production.
   double test_solve_delay_ms = 0.0;
+
+  // Index provenance, reported verbatim through the STATS verb (the server
+  // receives a ready-made context, so the host process that built or loaded
+  // the index records how it did so here).
+  /// True when the IR-tree was loaded from a snapshot rather than built.
+  bool index_from_snapshot = false;
+  /// Wall time of that build or load, in milliseconds.
+  double index_prepare_ms = 0.0;
+  /// Node count of the serving IR-tree (IrTree::NodeCount()).
+  uint64_t index_nodes = 0;
+  /// Dataset content checksum the index is bound to.
+  uint64_t index_checksum = 0;
 };
 
 /// Point-in-time server statistics (the STATS verb serves the same snapshot

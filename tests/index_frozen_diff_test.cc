@@ -1,0 +1,271 @@
+// Differential suite for the frozen flat IR-tree, over seeds 0-49: every
+// query path (KeywordNn, NnSet, RangeRelevant, RelevantStream — baseline and
+// masked) and every registry solver must be *bit-identical* between the
+// pointer tree and the frozen representation, down to node-visit logs and
+// distance-memo counters. This enforces the frozen layout's core contract:
+// Freeze() changes the memory layout, never the traversal.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/solvers.h"
+#include "geo/circle.h"
+#include "index/irtree.h"
+#include "index/search_scratch.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+const char* const kSolverNames[] = {
+    "maxsum-exact",      "dia-exact",        "maxsum-appro",
+    "dia-appro",         "cao-exact-maxsum", "cao-exact-dia",
+    "cao-appro1-maxsum", "cao-appro1-dia",   "cao-appro2-maxsum",
+    "cao-appro2-dia",
+};
+
+class FrozenDiffTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    const uint64_t seed = GetParam();
+    dataset_ = test::MakeRandomDataset(150, 25, 3.0, seed + 1);
+    tree_ = std::make_unique<IrTree>(&dataset_);
+    tree_->Freeze();
+    ASSERT_TRUE(tree_->frozen());
+    context_ = CoskqContext{&dataset_, tree_.get()};
+    for (int i = 0; i < 3; ++i) {
+      queries_.push_back(
+          test::MakeRandomQuery(dataset_, 3 + i, seed * 1000 + i));
+    }
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<IrTree> tree_;
+  CoskqContext context_;
+  std::vector<CoskqQuery> queries_;
+};
+
+TEST_P(FrozenDiffTest, FreezeIsIdempotentAndPassesInvariants) {
+  tree_->CheckInvariants();  // Cross-checks frozen arrays vs pointer tree.
+  tree_->Freeze();
+  tree_->CheckInvariants();
+}
+
+TEST_P(FrozenDiffTest, KeywordNnVisitSequencesIdentical) {
+  Rng rng(GetParam() + 11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point p{rng.UniformDouble(), rng.UniformDouble()};
+    const TermId t = static_cast<TermId>(rng.UniformUint64(25));
+
+    tree_->set_frozen_enabled(false);
+    double want_d = 0.0;
+    std::vector<uint32_t> want_log;
+    const ObjectId want = tree_->KeywordNn(p, t, &want_d, &want_log);
+
+    tree_->set_frozen_enabled(true);
+    double got_d = 0.0;
+    std::vector<uint32_t> got_log;
+    const ObjectId got = tree_->KeywordNn(p, t, &got_d, &got_log);
+
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got_d, want_d);  // Bit-identical, no tolerance.
+    EXPECT_EQ(got_log, want_log) << "KeywordNn expansion order diverged";
+  }
+}
+
+TEST_P(FrozenDiffTest, MaskedNnSetVisitSequencesIdentical) {
+  SearchScratch scratch;
+  for (const CoskqQuery& q : queries_) {
+    std::vector<uint32_t> want_log;
+    std::vector<uint32_t> got_log;
+    std::vector<ObjectId> want;
+    std::vector<ObjectId> got;
+    TermSet want_missing;
+    TermSet got_missing;
+
+    tree_->set_frozen_enabled(false);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    scratch.set_visit_log(&want_log);
+    want = tree_->NnSet(q.location, q.keywords, &want_missing, &scratch);
+    scratch.set_visit_log(nullptr);
+    scratch.FinishQuery();
+
+    tree_->set_frozen_enabled(true);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    scratch.set_visit_log(&got_log);
+    got = tree_->NnSet(q.location, q.keywords, &got_missing, &scratch);
+    scratch.set_visit_log(nullptr);
+    scratch.FinishQuery();
+
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got_missing, want_missing);
+    EXPECT_EQ(got_log, want_log) << "masked NnSet expansion diverged";
+  }
+}
+
+TEST_P(FrozenDiffTest, RangeRelevantVisitSequencesIdentical) {
+  SearchScratch scratch;
+  Rng rng(GetParam() + 77);
+  for (const CoskqQuery& q : queries_) {
+    const double radius = 0.1 + 0.4 * rng.UniformDouble();
+    const Circle circle(q.location, radius);
+
+    // Baseline (unmasked) with visit logs.
+    tree_->set_frozen_enabled(false);
+    std::vector<ObjectId> want_out;
+    std::vector<uint32_t> want_log;
+    tree_->RangeRelevant(circle, q.keywords, &want_out, &want_log);
+
+    tree_->set_frozen_enabled(true);
+    std::vector<ObjectId> got_out;
+    std::vector<uint32_t> got_log;
+    tree_->RangeRelevant(circle, q.keywords, &got_out, &got_log);
+
+    EXPECT_EQ(got_out, want_out);
+    EXPECT_EQ(got_log, want_log) << "RangeRelevant expansion diverged";
+
+    // Masked with visit logs through the scratch.
+    tree_->set_frozen_enabled(false);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    std::vector<ObjectId> want_mout;
+    std::vector<uint32_t> want_mlog;
+    scratch.set_visit_log(&want_mlog);
+    tree_->RangeRelevant(circle, q.keywords, &want_mout, &scratch);
+    scratch.set_visit_log(nullptr);
+    scratch.FinishQuery();
+
+    tree_->set_frozen_enabled(true);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    std::vector<ObjectId> got_mout;
+    std::vector<uint32_t> got_mlog;
+    scratch.set_visit_log(&got_mlog);
+    tree_->RangeRelevant(circle, q.keywords, &got_mout, &scratch);
+    scratch.set_visit_log(nullptr);
+    scratch.FinishQuery();
+
+    EXPECT_EQ(got_mout, want_mout);
+    EXPECT_EQ(got_mlog, want_mlog) << "masked RangeRelevant diverged";
+  }
+}
+
+TEST_P(FrozenDiffTest, RelevantStreamDrainsIdentically) {
+  SearchScratch scratch;
+  for (const CoskqQuery& q : queries_) {
+    // Unmasked streams.
+    std::vector<std::pair<ObjectId, double>> want;
+    std::vector<std::pair<ObjectId, double>> got;
+    tree_->set_frozen_enabled(false);
+    {
+      IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords);
+      while (auto next = stream.Next()) {
+        want.push_back(*next);
+      }
+    }
+    tree_->set_frozen_enabled(true);
+    {
+      IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords);
+      while (auto next = stream.Next()) {
+        got.push_back(*next);
+      }
+    }
+    EXPECT_EQ(got, want) << "RelevantStream order/content diverged";
+
+    // Masked streams (scratch caches shared within each drain).
+    want.clear();
+    got.clear();
+    tree_->set_frozen_enabled(false);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    {
+      IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords,
+                                    &scratch);
+      while (auto next = stream.Next()) {
+        want.push_back(*next);
+      }
+    }
+    scratch.FinishQuery();
+    tree_->set_frozen_enabled(true);
+    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                       dataset_.NumObjects());
+    {
+      IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords,
+                                    &scratch);
+      while (auto next = stream.Next()) {
+        got.push_back(*next);
+      }
+    }
+    scratch.FinishQuery();
+    EXPECT_EQ(got, want) << "masked RelevantStream diverged";
+  }
+}
+
+TEST_P(FrozenDiffTest, EverySolverBitIdenticalFrozenVsPointer) {
+  for (const bool use_masks : {false, true}) {
+    SolverOptions options;
+    options.use_query_masks = use_masks;
+    for (const char* name : kSolverNames) {
+      auto solver = MakeSolver(name, context_, options);
+      ASSERT_NE(solver, nullptr) << name;
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        SCOPED_TRACE(std::string(name) + (use_masks ? " masked" : " baseline") +
+                     " query " + std::to_string(i));
+        tree_->set_frozen_enabled(false);
+        const CoskqResult want = solver->Solve(queries_[i]);
+        tree_->set_frozen_enabled(true);
+        const CoskqResult got = solver->Solve(queries_[i]);
+        EXPECT_EQ(got.feasible, want.feasible);
+        EXPECT_EQ(got.set, want.set);
+        EXPECT_EQ(got.cost, want.cost);  // Bit-identical, no tolerance.
+        EXPECT_EQ(got.stats.candidates, want.stats.candidates);
+        EXPECT_EQ(got.stats.sets_evaluated, want.stats.sets_evaluated);
+        EXPECT_EQ(got.stats.pairs_examined, want.stats.pairs_examined);
+        // The distance memo is shared logic: frozen paths must consult it
+        // exactly as often as the pointer paths do.
+        EXPECT_EQ(got.stats.dist_cache_hits, want.stats.dist_cache_hits);
+        EXPECT_EQ(got.stats.dist_cache_misses, want.stats.dist_cache_misses);
+      }
+    }
+  }
+}
+
+TEST(FrozenInsertTest, InsertInvalidatesFrozenViewAndQueriesStayCorrect) {
+  Dataset ds = test::MakeRandomDataset(200, 20, 3.0, 7);
+  IrTree tree(&ds);
+  tree.Freeze();
+  ASSERT_TRUE(tree.frozen());
+
+  // Re-inserting an existing object invalidates the frozen view rather than
+  // leaving the flat arrays silently stale.
+  ASSERT_TRUE(tree.Insert(0).ok());
+  EXPECT_FALSE(tree.frozen());
+  tree.CheckInvariants();
+
+  // Queries fall back to the (now larger) pointer tree and see the insert.
+  double d = 0.0;
+  const TermSet& kw = ds.object(0).keywords;
+  ASSERT_FALSE(kw.empty());
+  const ObjectId nn = tree.KeywordNn(ds.object(0).location, kw[0], &d);
+  EXPECT_NE(nn, kInvalidObjectId);
+  EXPECT_EQ(d, 0.0);
+
+  // Re-freezing after the insert restores the frozen fast path.
+  tree.Freeze();
+  EXPECT_TRUE(tree.frozen());
+  tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrozenDiffTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace coskq

@@ -192,7 +192,7 @@ TEST(IrTreeTest, DynamicInsertMatchesBulk) {
   // the dataset and insert each object one more time, then check invariants
   // and duplicated query results.
   for (const SpatialObject& obj : empty.objects()) {
-    dynamic.Insert(obj.id);
+    ASSERT_TRUE(dynamic.Insert(obj.id).ok());
   }
   dynamic.CheckInvariants();
   EXPECT_EQ(dynamic.size(), 2 * ds.NumObjects());

@@ -1,0 +1,241 @@
+// Snapshot format tests: byte-for-byte round trips, graceful rejection (a
+// Status, never a crash) of truncated / corrupted / wrong-version /
+// wrong-dataset files, and query bit-identity of snapshot-loaded trees.
+
+#include "index/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "index/irtree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace coskq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class SnapshotRoundTripTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : cleanup_) {
+      std::remove(p.c_str());
+    }
+  }
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(SnapshotRoundTripTest, SyntheticRoundTripIsByteIdentical) {
+  Dataset ds = test::MakeRandomDataset(500, 40, 3.5, 123);
+  IrTree tree(&ds);
+  const std::string path = Track(TempPath("snap_rt.cqix"));
+  ASSERT_TRUE(SaveSnapshot(&tree, path).ok());
+
+  // Saving the same tree again produces the identical file.
+  const std::string path2 = Track(TempPath("snap_rt2.cqix"));
+  ASSERT_TRUE(SaveSnapshot(&tree, path2).ok());
+  EXPECT_EQ(ReadAll(path), ReadAll(path2));
+
+  // Loading and re-saving the loaded (frozen-only) tree also round-trips
+  // byte-for-byte: the body buffer is the snapshot body.
+  auto loaded = LoadSnapshot(&ds, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  (*loaded)->CheckInvariants();
+  const std::string path3 = Track(TempPath("snap_rt3.cqix"));
+  ASSERT_TRUE(SaveSnapshot(loaded->get(), path3).ok());
+  EXPECT_EQ(ReadAll(path), ReadAll(path3));
+}
+
+TEST_F(SnapshotRoundTripTest, HotelLikeRoundTripAndQueryIdentity) {
+  Rng rng(9);
+  Dataset ds = GenerateSynthetic(HotelLikeSpec(0.02), &rng);
+  IrTree tree(&ds);
+  const std::string path = Track(TempPath("snap_hotel.cqix"));
+  ASSERT_TRUE(SaveSnapshot(&tree, path).ok());
+
+  auto loaded = LoadSnapshot(&ds, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  IrTree& snap = **loaded;
+  snap.CheckInvariants();
+  EXPECT_TRUE(snap.frozen());
+  EXPECT_EQ(snap.size(), tree.size());
+  EXPECT_EQ(snap.Height(), tree.Height());
+  EXPECT_EQ(snap.NodeCount(), tree.NodeCount());
+  EXPECT_EQ(snap.node_id_limit(), tree.node_id_limit());
+
+  // Query bit-identity (including visit logs) against the built tree, which
+  // itself runs the frozen fast path after Freeze().
+  tree.Freeze();
+  Rng qrng(10);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point p{qrng.UniformDouble(), qrng.UniformDouble()};
+    const TermId t = static_cast<TermId>(qrng.UniformUint64(30));
+    double want_d = 0.0;
+    double got_d = 0.0;
+    std::vector<uint32_t> want_log;
+    std::vector<uint32_t> got_log;
+    const ObjectId want = tree.KeywordNn(p, t, &want_d, &want_log);
+    const ObjectId got = snap.KeywordNn(p, t, &got_d, &got_log);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(got_d, want_d);
+    EXPECT_EQ(got_log, want_log);
+  }
+}
+
+TEST_F(SnapshotRoundTripTest, InfoReportsHeaderFields) {
+  Dataset ds = test::MakeRandomDataset(300, 30, 3.0, 5);
+  IrTree tree(&ds, IrTree::Options{16});
+  const std::string path = Track(TempPath("snap_info.cqix"));
+  ASSERT_TRUE(SaveSnapshot(&tree, path).ok());
+
+  auto info = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->version, kSnapshotVersion);
+  EXPECT_EQ(info->dataset_checksum, ds.ContentChecksum());
+  EXPECT_EQ(info->num_objects, 300u);
+  EXPECT_EQ(info->max_entries, 16u);
+  EXPECT_EQ(info->num_nodes, tree.NodeCount());
+  EXPECT_EQ(info->num_leaf_entries, 300u);
+  EXPECT_EQ(info->height, static_cast<uint32_t>(tree.Height()));
+  EXPECT_EQ(info->file_bytes, 48u + info->body_bytes + 8u);
+}
+
+TEST_F(SnapshotRoundTripTest, FrozenOnlyTreeRejectsInsert) {
+  Dataset ds = test::MakeRandomDataset(200, 20, 3.0, 3);
+  IrTree tree(&ds);
+  const std::string path = Track(TempPath("snap_ins.cqix"));
+  ASSERT_TRUE(SaveSnapshot(&tree, path).ok());
+  auto loaded = LoadSnapshot(&ds, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Status status = (*loaded)->Insert(0);
+  EXPECT_FALSE(status.ok());
+  // Still frozen and still queryable after the rejected mutation.
+  EXPECT_TRUE((*loaded)->frozen());
+  (*loaded)->CheckInvariants();
+}
+
+class SnapshotRejectionTest : public SnapshotRoundTripTest {
+ protected:
+  void SetUp() override {
+    dataset_ = test::MakeRandomDataset(250, 25, 3.0, 42);
+    tree_ = std::make_unique<IrTree>(&dataset_);
+    path_ = Track(TempPath("snap_reject.cqix"));
+    ASSERT_TRUE(SaveSnapshot(tree_.get(), path_).ok());
+    bytes_ = ReadAll(path_);
+    ASSERT_GT(bytes_.size(), 56u);
+  }
+
+  /// Writes a mutated copy and expects LoadSnapshot to fail cleanly.
+  void ExpectRejected(const std::vector<char>& bytes,
+                      const std::string& what) {
+    const std::string path = Track(TempPath("snap_mut.cqix"));
+    WriteAll(path, bytes);
+    auto loaded = LoadSnapshot(&dataset_, path);
+    EXPECT_FALSE(loaded.ok()) << what;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<IrTree> tree_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(SnapshotRejectionTest, TruncationAtEveryHeaderBoundaryFails) {
+  // Every prefix of the header region, the empty file, the header alone,
+  // and the file missing its trailer must all be rejected with a Status.
+  std::vector<size_t> sizes;
+  for (size_t s = 0; s <= 56; ++s) {
+    sizes.push_back(s);  // Through header + first body bytes.
+  }
+  sizes.push_back(bytes_.size() - 1);  // Trailer cut short.
+  sizes.push_back(bytes_.size() - 8);  // Trailer missing entirely.
+  sizes.push_back(bytes_.size() / 2);  // Body cut mid-way.
+  for (size_t s : sizes) {
+    std::vector<char> cut(bytes_.begin(), bytes_.begin() + s);
+    ExpectRejected(cut, "truncated to " + std::to_string(s) + " bytes");
+  }
+  // Oversized files are rejected too (exact-size format).
+  std::vector<char> padded = bytes_;
+  padded.push_back('\0');
+  ExpectRejected(padded, "one trailing byte added");
+}
+
+TEST_F(SnapshotRejectionTest, WrongMagicFails) {
+  std::vector<char> mutated = bytes_;
+  mutated[0] ^= 0x01;
+  ExpectRejected(mutated, "bad magic");
+}
+
+TEST_F(SnapshotRejectionTest, WrongVersionFails) {
+  std::vector<char> mutated = bytes_;
+  mutated[4] = static_cast<char>(kSnapshotVersion + 1);
+  ExpectRejected(mutated, "future version");
+}
+
+TEST_F(SnapshotRejectionTest, WrongEndianMarkerFails) {
+  std::vector<char> mutated = bytes_;
+  std::swap(mutated[6], mutated[7]);
+  ExpectRejected(mutated, "byte-swapped endian marker");
+}
+
+TEST_F(SnapshotRejectionTest, EveryCorruptedByteIsDetected) {
+  // Flipping any single bit in header or body breaks the trailer checksum
+  // (or an earlier header check); sample positions across the whole file.
+  for (size_t pos = 0; pos + 8 < bytes_.size(); pos += 97) {
+    std::vector<char> mutated = bytes_;
+    mutated[pos] ^= 0x20;
+    if (mutated == bytes_) {
+      continue;
+    }
+    ExpectRejected(mutated, "bit flip at offset " + std::to_string(pos));
+  }
+}
+
+TEST_F(SnapshotRejectionTest, DatasetMismatchFails) {
+  // Same shape, different content: the embedded checksum must not match.
+  Dataset other = test::MakeRandomDataset(250, 25, 3.0, 43);
+  ASSERT_NE(other.ContentChecksum(), dataset_.ContentChecksum());
+  auto loaded = LoadSnapshot(&other, path_);
+  EXPECT_FALSE(loaded.ok());
+
+  // Different object count as well.
+  Dataset smaller = test::MakeRandomDataset(100, 25, 3.0, 42);
+  auto loaded2 = LoadSnapshot(&smaller, path_);
+  EXPECT_FALSE(loaded2.ok());
+}
+
+TEST_F(SnapshotRejectionTest, MissingFileFails) {
+  auto loaded = LoadSnapshot(&dataset_, TempPath("snap_nonexistent.cqix"));
+  EXPECT_FALSE(loaded.ok());
+  auto info = ReadSnapshotInfo(TempPath("snap_nonexistent.cqix"));
+  EXPECT_FALSE(info.ok());
+}
+
+}  // namespace
+}  // namespace coskq

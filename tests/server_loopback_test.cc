@@ -21,6 +21,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <map>
@@ -31,6 +32,7 @@
 #include "core/solvers.h"
 #include "engine/batch_engine.h"
 #include "index/irtree.h"
+#include "index/snapshot.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -461,6 +463,84 @@ TEST_F(ServerLoopbackTest, SigtermDrainsGracefully) {
   EXPECT_FALSE(server_->running());
   EXPECT_EQ(server_->stats().queries_executed, 1u);
   CoskqServer::InstallSignalHandlers(nullptr);
+}
+
+// The STATS verb carries index provenance end to end: the fields the CLI
+// fills into ServerOptions must come back over the wire unchanged.
+TEST_F(ServerLoopbackTest, StatsReportIndexProvenance) {
+  ServerOptions options;
+  options.index_from_snapshot = true;
+  options.index_prepare_ms = 12.5;
+  options.index_nodes = index_->NodeCount();
+  options.index_checksum = dataset_.ContentChecksum();
+  StartAndConnect(options);
+  StatusOr<StatsReply> stats = client_.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_from_snapshot, 1u);
+  EXPECT_EQ(stats->index_prepare_ms, 12.5);
+  EXPECT_EQ(stats->index_nodes, index_->NodeCount());
+  EXPECT_EQ(stats->index_checksum, dataset_.ContentChecksum());
+
+  // The default (built in-process) reports built provenance.
+  server_->Shutdown();
+  server_->Wait();
+  client_.Close();
+  StartAndConnect(ServerOptions{});
+  stats = client_.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_from_snapshot, 0u);
+}
+
+// Serving from a snapshot-loaded (frozen-only) tree must be bit-identical
+// to serving from the tree built in-process: same sets, same costs, across
+// seeded queries and both cost functions.
+TEST_F(ServerLoopbackTest, SnapshotServedAnswersAreBitIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "/coskq_loopback_snapshot.cqix";
+  ASSERT_TRUE(SaveSnapshot(index_.get(), path).ok());
+  StatusOr<std::unique_ptr<IrTree>> loaded = LoadSnapshot(&dataset_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  CoskqContext snapshot_context{&dataset_, loaded->get()};
+
+  ServerOptions options;
+  options.port = 0;
+  options.index_from_snapshot = true;
+  CoskqServer snapshot_server(snapshot_context, options);
+  ASSERT_TRUE(snapshot_server.Start().ok());
+  CoskqClient snapshot_client;
+  ASSERT_TRUE(
+      snapshot_client.Connect("127.0.0.1", snapshot_server.port()).ok());
+
+  StartAndConnect(ServerOptions{});  // The built-tree reference server.
+
+  Rng rng(20130623);
+  size_t checked = 0;
+  for (CostType cost : {CostType::kMaxSum, CostType::kDia}) {
+    for (int i = 0; i < 15; ++i) {
+      QueryPair pair = MakePair(cost, SolverKind::kAppro, 2 + i % 4, &rng);
+      StatusOr<QueryReply> built = client_.Query(pair.request);
+      StatusOr<QueryReply> snap = snapshot_client.Query(pair.request);
+      ASSERT_TRUE(built.ok());
+      ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+      ASSERT_EQ(built->kind, QueryReply::Kind::kResult);
+      ASSERT_EQ(snap->kind, QueryReply::Kind::kResult);
+      EXPECT_EQ(snap->result.outcome, built->result.outcome) << "query " << i;
+      EXPECT_EQ(snap->result.set, built->result.set) << "query " << i;
+      EXPECT_EQ(snap->result.cost, built->result.cost) << "query " << i;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 30u);
+
+  StatusOr<StatsReply> stats = snapshot_client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->index_from_snapshot, 1u);
+  EXPECT_EQ(stats->queries_executed, checked);
+
+  snapshot_client.Close();
+  snapshot_server.Shutdown();
+  snapshot_server.Wait();
+  std::remove(path.c_str());
 }
 
 TEST_F(ServerLoopbackTest, StatsCountersAddUp) {

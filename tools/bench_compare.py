@@ -18,7 +18,9 @@ present, so the table stays readable as reports grow.
 Exit status: 0 when no comparable metric regressed by more than
 ``--threshold`` percent (default 20), 1 otherwise. Improvements and small
 fluctuations never fail the run; missing counterparts are reported but are
-not failures (new metrics appear as benchmarks evolve).
+not failures (new metrics appear as benchmarks evolve). With ``--warn-only``
+regressions are still reported in full but the exit status stays 0 — the
+escape hatch for noisy shared runners.
 
 Only the Python standard library is used.
 """
@@ -82,6 +84,8 @@ def main(argv):
     parser.add_argument("current", help="current BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=20.0,
                         help="regression threshold in percent (default 20)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
     args = parser.parse_args(argv)
 
     base = load_metrics(args.baseline)
@@ -136,6 +140,9 @@ def main(argv):
               % (len(regressions), args.threshold))
         for label, metric, pct in regressions:
             print("  %s %s: %.1f%% worse" % (label, metric, pct))
+        if args.warn_only:
+            print("(--warn-only: reporting without failing)")
+            return 0
         return 1
     print()
     print("OK: no metric regressed more than %.0f%%." % args.threshold)

@@ -13,13 +13,16 @@
 # worker handoff on every build.
 #
 # The perf job is opt-in (not part of the default matrix): it builds
-# Release, runs the hot-path A/B benchmark at smoke scale, compares the
-# fresh BENCH_hotpath.json against the committed one with
-# tools/bench_compare.py, and finishes with a 10-second coskq_load soak
-# against a live `coskq_cli serve` instance (saturation + graceful SIGTERM
-# drain must both hold). The benchmark comparison is informational on
-# shared CI runners (noisy neighbours); run it locally at full scale before
-# accepting a perf-sensitive change.
+# Release, runs the A/B benchmarks (hot path, dataset suite, frozen IR-tree
+# layout) at the same scale the committed BENCH_*.json baselines were
+# recorded at, and gates on tools/bench_compare.py: any directional metric
+# more than 25% worse than its committed baseline fails the job. Set
+# COSKQ_PERF_WARN_ONLY=1 to report regressions without failing (the escape
+# hatch for noisy shared runners). The job then builds an index snapshot
+# once with `coskq_cli index build`, records cold-start (rebuild) vs
+# warm-start (snapshot load) times, and reuses the snapshot for a 10-second
+# coskq_load soak against a live `coskq_cli serve --index-snapshot`
+# instance (saturation + graceful SIGTERM drain must both hold).
 #
 # Usage: tools/ci.sh [job...]
 #   jobs: release tsan asan perf  (default: release tsan asan)
@@ -72,34 +75,75 @@ for job in "${JOBS[@]}"; do
       run_fast_tests build-ci-asan
       ;;
     perf)
-      echo "== CI job: perf smoke, hot-path A/B benchmark =="
+      echo "== CI job: perf, A/B benchmarks gated against committed baselines =="
       configure_and_build build-ci-perf -DCMAKE_BUILD_TYPE=Release \
           -DCOSKQ_SANITIZE=""
       mkdir -p build-ci-perf/perf
-      ( cd build-ci-perf/perf &&
-        COSKQ_BENCH_SCALE="${COSKQ_BENCH_SCALE:-0.01}" \
-        COSKQ_BENCH_QUERIES="${COSKQ_BENCH_QUERIES:-20}" \
-            ../bench/bench_hotpath )
-      if [ -f BENCH_hotpath.json ]; then
-        # Informational on shared runners: timing noise there is far larger
-        # than the 20% gate, so a miss must not fail the matrix.
-        python3 tools/bench_compare.py BENCH_hotpath.json \
-            build-ci-perf/perf/BENCH_hotpath.json || true
-      fi
 
-      echo "== perf: 10-second coskq_load soak against a live server =="
+      # The regression gate: each benchmark runs at the exact config its
+      # committed BENCH_*.json baseline was recorded at, and bench_compare
+      # fails the job on any directional metric >25% worse. The escape hatch
+      # for noisy shared runners is COSKQ_PERF_WARN_ONLY=1.
+      COMPARE_FLAGS=(--threshold 25)
+      if [ "${COSKQ_PERF_WARN_ONLY:-0}" != "0" ]; then
+        COMPARE_FLAGS+=(--warn-only)
+      fi
+      run_gated_bench() {
+        local bench=$1 baseline=$2 queries=$3
+        ( cd build-ci-perf/perf &&
+          COSKQ_BENCH_SCALE="${COSKQ_BENCH_SCALE:-0.02}" \
+          COSKQ_BENCH_QUERIES="${COSKQ_BENCH_QUERIES:-$queries}" \
+              "../bench/$bench" )
+        if [ -f "$baseline" ]; then
+          python3 tools/bench_compare.py "${COMPARE_FLAGS[@]}" "$baseline" \
+              "build-ci-perf/perf/$baseline"
+        else
+          echo "no committed $baseline; skipping comparison"
+        fi
+      }
+      run_gated_bench bench_hotpath BENCH_hotpath.json 100
+      run_gated_bench bench_irtree_layout BENCH_irtree_layout.json 100
+      run_gated_bench bench_datasets BENCH_datasets.json 20
+
+      echo "== perf: snapshot build + cold-start vs warm-start =="
       SOAK_DIR=build-ci-perf/soak
       mkdir -p "$SOAK_DIR"
       ./build-ci-perf/tools/coskq_cli generate 20000 "$SOAK_DIR/soak.txt" \
           --seed 7 > /dev/null
-      ./build-ci-perf/tools/coskq_cli serve "$SOAK_DIR/soak.txt" --port 0 \
-          --workers 2 --queue-cap 16 --port-file "$SOAK_DIR/port" &
-      SERVE_PID=$!
-      for _ in $(seq 1 100); do
-        [ -s "$SOAK_DIR/port" ] && break
-        sleep 0.1
-      done
-      [ -s "$SOAK_DIR/port" ] || { echo "server never bound"; exit 1; }
+      # Build the index snapshot once; every serve below reuses it.
+      ./build-ci-perf/tools/coskq_cli index build "$SOAK_DIR/soak.txt" \
+          "$SOAK_DIR/soak.cqix" | tee "$SOAK_DIR/build.log"
+      ./build-ci-perf/tools/coskq_cli index inspect "$SOAK_DIR/soak.cqix" \
+          > /dev/null
+      # Cold start: serve builds the tree in-process. Warm start: serve
+      # mmap-loads the snapshot. Both report "IR-tree <how> in <ms>" on
+      # stdout; the job summary quotes the two lines side by side.
+      start_and_stop_server() {
+        local log=$1
+        shift
+        rm -f "$SOAK_DIR/port"
+        ./build-ci-perf/tools/coskq_cli serve "$SOAK_DIR/soak.txt" --port 0 \
+            --workers 2 --queue-cap 16 --port-file "$SOAK_DIR/port" "$@" \
+            > "$log" &
+        SERVE_PID=$!
+        for _ in $(seq 1 100); do
+          [ -s "$SOAK_DIR/port" ] && break
+          sleep 0.1
+        done
+        [ -s "$SOAK_DIR/port" ] || { echo "server never bound"; exit 1; }
+      }
+      start_and_stop_server "$SOAK_DIR/cold.log"
+      kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+      start_and_stop_server "$SOAK_DIR/warm.log" \
+          --index-snapshot "$SOAK_DIR/soak.cqix"
+      kill -TERM "$SERVE_PID"; wait "$SERVE_PID"
+      echo "== perf job summary: server start =="
+      echo "cold (rebuild):       $(grep -o 'IR-tree .* ms' "$SOAK_DIR/cold.log")"
+      echo "warm (snapshot load): $(grep -o 'IR-tree .* ms' "$SOAK_DIR/warm.log")"
+
+      echo "== perf: 10-second coskq_load soak against a live server =="
+      start_and_stop_server "$SOAK_DIR/soak.log" \
+          --index-snapshot "$SOAK_DIR/soak.cqix"
       # Offered load well above two workers' capacity: the soak passes only
       # if the server keeps answering (shedding OVERLOADED as needed) for
       # the whole window without a transport error or accept-loop stall.
@@ -108,6 +152,7 @@ for job in "${JOBS[@]}"; do
           --deadline-ms 50 --seed 11
       kill -TERM "$SERVE_PID"
       wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
+      cat "$SOAK_DIR/soak.log"
       ;;
     *)
       echo "unknown CI job '$job' (expected release, tsan, asan, or perf)" >&2

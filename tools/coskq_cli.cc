@@ -14,11 +14,18 @@
 //       p99), throughput, and the distance-memo hit counters. --no-masks
 //       runs the pre-mask baseline hot path (A/B comparison).
 //   serve <dataset.txt> [--port P] [--workers N] [--queue-cap Q]
-//         [--max-deadline-ms D] [--port-file PATH]
-//       Loads the dataset, builds the IR-tree, and serves the CoSKQ wire
-//       protocol (QUERY/STATS/PING) on 127.0.0.1:P (P = 0 binds an
-//       ephemeral port; --port-file writes the bound port for scripts).
-//       Drains gracefully on SIGTERM/SIGINT and prints the final stats.
+//         [--max-deadline-ms D] [--port-file PATH] [--index-snapshot PATH]
+//       Loads the dataset, builds the IR-tree (or mmap-loads a prebuilt
+//       snapshot; see `index build`), and serves the CoSKQ wire protocol
+//       (QUERY/STATS/PING) on 127.0.0.1:P (P = 0 binds an ephemeral port;
+//       --port-file writes the bound port for scripts). Drains gracefully
+//       on SIGTERM/SIGINT and prints the final stats.
+//   index build <dataset.txt> <out.cqix> [--max-entries M]
+//       Builds the IR-tree once and writes the frozen flat representation
+//       as a versioned snapshot, so `batch`/`serve --index-snapshot` can
+//       skip the build on every start.
+//   index inspect <snapshot.cqix>
+//       Validates a snapshot (header, checksum) and prints its fields.
 //   solvers
 //       Lists the solver registry names.
 //
@@ -26,7 +33,8 @@
 //   coskq_cli generate hotel /tmp/hotel.txt --scale 1
 //   coskq_cli query /tmp/hotel.txt maxsum-exact 0.4 0.6 t1 t5 t9
 //   coskq_cli batch /tmp/hotel.txt maxsum-appro 500 6 --threads 8
-//   coskq_cli serve /tmp/hotel.txt --port 7311 --workers 8
+//   coskq_cli index build /tmp/hotel.txt /tmp/hotel.cqix
+//   coskq_cli serve /tmp/hotel.txt --port 7311 --index-snapshot /tmp/hotel.cqix
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +47,7 @@
 #include "data/synthetic.h"
 #include "engine/batch_engine.h"
 #include "index/irtree.h"
+#include "index/snapshot.h"
 #include "server/server.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -57,9 +66,14 @@ int Usage() {
                "<keywords>\n"
                "            [--threads N] [--seed S] [--deadline-ms D] "
                "[--no-masks]\n"
+               "            [--index-snapshot PATH]\n"
                "  coskq_cli serve <dataset.txt> [--port P] [--workers N] "
                "[--queue-cap Q]\n"
-               "            [--max-deadline-ms D] [--port-file PATH]\n"
+               "            [--max-deadline-ms D] [--port-file PATH] "
+               "[--index-snapshot PATH]\n"
+               "  coskq_cli index build <dataset.txt> <out.cqix> "
+               "[--max-entries M]\n"
+               "  coskq_cli index inspect <snapshot.cqix>\n"
                "  coskq_cli solvers\n");
   return 2;
 }
@@ -167,6 +181,36 @@ int RunQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Builds the IR-tree in-process (then freezes it) or loads it from a
+/// snapshot when `snapshot_path` is non-empty. Prints the prepare timing and
+/// reports it (plus provenance) through the out-parameters.
+std::unique_ptr<IrTree> PrepareIndex(const Dataset& dataset,
+                                     const std::string& snapshot_path,
+                                     double* prepare_ms, bool* from_snapshot) {
+  WallTimer timer;
+  std::unique_ptr<IrTree> index;
+  if (snapshot_path.empty()) {
+    index = std::make_unique<IrTree>(&dataset);
+    index->Freeze();
+    *from_snapshot = false;
+  } else {
+    StatusOr<std::unique_ptr<IrTree>> loaded =
+        LoadSnapshot(&dataset, snapshot_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return nullptr;
+    }
+    index = std::move(loaded).value();
+    *from_snapshot = true;
+  }
+  *prepare_ms = timer.ElapsedMillis();
+  std::printf("loaded %s objects, IR-tree %s in %.1f ms\n",
+              FormatWithCommas(dataset.NumObjects()).c_str(),
+              *from_snapshot ? "snapshot-loaded" : "built", *prepare_ms);
+  return index;
+}
+
 int RunBatch(const std::vector<std::string>& args) {
   if (args.size() < 4) {
     return Usage();
@@ -181,6 +225,7 @@ int RunBatch(const std::vector<std::string>& args) {
   uint64_t threads = 0;
   double deadline_ms = 0.0;
   bool use_query_masks = true;
+  std::string snapshot_path;
   for (size_t i = 4; i < args.size();) {
     if (args[i] == "--no-masks") {
       use_query_masks = false;
@@ -202,6 +247,8 @@ int RunBatch(const std::vector<std::string>& args) {
       if (!ParseDouble(args[i + 1], &deadline_ms)) {
         return Usage();
       }
+    } else if (args[i] == "--index-snapshot") {
+      snapshot_path = args[i + 1];
     } else {
       return Usage();
     }
@@ -214,12 +261,14 @@ int RunBatch(const std::vector<std::string>& args) {
     return 1;
   }
   Dataset dataset = std::move(loaded).value();
-  WallTimer build_timer;
-  IrTree index(&dataset);
-  CoskqContext context{&dataset, &index};
-  std::printf("loaded %s objects, IR-tree built in %.1f ms\n",
-              FormatWithCommas(dataset.NumObjects()).c_str(),
-              build_timer.ElapsedMillis());
+  double prepare_ms = 0.0;
+  bool from_snapshot = false;
+  std::unique_ptr<IrTree> index =
+      PrepareIndex(dataset, snapshot_path, &prepare_ms, &from_snapshot);
+  if (index == nullptr) {
+    return 1;
+  }
+  CoskqContext context{&dataset, index.get()};
 
   QueryGenerator gen(&dataset);
   Rng rng(seed);
@@ -256,6 +305,7 @@ int RunServe(const std::vector<std::string>& args) {
   ServerOptions options;
   options.num_workers = 0;  // All hardware threads by default.
   std::string port_file;
+  std::string snapshot_path;
   for (size_t i = 1; i < args.size();) {
     if (i + 1 >= args.size()) {
       return Usage();
@@ -282,6 +332,8 @@ int RunServe(const std::vector<std::string>& args) {
       }
     } else if (args[i] == "--port-file") {
       port_file = args[i + 1];
+    } else if (args[i] == "--index-snapshot") {
+      snapshot_path = args[i + 1];
     } else {
       return Usage();
     }
@@ -294,12 +346,18 @@ int RunServe(const std::vector<std::string>& args) {
     return 1;
   }
   Dataset dataset = std::move(loaded).value();
-  WallTimer build_timer;
-  IrTree index(&dataset);
-  CoskqContext context{&dataset, &index};
-  std::printf("loaded %s objects, IR-tree built in %.1f ms\n",
-              FormatWithCommas(dataset.NumObjects()).c_str(),
-              build_timer.ElapsedMillis());
+  double prepare_ms = 0.0;
+  bool from_snapshot = false;
+  std::unique_ptr<IrTree> index =
+      PrepareIndex(dataset, snapshot_path, &prepare_ms, &from_snapshot);
+  if (index == nullptr) {
+    return 1;
+  }
+  CoskqContext context{&dataset, index.get()};
+  options.index_from_snapshot = from_snapshot;
+  options.index_prepare_ms = prepare_ms;
+  options.index_nodes = index->NodeCount();
+  options.index_checksum = dataset.ContentChecksum();
 
   CoskqServer server(context, options);
   const Status status = server.Start();
@@ -324,6 +382,85 @@ int RunServe(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunIndexBuild(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Usage();
+  }
+  IrTree::Options tree_options;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--max-entries") {
+      uint64_t value = 0;
+      if (!ParseUint64(args[i + 1], &value) || value < 4 || value > 65535) {
+        return Usage();
+      }
+      tree_options.max_entries = static_cast<int>(value);
+    } else {
+      return Usage();
+    }
+  }
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset dataset = std::move(loaded).value();
+  WallTimer build_timer;
+  IrTree index(&dataset, tree_options);
+  index.Freeze();
+  const double build_ms = build_timer.ElapsedMillis();
+  WallTimer save_timer;
+  const Status status = SaveSnapshot(&index, args[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto info = ReadSnapshotInfo(args[1]);
+  if (!info.ok()) {
+    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built IR-tree over %s objects in %.1f ms; wrote %s bytes to %s "
+      "in %.1f ms (%s nodes, height %u)\n",
+      FormatWithCommas(dataset.NumObjects()).c_str(), build_ms,
+      FormatWithCommas(info->file_bytes).c_str(), args[1].c_str(),
+      save_timer.ElapsedMillis(), FormatWithCommas(info->num_nodes).c_str(),
+      info->height);
+  return 0;
+}
+
+int RunIndexInspect(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Usage();
+  }
+  WallTimer timer;
+  auto info = ReadSnapshotInfo(args[0]);
+  if (!info.ok()) {
+    std::fprintf(stderr, "error: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot %s (validated in %.1f ms)\n", args[0].c_str(),
+              timer.ElapsedMillis());
+  std::printf("  version          %u\n", info->version);
+  std::printf("  dataset checksum %016llx\n",
+              static_cast<unsigned long long>(info->dataset_checksum));
+  std::printf("  objects          %s\n",
+              FormatWithCommas(info->num_objects).c_str());
+  std::printf("  max entries      %u\n", info->max_entries);
+  std::printf("  nodes            %s\n",
+              FormatWithCommas(info->num_nodes).c_str());
+  std::printf("  leaf entries     %s\n",
+              FormatWithCommas(info->num_leaf_entries).c_str());
+  std::printf("  term arena       %s ids\n",
+              FormatWithCommas(info->num_terms).c_str());
+  std::printf("  height           %u\n", info->height);
+  std::printf("  body bytes       %s\n",
+              FormatWithCommas(info->body_bytes).c_str());
+  std::printf("  file bytes       %s\n",
+              FormatWithCommas(info->file_bytes).c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -341,6 +478,20 @@ int Run(int argc, char** argv) {
   }
   if (command == "serve") {
     return RunServe(args);
+  }
+  if (command == "index") {
+    if (args.empty()) {
+      return Usage();
+    }
+    const std::string sub = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (sub == "build") {
+      return RunIndexBuild(rest);
+    }
+    if (sub == "inspect") {
+      return RunIndexInspect(rest);
+    }
+    return Usage();
   }
   if (command == "solvers") {
     for (const std::string& name : AvailableSolverNames()) {
