@@ -45,9 +45,24 @@ struct MicroCell {
   std::string op;
   std::string dataset;
   size_t query_keywords = 0;
-  double baseline_ms_per_op = 0.0;
-  double masked_ms_per_op = 0.0;
-  double speedup = 0.0;
+  double baseline_ms_per_op = 0.0;  // best round
+  double masked_ms_per_op = 0.0;    // best round
+  double baseline_median_ms_per_op = 0.0;
+  double masked_median_ms_per_op = 0.0;
+  double speedup = 0.0;         // best / best
+  double median_speedup = 0.0;  // median / median — what bench_compare gates
+
+  // Folds per-round totals (RoundSamples) into the per-op report fields.
+  void Finish(const RoundSamples& base, const RoundSamples& mask,
+              double ops) {
+    baseline_ms_per_op = base.best() / ops;
+    masked_ms_per_op = mask.best() / ops;
+    baseline_median_ms_per_op = base.median() / ops;
+    masked_median_ms_per_op = mask.median() / ops;
+    speedup = mask.best() > 0.0 ? base.best() / mask.best() : 0.0;
+    median_speedup =
+        mask.median() > 0.0 ? base.median() / mask.median() : 0.0;
+  }
 };
 
 // Repeats the batch until the op count is large enough for a stable clock.
@@ -84,8 +99,8 @@ MicroCell RunNnSetMicro(const BenchWorkload& w,
   }
 
   WallTimer timer;
-  double base_ms = 0.0;
-  double mask_ms = 0.0;
+  RoundSamples base_rounds;
+  RoundSamples mask_rounds;
   for (size_t round = 0; round < kTimingRounds; ++round) {
     timer.Restart();
     for (size_t rep = 0; rep < reps; ++rep) {
@@ -95,8 +110,7 @@ MicroCell RunNnSetMicro(const BenchWorkload& w,
             w.index->NnSet(q.location, q.keywords, &missing).size();
       }
     }
-    const double b = timer.ElapsedMillis();
-    base_ms = round == 0 ? b : std::min(base_ms, b);
+    base_rounds.Add(timer.ElapsedMillis());
 
     timer.Restart();
     for (size_t rep = 0; rep < reps; ++rep) {
@@ -109,18 +123,15 @@ MicroCell RunNnSetMicro(const BenchWorkload& w,
         scratch.FinishQuery();
       }
     }
-    const double m = timer.ElapsedMillis();
-    mask_ms = round == 0 ? m : std::min(mask_ms, m);
+    mask_rounds.Add(timer.ElapsedMillis());
   }
 
   if (checksum_mask != checksum_base) {
     std::fprintf(stderr, "FATAL: masked NnSet diverged from baseline\n");
     std::exit(1);
   }
-  const double ops = static_cast<double>(reps * queries.size());
-  cell.baseline_ms_per_op = base_ms / ops;
-  cell.masked_ms_per_op = mask_ms / ops;
-  cell.speedup = mask_ms > 0.0 ? base_ms / mask_ms : 0.0;
+  cell.Finish(base_rounds, mask_rounds,
+              static_cast<double>(reps * queries.size()));
   return cell;
 }
 
@@ -151,8 +162,8 @@ MicroCell RunRangeMicro(const BenchWorkload& w,
   }
 
   WallTimer timer;
-  double base_ms = 0.0;
-  double mask_ms = 0.0;
+  RoundSamples base_rounds;
+  RoundSamples mask_rounds;
   for (size_t round = 0; round < kTimingRounds; ++round) {
     timer.Restart();
     for (size_t rep = 0; rep < reps; ++rep) {
@@ -163,8 +174,7 @@ MicroCell RunRangeMicro(const BenchWorkload& w,
         checksum_base += out.size();
       }
     }
-    const double b = timer.ElapsedMillis();
-    base_ms = round == 0 ? b : std::min(base_ms, b);
+    base_rounds.Add(timer.ElapsedMillis());
 
     timer.Restart();
     for (size_t rep = 0; rep < reps; ++rep) {
@@ -178,18 +188,15 @@ MicroCell RunRangeMicro(const BenchWorkload& w,
         scratch.FinishQuery();
       }
     }
-    const double m = timer.ElapsedMillis();
-    mask_ms = round == 0 ? m : std::min(mask_ms, m);
+    mask_rounds.Add(timer.ElapsedMillis());
   }
 
   if (checksum_mask != checksum_base) {
     std::fprintf(stderr, "FATAL: masked RangeRelevant diverged\n");
     std::exit(1);
   }
-  const double ops = static_cast<double>(reps * queries.size());
-  cell.baseline_ms_per_op = base_ms / ops;
-  cell.masked_ms_per_op = mask_ms / ops;
-  cell.speedup = mask_ms > 0.0 ? base_ms / mask_ms : 0.0;
+  cell.Finish(base_rounds, mask_rounds,
+              static_cast<double>(reps * queries.size()));
   return cell;
 }
 
@@ -211,8 +218,8 @@ MicroCell RunRangeWarmMicro(const BenchWorkload& w,
   size_t checksum_base = 0;
   size_t checksum_mask = 0;
   WallTimer timer;
-  double base_ms = 0.0;
-  double mask_ms = 0.0;
+  RoundSamples base_rounds;
+  RoundSamples mask_rounds;
   for (size_t round = 0; round <= kTimingRounds; ++round) {
     // Round 0 is the untimed warm-up pass.
     double b = 0.0;
@@ -228,7 +235,9 @@ MicroCell RunRangeWarmMicro(const BenchWorkload& w,
         checksum_base += out.size();
       }
     }
-    base_ms = round <= 1 ? b : std::min(base_ms, b);
+    if (round > 0) {
+      base_rounds.Add(b);
+    }
 
     double m = 0.0;
     for (size_t rep = 0; rep < reps; ++rep) {
@@ -246,27 +255,30 @@ MicroCell RunRangeWarmMicro(const BenchWorkload& w,
         scratch.FinishQuery();
       }
     }
-    mask_ms = round <= 1 ? m : std::min(mask_ms, m);
+    if (round > 0) {
+      mask_rounds.Add(m);
+    }
   }
 
   if (checksum_mask != checksum_base) {
     std::fprintf(stderr, "FATAL: masked warm RangeRelevant diverged\n");
     std::exit(1);
   }
-  const double ops = static_cast<double>(reps * queries.size());
-  cell.baseline_ms_per_op = base_ms / ops;
-  cell.masked_ms_per_op = mask_ms / ops;
-  cell.speedup = mask_ms > 0.0 ? base_ms / mask_ms : 0.0;
+  cell.Finish(base_rounds, mask_rounds,
+              static_cast<double>(reps * queries.size()));
   return cell;
 }
 
 struct SolverCell {
   std::string solver;
   int threads = 0;
-  BatchStats baseline;
-  BatchStats masked;
+  BatchStats baseline;  // wall_ms holds the best round
+  BatchStats masked;    // wall_ms holds the best round
+  double baseline_wall_median_ms = 0.0;
+  double masked_wall_median_ms = 0.0;
   bool identical = false;
-  double speedup = 0.0;
+  double speedup = 0.0;         // best / best
+  double median_speedup = 0.0;  // median / median — what bench_compare gates
 };
 
 SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
@@ -289,12 +301,18 @@ SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
   masked_engine.Run(queries);
   BatchOutcome base = base_engine.Run(queries);
   BatchOutcome masked = masked_engine.Run(queries);
+  RoundSamples base_rounds;
+  RoundSamples mask_rounds;
+  base_rounds.Add(base.stats.wall_ms);
+  mask_rounds.Add(masked.stats.wall_ms);
   for (size_t round = 1; round < kTimingRounds; ++round) {
     BatchOutcome b = base_engine.Run(queries);
+    base_rounds.Add(b.stats.wall_ms);
     if (b.stats.wall_ms < base.stats.wall_ms) {
       base = std::move(b);
     }
     BatchOutcome m = masked_engine.Run(queries);
+    mask_rounds.Add(m.stats.wall_ms);
     if (m.stats.wall_ms < masked.stats.wall_ms) {
       masked = std::move(m);
     }
@@ -302,6 +320,11 @@ SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
 
   cell.baseline = base.stats;
   cell.masked = masked.stats;
+  cell.baseline_wall_median_ms = base_rounds.median();
+  cell.masked_wall_median_ms = mask_rounds.median();
+  cell.median_speedup = mask_rounds.median() > 0.0
+                            ? base_rounds.median() / mask_rounds.median()
+                            : 0.0;
   cell.identical = base.results.size() == masked.results.size();
   for (size_t i = 0; cell.identical && i < base.results.size(); ++i) {
     cell.identical = base.results[i].feasible == masked.results[i].feasible &&
@@ -355,7 +378,12 @@ void Run() {
         json.Key("query_keywords").Value(cell.query_keywords);
         json.Key("baseline_ms_per_op").Value(cell.baseline_ms_per_op);
         json.Key("masked_ms_per_op").Value(cell.masked_ms_per_op);
+        json.Key("baseline_median_ms_per_op")
+            .Value(cell.baseline_median_ms_per_op);
+        json.Key("masked_median_ms_per_op")
+            .Value(cell.masked_median_ms_per_op);
         json.Key("speedup").Value(cell.speedup);
+        json.Key("median_speedup").Value(cell.median_speedup);
         json.EndObject();
       }
     }
@@ -393,7 +421,10 @@ void Run() {
       json.Key("threads").Value(cell.threads);
       json.Key("baseline_wall_ms").Value(cell.baseline.wall_ms);
       json.Key("masked_wall_ms").Value(cell.masked.wall_ms);
+      json.Key("baseline_wall_median_ms").Value(cell.baseline_wall_median_ms);
+      json.Key("masked_wall_median_ms").Value(cell.masked_wall_median_ms);
       json.Key("speedup").Value(cell.speedup);
+      json.Key("median_speedup").Value(cell.median_speedup);
       json.Key("baseline_qps").Value(cell.baseline.QueriesPerSecond());
       json.Key("masked_qps").Value(cell.masked.QueriesPerSecond());
       json.Key("masked_p50_ms").Value(cell.masked.p50_ms);

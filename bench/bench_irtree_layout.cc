@@ -40,10 +40,13 @@ struct SolverCell {
   std::string solver;
   std::string dataset;
   int threads = 0;
-  BatchStats pointer;
-  BatchStats frozen;
+  BatchStats pointer;  // wall_ms holds the best round
+  BatchStats frozen;   // wall_ms holds the best round
+  double pointer_wall_median_ms = 0.0;
+  double frozen_wall_median_ms = 0.0;
   bool identical = false;
-  double speedup = 0.0;
+  double speedup = 0.0;         // best / best
+  double median_speedup = 0.0;  // median / median — what bench_compare gates
 };
 
 SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
@@ -72,9 +75,10 @@ SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
   const size_t repeats = static_cast<size_t>(std::min(
       1000.0, std::max(1.0, std::ceil(250.0 / std::max(0.01, warm_wall)))));
 
-  // Interleaved rounds, each side's wall averaged over its repeats; keep
-  // each side's fastest round so a scheduler hiccup penalizes one round,
-  // not one layout.
+  // Interleaved rounds, each side's wall averaged over its repeats; record
+  // every round so the report can carry both the fastest round (a scheduler
+  // hiccup penalizes one round, not one layout) and the median (the number
+  // tools/bench_compare.py gates on).
   auto run_side = [&](bool frozen_on, BatchOutcome* outcome) {
     w.index->set_frozen_enabled(frozen_on);
     double total = 0.0;
@@ -85,14 +89,16 @@ SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
     }
     return total / static_cast<double>(repeats);
   };
-  double pointer_wall = run_side(false, &pointer);
-  double frozen_wall = run_side(true, &frozen);
-  for (size_t round = 1; round < kTimingRounds; ++round) {
-    pointer_wall = std::min(pointer_wall, run_side(false, &pointer));
-    frozen_wall = std::min(frozen_wall, run_side(true, &frozen));
+  RoundSamples pointer_rounds;
+  RoundSamples frozen_rounds;
+  for (size_t round = 0; round < kTimingRounds; ++round) {
+    pointer_rounds.Add(run_side(false, &pointer));
+    frozen_rounds.Add(run_side(true, &frozen));
   }
-  pointer.stats.wall_ms = pointer_wall;
-  frozen.stats.wall_ms = frozen_wall;
+  pointer.stats.wall_ms = pointer_rounds.best();
+  frozen.stats.wall_ms = frozen_rounds.best();
+  cell.pointer_wall_median_ms = pointer_rounds.median();
+  cell.frozen_wall_median_ms = frozen_rounds.median();
 
   cell.pointer = pointer.stats;
   cell.frozen = frozen.stats;
@@ -106,6 +112,10 @@ SolverCell RunSolverAb(const BenchWorkload& w, const std::string& solver,
   cell.speedup = frozen.stats.wall_ms > 0.0
                      ? pointer.stats.wall_ms / frozen.stats.wall_ms
                      : 0.0;
+  cell.median_speedup =
+      cell.frozen_wall_median_ms > 0.0
+          ? cell.pointer_wall_median_ms / cell.frozen_wall_median_ms
+          : 0.0;
   return cell;
 }
 
@@ -203,7 +213,10 @@ void Run() {
       json.Key("threads").Value(cell.threads);
       json.Key("pointer_wall_ms").Value(cell.pointer.wall_ms);
       json.Key("frozen_wall_ms").Value(cell.frozen.wall_ms);
+      json.Key("pointer_wall_median_ms").Value(cell.pointer_wall_median_ms);
+      json.Key("frozen_wall_median_ms").Value(cell.frozen_wall_median_ms);
       json.Key("speedup").Value(cell.speedup);
+      json.Key("median_speedup").Value(cell.median_speedup);
       json.Key("frozen_qps").Value(cell.frozen.QueriesPerSecond());
       json.Key("frozen_p95_ms").Value(cell.frozen.p95_ms);
       json.Key("identical").Value(cell.identical);

@@ -164,4 +164,18 @@ std::string FormatCellRatio(const CellResult& cell) {
          FormatDouble(cell.ratio.max(), 4) + "]";
 }
 
+double RoundSamples::best() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RoundSamples::median() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return Percentile(samples_, 50.0);
+}
+
 }  // namespace coskq

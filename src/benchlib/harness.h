@@ -97,6 +97,24 @@ ThroughputResult RunThroughput(const BenchWorkload& workload,
                                const std::vector<CoskqQuery>& queries,
                                int threads);
 
+/// Per-round wall-clock samples of one A/B side. Benchmarks record every
+/// timing round here and report both the round minimum (`best()`, the
+/// least-noise headline number) and the `median()` — the spread hint the
+/// BENCH_*.json reports carry so tools/bench_compare.py can gate on the
+/// median instead of a lucky best round.
+class RoundSamples {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+  size_t count() const { return samples_.size(); }
+  /// Minimum sample; 0.0 when no samples were recorded.
+  double best() const;
+  /// Median sample (Percentile 50); 0.0 when no samples were recorded.
+  double median() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
 /// "12.3 ms" or ">= 12.3 ms" when the cell was truncated; "-" when empty.
 std::string FormatCellTime(const CellResult& cell);
 

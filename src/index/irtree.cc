@@ -1,11 +1,14 @@
 #include "index/irtree.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <limits>
 #include <queue>
 
 #include "index/frozen_layout.h"
 #include "index/irtree_node.h"
+#include "index/kernels.h"
 #include "index/quadratic_split.h"
 #include "index/search_scratch.h"
 #include "index/term_signature.h"
@@ -13,8 +16,11 @@
 
 namespace coskq {
 
+using internal_index::ActiveKernels;
 using internal_index::FrozenNodeRecord;
 using internal_index::FrozenView;
+using internal_index::PrefetchHint;
+using internal_index::PrefetchNextPop;
 using internal_index::QuadraticSplit;
 using internal_index::RectEnlargement;
 using internal_index::StrTile;
@@ -31,9 +37,11 @@ IrTree::~IrTree() = default;
 void IrTree::BulkLoad() {
   size_ = dataset_->NumObjects();
   obj_sigs_.resize(size_);
+  obj_sig_bits_sum_ = 0;
   for (size_t i = 0; i < size_; ++i) {
     obj_sigs_[i] =
         TermSetSignature(dataset_->object(static_cast<ObjectId>(i)).keywords);
+    obj_sig_bits_sum_ += static_cast<uint64_t>(std::popcount(obj_sigs_[i]));
   }
   if (size_ == 0) {
     root_ = std::make_unique<Node>();
@@ -111,7 +119,9 @@ Status IrTree::Insert(ObjectId id) {
   if (obj_sigs_.size() <= id) {
     obj_sigs_.resize(static_cast<size_t>(id) + 1, 0);
   }
+  obj_sig_bits_sum_ -= static_cast<uint64_t>(std::popcount(obj_sigs_[id]));
   obj_sigs_[id] = TermSetSignature(obj.keywords);
+  obj_sig_bits_sum_ += static_cast<uint64_t>(std::popcount(obj_sigs_[id]));
   const int max_entries = options_.max_entries;
   const int min_entries = std::max(2, max_entries * 2 / 5);
 
@@ -576,14 +586,43 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                   scratch != nullptr ? scratch->visit_log() : nullptr);
     return;
   }
-  if (UseFrozen()) {
-    FrozenRangeRelevantMasked(circle, query_terms, submask, out, scratch);
-    return;
-  }
   // Bloom signature of the tested subset: a clear AND against a node or
   // object signature proves disjointness, skipping the exact mask test
   // without changing its outcome (no false negatives).
   const uint64_t sub_sig = TermSetSignature(query_terms);
+  // Cheap cost model for the masked scan. An object with b signature bits
+  // survives a q-bit query signature with probability ~(1 - q/64)^b, so the
+  // mean density of the corpus signatures predicts the Bloom filter's prune
+  // rate for this query. When a keyword-heavy query meets a keyword-heavy
+  // corpus (web-like: ~30 bits per object signature) the estimate collapses
+  // and the masked scan is the plain scan plus dead signature tests and
+  // cold-cache probes — measurably slower. Divert those queries to the
+  // plain path; it returns the identical result set. The cutoff sits before
+  // the frozen/pointer split so both representations take the same branch.
+  //
+  // The divert only applies when the scratch caches are cold. The solvers
+  // always run NnSet before any range retrieval, which fills the distance
+  // memo and mask caches for the epoch; a warm masked scan reuses those
+  // entries and beats the plain scan even when the Bloom prune rate is
+  // poor, so warm queries keep the masked path unconditionally.
+  constexpr double kMaskedRangeMinPruneRate = 0.02;
+  const bool caches_warm =
+      scratch->dist_cache_hits() + scratch->dist_cache_misses() > 0;
+  const double clear_frac =
+      1.0 - static_cast<double>(std::popcount(sub_sig)) / 64.0;
+  const double mean_sig_bits =
+      size_ > 0 ? static_cast<double>(obj_sig_bits_sum_) /
+                      static_cast<double>(size_)
+                : 0.0;
+  if (!caches_warm &&
+      std::pow(clear_frac, mean_sig_bits) < kMaskedRangeMinPruneRate) {
+    RangeRelevant(circle, query_terms, out, scratch->visit_log());
+    return;
+  }
+  if (UseFrozen()) {
+    FrozenRangeRelevantMasked(circle, query_terms, submask, out, scratch);
+    return;
+  }
   struct Searcher {
     const Dataset& dataset;
     const std::vector<uint64_t>& obj_sigs;
@@ -615,9 +654,15 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
       }
       if (node->is_leaf) {
         for (ObjectId id : node->objects) {
+          // Signature first: one load from the dense sig array decides a
+          // prune without touching the object record at all, and both
+          // predicates are pure so the surviving set is unchanged (the
+          // frozen path orders its leaf scan the same way).
+          if ((obj_sigs[id] & sub_sig) == 0) {
+            continue;
+          }
           const SpatialObject& obj = dataset.object(id);
-          if (!circle.Contains(obj.location) ||
-              (obj_sigs[id] & sub_sig) == 0) {
+          if (!circle.Contains(obj.location)) {
             continue;
           }
           // Warm cached mask if the query already touched this object;
@@ -657,6 +702,9 @@ struct IrTree::RelevantStream::Impl {
     /// so heap behavior is identical across modes.
     const void* node;
     ObjectId id;
+    /// Frozen mode only: PrefetchHint(*node) for the heap-pop prefetch.
+    /// Ignored by the comparator; zero in pointer mode and for objects.
+    uint32_t aux = 0;
     bool operator>(const QueueEntry& other) const {
       return distance > other.distance;
     }
@@ -724,7 +772,7 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
       impl_->queue.push(Impl::QueueEntry{
           Rect(v.min_x[0], v.min_y[0], v.max_x[0], v.max_y[0])
               .MinDistance(origin),
-          &root, kInvalidObjectId});
+          &root, kInvalidObjectId, PrefetchHint(root)});
     }
     return;
   }
@@ -751,6 +799,7 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
     // bit.
     auto& queue = impl_->queue;
     const FrozenView& v = *impl_->fv;
+    const internal_index::KernelOps& kernels = ActiveKernels();
     const bool masked = impl_->masked;
     SearchScratch* scratch = impl_->scratch;
     const uint64_t submask = impl_->submask;
@@ -762,34 +811,56 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
       if (top.node == nullptr) {
         return std::make_pair(top.id, top.distance);
       }
+      if (!queue.empty()) {
+        // Start pulling the likely next pop while this node is processed.
+        const Impl::QueueEntry& next = queue.top();
+        PrefetchNextPop(v, next.node, next.aux);
+      }
       const FrozenNodeRecord& node =
           *static_cast<const FrozenNodeRecord*>(top.node);
       if (node.is_leaf()) {
         const uint32_t begin = node.entry_begin;
-        const uint32_t end = begin + node.entry_count;
-        for (uint32_t e = begin; e < end; ++e) {
-          const ObjectId id = v.leaf_ids[e];
-          bool relevant;
-          if (masked) {
-            uint64_t obj_mask = 0;
-            relevant =
-                (v.leaf_sigs[e] & sub_sig) != 0 &&
-                (scratch->CachedObjectMask(id, &obj_mask)
-                     ? (obj_mask & submask) != 0
-                     : TermSpanIntersects(v.terms + v.leaf_term_begin[e],
-                                          v.leaf_term_count[e],
-                                          impl_->query_terms));
-          } else {
-            relevant = TermSpanIntersects(v.terms + v.leaf_term_begin[e],
-                                          v.leaf_term_count[e],
-                                          impl_->query_terms);
+        const uint32_t count = node.entry_count;
+        if (masked) {
+          // Vectorized Bloom pass over the contiguous leaf_sigs stripe; the
+          // survivors are exactly the entries whose signature test passed
+          // in the scalar loop, in the same order.
+          std::vector<uint32_t>& sidx = scratch->survivor_idx();
+          if (sidx.size() < count) {
+            sidx.resize(count);
           }
-          if (relevant) {
-            const Point location{v.leaf_x[e], v.leaf_y[e]};
-            const double d = masked && from_origin
-                                 ? scratch->QueryDistance(id, location)
-                                 : Distance(impl_->origin, location);
-            queue.push(Impl::QueueEntry{d, nullptr, id});
+          const uint32_t n = kernels.sig_any_filter(v.leaf_sigs + begin,
+                                                    count, sub_sig,
+                                                    sidx.data());
+          for (uint32_t k = 0; k < n; ++k) {
+            const uint32_t e = begin + sidx[k];
+            const ObjectId id = v.leaf_ids[e];
+            uint64_t obj_mask = 0;
+            const bool relevant =
+                scratch->CachedObjectMask(id, &obj_mask)
+                    ? (obj_mask & submask) != 0
+                    : TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                         v.leaf_term_count[e],
+                                         impl_->query_terms);
+            if (relevant) {
+              const Point location{v.leaf_x[e], v.leaf_y[e]};
+              const double d = from_origin
+                                   ? scratch->QueryDistance(id, location)
+                                   : Distance(impl_->origin, location);
+              queue.push(Impl::QueueEntry{d, nullptr, id});
+            }
+          }
+        } else {
+          const uint32_t end = begin + count;
+          for (uint32_t e = begin; e < end; ++e) {
+            if (TermSpanIntersects(v.terms + v.leaf_term_begin[e],
+                                   v.leaf_term_count[e],
+                                   impl_->query_terms)) {
+              const ObjectId id = v.leaf_ids[e];
+              const Point location{v.leaf_x[e], v.leaf_y[e]};
+              queue.push(Impl::QueueEntry{Distance(impl_->origin, location),
+                                          nullptr, id});
+            }
           }
         }
       } else {
@@ -816,7 +887,9 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
             const double d = masked && from_origin
                                  ? scratch->NodeMinDistance(child.id, mbr)
                                  : mbr.MinDistance(impl_->origin);
-            queue.push(Impl::QueueEntry{d, &child, kInvalidObjectId});
+            queue.push(
+                Impl::QueueEntry{d, &child, kInvalidObjectId,
+                                 PrefetchHint(child)});
           }
         }
       }

@@ -247,6 +247,12 @@ class IrTree {
   /// ObjectId; the O(1) definite-negative pre-filter the masked traversals
   /// apply before the exact cached-mask test.
   std::vector<uint64_t> obj_sigs_;
+  /// Total set bits across the object signatures (leaf_sigs for a
+  /// snapshot-loaded tree — the same multiset). The mean density feeds the
+  /// masked-range prune-rate estimate in RangeRelevant: dense signatures
+  /// (keyword-heavy corpora) make the Bloom pre-filter worthless, and the
+  /// dispatcher then takes the plain scan instead.
+  uint64_t obj_sig_bits_sum_ = 0;
   size_t size_ = 0;
   uint32_t next_node_id_ = 0;
   /// Frozen flat representation (see frozen_layout.h); null until Freeze().

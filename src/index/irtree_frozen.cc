@@ -22,6 +22,7 @@
 #include <sys/mman.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -29,15 +30,20 @@
 #include "index/frozen_layout.h"
 #include "index/irtree.h"
 #include "index/irtree_node.h"
+#include "index/kernels.h"
 #include "index/search_scratch.h"
 #include "index/term_signature.h"
 #include "util/logging.h"
 
 namespace coskq {
 
+using internal_index::ActiveKernels;
 using internal_index::FrozenNodeRecord;
 using internal_index::FrozenStore;
 using internal_index::FrozenView;
+using internal_index::KernelOps;
+using internal_index::PrefetchHint;
+using internal_index::PrefetchNextPop;
 
 namespace internal_index {
 
@@ -124,27 +130,22 @@ void FrozenStore::BindView(const uint8_t* body, uint32_t num_nodes,
 namespace {
 
 /// Per-child squared MINDIST over the contiguous SoA slot range
-/// [first, first + count): the sub/max/mul part of Rect::MinDistance's
-/// arithmetic for non-empty rectangles (every node of a non-empty tree has
-/// one), written as a branch-free pass over four contiguous double arrays so
-/// the compiler can vectorize it. The sqrt is deferred to the children that
-/// survive the keyword filter — callers apply std::sqrt(out[i]) there, which
-/// reproduces Rect::MinDistance bit for bit: std::max(std::max(a, 0.0), b)
-/// selects the same value as its std::max({a, 0.0, b}) for every input, a
-/// -0.0 difference cannot survive the squaring, and sqrt of the identical
-/// sum is the identical double.
-inline void ScanChildSquaredDistances(const FrozenView& v, uint32_t first,
+/// [first, first + count), dispatched to the active SIMD kernel table
+/// (kernels.h): the sub/max/mul part of Rect::MinDistance's arithmetic for
+/// non-empty rectangles (every node of a non-empty tree has one). The sqrt
+/// is deferred to the children that survive the keyword filter — callers
+/// apply std::sqrt(out[i]) there, which reproduces Rect::MinDistance bit for
+/// bit: std::max(std::max(a, 0.0), b) selects the same value as its
+/// std::max({a, 0.0, b}) for every input, a -0.0 difference cannot survive
+/// the squaring, and sqrt of the identical sum is the identical double. The
+/// kernel table's own bit-identity contract covers the vectorized variants.
+inline void ScanChildSquaredDistances(const KernelOps& kernels,
+                                      const FrozenView& v, uint32_t first,
                                       uint32_t count, const Point& p,
-                                      double* __restrict out) {
-  const double* __restrict min_x = v.min_x + first;
-  const double* __restrict min_y = v.min_y + first;
-  const double* __restrict max_x = v.max_x + first;
-  const double* __restrict max_y = v.max_y + first;
-  for (uint32_t i = 0; i < count; ++i) {
-    const double dx = std::max(std::max(min_x[i] - p.x, 0.0), p.x - max_x[i]);
-    const double dy = std::max(std::max(min_y[i] - p.y, 0.0), p.y - max_y[i]);
-    out[i] = dx * dx + dy * dy;
-  }
+                                      double* out) {
+  kernels.child_squared_distances(v.min_x + first, v.min_y + first,
+                                  v.max_x + first, v.max_y + first, count,
+                                  p.x, p.y, out);
 }
 
 /// MINDIST from `p` to the MBR of the node at `slot` (same arithmetic).
@@ -281,15 +282,23 @@ IrTree::IrTree(const Dataset* dataset, const Options& options,
   COSKQ_CHECK(frozen_ != nullptr);
   size_ = frozen_->view.num_leaf_entries;
   next_node_id_ = frozen_->view.num_nodes;
+  // leaf_sigs holds the same signature multiset obj_sigs_ would, so the
+  // masked-range prune-rate estimate matches a dataset-built tree exactly.
+  for (uint32_t i = 0; i < frozen_->view.num_leaf_entries; ++i) {
+    obj_sig_bits_sum_ +=
+        static_cast<uint64_t>(std::popcount(frozen_->view.leaf_sigs[i]));
+  }
 }
 
 ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
                                  std::vector<uint32_t>* visit_log) const {
   const FrozenView& v = frozen_->view;
+  const KernelOps& kernels = ActiveKernels();
   struct QueueEntry {
     double distance;
     const FrozenNodeRecord* node;  // nullptr for object entries.
     ObjectId id;
+    uint32_t aux = 0;  // PrefetchHint(*node); ignored by the comparator.
     bool operator>(const QueueEntry& other) const {
       return distance > other.distance;
     }
@@ -299,13 +308,17 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
       queue;
   if (size_ > 0 &&
       TermSpanContains(v.node_terms(v.nodes[0]), v.nodes[0].term_count, t)) {
-    queue.push(QueueEntry{NodeMinDist(v, 0, p), &v.nodes[0],
-                          kInvalidObjectId});
+    queue.push(QueueEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId,
+                          PrefetchHint(v.nodes[0])});
   }
   double dist_buf[kScanChunk];
   while (!queue.empty()) {
     QueueEntry top = queue.top();
     queue.pop();
+    if (!queue.empty()) {
+      // Start pulling the likely next pop while this node is processed.
+      PrefetchNextPop(v, queue.top().node, queue.top().aux);
+    }
     if (top.node == nullptr) {
       if (distance != nullptr) {
         *distance = top.distance;
@@ -332,12 +345,12 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
       const uint32_t count = node.entry_count;
       for (uint32_t c0 = 0; c0 < count; c0 += kScanChunk) {
         const uint32_t n = std::min(kScanChunk, count - c0);
-        ScanChildSquaredDistances(v, first + c0, n, p, dist_buf);
+        ScanChildSquaredDistances(kernels, v, first + c0, n, p, dist_buf);
         for (uint32_t i = 0; i < n; ++i) {
           const FrozenNodeRecord& child = v.nodes[first + c0 + i];
           if (TermSpanContains(v.node_terms(child), child.term_count, t)) {
             queue.push(QueueEntry{std::sqrt(dist_buf[i]), &child,
-                                  kInvalidObjectId});
+                                  kInvalidObjectId, PrefetchHint(child)});
           }
         }
       }
@@ -353,6 +366,7 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
                                        double* distance,
                                        SearchScratch* scratch) const {
   const FrozenView& v = frozen_->view;
+  const KernelOps& kernels = ActiveKernels();
   const uint64_t bit = uint64_t{1} << slot;
   const uint64_t kw_sig = TermSignature(t);
   using internal_index::HeapEntry;
@@ -374,13 +388,17 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
       (scratch->NodeMask(v.nodes[0].id, v.node_terms(v.nodes[0]),
                          v.nodes[0].term_count) &
        bit) != 0) {
-    push(HeapEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId});
+    push(HeapEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId,
+                   PrefetchHint(v.nodes[0])});
   }
-  double dist_buf[kScanChunk];
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
     const HeapEntry top = heap.back();
     heap.pop_back();
+    if (!heap.empty()) {
+      // Start pulling the likely next pop while this node is processed.
+      PrefetchNextPop(v, heap.front().node, heap.front().aux);
+    }
     if (top.node == nullptr) {
       if (distance != nullptr) {
         *distance = top.distance;
@@ -394,11 +412,19 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
     }
     if (node.is_leaf()) {
       const uint32_t begin = node.entry_begin;
-      const uint32_t end = begin + node.entry_count;
-      for (uint32_t e = begin; e < end; ++e) {
-        if ((v.leaf_sigs[e] & kw_sig) == 0) {
-          continue;
-        }
+      const uint32_t count = node.entry_count;
+      // Vectorized signature pass over the contiguous leaf_sigs stripe; the
+      // survivors are exactly the entries the scalar `continue` kept, in
+      // the same order, so the exact-filter loop below is unchanged.
+      std::vector<uint32_t>& sidx = scratch->survivor_idx();
+      if (sidx.size() < count) {
+        sidx.resize(count);
+      }
+      const uint32_t n =
+          kernels.sig_any_filter(v.leaf_sigs + begin, count, kw_sig,
+                                 sidx.data());
+      for (uint32_t k = 0; k < n; ++k) {
+        const uint32_t e = begin + sidx[k];
         const ObjectId id = v.leaf_ids[e];
         uint64_t obj_mask = 0;
         const bool contains =
@@ -417,17 +443,29 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
     } else {
       const uint32_t first = node.first_child;
       const uint32_t count = node.entry_count;
-      for (uint32_t c0 = 0; c0 < count; c0 += kScanChunk) {
-        const uint32_t n = std::min(kScanChunk, count - c0);
-        ScanChildSquaredDistances(v, first + c0, n, p, dist_buf);
-        for (uint32_t i = 0; i < n; ++i) {
-          const FrozenNodeRecord& child = v.nodes[first + c0 + i];
-          if ((child.sig & kw_sig) != 0 &&
-              (scratch->NodeMask(child.id, v.node_terms(child),
-                                 child.term_count) &
-               bit) != 0) {
-            push(HeapEntry{std::sqrt(dist_buf[i]), &child, kInvalidObjectId});
-          }
+      // Fused kernel: batched squared MINDIST + the Bloom pre-filter in one
+      // pass, survivors written to the pooled scratch buffers. The fusion
+      // mirrors the scalar short-circuit exactly — signature-pruned
+      // children never reached NodeMask (or the term arena) before either.
+      std::vector<uint32_t>& sidx = scratch->survivor_idx();
+      std::vector<double>& sdist = scratch->survivor_dist();
+      if (sidx.size() < count) {
+        sidx.resize(count);
+      }
+      if (sdist.size() < count) {
+        sdist.resize(count);
+      }
+      const uint32_t n = kernels.child_scan_sig(
+          v.min_x + first, v.min_y + first, v.max_x + first, v.max_y + first,
+          v.nodes + first, count, p.x, p.y, kw_sig, sidx.data(),
+          sdist.data());
+      for (uint32_t k = 0; k < n; ++k) {
+        const FrozenNodeRecord& child = v.nodes[first + sidx[k]];
+        if ((scratch->NodeMask(child.id, v.node_terms(child),
+                               child.term_count) &
+             bit) != 0) {
+          push(HeapEntry{std::sqrt(sdist[k]), &child, kInvalidObjectId,
+                         PrefetchHint(child)});
         }
       }
     }
@@ -500,6 +538,7 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
   const uint64_t sub_sig = TermSetSignature(query_terms);
   struct Searcher {
     const FrozenView& v;
+    const KernelOps& kernels;
     const Circle& circle;
     const TermSet& query_terms;
     uint64_t submask;
@@ -532,10 +571,20 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
       }
       if (node.is_leaf()) {
         const uint32_t begin = node.entry_begin;
-        const uint32_t end = begin + node.entry_count;
-        for (uint32_t e = begin; e < end; ++e) {
-          if (!circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]}) ||
-              (v.leaf_sigs[e] & sub_sig) == 0) {
+        const uint32_t count = node.entry_count;
+        // Vectorized signature pass first (the scalar loop tested geometry
+        // first): both predicates are pure and the result is their
+        // conjunction, so hoisting the signature filter keeps the output —
+        // and the visit log, which records nodes only — unchanged.
+        std::vector<uint32_t>& sidx = scratch->survivor_idx();
+        if (sidx.size() < count) {
+          sidx.resize(count);
+        }
+        const uint32_t n = kernels.sig_any_filter(v.leaf_sigs + begin, count,
+                                                  sub_sig, sidx.data());
+        for (uint32_t k = 0; k < n; ++k) {
+          const uint32_t e = begin + sidx[k];
+          if (!circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]})) {
             continue;
           }
           const ObjectId id = v.leaf_ids[e];
@@ -558,8 +607,8 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
       }
     }
   };
-  Searcher searcher{v,       circle, query_terms,          submask,
-                    sub_sig, scratch, out, scratch->visit_log()};
+  Searcher searcher{v,       ActiveKernels(), circle, query_terms, submask,
+                    sub_sig, scratch,         out,    scratch->visit_log()};
   searcher.Run(0);
 }
 

@@ -12,6 +12,8 @@ void SearchScratch::BeginQuery(const Point& origin, const TermSet& keywords,
   capacity_snapshot_.push_back(dists_.capacity());
   capacity_snapshot_.push_back(heap_.capacity());
   capacity_snapshot_.push_back(id_buffer_.capacity());
+  capacity_snapshot_.push_back(survivor_idx_.capacity());
+  capacity_snapshot_.push_back(survivor_dist_.capacity());
 
   origin_ = origin;
   ++epoch_;
@@ -35,13 +37,15 @@ void SearchScratch::BeginQuery(const Point& origin, const TermSet& keywords,
 }
 
 void SearchScratch::FinishQuery() {
-  if (capacity_snapshot_.size() != 6) {
+  if (capacity_snapshot_.size() != 8) {
     return;  // FinishQuery without a matching BeginQuery.
   }
-  const size_t capacities[6] = {
-      node_masks_.capacity(), node_dists_.capacity(), obj_masks_.capacity(),
-      dists_.capacity(),      heap_.capacity(),       id_buffer_.capacity()};
-  for (size_t i = 0; i < 6; ++i) {
+  const size_t capacities[8] = {
+      node_masks_.capacity(),    node_dists_.capacity(),
+      obj_masks_.capacity(),     dists_.capacity(),
+      heap_.capacity(),          id_buffer_.capacity(),
+      survivor_idx_.capacity(),  survivor_dist_.capacity()};
+  for (size_t i = 0; i < 8; ++i) {
     if (capacities[i] != capacity_snapshot_[i]) {
       ++realloc_events_;
     }

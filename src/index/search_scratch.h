@@ -23,10 +23,16 @@ struct HeapEntry {
   double distance;
   const void* node;  // nullptr for object entries.
   ObjectId id;
+  /// Prefetch hint for frozen-tree entries (see kernels.h PrefetchHint):
+  /// child-slot or leaf-entry base with the leaf flag in the MSB. Occupies
+  /// what was tail padding, is ignored by the comparator, and carries no
+  /// traversal semantics — heap order and results are unaffected.
+  uint32_t aux = 0;
   bool operator>(const HeapEntry& other) const {
     return distance > other.distance;
   }
 };
+static_assert(sizeof(HeapEntry) == 24, "aux must fit in former padding");
 
 }  // namespace internal_index
 
@@ -123,6 +129,14 @@ class SearchScratch {
   /// Pooled object-id buffer (range-query hits etc.). Same ownership rule.
   std::vector<ObjectId>& id_buffer() { return id_buffer_; }
 
+  /// Pooled survivor buffers the SIMD child/leaf scan kernels write into
+  /// (indices relative to the scanned range, plus squared distances for
+  /// child scans). Exclusively owned by one node/leaf scan at a time: every
+  /// scan consumes its survivors before the traversal touches another node,
+  /// so a single pair per scratch suffices.
+  std::vector<uint32_t>& survivor_idx() { return survivor_idx_; }
+  std::vector<double>& survivor_dist() { return survivor_dist_; }
+
   /// Distance-memo hits/misses of the current query (valid any time between
   /// BeginQuery calls; zero while disabled).
   uint64_t dist_cache_hits() const { return dist_hits_; }
@@ -164,6 +178,8 @@ class SearchScratch {
 
   std::vector<internal_index::HeapEntry> heap_;
   std::vector<ObjectId> id_buffer_;
+  std::vector<uint32_t> survivor_idx_;
+  std::vector<double> survivor_dist_;
 
   uint64_t dist_hits_ = 0;
   uint64_t dist_misses_ = 0;

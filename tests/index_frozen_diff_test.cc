@@ -4,6 +4,12 @@
 // pointer tree and the frozen representation, down to node-visit logs and
 // distance-memo counters. This enforces the frozen layout's core contract:
 // Freeze() changes the memory layout, never the traversal.
+//
+// Since the frozen traversals dispatch through the SIMD kernel table
+// (kernels.h), every frozen-side check runs once per supported kernel
+// (scalar always, plus sse2/avx2 where the hardware has them) via
+// ForEachKernel — the pointer-side expectation is computed once and each
+// kernel must reproduce it exactly.
 
 #include <gtest/gtest.h>
 
@@ -16,12 +22,31 @@
 #include "core/solvers.h"
 #include "geo/circle.h"
 #include "index/irtree.h"
+#include "index/kernels.h"
 #include "index/search_scratch.h"
 #include "test_util.h"
 #include "util/random.h"
 
 namespace coskq {
 namespace {
+
+/// Runs `fn` once per supported kernel table with that table forced
+/// process-wide, then restores the previous selection. Frozen traversals
+/// read the active table, so this is how the differential checks cover the
+/// scalar, SSE2, and AVX2 code paths on one machine.
+template <typename Fn>
+void ForEachKernel(Fn&& fn) {
+  using internal_index::ActiveKernelName;
+  using internal_index::SelectKernels;
+  using internal_index::SupportedKernelNames;
+  const std::string before = ActiveKernelName();
+  for (const std::string& kernel : SupportedKernelNames()) {
+    ASSERT_TRUE(SelectKernels(kernel).ok()) << kernel;
+    SCOPED_TRACE("kernel=" + kernel);
+    fn();
+  }
+  ASSERT_TRUE(SelectKernels(before).ok());
+}
 
 const char* const kSolverNames[] = {
     "maxsum-exact",      "dia-exact",        "maxsum-appro",
@@ -69,13 +94,15 @@ TEST_P(FrozenDiffTest, KeywordNnVisitSequencesIdentical) {
     const ObjectId want = tree_->KeywordNn(p, t, &want_d, &want_log);
 
     tree_->set_frozen_enabled(true);
-    double got_d = 0.0;
-    std::vector<uint32_t> got_log;
-    const ObjectId got = tree_->KeywordNn(p, t, &got_d, &got_log);
+    ForEachKernel([&] {
+      double got_d = 0.0;
+      std::vector<uint32_t> got_log;
+      const ObjectId got = tree_->KeywordNn(p, t, &got_d, &got_log);
 
-    EXPECT_EQ(got, want);
-    EXPECT_EQ(got_d, want_d);  // Bit-identical, no tolerance.
-    EXPECT_EQ(got_log, want_log) << "KeywordNn expansion order diverged";
+      EXPECT_EQ(got, want);
+      EXPECT_EQ(got_d, want_d);  // Bit-identical, no tolerance.
+      EXPECT_EQ(got_log, want_log) << "KeywordNn expansion order diverged";
+    });
   }
 }
 
@@ -83,11 +110,8 @@ TEST_P(FrozenDiffTest, MaskedNnSetVisitSequencesIdentical) {
   SearchScratch scratch;
   for (const CoskqQuery& q : queries_) {
     std::vector<uint32_t> want_log;
-    std::vector<uint32_t> got_log;
     std::vector<ObjectId> want;
-    std::vector<ObjectId> got;
     TermSet want_missing;
-    TermSet got_missing;
 
     tree_->set_frozen_enabled(false);
     scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
@@ -98,16 +122,21 @@ TEST_P(FrozenDiffTest, MaskedNnSetVisitSequencesIdentical) {
     scratch.FinishQuery();
 
     tree_->set_frozen_enabled(true);
-    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
-                       dataset_.NumObjects());
-    scratch.set_visit_log(&got_log);
-    got = tree_->NnSet(q.location, q.keywords, &got_missing, &scratch);
-    scratch.set_visit_log(nullptr);
-    scratch.FinishQuery();
+    ForEachKernel([&] {
+      std::vector<uint32_t> got_log;
+      std::vector<ObjectId> got;
+      TermSet got_missing;
+      scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                         dataset_.NumObjects());
+      scratch.set_visit_log(&got_log);
+      got = tree_->NnSet(q.location, q.keywords, &got_missing, &scratch);
+      scratch.set_visit_log(nullptr);
+      scratch.FinishQuery();
 
-    EXPECT_EQ(got, want);
-    EXPECT_EQ(got_missing, want_missing);
-    EXPECT_EQ(got_log, want_log) << "masked NnSet expansion diverged";
+      EXPECT_EQ(got, want);
+      EXPECT_EQ(got_missing, want_missing);
+      EXPECT_EQ(got_log, want_log) << "masked NnSet expansion diverged";
+    });
   }
 }
 
@@ -125,12 +154,14 @@ TEST_P(FrozenDiffTest, RangeRelevantVisitSequencesIdentical) {
     tree_->RangeRelevant(circle, q.keywords, &want_out, &want_log);
 
     tree_->set_frozen_enabled(true);
-    std::vector<ObjectId> got_out;
-    std::vector<uint32_t> got_log;
-    tree_->RangeRelevant(circle, q.keywords, &got_out, &got_log);
+    ForEachKernel([&] {
+      std::vector<ObjectId> got_out;
+      std::vector<uint32_t> got_log;
+      tree_->RangeRelevant(circle, q.keywords, &got_out, &got_log);
 
-    EXPECT_EQ(got_out, want_out);
-    EXPECT_EQ(got_log, want_log) << "RangeRelevant expansion diverged";
+      EXPECT_EQ(got_out, want_out);
+      EXPECT_EQ(got_log, want_log) << "RangeRelevant expansion diverged";
+    });
 
     // Masked with visit logs through the scratch.
     tree_->set_frozen_enabled(false);
@@ -144,17 +175,19 @@ TEST_P(FrozenDiffTest, RangeRelevantVisitSequencesIdentical) {
     scratch.FinishQuery();
 
     tree_->set_frozen_enabled(true);
-    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
-                       dataset_.NumObjects());
-    std::vector<ObjectId> got_mout;
-    std::vector<uint32_t> got_mlog;
-    scratch.set_visit_log(&got_mlog);
-    tree_->RangeRelevant(circle, q.keywords, &got_mout, &scratch);
-    scratch.set_visit_log(nullptr);
-    scratch.FinishQuery();
+    ForEachKernel([&] {
+      scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                         dataset_.NumObjects());
+      std::vector<ObjectId> got_mout;
+      std::vector<uint32_t> got_mlog;
+      scratch.set_visit_log(&got_mlog);
+      tree_->RangeRelevant(circle, q.keywords, &got_mout, &scratch);
+      scratch.set_visit_log(nullptr);
+      scratch.FinishQuery();
 
-    EXPECT_EQ(got_mout, want_mout);
-    EXPECT_EQ(got_mlog, want_mlog) << "masked RangeRelevant diverged";
+      EXPECT_EQ(got_mout, want_mout);
+      EXPECT_EQ(got_mlog, want_mlog) << "masked RangeRelevant diverged";
+    });
   }
 }
 
@@ -163,7 +196,6 @@ TEST_P(FrozenDiffTest, RelevantStreamDrainsIdentically) {
   for (const CoskqQuery& q : queries_) {
     // Unmasked streams.
     std::vector<std::pair<ObjectId, double>> want;
-    std::vector<std::pair<ObjectId, double>> got;
     tree_->set_frozen_enabled(false);
     {
       IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords);
@@ -172,17 +204,17 @@ TEST_P(FrozenDiffTest, RelevantStreamDrainsIdentically) {
       }
     }
     tree_->set_frozen_enabled(true);
-    {
+    ForEachKernel([&] {
+      std::vector<std::pair<ObjectId, double>> got;
       IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords);
       while (auto next = stream.Next()) {
         got.push_back(*next);
       }
-    }
-    EXPECT_EQ(got, want) << "RelevantStream order/content diverged";
+      EXPECT_EQ(got, want) << "RelevantStream order/content diverged";
+    });
 
     // Masked streams (scratch caches shared within each drain).
     want.clear();
-    got.clear();
     tree_->set_frozen_enabled(false);
     scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
                        dataset_.NumObjects());
@@ -195,17 +227,20 @@ TEST_P(FrozenDiffTest, RelevantStreamDrainsIdentically) {
     }
     scratch.FinishQuery();
     tree_->set_frozen_enabled(true);
-    scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
-                       dataset_.NumObjects());
-    {
-      IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords,
-                                    &scratch);
-      while (auto next = stream.Next()) {
-        got.push_back(*next);
+    ForEachKernel([&] {
+      std::vector<std::pair<ObjectId, double>> got;
+      scratch.BeginQuery(q.location, q.keywords, tree_->node_id_limit(),
+                         dataset_.NumObjects());
+      {
+        IrTree::RelevantStream stream(tree_.get(), q.location, q.keywords,
+                                      &scratch);
+        while (auto next = stream.Next()) {
+          got.push_back(*next);
+        }
       }
-    }
-    scratch.FinishQuery();
-    EXPECT_EQ(got, want) << "masked RelevantStream diverged";
+      scratch.FinishQuery();
+      EXPECT_EQ(got, want) << "masked RelevantStream diverged";
+    });
   }
 }
 
@@ -222,17 +257,20 @@ TEST_P(FrozenDiffTest, EverySolverBitIdenticalFrozenVsPointer) {
         tree_->set_frozen_enabled(false);
         const CoskqResult want = solver->Solve(queries_[i]);
         tree_->set_frozen_enabled(true);
-        const CoskqResult got = solver->Solve(queries_[i]);
-        EXPECT_EQ(got.feasible, want.feasible);
-        EXPECT_EQ(got.set, want.set);
-        EXPECT_EQ(got.cost, want.cost);  // Bit-identical, no tolerance.
-        EXPECT_EQ(got.stats.candidates, want.stats.candidates);
-        EXPECT_EQ(got.stats.sets_evaluated, want.stats.sets_evaluated);
-        EXPECT_EQ(got.stats.pairs_examined, want.stats.pairs_examined);
-        // The distance memo is shared logic: frozen paths must consult it
-        // exactly as often as the pointer paths do.
-        EXPECT_EQ(got.stats.dist_cache_hits, want.stats.dist_cache_hits);
-        EXPECT_EQ(got.stats.dist_cache_misses, want.stats.dist_cache_misses);
+        ForEachKernel([&] {
+          const CoskqResult got = solver->Solve(queries_[i]);
+          EXPECT_EQ(got.feasible, want.feasible);
+          EXPECT_EQ(got.set, want.set);
+          EXPECT_EQ(got.cost, want.cost);  // Bit-identical, no tolerance.
+          EXPECT_EQ(got.stats.candidates, want.stats.candidates);
+          EXPECT_EQ(got.stats.sets_evaluated, want.stats.sets_evaluated);
+          EXPECT_EQ(got.stats.pairs_examined, want.stats.pairs_examined);
+          // The distance memo is shared logic: frozen paths must consult it
+          // exactly as often as the pointer paths do.
+          EXPECT_EQ(got.stats.dist_cache_hits, want.stats.dist_cache_hits);
+          EXPECT_EQ(got.stats.dist_cache_misses,
+                    want.stats.dist_cache_misses);
+        });
       }
     }
   }

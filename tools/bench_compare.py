@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+    tools/bench_compare.py --self-test
 
 Walks both documents in parallel and compares every numeric metric that has
 a direction:
@@ -15,24 +16,40 @@ Rows are labelled by the path through the document, using each record's
 identifying fields (op / solver / dataset / threads / query_keywords) when
 present, so the table stays readable as reports grow.
 
+Best-of-rounds metrics travel with a median twin (``wall_ms`` with
+``wall_median_ms``, ``scan_ms_per_op`` with ``scan_median_ms_per_op``,
+``speedup`` with ``median_speedup``). When both documents carry the twin,
+the gate runs on the median -- the statistically steadier number -- and the
+best-of metric is demoted to informational ("info"): reported, never
+failing. Reports that predate median emission still gate on best-of.
+
 Exit status: 0 when no comparable metric regressed by more than
 ``--threshold`` percent (default 20), 1 otherwise. Improvements and small
-fluctuations never fail the run; missing counterparts are reported but are
-not failures (new metrics appear as benchmarks evolve). With ``--warn-only``
-regressions are still reported in full but the exit status stays 0 — the
-escape hatch for noisy shared runners.
+fluctuations never fail the run. A metric present only in the current
+report is labelled "new, no baseline" (benchmarks grow new series); one
+present only in the baseline is labelled "missing"; neither is a failure.
+With ``--warn-only`` regressions are still reported in full but the exit
+status stays 0 -- the escape hatch for noisy shared runners.
+
+``--self-test`` runs the built-in unit checks (direction parsing, median
+twin derivation, demotion, regression detection, the new/missing labels)
+against synthetic reports and exits 0 iff all pass; ci.sh runs it before
+trusting any gate.
 
 Only the Python standard library is used.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
-LOWER_IS_BETTER = ("_ms", "_ms_per_op", "_s")
+LOWER_IS_BETTER = ("_ms_per_op", "_ms", "_s")
 HIGHER_IS_BETTER = ("qps", "speedup")
 
-ID_KEYS = ("op", "solver", "dataset", "threads", "query_keywords", "name")
+ID_KEYS = ("op", "solver", "dataset", "threads", "query_keywords", "name",
+           "kernel")
 
 
 def metric_direction(key):
@@ -44,6 +61,24 @@ def metric_direction(key):
         if key.endswith(suffix):
             return 1
     return 0
+
+
+def median_twin(key):
+    """The median-of-rounds companion of a best-of-rounds metric.
+
+    wall_ms -> wall_median_ms, scan_ms_per_op -> scan_median_ms_per_op,
+    speedup -> median_speedup, frozen_qps -> median_frozen_qps. Returns None
+    for keys that are already medians (no twin-of-a-twin).
+    """
+    if "median" in key:
+        return None
+    for suffix in LOWER_IS_BETTER:
+        if key.endswith(suffix):
+            return key[:-len(suffix)] + "_median" + suffix
+    for suffix in HIGHER_IS_BETTER:
+        if key.endswith(suffix):
+            return "median_" + key
+    return None
 
 
 def record_label(node, fallback):
@@ -78,26 +113,22 @@ def load_metrics(path):
     return out
 
 
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline BENCH_*.json")
-    parser.add_argument("current", help="current BENCH_*.json")
-    parser.add_argument("--threshold", type=float, default=20.0,
-                        help="regression threshold in percent (default 20)")
-    parser.add_argument("--warn-only", action="store_true",
-                        help="report regressions but always exit 0")
-    args = parser.parse_args(argv)
+def compare(base, cur, threshold):
+    """Compares two metric maps; returns (rows, regressions).
 
-    base = load_metrics(args.baseline)
-    cur = load_metrics(args.current)
-
+    rows: (label, metric, base, cur, delta_pct, status) in sorted order.
+    regressions: (label, metric, regressed_pct) for each gating failure.
+    """
     rows = []
     regressions = []
     for key in sorted(set(base) | set(cur)):
         label, metric = key
         b = base.get(key)
         c = cur.get(key)
-        if b is None or c is None:
+        if b is None:
+            rows.append((label, metric, b, c, None, "new, no baseline"))
+            continue
+        if c is None:
             rows.append((label, metric, b, c, None, "missing"))
             continue
         direction = metric_direction(metric)
@@ -105,16 +136,26 @@ def main(argv):
             delta_pct = 0.0 if c == 0 else float("inf")
         else:
             delta_pct = (c - b) / abs(b) * 100.0
+        # When the steadier median twin is present on both sides, it carries
+        # the gate and this best-of metric is informational only.
+        twin = median_twin(metric)
+        if twin is not None and (label, twin) in base and (label,
+                                                           twin) in cur:
+            rows.append((label, metric, b, c, delta_pct, "info"))
+            continue
         # A regression is slower (_ms up) or less throughput (qps down).
         regressed_pct = delta_pct if direction < 0 else -delta_pct
         status = "ok"
-        if regressed_pct > args.threshold:
+        if regressed_pct > threshold:
             status = "REGRESSED"
             regressions.append((label, metric, regressed_pct))
-        elif regressed_pct < -args.threshold:
+        elif regressed_pct < -threshold:
             status = "improved"
         rows.append((label, metric, b, c, delta_pct, status))
+    return rows, regressions
 
+
+def print_report(rows, regressions, threshold, warn_only):
     def fmt(v):
         if v is None:
             return "-"
@@ -137,16 +178,149 @@ def main(argv):
     if regressions:
         print()
         print("FAIL: %d metric(s) regressed more than %.0f%%:"
-              % (len(regressions), args.threshold))
+              % (len(regressions), threshold))
         for label, metric, pct in regressions:
             print("  %s %s: %.1f%% worse" % (label, metric, pct))
-        if args.warn_only:
+        if warn_only:
             print("(--warn-only: reporting without failing)")
             return 0
         return 1
     print()
-    print("OK: no metric regressed more than %.0f%%." % args.threshold)
+    print("OK: no metric regressed more than %.0f%%." % threshold)
     return 0
+
+
+def self_test():
+    """Unit checks over synthetic reports; returns 0 iff all pass."""
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    # Direction parsing.
+    check("dir wall_ms", metric_direction("wall_ms") == -1)
+    check("dir ms_per_op", metric_direction("scan_ms_per_op") == -1)
+    check("dir seconds", metric_direction("budget_s") == -1)
+    check("dir qps", metric_direction("frozen_qps") == 1)
+    check("dir speedup", metric_direction("median_speedup") == 1)
+    check("dir counter", metric_direction("dist_cache_hits") == 0)
+
+    # Median twin derivation.
+    check("twin wall_ms", median_twin("wall_ms") == "wall_median_ms")
+    check("twin per_op",
+          median_twin("scan_ms_per_op") == "scan_median_ms_per_op")
+    check("twin speedup", median_twin("speedup") == "median_speedup")
+    check("twin qps", median_twin("frozen_qps") == "median_frozen_qps")
+    check("twin of twin", median_twin("wall_median_ms") is None)
+    check("twin of median_speedup", median_twin("median_speedup") is None)
+
+    def metrics_of(doc):
+        out = {}
+        walk(doc, "", out)
+        return out
+
+    # Demotion: with median twins on both sides, the best-of metric is
+    # informational even when it regresses wildly, and the gate runs on
+    # the (healthy) median.
+    base = metrics_of({"solvers": [{"solver": "x", "wall_ms": 1.0,
+                                    "wall_median_ms": 1.0}]})
+    cur = metrics_of({"solvers": [{"solver": "x", "wall_ms": 10.0,
+                                   "wall_median_ms": 1.05}]})
+    rows, regs = compare(base, cur, 20.0)
+    by_metric = {m: s for _, m, _, _, _, s in rows}
+    check("demoted best-of", by_metric.get("wall_ms") == "info")
+    check("median gates ok", by_metric.get("wall_median_ms") == "ok")
+    check("no regressions", not regs)
+
+    # Median regression still fails.
+    cur_bad = metrics_of({"solvers": [{"solver": "x", "wall_ms": 1.0,
+                                       "wall_median_ms": 2.0}]})
+    _, regs = compare(base, cur_bad, 20.0)
+    check("median regression caught",
+          [m for _, m, _ in regs] == ["wall_median_ms"])
+
+    # Without twins (old reports), best-of still gates.
+    old_base = metrics_of({"solvers": [{"solver": "x", "wall_ms": 1.0}]})
+    old_cur = metrics_of({"solvers": [{"solver": "x", "wall_ms": 2.0}]})
+    _, regs = compare(old_base, old_cur, 20.0)
+    check("best-of gates without twin",
+          [m for _, m, _ in regs] == ["wall_ms"])
+
+    # Twin on one side only: no demotion (can't gate on a number the
+    # baseline never recorded).
+    half_cur = metrics_of({"solvers": [{"solver": "x", "wall_ms": 2.0,
+                                        "wall_median_ms": 2.0}]})
+    rows, regs = compare(old_base, half_cur, 20.0)
+    by_metric = {m: s for _, m, _, _, _, s in rows}
+    check("no demotion half twin", by_metric.get("wall_ms") == "REGRESSED")
+    check("one-sided twin is new",
+          by_metric.get("wall_median_ms") == "new, no baseline")
+
+    # New / missing labels, and neither ever fails the run.
+    rows, regs = compare(metrics_of({"a_ms": 1.0}),
+                         metrics_of({"b_ms": 1.0}), 20.0)
+    by_metric = {m: s for _, m, _, _, _, s in rows}
+    check("baseline-only is missing", by_metric.get("a_ms") == "missing")
+    check("current-only is new",
+          by_metric.get("b_ms") == "new, no baseline")
+    check("new/missing never fail", not regs)
+
+    # Improvements and higher-is-better direction.
+    rows, regs = compare(metrics_of({"frozen_qps": 100.0}),
+                         metrics_of({"frozen_qps": 50.0}), 20.0)
+    check("qps drop regresses", [m for _, m, _ in regs] == ["frozen_qps"])
+    rows, regs = compare(metrics_of({"frozen_qps": 100.0}),
+                         metrics_of({"frozen_qps": 200.0}), 20.0)
+    check("qps gain passes", not regs)
+
+    # End-to-end through real files and main() exit codes.
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "base.json")
+        cpath = os.path.join(tmp, "cur.json")
+        with open(bpath, "w", encoding="utf-8") as f:
+            json.dump({"solvers": [{"solver": "x", "wall_ms": 1.0,
+                                    "wall_median_ms": 1.0}]}, f)
+        with open(cpath, "w", encoding="utf-8") as f:
+            json.dump({"solvers": [{"solver": "x", "wall_ms": 9.0,
+                                    "wall_median_ms": 1.01}]}, f)
+        check("main ok exit", main([bpath, cpath]) == 0)
+        with open(cpath, "w", encoding="utf-8") as f:
+            json.dump({"solvers": [{"solver": "x", "wall_ms": 9.0,
+                                    "wall_median_ms": 9.0}]}, f)
+        check("main fail exit", main([bpath, cpath]) == 1)
+        check("main warn-only exit",
+              main([bpath, cpath, "--warn-only"]) == 0)
+
+    if failures:
+        print("SELF-TEST FAIL: %s" % ", ".join(failures))
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="regression threshold in percent (default 20)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required unless --self-test")
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+    rows, regressions = compare(base, cur, args.threshold)
+    return print_report(rows, regressions, args.threshold, args.warn_only)
 
 
 if __name__ == "__main__":

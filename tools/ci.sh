@@ -57,6 +57,12 @@ for job in "${JOBS[@]}"; do
       configure_and_build build-ci-release -DCMAKE_BUILD_TYPE=Release \
           -DCOSKQ_SANITIZE=""
       ctest --test-dir build-ci-release --output-on-failure -j "$NPROC"
+      # The SIMD kernel layer must be a pure optimization: with the scalar
+      # reference table forced, every fast-tier answer (including the
+      # frozen-vs-pointer differential suite) must still hold bit-exactly.
+      echo "== release: fast tier re-run with COSKQ_KERNEL=scalar =="
+      COSKQ_KERNEL=scalar ctest --test-dir build-ci-release \
+          --output-on-failure -L fast -j "$NPROC"
       ;;
     tsan)
       echo "== CI job: ThreadSanitizer, fast tier + 8-thread batch =="
@@ -73,12 +79,32 @@ for job in "${JOBS[@]}"; do
           -DCOSKQ_SANITIZE=address,undefined -DCOSKQ_BUILD_BENCHMARKS=OFF \
           -DCOSKQ_BUILD_EXAMPLES=OFF
       run_fast_tests build-ci-asan
+      # The AVX2 kernels use unaligned 256-bit loads over SoA stripes whose
+      # alignment the snapshot format only guarantees to 8 bytes; one forced
+      # run under ASan+UBSan probes those loads for overreads wherever the
+      # hardware allows (the kernels are function-level target("avx2"), so
+      # the binary itself is baseline x86-64 and safe to build anywhere).
+      if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+        echo "== asan: kernel sweep re-run with COSKQ_KERNEL=avx2 =="
+        COSKQ_KERNEL=avx2 ./build-ci-asan/tests/index_kernels_test
+        COSKQ_KERNEL=avx2 ./build-ci-asan/tests/index_frozen_diff_test
+      else
+        echo "== asan: no AVX2 on this host; skipping forced-kernel run =="
+      fi
       ;;
     perf)
       echo "== CI job: perf, A/B benchmarks gated against committed baselines =="
+      # Note: the perf build is plain Release with NO global -march flag.
+      # The SIMD kernels carry function-level __attribute__((target))
+      # annotations, so the same baseline-x86-64 binary contains scalar,
+      # SSE2, and AVX2 paths and picks one at runtime — what ships is what
+      # gets benchmarked.
       configure_and_build build-ci-perf -DCMAKE_BUILD_TYPE=Release \
           -DCOSKQ_SANITIZE=""
       mkdir -p build-ci-perf/perf
+
+      # Prove the gate itself works before trusting it with a verdict.
+      python3 tools/bench_compare.py --self-test
 
       # The regression gate: each benchmark runs at the exact config its
       # committed BENCH_*.json baseline was recorded at, and bench_compare
@@ -103,6 +129,7 @@ for job in "${JOBS[@]}"; do
       }
       run_gated_bench bench_hotpath BENCH_hotpath.json 100
       run_gated_bench bench_irtree_layout BENCH_irtree_layout.json 100
+      run_gated_bench bench_simd BENCH_simd.json 100
       run_gated_bench bench_datasets BENCH_datasets.json 20
 
       echo "== perf: snapshot build + cold-start vs warm-start =="
