@@ -33,6 +33,8 @@ const std::string& Vocabulary::TermString(TermId id) const {
 }
 
 Dataset Dataset::Clone() const {
+  COSKQ_CHECK(!concurrent_appends_enabled())
+      << "Clone of a concurrent-append dataset";
   Dataset copy;
   copy.objects_ = objects_;
   copy.vocab_ = vocab_;
@@ -53,6 +55,8 @@ ObjectId Dataset::AddObject(const Point& location,
 }
 
 ObjectId Dataset::AddObjectWithTerms(const Point& location, TermSet terms) {
+  COSKQ_CHECK(!concurrent_appends_enabled())
+      << "use AppendObjectConcurrent in concurrent-append mode";
   NormalizeTermSet(&terms);
   checksum_cached_.store(false, std::memory_order_relaxed);
   const ObjectId id = static_cast<ObjectId>(objects_.size());
@@ -69,8 +73,36 @@ ObjectId Dataset::AddObjectWithTerms(const Point& location, TermSet terms) {
 }
 
 const SpatialObject& Dataset::object(ObjectId id) const {
-  COSKQ_CHECK_LT(id, objects_.size());
+  COSKQ_CHECK_LT(id, NumObjects());
   return objects_[id];
+}
+
+void Dataset::EnableConcurrentAppends(size_t max_extra) {
+  COSKQ_CHECK(!concurrent_appends_enabled());
+  const size_t base = objects_.size();
+  published_count_.store(base, std::memory_order_relaxed);
+  append_capacity_ = base + max_extra;
+  // All reallocation happens here, before any reader exists: appends only
+  // ever write one placeholder slot and bump the published count, so the
+  // storage (and every reference a reader holds) stays put.
+  objects_.resize(append_capacity_);
+  concurrent_mode_.store(true, std::memory_order_release);
+}
+
+StatusOr<ObjectId> Dataset::AppendObjectConcurrent(const Point& location,
+                                                   TermSet terms) {
+  COSKQ_CHECK(concurrent_appends_enabled());
+  NormalizeTermSet(&terms);
+  const size_t n = published_count_.load(std::memory_order_relaxed);
+  if (n >= append_capacity_) {
+    return Status::OutOfRange("append capacity exhausted (" +
+                              std::to_string(append_capacity_) + " objects)");
+  }
+  const ObjectId id = static_cast<ObjectId>(n);
+  objects_[n] = SpatialObject{id, location, std::move(terms)};
+  // Release: a reader that observes the new count sees the full object.
+  published_count_.store(n + 1, std::memory_order_release);
+  return id;
 }
 
 uint32_t Dataset::TermFrequency(TermId t) const {
@@ -142,8 +174,10 @@ uint64_t Dataset::ContentChecksum() const {
     memcpy(&bits, &value, sizeof(bits));
     mix(bits);
   };
-  mix(objects_.size());
-  for (const SpatialObject& obj : objects_) {
+  const size_t n = NumObjects();
+  mix(n);
+  for (size_t i = 0; i < n; ++i) {
+    const SpatialObject& obj = objects_[i];
     mix_double(obj.location.x);
     mix_double(obj.location.y);
     mix(obj.keywords.size());
@@ -163,7 +197,9 @@ Status Dataset::SaveToFile(const std::string& path) const {
   }
   // max_digits10 makes the coordinate round-trip bit-exact.
   out.precision(std::numeric_limits<double>::max_digits10);
-  for (const SpatialObject& obj : objects_) {
+  const size_t n = NumObjects();
+  for (size_t i = 0; i < n; ++i) {
+    const SpatialObject& obj = objects_[i];
     out << obj.location.x << ' ' << obj.location.y;
     for (TermId t : obj.keywords) {
       out << ' ' << vocab_.TermString(t);

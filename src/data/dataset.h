@@ -64,6 +64,13 @@ class Dataset {
     checksum_cache_.store(
         other.checksum_cache_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    concurrent_mode_.store(
+        other.concurrent_mode_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    published_count_.store(
+        other.published_count_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    append_capacity_ = other.append_capacity_;
     return *this;
   }
   Dataset(const Dataset&) = delete;
@@ -80,9 +87,40 @@ class Dataset {
   /// duplicates are removed); returns its id.
   ObjectId AddObjectWithTerms(const Point& location, TermSet terms);
 
-  size_t NumObjects() const { return objects_.size(); }
+  /// Number of published objects. In concurrent-append mode this is the
+  /// release-published count — a reader that obtained an id below it (e.g.
+  /// from a pinned index delta) can safely read that object.
+  size_t NumObjects() const {
+    return concurrent_mode_.load(std::memory_order_relaxed)
+               ? published_count_.load(std::memory_order_acquire)
+               : objects_.size();
+  }
   const SpatialObject& object(ObjectId id) const;
+  /// Direct storage access. Not meaningful in concurrent-append mode (the
+  /// vector carries unpublished placeholder slots past NumObjects()).
   const std::vector<SpatialObject>& objects() const { return objects_; }
+
+  /// Switches into concurrent-append mode with room for `max_extra` more
+  /// objects (the live-update server's mutation capacity). The object array
+  /// is resized up front, so a single writer thread can append via
+  /// AppendObjectConcurrent while readers call NumObjects()/object() with no
+  /// locking and no sanitizer findings — publication is a single
+  /// release-store of the count, and the storage never reallocates.
+  /// Derived statistics (mbr, term frequencies, checksum) are frozen at the
+  /// corpus present when this is called; AddObject/AddObjectWithTerms/
+  /// ReplaceKeywords must not be used afterwards.
+  void EnableConcurrentAppends(size_t max_extra);
+  bool concurrent_appends_enabled() const {
+    return concurrent_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// Single-writer append of an object with pre-interned keyword ids (the
+  /// vocabulary is not thread-safe, so callers must intern on their own
+  /// serialization — the query server restricts mutations to existing
+  /// vocabulary words). OutOfRange once the capacity from
+  /// EnableConcurrentAppends is exhausted.
+  StatusOr<ObjectId> AppendObjectConcurrent(const Point& location,
+                                            TermSet terms);
 
   const Vocabulary& vocabulary() const { return vocab_; }
   Vocabulary& mutable_vocabulary() { return vocab_; }
@@ -133,9 +171,17 @@ class Dataset {
 
   // ContentChecksum memo. Concurrent first calls may both compute (and
   // store the identical value); mutators reset the flag. Atomics keep the
-  // read-mostly path sanitizer-clean without a lock.
+  // read-mostly path sanitizer-clean without a lock. Concurrent appends do
+  // NOT invalidate it: the cached digest keeps naming the base corpus,
+  // which is exactly the provenance an index snapshot was built against.
   mutable std::atomic<bool> checksum_cached_{false};
   mutable std::atomic<uint64_t> checksum_cache_{0};
+
+  // Concurrent-append mode (EnableConcurrentAppends). published_count_ is
+  // the reader-visible object count; append_capacity_ the pre-sized bound.
+  std::atomic<bool> concurrent_mode_{false};
+  std::atomic<size_t> published_count_{0};
+  size_t append_capacity_ = 0;
 };
 
 }  // namespace coskq

@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "index/irtree.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -141,7 +142,13 @@ BatchOutcome BatchEngine::Run(
       if (i >= n) {
         return;
       }
-      outcome.results[i] = solver->Solve(queries[i]);
+      {
+        // One pinned index view per query: every sub-query the solver runs
+        // observes the same frozen body + delta, even across a concurrent
+        // background refreeze swap.
+        IrTree::ReadGuard guard(context_.index);
+        outcome.results[i] = solver->Solve(queries[i]);
+      }
       outcome.executed[i] = 1;
       if (options_.cancel_on_infeasible && !outcome.results[i].feasible) {
         // Keep the smallest offending index for a deterministic error

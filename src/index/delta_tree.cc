@@ -1,0 +1,61 @@
+#include "index/delta_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coskq {
+
+bool DeltaTree::IsTombstoned(ObjectId id) const {
+  return std::binary_search(tombstones.begin(), tombstones.end(), id);
+}
+
+bool DeltaTree::IsInserted(ObjectId id) const {
+  return std::binary_search(inserts.begin(), inserts.end(), id);
+}
+
+void DeltaTree::AddInsert(ObjectId id, uint64_t sig) {
+  const auto it = std::lower_bound(inserts.begin(), inserts.end(), id);
+  COSKQ_CHECK(it == inserts.end() || *it != id);
+  const size_t pos = static_cast<size_t>(it - inserts.begin());
+  inserts.insert(it, id);
+  insert_sigs.insert(insert_sigs.begin() + static_cast<ptrdiff_t>(pos), sig);
+}
+
+bool DeltaTree::EraseInsert(ObjectId id) {
+  const auto it = std::lower_bound(inserts.begin(), inserts.end(), id);
+  if (it == inserts.end() || *it != id) {
+    return false;
+  }
+  const size_t pos = static_cast<size_t>(it - inserts.begin());
+  inserts.erase(it);
+  insert_sigs.erase(insert_sigs.begin() + static_cast<ptrdiff_t>(pos));
+  return true;
+}
+
+void DeltaTree::AddTombstone(ObjectId id) {
+  const auto it = std::lower_bound(tombstones.begin(), tombstones.end(), id);
+  COSKQ_CHECK(it == tombstones.end() || *it != id);
+  tombstones.insert(it, id);
+}
+
+bool DeltaTree::EraseTombstone(ObjectId id) {
+  const auto it = std::lower_bound(tombstones.begin(), tombstones.end(), id);
+  if (it == tombstones.end() || *it != id) {
+    return false;
+  }
+  tombstones.erase(it);
+  return true;
+}
+
+void DeltaTree::CheckWellFormed() const {
+  COSKQ_CHECK_EQ(inserts.size(), insert_sigs.size());
+  for (size_t i = 1; i < inserts.size(); ++i) {
+    COSKQ_CHECK_LT(inserts[i - 1], inserts[i]);
+  }
+  for (size_t i = 1; i < tombstones.size(); ++i) {
+    COSKQ_CHECK_LT(tombstones[i - 1], tombstones[i]);
+  }
+}
+
+}  // namespace coskq

@@ -25,25 +25,133 @@ using internal_index::QuadraticSplit;
 using internal_index::RectEnlargement;
 using internal_index::StrTile;
 
+namespace {
+
+/// Per-thread ReadGuard bookkeeping. Guards are re-entrant (a solver guard
+/// wraps query-method guards wraps fallback-overload guards), so each
+/// (thread, tree) pair keeps a depth counter and the delta pinned when the
+/// outermost guard was taken — inner guards reuse it, which is what makes a
+/// guarded unit of work observe one consistent frozen+delta view.
+struct GuardSlot {
+  const void* tree = nullptr;
+  int depth = 0;
+  std::shared_ptr<const DeltaTree> delta;
+};
+
+constexpr int kMaxGuardSlots = 8;
+thread_local GuardSlot g_guard_slots[kMaxGuardSlots];
+
+GuardSlot* FindGuardSlot(const void* tree) {
+  for (GuardSlot& slot : g_guard_slots) {
+    if (slot.tree == tree) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void IrTree::GuardAcquire() const {
+  GuardSlot* slot = FindGuardSlot(this);
+  if (slot != nullptr) {
+    ++slot->depth;
+    return;
+  }
+  slot = FindGuardSlot(nullptr);
+  COSKQ_CHECK(slot != nullptr)
+      << "more than " << kMaxGuardSlots
+      << " distinct IrTrees guarded on one thread";
+  swap_mutex_.lock_shared();
+  slot->tree = this;
+  slot->depth = 1;
+  {
+    std::lock_guard<std::mutex> lock(delta_mutex_);
+    slot->delta = delta_;
+  }
+}
+
+void IrTree::GuardRelease() const {
+  GuardSlot* slot = FindGuardSlot(this);
+  COSKQ_CHECK(slot != nullptr);
+  if (--slot->depth > 0) {
+    return;
+  }
+  slot->tree = nullptr;
+  slot->delta.reset();
+  swap_mutex_.unlock_shared();
+}
+
+const DeltaTree* IrTree::PinnedDelta() const {
+  const GuardSlot* slot = FindGuardSlot(this);
+  COSKQ_CHECK(slot != nullptr) << "PinnedDelta outside a ReadGuard";
+  return slot->delta.get();
+}
+
+std::shared_ptr<DeltaTree> IrTree::CopyDeltaLocked() const {
+  std::shared_ptr<const DeltaTree> current;
+  {
+    std::lock_guard<std::mutex> lock(delta_mutex_);
+    current = delta_;
+  }
+  return current != nullptr ? std::make_shared<DeltaTree>(*current)
+                            : std::make_shared<DeltaTree>();
+}
+
+void IrTree::PublishDelta(std::shared_ptr<const DeltaTree> delta) const {
+  if (delta != nullptr && delta->empty()) {
+    // Keep the null ⇔ empty invariant: queries pinning a null delta skip
+    // every merge branch, so a drained delta costs pure reads nothing.
+    delta.reset();
+  }
+  std::lock_guard<std::mutex> lock(delta_mutex_);
+  delta_ = std::move(delta);
+}
+
+size_t IrTree::delta_size() const {
+  std::lock_guard<std::mutex> lock(delta_mutex_);
+  return delta_ != nullptr ? delta_->size() : 0;
+}
+
 IrTree::IrTree(const Dataset* dataset, const Options& options)
     : dataset_(dataset), options_(options) {
   COSKQ_CHECK(dataset != nullptr);
   COSKQ_CHECK_GE(options_.max_entries, 4);
-  BulkLoad();
+  std::vector<ObjectId> ids(dataset_->NumObjects());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<ObjectId>(i);
+  }
+  BulkLoad(std::move(ids));
 }
 
-IrTree::~IrTree() = default;
+IrTree::IrTree(const Dataset* dataset, const Options& options,
+               const std::vector<ObjectId>& object_ids)
+    : dataset_(dataset), options_(options) {
+  COSKQ_CHECK(dataset != nullptr);
+  COSKQ_CHECK_GE(options_.max_entries, 4);
+  BulkLoad(object_ids);
+}
 
-void IrTree::BulkLoad() {
-  size_ = dataset_->NumObjects();
-  obj_sigs_.resize(size_);
-  obj_sig_bits_sum_ = 0;
-  for (size_t i = 0; i < size_; ++i) {
-    obj_sigs_[i] =
-        TermSetSignature(dataset_->object(static_cast<ObjectId>(i)).keywords);
-    obj_sig_bits_sum_ += static_cast<uint64_t>(std::popcount(obj_sigs_[i]));
+IrTree::~IrTree() {
+  if (refreeze_thread_.joinable()) {
+    refreeze_thread_.join();
   }
-  if (size_ == 0) {
+}
+
+void IrTree::BulkLoad(std::vector<ObjectId> ids) {
+  const size_t n = ids.size();
+  size_.store(n, std::memory_order_relaxed);
+  ObjectId max_id = 0;
+  for (ObjectId id : ids) {
+    max_id = std::max(max_id, id);
+  }
+  obj_sigs_.assign(n == 0 ? 0 : static_cast<size_t>(max_id) + 1, 0);
+  obj_sig_bits_sum_ = 0;
+  for (ObjectId id : ids) {
+    obj_sigs_[id] = TermSetSignature(dataset_->object(id).keywords);
+    obj_sig_bits_sum_ += static_cast<uint64_t>(std::popcount(obj_sigs_[id]));
+  }
+  if (n == 0) {
     root_ = std::make_unique<Node>();
     AssignNodeIds();
     return;
@@ -51,10 +159,6 @@ void IrTree::BulkLoad() {
   const size_t cap = static_cast<size_t>(options_.max_entries);
 
   // Leaf level: STR tiling over object locations.
-  std::vector<ObjectId> ids(size_);
-  for (size_t i = 0; i < size_; ++i) {
-    ids[i] = static_cast<ObjectId>(i);
-  }
   std::vector<std::unique_ptr<Node>> level;
   StrTile(
       &ids, cap,
@@ -107,14 +211,56 @@ void IrTree::AssignNodeIds() {
 }
 
 Status IrTree::Insert(ObjectId id) {
-  if (root_ == nullptr) {
-    return Status::Unimplemented(
-        "Insert on a snapshot-loaded (frozen-only) IrTree; rebuild the "
-        "index from the dataset to mutate it");
+  std::lock_guard<std::mutex> mutate_lock(mutate_mutex_);
+  if (id >= dataset_->NumObjects()) {
+    return Status::InvalidArgument("Insert of object id " +
+                                   std::to_string(id) +
+                                   " beyond the dataset");
   }
-  // A frozen view would silently desync from the mutated pointer tree, so
-  // drop it: queries fall back to pointer traversal until the next Freeze().
-  frozen_.reset();
+  if (frozen_ == nullptr) {
+    return InsertPointer(id);
+  }
+  // Frozen tree (built or snapshot-loaded): the insert lands in the delta
+  // overlay; the frozen body and the pointer tree (which only mirrors the
+  // frozen base) are untouched, so concurrent queries stay valid.
+  std::shared_ptr<DeltaTree> delta = CopyDeltaLocked();
+  if (delta->EraseTombstone(id)) {
+    // Resurrection: the id is live in the base again.
+  } else if (LiveInBase(id) || delta->IsInserted(id)) {
+    return Status::InvalidArgument("object " + std::to_string(id) +
+                                   " already present");
+  } else {
+    delta->AddInsert(id, TermSetSignature(dataset_->object(id).keywords));
+  }
+  PublishDelta(std::move(delta));
+  size_.fetch_add(1, std::memory_order_relaxed);
+  mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status IrTree::Remove(ObjectId id) {
+  std::lock_guard<std::mutex> mutate_lock(mutate_mutex_);
+  if (frozen_ == nullptr) {
+    return Status::Unimplemented(
+        "Remove requires a Freeze()-d IrTree (deletes land in the delta "
+        "overlay)");
+  }
+  std::shared_ptr<DeltaTree> delta = CopyDeltaLocked();
+  if (delta->EraseInsert(id)) {
+    // A pending delta insert simply disappears.
+  } else if (LiveInBase(id) && !delta->IsTombstoned(id)) {
+    delta->AddTombstone(id);
+  } else {
+    return Status::NotFound("object " + std::to_string(id) + " not present");
+  }
+  PublishDelta(std::move(delta));
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status IrTree::InsertPointer(ObjectId id) {
+  COSKQ_CHECK(root_ != nullptr);
   const SpatialObject& obj = dataset_->object(id);
   if (obj_sigs_.size() <= id) {
     obj_sigs_.resize(static_cast<size_t>(id) + 1, 0);
@@ -208,7 +354,7 @@ Status IrTree::Insert(ObjectId id) {
     new_root->Recompute(*dataset_);
     root_ = std::move(new_root);
   }
-  ++size_;
+  size_.fetch_add(1, std::memory_order_relaxed);
   // Keep node ids dense: incremental insertion is a test/maintenance path,
   // so a preorder renumbering per insert is an acceptable price for flat
   // per-node cache arrays on the query path.
@@ -221,10 +367,49 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance) const {
                    static_cast<std::vector<uint32_t>*>(nullptr));
 }
 
+namespace {
+
+/// Merges the delta's insert candidates into a keyword-NN answer: the
+/// nearest delta insert containing `t` replaces the frozen result iff it is
+/// strictly closer (ties go to the frozen base; among equal-distance delta
+/// candidates the smallest id wins — with continuous coordinates ties have
+/// measure zero, so the merged answer matches a from-scratch build).
+void MergeDeltaKeywordNn(const Dataset& dataset, const DeltaTree& delta,
+                         const Point& p, TermId t, ObjectId* best_id,
+                         double* best_distance) {
+  const uint64_t kw_sig = TermSignature(t);
+  for (size_t i = 0; i < delta.inserts.size(); ++i) {
+    if ((delta.insert_sigs[i] & kw_sig) == 0) {
+      continue;
+    }
+    const SpatialObject& obj = dataset.object(delta.inserts[i]);
+    if (!obj.ContainsTerm(t)) {
+      continue;
+    }
+    const double d = Distance(p, obj.location);
+    if (d < *best_distance) {
+      *best_distance = d;
+      *best_id = obj.id;
+    }
+  }
+}
+
+}  // namespace
+
 ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
                            std::vector<uint32_t>* visit_log) const {
-  if (UseFrozen()) {
-    return FrozenKeywordNn(p, t, distance, visit_log);
+  ReadGuard guard(this);
+  const DeltaTree* delta = PinnedDelta();
+  if (UseFrozen(delta)) {
+    double d = std::numeric_limits<double>::infinity();
+    ObjectId id = FrozenKeywordNn(p, t, &d, visit_log, delta);
+    if (delta != nullptr) {
+      MergeDeltaKeywordNn(*dataset_, *delta, p, t, &id, &d);
+    }
+    if (distance != nullptr) {
+      *distance = d;
+    }
+    return id;
   }
   struct QueueEntry {
     double distance;
@@ -278,6 +463,7 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
 
 ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
                            SearchScratch* scratch) const {
+  ReadGuard guard(this);
   if (scratch == nullptr || !scratch->mask_active()) {
     return KeywordNn(p, t, distance,
                      scratch != nullptr ? scratch->visit_log() : nullptr);
@@ -286,8 +472,17 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
   if (slot < 0) {
     return KeywordNn(p, t, distance, scratch->visit_log());
   }
-  if (UseFrozen()) {
-    return FrozenKeywordNnMasked(p, t, slot, distance, scratch);
+  const DeltaTree* delta = PinnedDelta();
+  if (UseFrozen(delta)) {
+    double d = std::numeric_limits<double>::infinity();
+    ObjectId id = FrozenKeywordNnMasked(p, t, slot, &d, scratch, delta);
+    if (delta != nullptr) {
+      MergeDeltaKeywordNn(*dataset_, *delta, p, t, &id, &d);
+    }
+    if (distance != nullptr) {
+      *distance = d;
+    }
+    return id;
   }
   const uint64_t bit = uint64_t{1} << slot;
   // Bloom pre-filter for `t`: a clear AND proves non-containment, so the
@@ -373,6 +568,7 @@ ObjectId IrTree::KeywordNn(const Point& p, TermId t, double* distance,
 
 std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
     const Point& p, const TermSet& required, size_t k) const {
+  ReadGuard guard(this);
   std::vector<std::pair<ObjectId, double>> result;
   if (size_ == 0 || k == 0) {
     return result;
@@ -380,7 +576,7 @@ std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
   COSKQ_CHECK(root_ != nullptr)
       << "BooleanKnn requires the pointer tree; not available on a "
          "snapshot-loaded (frozen-only) index";
-  result.reserve(std::min(k, size_));
+  result.reserve(std::min(k, size_.load(std::memory_order_relaxed)));
   struct QueueEntry {
     double distance;
     const Node* node;  // nullptr for object entries.
@@ -428,6 +624,7 @@ std::vector<std::pair<ObjectId, double>> IrTree::BooleanKnn(
 
 std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
     const Point& p, const TermSet& terms, size_t k, double alpha) const {
+  ReadGuard guard(this);
   std::vector<std::pair<ObjectId, double>> result;
   if (size_ == 0 || k == 0 || terms.empty()) {
     return result;
@@ -435,7 +632,7 @@ std::vector<std::pair<ObjectId, double>> IrTree::TopkRanked(
   COSKQ_CHECK(root_ != nullptr)
       << "TopkRanked requires the pointer tree; not available on a "
          "snapshot-loaded (frozen-only) index";
-  result.reserve(std::min(k, size_));
+  result.reserve(std::min(k, size_.load(std::memory_order_relaxed)));
   COSKQ_CHECK_GE(alpha, 0.0);
   COSKQ_CHECK_LE(alpha, 1.0);
   const Point lo{root_->mbr.min_x, root_->mbr.min_y};
@@ -503,6 +700,9 @@ std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
 std::vector<ObjectId> IrTree::NnSet(const Point& p, const TermSet& terms,
                                     TermSet* missing,
                                     SearchScratch* scratch) const {
+  // One guard across the per-keyword searches: all of them (and their delta
+  // merges) observe the same frozen+delta view.
+  ReadGuard guard(this);
   std::vector<ObjectId> result;
   result.reserve(terms.size());
   for (TermId t : terms) {
@@ -532,11 +732,38 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                 static_cast<std::vector<uint32_t>*>(nullptr));
 }
 
+namespace {
+
+/// Appends the delta inserts inside the disk that carry a query term, in
+/// ascending id order (DeltaTree::inserts is sorted). Runs after the frozen
+/// traversal so base matches keep their traversal order.
+void AppendDeltaRangeRelevant(const Dataset& dataset, const DeltaTree& delta,
+                              const Circle& circle, const TermSet& query_terms,
+                              std::vector<ObjectId>* out) {
+  const uint64_t sub_sig = TermSetSignature(query_terms);
+  for (size_t i = 0; i < delta.inserts.size(); ++i) {
+    if ((delta.insert_sigs[i] & sub_sig) == 0) {
+      continue;
+    }
+    const SpatialObject& obj = dataset.object(delta.inserts[i]);
+    if (circle.Contains(obj.location) && obj.ContainsAnyOf(query_terms)) {
+      out->push_back(obj.id);
+    }
+  }
+}
+
+}  // namespace
+
 void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                            std::vector<ObjectId>* out,
                            std::vector<uint32_t>* visit_log) const {
-  if (UseFrozen()) {
-    FrozenRangeRelevant(circle, query_terms, out, visit_log);
+  ReadGuard guard(this);
+  const DeltaTree* delta = PinnedDelta();
+  if (UseFrozen(delta)) {
+    FrozenRangeRelevant(circle, query_terms, out, visit_log, delta);
+    if (delta != nullptr) {
+      AppendDeltaRangeRelevant(*dataset_, *delta, circle, query_terms, out);
+    }
     return;
   }
   struct Searcher {
@@ -579,6 +806,7 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
 void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
                            std::vector<ObjectId>* out,
                            SearchScratch* scratch) const {
+  ReadGuard guard(this);
   uint64_t submask = 0;
   if (scratch == nullptr || !scratch->mask_active() ||
       !scratch->mask().SubmaskOf(query_terms, &submask)) {
@@ -619,8 +847,13 @@ void IrTree::RangeRelevant(const Circle& circle, const TermSet& query_terms,
     RangeRelevant(circle, query_terms, out, scratch->visit_log());
     return;
   }
-  if (UseFrozen()) {
-    FrozenRangeRelevantMasked(circle, query_terms, submask, out, scratch);
+  const DeltaTree* delta = PinnedDelta();
+  if (UseFrozen(delta)) {
+    FrozenRangeRelevantMasked(circle, query_terms, submask, out, scratch,
+                              delta);
+    if (delta != nullptr) {
+      AppendDeltaRangeRelevant(*dataset_, *delta, circle, query_terms, out);
+    }
     return;
   }
   struct Searcher {
@@ -728,9 +961,23 @@ struct IrTree::RelevantStream::Impl {
   /// True when the stream is anchored at the scratch's query origin, so
   /// node/object distances can be read through the per-query memos.
   bool from_origin = false;
+  /// The delta pinned by the stream's guard (null ⇔ empty). The frozen
+  /// traversal skips its tombstones; its insert candidates are pre-scored
+  /// into delta_cands and min-merged against the tree stream by Next().
+  const DeltaTree* delta = nullptr;
+  /// (distance, id) of every relevant delta insert, ascending.
+  std::vector<std::pair<double, ObjectId>> delta_cands = {};
+  size_t delta_pos = 0;
+  /// One-element lookahead of the tree stream for the merge (the tree side
+  /// has no O(1) peek).
+  std::optional<std::pair<ObjectId, double>> lookahead = std::nullopt;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
-      queue;
+      queue = {};
+
+  /// Pops the next relevant object from the frozen/pointer traversal alone
+  /// (the pre-delta stream); Next() merges it with delta_cands.
+  std::optional<std::pair<ObjectId, double>> NextFromTree();
 };
 
 IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
@@ -740,8 +987,7 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
 IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
                                        const TermSet& query_terms,
                                        SearchScratch* scratch)
-    : impl_(new Impl{tree, origin, query_terms, nullptr, nullptr, 0, 0,
-                     false, false, {}}) {
+    : guard_(tree), impl_(new Impl{tree, origin, query_terms}) {
   COSKQ_CHECK(tree != nullptr);
   uint64_t submask = 0;
   if (scratch != nullptr && scratch->mask_active() &&
@@ -752,10 +998,26 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
     impl_->masked = true;
     impl_->from_origin = origin == scratch->origin();
   }
+  const DeltaTree* delta = tree->PinnedDelta();
+  if (delta != nullptr) {
+    impl_->delta = delta;
+    const uint64_t query_sig = TermSetSignature(query_terms);
+    for (size_t i = 0; i < delta->inserts.size(); ++i) {
+      if ((delta->insert_sigs[i] & query_sig) == 0) {
+        continue;
+      }
+      const SpatialObject& obj = tree->dataset_->object(delta->inserts[i]);
+      if (obj.ContainsAnyOf(query_terms)) {
+        impl_->delta_cands.emplace_back(Distance(origin, obj.location),
+                                        obj.id);
+      }
+    }
+    std::sort(impl_->delta_cands.begin(), impl_->delta_cands.end());
+  }
   if (tree->size_ == 0) {
     return;
   }
-  if (tree->UseFrozen()) {
+  if (tree->UseFrozen(delta)) {
     const FrozenView& v = tree->frozen_->view;
     impl_->fv = &v;
     const FrozenNodeRecord& root = v.nodes[0];
@@ -792,19 +1054,43 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
 IrTree::RelevantStream::~RelevantStream() = default;
 
 std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
-  if (impl_->fv != nullptr) {
+  Impl& im = *impl_;
+  if (im.delta_pos >= im.delta_cands.size() && !im.lookahead.has_value()) {
+    // Empty or exhausted delta: the tree stream is the whole stream.
+    return im.NextFromTree();
+  }
+  if (!im.lookahead.has_value()) {
+    im.lookahead = im.NextFromTree();
+  }
+  if (im.delta_pos < im.delta_cands.size()) {
+    const std::pair<double, ObjectId>& cand = im.delta_cands[im.delta_pos];
+    // Min-merge on distance; the frozen side wins ties (see
+    // MergeDeltaKeywordNn — continuous coordinates make ties measure-zero).
+    if (!im.lookahead.has_value() || cand.first < im.lookahead->second) {
+      ++im.delta_pos;
+      return std::make_pair(cand.second, cand.first);
+    }
+  }
+  std::optional<std::pair<ObjectId, double>> result = im.lookahead;
+  im.lookahead.reset();
+  return result;
+}
+
+std::optional<std::pair<ObjectId, double>>
+IrTree::RelevantStream::Impl::NextFromTree() {
+  if (this->fv != nullptr) {
     // Frozen mode: the pointer loop below, transliterated onto the flat
     // arrays. Predicate order, distances, and scratch interactions are
     // identical, so the emitted stream matches the pointer stream bit for
     // bit.
-    auto& queue = impl_->queue;
-    const FrozenView& v = *impl_->fv;
+    auto& queue = this->queue;
+    const FrozenView& v = *this->fv;
     const internal_index::KernelOps& kernels = ActiveKernels();
-    const bool masked = impl_->masked;
-    SearchScratch* scratch = impl_->scratch;
-    const uint64_t submask = impl_->submask;
-    const uint64_t sub_sig = impl_->sub_sig;
-    const bool from_origin = impl_->from_origin;
+    const bool masked = this->masked;
+    SearchScratch* scratch = this->scratch;
+    const uint64_t submask = this->submask;
+    const uint64_t sub_sig = this->sub_sig;
+    const bool from_origin = this->from_origin;
     while (!queue.empty()) {
       const Impl::QueueEntry top = queue.top();
       queue.pop();
@@ -835,18 +1121,21 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
           for (uint32_t k = 0; k < n; ++k) {
             const uint32_t e = begin + sidx[k];
             const ObjectId id = v.leaf_ids[e];
+            if (this->delta != nullptr && this->delta->IsTombstoned(id)) {
+              continue;
+            }
             uint64_t obj_mask = 0;
             const bool relevant =
                 scratch->CachedObjectMask(id, &obj_mask)
                     ? (obj_mask & submask) != 0
                     : TermSpanIntersects(v.terms + v.leaf_term_begin[e],
                                          v.leaf_term_count[e],
-                                         impl_->query_terms);
+                                         this->query_terms);
             if (relevant) {
               const Point location{v.leaf_x[e], v.leaf_y[e]};
               const double d = from_origin
                                    ? scratch->QueryDistance(id, location)
-                                   : Distance(impl_->origin, location);
+                                   : Distance(this->origin, location);
               queue.push(Impl::QueueEntry{d, nullptr, id});
             }
           }
@@ -855,10 +1144,13 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
           for (uint32_t e = begin; e < end; ++e) {
             if (TermSpanIntersects(v.terms + v.leaf_term_begin[e],
                                    v.leaf_term_count[e],
-                                   impl_->query_terms)) {
+                                   this->query_terms)) {
               const ObjectId id = v.leaf_ids[e];
+              if (this->delta != nullptr && this->delta->IsTombstoned(id)) {
+                continue;
+              }
               const Point location{v.leaf_x[e], v.leaf_y[e]};
-              queue.push(Impl::QueueEntry{Distance(impl_->origin, location),
+              queue.push(Impl::QueueEntry{Distance(this->origin, location),
                                           nullptr, id});
             }
           }
@@ -876,17 +1168,17 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
                             ? (node_mask & submask) != 0
                             : TermSpanIntersects(v.node_terms(child),
                                                  child.term_count,
-                                                 impl_->query_terms));
+                                                 this->query_terms));
           } else {
             relevant = TermSpanIntersects(v.node_terms(child),
                                           child.term_count,
-                                          impl_->query_terms);
+                                          this->query_terms);
           }
           if (relevant) {
             const Rect mbr(v.min_x[c], v.min_y[c], v.max_x[c], v.max_y[c]);
             const double d = masked && from_origin
                                  ? scratch->NodeMinDistance(child.id, mbr)
-                                 : mbr.MinDistance(impl_->origin);
+                                 : mbr.MinDistance(this->origin);
             queue.push(
                 Impl::QueueEntry{d, &child, kInvalidObjectId,
                                  PrefetchHint(child)});
@@ -896,14 +1188,14 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
     }
     return std::nullopt;
   }
-  auto& queue = impl_->queue;
-  const Dataset& dataset = *impl_->tree->dataset_;
-  const bool masked = impl_->masked;
-  SearchScratch* scratch = impl_->scratch;
-  const uint64_t submask = impl_->submask;
-  const uint64_t sub_sig = impl_->sub_sig;
-  const bool from_origin = impl_->from_origin;
-  const std::vector<uint64_t>& obj_sigs = impl_->tree->obj_sigs_;
+  auto& queue = this->queue;
+  const Dataset& dataset = *this->tree->dataset_;
+  const bool masked = this->masked;
+  SearchScratch* scratch = this->scratch;
+  const uint64_t submask = this->submask;
+  const uint64_t sub_sig = this->sub_sig;
+  const bool from_origin = this->from_origin;
+  const std::vector<uint64_t>& obj_sigs = this->tree->obj_sigs_;
   while (!queue.empty()) {
     Impl::QueueEntry top = queue.top();
     queue.pop();
@@ -922,14 +1214,14 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
           relevant = (obj_sigs[id] & sub_sig) != 0 &&
                      (scratch->CachedObjectMask(id, &obj_mask)
                           ? (obj_mask & submask) != 0
-                          : obj.ContainsAnyOf(impl_->query_terms));
+                          : obj.ContainsAnyOf(this->query_terms));
         } else {
-          relevant = obj.ContainsAnyOf(impl_->query_terms);
+          relevant = obj.ContainsAnyOf(this->query_terms);
         }
         if (relevant) {
           const double d = masked && from_origin
                                ? scratch->QueryDistance(id, obj.location)
-                               : Distance(impl_->origin, obj.location);
+                               : Distance(this->origin, obj.location);
           queue.push(Impl::QueueEntry{d, nullptr, id});
         }
       }
@@ -942,15 +1234,15 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
               (child->sig & sub_sig) != 0 &&
               (scratch->CachedNodeMask(child->id, &node_mask)
                    ? (node_mask & submask) != 0
-                   : TermSetsIntersect(child->terms, impl_->query_terms));
+                   : TermSetsIntersect(child->terms, this->query_terms));
         } else {
-          relevant = TermSetsIntersect(child->terms, impl_->query_terms);
+          relevant = TermSetsIntersect(child->terms, this->query_terms);
         }
         if (relevant) {
           const double d =
               masked && from_origin
                   ? scratch->NodeMinDistance(child->id, child->mbr)
-                  : child->mbr.MinDistance(impl_->origin);
+                  : child->mbr.MinDistance(this->origin);
           queue.push(Impl::QueueEntry{d, child.get(), kInvalidObjectId});
         }
       }
@@ -960,11 +1252,14 @@ std::optional<std::pair<ObjectId, double>> IrTree::RelevantStream::Next() {
 }
 
 int IrTree::Height() const {
-  if (size_ == 0) {
-    return 0;
-  }
-  if (root_ == nullptr) {
+  ReadGuard guard(this);
+  if (frozen_ != nullptr) {
+    // The frozen view records the height of the frozen base; delta inserts
+    // never deepen it (they live outside the tree until the next refreeze).
     return static_cast<int>(frozen_->view.height);
+  }
+  if (size_.load(std::memory_order_relaxed) == 0) {
+    return 0;
   }
   int height = 1;
   const Node* node = root_.get();
@@ -976,6 +1271,7 @@ int IrTree::Height() const {
 }
 
 size_t IrTree::NodeCount() const {
+  ReadGuard guard(this);
   if (root_ == nullptr) {
     return frozen_->view.num_nodes;
   }
@@ -996,9 +1292,41 @@ size_t IrTree::NodeCount() const {
 }
 
 void IrTree::CheckInvariants() const {
+  ReadGuard guard(this);
   COSKQ_CHECK(root_ != nullptr || frozen_ != nullptr);
   if (frozen_ != nullptr) {
     CheckFrozenInvariants();
+  }
+  // Delta-overlay invariants (DESIGN.md §13).
+  const DeltaTree* delta = PinnedDelta();
+  const size_t base_count =
+      frozen_ != nullptr ? frozen_->view.num_leaf_entries
+                         : size_.load(std::memory_order_relaxed);
+  if (delta != nullptr) {
+    COSKQ_CHECK(frozen_ != nullptr) << "delta on a never-frozen tree";
+    delta->CheckWellFormed();
+    for (size_t i = 0; i < delta->inserts.size(); ++i) {
+      const ObjectId id = delta->inserts[i];
+      COSKQ_CHECK(!LiveInBase(id)) << "delta insert already in frozen base";
+      COSKQ_CHECK_LT(id, dataset_->NumObjects());
+      COSKQ_CHECK_EQ(delta->insert_sigs[i],
+                     TermSetSignature(dataset_->object(id).keywords));
+    }
+    for (ObjectId id : delta->tombstones) {
+      COSKQ_CHECK(LiveInBase(id)) << "tombstone outside the frozen base";
+    }
+    COSKQ_CHECK_EQ(
+        static_cast<int64_t>(size_.load(std::memory_order_relaxed)),
+        static_cast<int64_t>(base_count) + delta->LiveDelta());
+  } else {
+    COSKQ_CHECK_EQ(size_.load(std::memory_order_relaxed), base_count);
+  }
+  if (frozen_ != nullptr) {
+    size_t live_bits = 0;
+    for (uint8_t bit : frozen_live_) {
+      live_bits += bit;
+    }
+    COSKQ_CHECK_EQ(live_bits, frozen_->view.num_leaf_entries);
   }
   if (root_ == nullptr) {
     return;
@@ -1041,7 +1369,9 @@ void IrTree::CheckInvariants() const {
   };
   Checker checker{*dataset_, options_.max_entries};
   checker.Run(root_.get(), 0, /*is_root=*/true);
-  COSKQ_CHECK_EQ(checker.object_count, size_);
+  // The pointer tree mirrors the frozen base (not the delta overlay), so on
+  // a frozen tree it counts the base; on a never-frozen tree, everything.
+  COSKQ_CHECK_EQ(checker.object_count, base_count);
 }
 
 }  // namespace coskq

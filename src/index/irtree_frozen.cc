@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <queue>
 
@@ -165,6 +166,10 @@ constexpr uint32_t kScanChunk = 64;
 
 void IrTree::Freeze() {
   if (frozen_ != nullptr) {
+    // Already frozen: folding the pending delta (if any) into the flat
+    // arrays is exactly a refreeze; with an empty delta this is a no-op.
+    const Status status = Refreeze();
+    COSKQ_CHECK(status.ok()) << status.ToString();
     return;
   }
   COSKQ_CHECK(root_ != nullptr);
@@ -273,6 +278,141 @@ void IrTree::Freeze() {
   store->BindView(body, num_nodes, num_leaf_entries, num_terms,
                   static_cast<uint32_t>(Height()));
   frozen_ = std::move(store);
+  RebuildFrozenLive();
+}
+
+void IrTree::RebuildFrozenLive() {
+  const FrozenView& v = frozen_->view;
+  frozen_live_.assign(dataset_->NumObjects(), 0);
+  for (uint32_t e = 0; e < v.num_leaf_entries; ++e) {
+    frozen_live_[v.leaf_ids[e]] = 1;
+  }
+}
+
+Status IrTree::Refreeze() {
+  std::lock_guard<std::mutex> refreeze_lock(refreeze_mutex_);
+  if (frozen_ == nullptr) {
+    return Status::InvalidArgument(
+        "Refreeze requires a frozen tree (call Freeze() first)");
+  }
+
+  // Capture: the delta to fold (d0) and the post-fold live set L0, under the
+  // mutation lock so both are one consistent cut. Everything applied after
+  // this cut survives into the post-swap delta.
+  std::shared_ptr<const DeltaTree> d0;
+  std::vector<ObjectId> live;
+  {
+    std::lock_guard<std::mutex> mutate_lock(mutate_mutex_);
+    {
+      std::lock_guard<std::mutex> delta_lock(delta_mutex_);
+      d0 = delta_;
+    }
+    if (d0 == nullptr || d0->empty()) {
+      return Status::OK();
+    }
+    live.reserve(size_.load(std::memory_order_relaxed));
+    for (ObjectId id = 0; id < frozen_live_.size(); ++id) {
+      if (frozen_live_[id] != 0 && !d0->IsTombstoned(id)) {
+        live.push_back(id);
+      }
+    }
+    // Inserts are disjoint from the base, so appending and sorting yields
+    // the ascending live set.
+    live.insert(live.end(), d0->inserts.begin(), d0->inserts.end());
+    std::sort(live.begin(), live.end());
+  }
+
+  // Build: a from-scratch tree over L0, outside every lock — queries and
+  // mutations proceed untouched against the old body while this runs. The
+  // dataset records for L0 are immutable (append-only dataset), so the
+  // unlocked read is safe.
+  auto fresh = std::make_unique<IrTree>(dataset_, options_, live);
+  fresh->Freeze();
+
+  // Swap: splice the new body in and rewrite the delta so that
+  // (base − tombstones) ∪ inserts names the same logical set before and
+  // after. With B0/B1 the old/new base and (insC, tombC) the current delta:
+  //   tombN = (tombC ∖ tomb0) ∪ (ins0 ∖ insC)   — folded-in inserts that
+  //            were removed again while the build ran, plus tombstones newer
+  //            than the cut (both ⊆ B1);
+  //   insN  = (insC ∖ ins0) ∪ (tomb0 ∖ tombC)   — inserts newer than the
+  //            cut, plus folded-out tombstones that were resurrected (both
+  //            disjoint from B1).
+  {
+    std::lock_guard<std::mutex> mutate_lock(mutate_mutex_);
+    std::shared_ptr<const DeltaTree> cur;
+    {
+      std::lock_guard<std::mutex> delta_lock(delta_mutex_);
+      cur = delta_;
+    }
+    static const DeltaTree kEmptyDelta;
+    const DeltaTree& c = cur != nullptr ? *cur : kEmptyDelta;
+    auto next = std::make_shared<DeltaTree>();
+    std::vector<ObjectId> part_a;
+    std::vector<ObjectId> part_b;
+    std::set_difference(c.tombstones.begin(), c.tombstones.end(),
+                        d0->tombstones.begin(), d0->tombstones.end(),
+                        std::back_inserter(part_a));
+    std::set_difference(d0->inserts.begin(), d0->inserts.end(),
+                        c.inserts.begin(), c.inserts.end(),
+                        std::back_inserter(part_b));
+    std::set_union(part_a.begin(), part_a.end(), part_b.begin(), part_b.end(),
+                   std::back_inserter(next->tombstones));
+    part_a.clear();
+    part_b.clear();
+    std::set_difference(c.inserts.begin(), c.inserts.end(),
+                        d0->inserts.begin(), d0->inserts.end(),
+                        std::back_inserter(part_a));
+    std::set_difference(d0->tombstones.begin(), d0->tombstones.end(),
+                        c.tombstones.begin(), c.tombstones.end(),
+                        std::back_inserter(part_b));
+    std::set_union(part_a.begin(), part_a.end(), part_b.begin(), part_b.end(),
+                   std::back_inserter(next->inserts));
+    next->insert_sigs.reserve(next->inserts.size());
+    for (ObjectId id : next->inserts) {
+      next->insert_sigs.push_back(
+          TermSetSignature(dataset_->object(id).keywords));
+    }
+    next->CheckWellFormed();
+    // The logical set is untouched by the swap.
+    COSKQ_CHECK_EQ(static_cast<int64_t>(live.size()) + next->LiveDelta(),
+                   static_cast<int64_t>(size_.load(std::memory_order_relaxed)));
+
+    std::unique_lock<std::shared_mutex> swap_lock(swap_mutex_);
+    root_ = std::move(fresh->root_);
+    obj_sigs_ = std::move(fresh->obj_sigs_);
+    obj_sig_bits_sum_ = fresh->obj_sig_bits_sum_;
+    next_node_id_ = fresh->next_node_id_;
+    frozen_ = std::move(fresh->frozen_);
+    RebuildFrozenLive();
+    PublishDelta(std::move(next));
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  refreezes_completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void IrTree::RefreezeAsync() {
+  std::lock_guard<std::mutex> launch_lock(refreeze_launch_mutex_);
+  if (refreeze_running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (refreeze_thread_.joinable()) {
+    refreeze_thread_.join();
+  }
+  refreeze_running_.store(true, std::memory_order_release);
+  refreeze_thread_ = std::thread([this] {
+    const Status status = Refreeze();
+    COSKQ_CHECK(status.ok()) << status.ToString();
+    refreeze_running_.store(false, std::memory_order_release);
+  });
+}
+
+void IrTree::WaitForRefreeze() {
+  std::lock_guard<std::mutex> launch_lock(refreeze_launch_mutex_);
+  if (refreeze_thread_.joinable()) {
+    refreeze_thread_.join();
+  }
 }
 
 IrTree::IrTree(const Dataset* dataset, const Options& options,
@@ -288,10 +428,12 @@ IrTree::IrTree(const Dataset* dataset, const Options& options,
     obj_sig_bits_sum_ +=
         static_cast<uint64_t>(std::popcount(frozen_->view.leaf_sigs[i]));
   }
+  RebuildFrozenLive();
 }
 
 ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
-                                 std::vector<uint32_t>* visit_log) const {
+                                 std::vector<uint32_t>* visit_log,
+                                 const DeltaTree* delta) const {
   const FrozenView& v = frozen_->view;
   const KernelOps& kernels = ActiveKernels();
   struct QueueEntry {
@@ -333,6 +475,9 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
       const uint32_t begin = node.entry_begin;
       const uint32_t end = begin + node.entry_count;
       for (uint32_t e = begin; e < end; ++e) {
+        if (delta != nullptr && delta->IsTombstoned(v.leaf_ids[e])) {
+          continue;
+        }
         if (TermSpanContains(v.terms + v.leaf_term_begin[e],
                              v.leaf_term_count[e], t)) {
           queue.push(QueueEntry{
@@ -364,7 +509,8 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
 
 ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
                                        double* distance,
-                                       SearchScratch* scratch) const {
+                                       SearchScratch* scratch,
+                                       const DeltaTree* delta) const {
   const FrozenView& v = frozen_->view;
   const KernelOps& kernels = ActiveKernels();
   const uint64_t bit = uint64_t{1} << slot;
@@ -426,6 +572,9 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
       for (uint32_t k = 0; k < n; ++k) {
         const uint32_t e = begin + sidx[k];
         const ObjectId id = v.leaf_ids[e];
+        if (delta != nullptr && delta->IsTombstoned(id)) {
+          continue;
+        }
         uint64_t obj_mask = 0;
         const bool contains =
             scratch->CachedObjectMask(id, &obj_mask)
@@ -479,8 +628,9 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
 void IrTree::FrozenRangeRelevant(const Circle& circle,
                                  const TermSet& query_terms,
                                  std::vector<ObjectId>* out,
-                                 std::vector<uint32_t>* visit_log) const {
-  if (size_ == 0) {
+                                 std::vector<uint32_t>* visit_log,
+                                 const DeltaTree* delta) const {
+  if (frozen_->view.num_leaf_entries == 0) {
     return;
   }
   const FrozenView& v = frozen_->view;
@@ -488,6 +638,7 @@ void IrTree::FrozenRangeRelevant(const Circle& circle,
     const FrozenView& v;
     const Circle& circle;
     const TermSet& query_terms;
+    const DeltaTree* delta;
     std::vector<ObjectId>* out;
     std::vector<uint32_t>* visit_log;
 
@@ -507,6 +658,9 @@ void IrTree::FrozenRangeRelevant(const Circle& circle,
         const uint32_t begin = node.entry_begin;
         const uint32_t end = begin + node.entry_count;
         for (uint32_t e = begin; e < end; ++e) {
+          if (delta != nullptr && delta->IsTombstoned(v.leaf_ids[e])) {
+            continue;
+          }
           if (circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]}) &&
               TermSpanIntersects(v.terms + v.leaf_term_begin[e],
                                  v.leaf_term_count[e], query_terms)) {
@@ -522,7 +676,7 @@ void IrTree::FrozenRangeRelevant(const Circle& circle,
       }
     }
   };
-  Searcher searcher{v, circle, query_terms, out, visit_log};
+  Searcher searcher{v, circle, query_terms, delta, out, visit_log};
   searcher.Run(0);
 }
 
@@ -530,8 +684,9 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
                                        const TermSet& query_terms,
                                        uint64_t submask,
                                        std::vector<ObjectId>* out,
-                                       SearchScratch* scratch) const {
-  if (size_ == 0) {
+                                       SearchScratch* scratch,
+                                       const DeltaTree* delta) const {
+  if (frozen_->view.num_leaf_entries == 0) {
     return;
   }
   const FrozenView& v = frozen_->view;
@@ -544,6 +699,7 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
     uint64_t submask;
     uint64_t sub_sig;
     SearchScratch* scratch;
+    const DeltaTree* delta;
     std::vector<ObjectId>* out;
     std::vector<uint32_t>* visit_log;
 
@@ -584,10 +740,13 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
                                                   sub_sig, sidx.data());
         for (uint32_t k = 0; k < n; ++k) {
           const uint32_t e = begin + sidx[k];
+          const ObjectId id = v.leaf_ids[e];
+          if (delta != nullptr && delta->IsTombstoned(id)) {
+            continue;
+          }
           if (!circle.Contains(Point{v.leaf_x[e], v.leaf_y[e]})) {
             continue;
           }
-          const ObjectId id = v.leaf_ids[e];
           uint64_t obj_mask = 0;
           const bool obj_relevant =
               scratch->CachedObjectMask(id, &obj_mask)
@@ -607,8 +766,9 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
       }
     }
   };
-  Searcher searcher{v,       ActiveKernels(), circle, query_terms, submask,
-                    sub_sig, scratch,         out,    scratch->visit_log()};
+  Searcher searcher{v,       ActiveKernels(), circle, query_terms,
+                    submask, sub_sig,         scratch, delta,
+                    out,     scratch->visit_log()};
   searcher.Run(0);
 }
 
@@ -616,7 +776,6 @@ void IrTree::CheckFrozenInvariants() const {
   COSKQ_CHECK(frozen_ != nullptr);
   const FrozenView& v = frozen_->view;
   COSKQ_CHECK_GE(v.num_nodes, 1u);
-  COSKQ_CHECK_EQ(static_cast<size_t>(v.num_leaf_entries), size_);
 
   // Pass 1: BFS structure. Child blocks of internal nodes must tile
   // [1, num_nodes) in slot order; leaf entry blocks must tile
@@ -659,8 +818,10 @@ void IrTree::CheckFrozenInvariants() const {
   }
   COSKQ_CHECK_EQ(expected_child, v.num_nodes);
   COSKQ_CHECK_EQ(expected_leaf_entry, v.num_leaf_entries);
-  COSKQ_CHECK_EQ(object_count, size_);
-  if (size_ > 0) {
+  COSKQ_CHECK_EQ(object_count, static_cast<size_t>(v.num_leaf_entries));
+  // Guard on the base count, not size_: a non-empty delta over an empty
+  // frozen base leaves the recorded height 0.
+  if (v.num_leaf_entries > 0) {
     COSKQ_CHECK_EQ(static_cast<int>(v.height), leaf_depth + 1);
   }
 

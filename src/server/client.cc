@@ -175,6 +175,33 @@ StatusOr<StatsReply> CoskqClient::Stats() {
   return stats;
 }
 
+StatusOr<MutateReply> CoskqClient::Mutate(const MutateRequest& request) {
+  const uint32_t id = next_request_id_++;
+  COSKQ_RETURN_IF_ERROR(
+      SendFrame(Verb::kMutate, id, EncodeMutateRequest(request)));
+  StatusOr<Frame> frame = ReceiveMatching(id);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (frame->verb == Verb::kError) {
+    // An in-band rejection (mutations disabled, unknown keyword, ...):
+    // surface the server's own Status.
+    ErrorReply err;
+    if (!DecodeErrorReply(frame->payload, &err)) {
+      return Status::Corruption("malformed ERROR payload");
+    }
+    return Status(err.code, std::move(err.message));
+  }
+  if (frame->verb != Verb::kMutateReply) {
+    return Status::Corruption("expected MUTATE reply");
+  }
+  MutateReply reply;
+  if (!DecodeMutateReply(frame->payload, &reply)) {
+    return Status::Corruption("malformed MUTATE payload");
+  }
+  return reply;
+}
+
 Status CoskqClient::Ping() {
   const uint32_t id = next_request_id_++;
   COSKQ_RETURN_IF_ERROR(SendFrame(Verb::kPing, id, std::string()));

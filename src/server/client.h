@@ -51,6 +51,12 @@ class CoskqClient {
   StatusOr<QueryReply> Query(const QueryRequest& request);
   StatusOr<StatsReply> Stats();
   Status Ping();
+  /// One live index update (protocol v3). A successful reply means the
+  /// mutation is applied server-side: a Query issued afterwards on any
+  /// connection observes it. Application-level rejections (mutations
+  /// disabled, unknown keyword, unknown object id, capacity exhausted)
+  /// surface as the server's Status, transport failures as IoError.
+  StatusOr<MutateReply> Mutate(const MutateRequest& request);
 
   /// Pipelining primitives: send without waiting, then collect responses.
   /// Returns the request id assigned to the frame.

@@ -49,6 +49,11 @@ FrameReader::Next FrameReader::Pop(Frame* out) {
   if (version != kProtocolVersion) {
     corrupt_ = true;
     error_ = "unsupported protocol version " + std::to_string(version);
+    // The header itself was well-formed (magic matched), so record enough
+    // for the server to answer in the peer's own version before closing.
+    version_mismatch_ = true;
+    bad_version_ = version;
+    last_request_id_ = request_id;
     return Next::kCorrupt;
   }
   if (!IsKnownVerb(verb)) {

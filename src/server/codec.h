@@ -46,6 +46,18 @@ class FrameReader {
   /// Human-readable reason after kCorrupt.
   const std::string& error() const { return error_; }
 
+  /// True when the corruption was specifically a well-formed header carrying
+  /// a different protocol version. The header was otherwise intact, so the
+  /// server can still send a one-shot version-mismatch ERROR (stamped with
+  /// the peer's version and last_request_id()) before closing — a v2 client
+  /// gets a decodable explanation instead of a silent hang.
+  bool version_mismatch() const { return version_mismatch_; }
+  /// The peer's version byte (valid after version_mismatch()).
+  uint8_t bad_version() const { return bad_version_; }
+  /// request_id of the offending frame header (valid after
+  /// version_mismatch(); the header is parsed before the version check).
+  uint32_t last_request_id() const { return last_request_id_; }
+
   /// Bytes buffered but not yet consumed (torn-frame remainder).
   size_t buffered_bytes() const { return buffer_.size() - pos_; }
 
@@ -55,6 +67,9 @@ class FrameReader {
   size_t pos_ = 0;  // Consumed prefix of buffer_.
   bool corrupt_ = false;
   std::string error_;
+  bool version_mismatch_ = false;
+  uint8_t bad_version_ = 0;
+  uint32_t last_request_id_ = 0;
 };
 
 }  // namespace coskq

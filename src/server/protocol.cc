@@ -117,11 +117,13 @@ bool IsKnownVerb(uint8_t v) {
     case Verb::kQuery:
     case Verb::kStats:
     case Verb::kPing:
+    case Verb::kMutate:
     case Verb::kResult:
     case Verb::kStatsReply:
     case Verb::kPong:
     case Verb::kOverloaded:
     case Verb::kError:
+    case Verb::kMutateReply:
       return true;
   }
   return false;
@@ -129,11 +131,17 @@ bool IsKnownVerb(uint8_t v) {
 
 std::string EncodeFrame(Verb verb, uint32_t request_id,
                         const std::string& payload) {
+  return EncodeFrameWithVersion(kProtocolVersion, verb, request_id, payload);
+}
+
+std::string EncodeFrameWithVersion(uint8_t version, Verb verb,
+                                   uint32_t request_id,
+                                   const std::string& payload) {
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
   WireWriter w(&frame);
   w.PutU16(kProtocolMagic);
-  w.PutU8(kProtocolVersion);
+  w.PutU8(version);
   w.PutU8(static_cast<uint8_t>(verb));
   w.PutU32(request_id);
   w.PutU32(static_cast<uint32_t>(payload.size()));
@@ -276,6 +284,68 @@ bool DecodeErrorReply(const std::string& payload, ErrorReply* out) {
   return true;
 }
 
+std::string EncodeMutateRequest(const MutateRequest& request) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU8(static_cast<uint8_t>(request.op));
+  if (request.op == MutateRequest::Op::kInsert) {
+    w.PutDouble(request.x);
+    w.PutDouble(request.y);
+    w.PutU16(static_cast<uint16_t>(request.keywords.size()));
+    for (const std::string& kw : request.keywords) {
+      w.PutString(kw);
+    }
+  } else {
+    w.PutU32(request.object_id);
+  }
+  return payload;
+}
+
+bool DecodeMutateRequest(const std::string& payload, MutateRequest* out) {
+  WireReader r(payload);
+  uint8_t op = 0;
+  if (!r.GetU8(&op) || op > static_cast<uint8_t>(MutateRequest::Op::kRemove)) {
+    return false;
+  }
+  out->op = static_cast<MutateRequest::Op>(op);
+  if (out->op == MutateRequest::Op::kInsert) {
+    uint16_t num_keywords = 0;
+    if (!r.GetDouble(&out->x) || !r.GetDouble(&out->y) ||
+        !r.GetU16(&num_keywords)) {
+      return false;
+    }
+    out->keywords.clear();
+    out->keywords.reserve(num_keywords);
+    for (uint16_t i = 0; i < num_keywords; ++i) {
+      std::string kw;
+      if (!r.GetString(&kw)) {
+        return false;
+      }
+      out->keywords.push_back(std::move(kw));
+    }
+  } else {
+    if (!r.GetU32(&out->object_id)) {
+      return false;
+    }
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeMutateReply(const MutateReply& reply) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU32(reply.object_id);
+  w.PutU64(reply.delta_size);
+  w.PutU64(reply.epoch);
+  return payload;
+}
+
+bool DecodeMutateReply(const std::string& payload, MutateReply* out) {
+  WireReader r(payload);
+  return r.GetU32(&out->object_id) && r.GetU64(&out->delta_size) &&
+         r.GetU64(&out->epoch) && r.AtEnd();
+}
+
 std::string EncodeStatsReply(const StatsReply& reply) {
   std::string payload;
   WireWriter w(&payload);
@@ -298,6 +368,10 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutDouble(reply.index_prepare_ms);
   w.PutU64(reply.index_nodes);
   w.PutU64(reply.index_checksum);
+  w.PutU64(reply.index_epoch);
+  w.PutU64(reply.delta_size);
+  w.PutU64(reply.mutations_applied);
+  w.PutU64(reply.refreezes_completed);
   return payload;
 }
 
@@ -317,7 +391,9 @@ bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
          out->index_from_snapshot <= 1 &&
          r.GetDouble(&out->index_prepare_ms) &&
          r.GetU64(&out->index_nodes) && r.GetU64(&out->index_checksum) &&
-         r.AtEnd();
+         r.GetU64(&out->index_epoch) && r.GetU64(&out->delta_size) &&
+         r.GetU64(&out->mutations_applied) &&
+         r.GetU64(&out->refreezes_completed) && r.AtEnd();
 }
 
 std::string StatsReply::ToString() const {
@@ -345,6 +421,12 @@ std::string StatsReply::ToString() const {
        (index_from_snapshot != 0 ? "snapshot" : "built") +
        " prepare=" + FormatMillis(index_prepare_ms) +
        " nodes=" + std::to_string(index_nodes) + "}";
+  if (mutations_applied > 0 || delta_size > 0 || index_epoch > 0) {
+    s += " live{epoch=" + std::to_string(index_epoch) +
+         " delta=" + std::to_string(delta_size) +
+         " mutations=" + std::to_string(mutations_applied) +
+         " refreezes=" + std::to_string(refreezes_completed) + "}";
+  }
   return s;
 }
 

@@ -30,8 +30,10 @@ namespace coskq {
 
 inline constexpr uint16_t kProtocolMagic = 0x4351;
 /// Version 2 extended StatsReply with index-provenance fields (snapshot vs
-/// rebuild, prepare time, node count, dataset checksum).
-inline constexpr uint8_t kProtocolVersion = 2;
+/// rebuild, prepare time, node count, dataset checksum). Version 3 added the
+/// MUTATE verb (live index updates) and the live-update StatsReply fields
+/// (index epoch, delta size, mutation/refreeze counters).
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload. A QUERY is a handful of keywords and a
 /// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
@@ -44,11 +46,13 @@ enum class Verb : uint8_t {
   kQuery = 1,
   kStats = 2,
   kPing = 3,
+  kMutate = 4,
   kResult = 17,
   kStatsReply = 18,
   kPong = 19,
   kOverloaded = 20,
   kError = 21,
+  kMutateReply = 22,
 };
 
 /// True iff `v` holds a defined Verb enumerator.
@@ -64,6 +68,13 @@ struct Frame {
 /// Encodes a complete frame (header + payload) ready to write to a socket.
 std::string EncodeFrame(Verb verb, uint32_t request_id,
                         const std::string& payload);
+
+/// As EncodeFrame, but stamps an explicit version byte. Used by the server
+/// to answer a version-mismatched client in the client's own version, so the
+/// peer can decode the error instead of discarding the frame.
+std::string EncodeFrameWithVersion(uint8_t version, Verb verb,
+                                   uint32_t request_id,
+                                   const std::string& payload);
 
 /// Solver families selectable over the wire. Combined with the CostType a
 /// family names one registry solver (see SolverRegistryName).
@@ -91,6 +102,34 @@ struct QueryRequest {
   SolverKind solver = SolverKind::kAppro;
   double deadline_ms = 0.0;
   std::vector<std::string> keywords;
+};
+
+/// MUTATE payload (protocol v3): one live index update. Inserts carry a
+/// location and string keywords (which must already exist in the server's
+/// vocabulary — the vocabulary is the trust boundary: anonymous writers may
+/// place objects, not grow the term space); removes carry the object id.
+struct MutateRequest {
+  enum class Op : uint8_t { kInsert = 0, kRemove = 1 };
+  Op op = Op::kInsert;
+  // kInsert fields.
+  double x = 0.0;
+  double y = 0.0;
+  std::vector<std::string> keywords;
+  // kRemove field.
+  uint32_t object_id = 0;
+};
+
+/// MUTATE_REPLY payload. The reply is sent only after the mutation is
+/// applied to the index, so a QUERY issued after receiving it observes the
+/// update (acked-write freshness).
+struct MutateReply {
+  /// Id of the inserted object, or the removed id echoed back.
+  uint32_t object_id = 0;
+  /// Pending delta mutations after this one (what the refreeze threshold
+  /// watches).
+  uint64_t delta_size = 0;
+  /// Index epoch at reply time (bumped by every background refreeze swap).
+  uint64_t epoch = 0;
 };
 
 /// Solver outcome reported in a RESULT payload.
@@ -158,6 +197,16 @@ struct StatsReply {
   /// snapshot embeds; see Dataset::ContentChecksum).
   uint64_t index_checksum = 0;
 
+  // Live-update counters (protocol v3; zero when mutations are disabled).
+  /// Index epoch: number of completed refreeze swaps observed by queries.
+  uint64_t index_epoch = 0;
+  /// Pending delta mutations (inserts + tombstones) right now.
+  uint64_t delta_size = 0;
+  /// Total mutations applied since startup.
+  uint64_t mutations_applied = 0;
+  /// Total background refreezes completed since startup.
+  uint64_t refreezes_completed = 0;
+
   /// One-line human rendering for logs and the load generator.
   std::string ToString() const;
 };
@@ -168,6 +217,8 @@ std::string EncodeQueryResult(const QueryResult& result);
 std::string EncodeOverloadedReply(const OverloadedReply& reply);
 std::string EncodeErrorReply(const ErrorReply& reply);
 std::string EncodeStatsReply(const StatsReply& reply);
+std::string EncodeMutateRequest(const MutateRequest& request);
+std::string EncodeMutateReply(const MutateReply& reply);
 
 /// Payload decoders: false on truncated, oversized, or otherwise malformed
 /// payloads (never aborts — wire bytes are untrusted input).
@@ -176,6 +227,8 @@ bool DecodeQueryResult(const std::string& payload, QueryResult* out);
 bool DecodeOverloadedReply(const std::string& payload, OverloadedReply* out);
 bool DecodeErrorReply(const std::string& payload, ErrorReply* out);
 bool DecodeStatsReply(const std::string& payload, StatsReply* out);
+bool DecodeMutateRequest(const std::string& payload, MutateRequest* out);
+bool DecodeMutateReply(const std::string& payload, MutateReply* out);
 
 }  // namespace coskq
 

@@ -11,6 +11,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 
@@ -83,6 +84,31 @@ CoskqServer::~CoskqServer() {
 
 Status CoskqServer::Start() {
   COSKQ_CHECK(!running_.load()) << "Start() on a running server";
+
+  if (options_.enable_mutations) {
+    if (options_.mutable_dataset == nullptr ||
+        options_.mutable_index == nullptr) {
+      return Status::InvalidArgument(
+          "enable_mutations requires mutable_dataset and mutable_index");
+    }
+    if (options_.mutable_dataset != context_.dataset ||
+        options_.mutable_index != context_.index) {
+      return Status::InvalidArgument(
+          "mutable_dataset/mutable_index must alias the context handles");
+    }
+    if (!options_.mutable_index->frozen()) {
+      // Only the frozen tree has the delta overlay; the pointer-tree insert
+      // path is single-threaded and must not race the solver pool.
+      return Status::InvalidArgument(
+          "enable_mutations requires a Freeze()-d index");
+    }
+    // Pre-size the object array once so live inserts never reallocate it
+    // under concurrent readers.
+    if (!options_.mutable_dataset->concurrent_appends_enabled()) {
+      options_.mutable_dataset->EnableConcurrentAppends(
+          options_.mutation_capacity);
+    }
+  }
 
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -249,6 +275,12 @@ ServerStatsSnapshot CoskqServer::stats() const {
   snap.index_prepare_ms = options_.index_prepare_ms;
   snap.index_nodes = options_.index_nodes;
   snap.index_checksum = options_.index_checksum;
+  if (options_.mutable_index != nullptr) {
+    snap.index_epoch = options_.mutable_index->epoch();
+    snap.delta_size = options_.mutable_index->delta_size();
+    snap.mutations_applied = options_.mutable_index->mutations_applied();
+    snap.refreezes_completed = options_.mutable_index->refreezes_completed();
+  }
   return snap;
 }
 
@@ -442,7 +474,31 @@ void CoskqServer::HandleReadable(uint64_t conn_id) {
       break;
     }
     if (next == FrameReader::Next::kCorrupt) {
-      // Framing is lost: report once, flush, close.
+      // Framing is lost: report once, flush, close. A version mismatch gets
+      // a special one-shot reply stamped with the *peer's* version byte so
+      // an old client can decode the explanation instead of hanging on a
+      // frame it would discard as foreign.
+      if (conn->reader.version_mismatch()) {
+        ErrorReply err{
+            StatusCode::kInvalidArgument,
+            "protocol version mismatch: client speaks version " +
+                std::to_string(conn->reader.bad_version()) +
+                ", server speaks version " +
+                std::to_string(kProtocolVersion)};
+        conn->write_buffer += EncodeFrameWithVersion(
+            conn->reader.bad_version(), Verb::kError,
+            conn->reader.last_request_id(), EncodeErrorReply(err));
+        FlushWrites(conn_id);
+        auto mismatched = connections_.find(conn_id);
+        if (mismatched != connections_.end()) {
+          mismatched->second->close_after_flush = true;
+          if (mismatched->second->write_offset >=
+              mismatched->second->write_buffer.size()) {
+            CloseConnection(conn_id);
+          }
+        }
+        return;
+      }
       ErrorReply err{StatusCode::kCorruption, conn->reader.error()};
       SendFrame(conn_id, Verb::kError, 0, EncodeErrorReply(err));
       auto still = connections_.find(conn_id);
@@ -473,6 +529,9 @@ void CoskqServer::DispatchFrame(uint64_t conn_id, const Frame& frame) {
       return;
     case Verb::kQuery:
       HandleQuery(conn_id, frame);
+      return;
+    case Verb::kMutate:
+      HandleMutate(conn_id, frame);
       return;
     default:
       break;
@@ -583,6 +642,92 @@ void CoskqServer::HandleQuery(uint64_t conn_id, const Frame& frame) {
                         static_cast<uint32_t>(depth)};
   SendFrame(conn_id, Verb::kOverloaded, frame.request_id,
             EncodeOverloadedReply(reply));
+}
+
+void CoskqServer::HandleMutate(uint64_t conn_id, const Frame& frame) {
+  const auto fail = [&](StatusCode code, const std::string& message) {
+    ErrorReply err{code, message};
+    SendFrame(conn_id, Verb::kError, frame.request_id,
+              EncodeErrorReply(err));
+  };
+  if (!options_.enable_mutations) {
+    fail(StatusCode::kUnimplemented,
+         "mutations are disabled on this server");
+    return;
+  }
+  if (draining_) {
+    fail(StatusCode::kInternal, "server draining");
+    return;
+  }
+  MutateRequest request;
+  if (!DecodeMutateRequest(frame.payload, &request)) {
+    fail(StatusCode::kInvalidArgument, "malformed MUTATE payload");
+    return;
+  }
+
+  // Applied inline on the event-loop thread: it is the only mutator, so no
+  // lock is needed against other MUTATEs, and it never holds a ReadGuard, so
+  // it cannot deadlock against the index's swap lock.
+  Dataset* dataset = options_.mutable_dataset;
+  IrTree* index = options_.mutable_index;
+  ObjectId applied_id = 0;
+  if (request.op == MutateRequest::Op::kInsert) {
+    if (!std::isfinite(request.x) || !std::isfinite(request.y)) {
+      fail(StatusCode::kInvalidArgument, "non-finite insert location");
+      return;
+    }
+    if (request.keywords.empty()) {
+      fail(StatusCode::kInvalidArgument, "insert carries no keywords");
+      return;
+    }
+    // The vocabulary is the trust boundary: anonymous writers may place
+    // objects, not grow the term space (interning is also not thread-safe
+    // against the solver threads reading it).
+    TermSet terms;
+    for (const std::string& kw : request.keywords) {
+      const TermId t = dataset->vocabulary().Find(kw);
+      if (t == Vocabulary::kInvalidTermId) {
+        fail(StatusCode::kInvalidArgument,
+             "unknown keyword '" + kw + "' (the vocabulary is fixed)");
+        return;
+      }
+      terms.push_back(t);
+    }
+    StatusOr<ObjectId> appended = dataset->AppendObjectConcurrent(
+        Point{request.x, request.y}, std::move(terms));
+    if (!appended.ok()) {
+      fail(appended.status().code(), appended.status().message());
+      return;
+    }
+    applied_id = appended.value();
+    const Status status = index->Insert(applied_id);
+    if (!status.ok()) {
+      fail(status.code(), status.message());
+      return;
+    }
+  } else {
+    applied_id = request.object_id;
+    const Status status = index->Remove(applied_id);
+    if (!status.ok()) {
+      fail(status.code(), status.message());
+      return;
+    }
+  }
+
+  // The reply is encoded only after Insert/Remove returned: a client that
+  // has the ack and then queries observes the mutation (acked-write
+  // freshness; queries pin their view at solve time, after this point).
+  MutateReply reply;
+  reply.object_id = static_cast<uint32_t>(applied_id);
+  reply.delta_size = index->delta_size();
+  reply.epoch = index->epoch();
+  SendFrame(conn_id, Verb::kMutateReply, frame.request_id,
+            EncodeMutateReply(reply));
+
+  if (options_.refreeze_threshold > 0 &&
+      reply.delta_size >= options_.refreeze_threshold) {
+    index->RefreezeAsync();
+  }
 }
 
 void CoskqServer::DrainCompletions() {

@@ -64,6 +64,29 @@ struct ServerOptions {
   uint64_t index_nodes = 0;
   /// Dataset content checksum the index is bound to.
   uint64_t index_checksum = 0;
+
+  // Live updates (protocol v3). When `enable_mutations` is true the host
+  // process must also supply mutable (non-const) handles to the dataset and
+  // index the context was built over; MUTATE frames are applied through
+  // these on the event-loop thread (the sole mutator), so queries racing a
+  // mutation observe either the old or the new index view, never a torn one.
+  /// Mutable handle to the dataset behind context.dataset. Required when
+  /// enable_mutations is true.
+  Dataset* mutable_dataset = nullptr;
+  /// Mutable handle to the index behind context.index. Required when
+  /// enable_mutations is true.
+  IrTree* mutable_index = nullptr;
+  /// Accept MUTATE frames. When false they are answered with an
+  /// Unimplemented error and the index stays read-only.
+  bool enable_mutations = false;
+  /// Launch a background refreeze once the pending delta reaches this many
+  /// mutations. 0 disables automatic refreezes.
+  size_t refreeze_threshold = 4096;
+  /// Upper bound on live inserts accepted over the server's lifetime (the
+  /// dataset's object array is pre-sized once at Start; see
+  /// Dataset::EnableConcurrentAppends). Inserts beyond it are rejected with
+  /// an OutOfRange error.
+  size_t mutation_capacity = 1 << 16;
 };
 
 /// Point-in-time server statistics (the STATS verb serves the same snapshot
@@ -176,6 +199,10 @@ class CoskqServer {
   void HandleWritable(uint64_t conn_id);
   void DispatchFrame(uint64_t conn_id, const Frame& frame);
   void HandleQuery(uint64_t conn_id, const Frame& frame);
+  /// Applies one MUTATE frame inline on the event-loop thread (the sole
+  /// mutator) and acks only after the index update is visible, so a QUERY
+  /// issued after the reply observes the mutation.
+  void HandleMutate(uint64_t conn_id, const Frame& frame);
   void DrainCompletions();
   void SendFrame(uint64_t conn_id, Verb verb, uint32_t request_id,
                  const std::string& payload);

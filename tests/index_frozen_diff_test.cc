@@ -276,30 +276,48 @@ TEST_P(FrozenDiffTest, EverySolverBitIdenticalFrozenVsPointer) {
   }
 }
 
-TEST(FrozenInsertTest, InsertInvalidatesFrozenViewAndQueriesStayCorrect) {
+TEST(FrozenInsertTest, InsertLandsInDeltaAndQueriesStayCorrect) {
+  // Since the live-update layer (DESIGN.md §13), mutating a frozen tree
+  // never invalidates the frozen view: the mutation lands in the delta
+  // overlay, re-inserting a live object is a clean error, and queries keep
+  // the frozen fast path while observing the delta.
   Dataset ds = test::MakeRandomDataset(200, 20, 3.0, 7);
-  IrTree tree(&ds);
+  std::vector<ObjectId> base;
+  for (ObjectId id = 0; id < 180; ++id) {
+    base.push_back(id);
+  }
+  IrTree tree(&ds, IrTree::Options(), base);
   tree.Freeze();
   ASSERT_TRUE(tree.frozen());
 
-  // Re-inserting an existing object invalidates the frozen view rather than
-  // leaving the flat arrays silently stale.
-  ASSERT_TRUE(tree.Insert(0).ok());
-  EXPECT_FALSE(tree.frozen());
+  // Re-inserting a live object is rejected; the frozen view survives.
+  EXPECT_FALSE(tree.Insert(0).ok());
+  EXPECT_TRUE(tree.frozen());
+  EXPECT_EQ(tree.delta_size(), 0u);
   tree.CheckInvariants();
 
-  // Queries fall back to the (now larger) pointer tree and see the insert.
+  // Inserting a not-yet-live object goes to the delta and is immediately
+  // visible at its exact location.
+  ASSERT_TRUE(tree.Insert(190).ok());
+  EXPECT_TRUE(tree.frozen());
+  EXPECT_EQ(tree.delta_size(), 1u);
+  tree.CheckInvariants();
   double d = 0.0;
-  const TermSet& kw = ds.object(0).keywords;
+  const TermSet& kw = ds.object(190).keywords;
   ASSERT_FALSE(kw.empty());
-  const ObjectId nn = tree.KeywordNn(ds.object(0).location, kw[0], &d);
-  EXPECT_NE(nn, kInvalidObjectId);
+  const ObjectId nn = tree.KeywordNn(ds.object(190).location, kw[0], &d);
+  EXPECT_EQ(nn, 190u);
   EXPECT_EQ(d, 0.0);
 
-  // Re-freezing after the insert restores the frozen fast path.
+  // Re-freezing folds the delta into a fresh frozen body.
   tree.Freeze();
   EXPECT_TRUE(tree.frozen());
+  EXPECT_EQ(tree.delta_size(), 0u);
+  EXPECT_EQ(tree.size(), 181u);
   tree.CheckInvariants();
+  d = 0.0;
+  EXPECT_EQ(tree.KeywordNn(ds.object(190).location, kw[0], &d), 190u);
+  EXPECT_EQ(d, 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FrozenDiffTest,

@@ -213,6 +213,78 @@ TEST(IrTreeTest, DynamicInsertMatchesBulk) {
   }
 }
 
+TEST(IrTreeTest, RefreezeAfterMutationsFoldsDeltaRepeatedly) {
+  // Freeze(), mutate through the delta, Freeze() again: each fold must drain
+  // the delta, bump the epoch, and leave queries identical to a brute-force
+  // scan of the live set. Two full cycles catch state leaking across folds.
+  Dataset ds = test::MakeRandomDataset(260, 30, 3.0, 81);
+  std::vector<ObjectId> base;
+  for (ObjectId id = 0; id < 200; ++id) {
+    base.push_back(id);
+  }
+  IrTree tree(&ds, IrTree::Options(), base);
+  tree.Freeze();
+  std::vector<bool> live(ds.NumObjects(), false);
+  for (ObjectId id : base) {
+    live[id] = true;
+  }
+
+  Rng rng(82);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    const uint64_t epoch_before = tree.epoch();
+    int mutated = 0;
+    for (int op = 0; op < 25; ++op) {
+      const ObjectId id = static_cast<ObjectId>(rng.UniformUint64(ds.NumObjects()));
+      if (live[id]) {
+        ASSERT_TRUE(tree.Remove(id).ok());
+        live[id] = false;
+      } else {
+        ASSERT_TRUE(tree.Insert(id).ok());
+        live[id] = true;
+      }
+      ++mutated;
+    }
+    ASSERT_GT(mutated, 0);
+    EXPECT_GT(tree.delta_size(), 0u);
+    tree.Freeze();  // Re-Freeze folds the delta in place.
+    EXPECT_EQ(tree.delta_size(), 0u);
+    EXPECT_TRUE(tree.frozen());
+    EXPECT_EQ(tree.epoch(), epoch_before + 1);
+    tree.CheckInvariants();
+    const size_t want_size =
+        static_cast<size_t>(std::count(live.begin(), live.end(), true));
+    EXPECT_EQ(tree.size(), want_size);
+
+    // Post-fold queries match a brute-force scan restricted to the live set.
+    for (int trial = 0; trial < 20; ++trial) {
+      const Point p{rng.UniformDouble(), rng.UniformDouble()};
+      const TermId t = static_cast<TermId>(rng.UniformUint64(30));
+      ObjectId want = kInvalidObjectId;
+      double want_d = std::numeric_limits<double>::infinity();
+      for (const SpatialObject& obj : ds.objects()) {
+        if (!live[obj.id] || !obj.ContainsTerm(t)) {
+          continue;
+        }
+        const double d = Distance(p, obj.location);
+        if (d < want_d) {
+          want_d = d;
+          want = obj.id;
+        }
+      }
+      double got_d = 0.0;
+      const ObjectId got = tree.KeywordNn(p, t, &got_d);
+      if (want == kInvalidObjectId) {
+        EXPECT_EQ(got, kInvalidObjectId);
+      } else {
+        ASSERT_NE(got, kInvalidObjectId);
+        EXPECT_DOUBLE_EQ(got_d, want_d);
+        EXPECT_TRUE(live[got]);
+        EXPECT_TRUE(ds.object(got).ContainsTerm(t));
+      }
+    }
+  }
+}
+
 TEST(IrTreeTest, NodeCountGrowsWithData) {
   Dataset small = test::MakeRandomDataset(50, 20, 3.0, 71);
   Dataset large = test::MakeRandomDataset(5000, 20, 3.0, 72);

@@ -126,18 +126,56 @@ TEST_F(SnapshotRoundTripTest, InfoReportsHeaderFields) {
   EXPECT_EQ(info->file_bytes, 48u + info->body_bytes + 8u);
 }
 
-TEST_F(SnapshotRoundTripTest, FrozenOnlyTreeRejectsInsert) {
+TEST_F(SnapshotRoundTripTest, FrozenOnlyTreeRoutesMutationsIntoDelta) {
+  // Regression for the pre-delta behavior where a snapshot-loaded tree
+  // (frozen-only, no pointer tree) rejected Insert outright: mutations now
+  // land in the delta overlay exactly as on a Freeze()-d built tree.
   Dataset ds = test::MakeRandomDataset(200, 20, 3.0, 3);
-  IrTree tree(&ds);
+  std::vector<ObjectId> base;
+  for (ObjectId id = 0; id < 150; ++id) {
+    base.push_back(id);
+  }
+  IrTree tree(&ds, IrTree::Options(), base);
   const std::string path = Track(TempPath("snap_ins.cqix"));
   ASSERT_TRUE(SaveSnapshot(&tree, path).ok());
   auto loaded = LoadSnapshot(&ds, path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  const Status status = (*loaded)->Insert(0);
-  EXPECT_FALSE(status.ok());
-  // Still frozen and still queryable after the rejected mutation.
-  EXPECT_TRUE((*loaded)->frozen());
-  (*loaded)->CheckInvariants();
+  IrTree& snap = **loaded;
+
+  // Re-inserting a live object is still a clean error...
+  EXPECT_FALSE(snap.Insert(0).ok());
+  EXPECT_TRUE(snap.frozen());
+  EXPECT_EQ(snap.delta_size(), 0u);
+
+  // ...but inserting a dataset object the snapshot does not cover routes
+  // into the delta and is immediately visible.
+  ASSERT_TRUE(snap.Insert(160).ok());
+  EXPECT_TRUE(snap.frozen());
+  EXPECT_EQ(snap.delta_size(), 1u);
+  snap.CheckInvariants();
+  const TermSet& kw = ds.object(160).keywords;
+  ASSERT_FALSE(kw.empty());
+  double d = 0.0;
+  EXPECT_EQ(snap.KeywordNn(ds.object(160).location, kw[0], &d), 160u);
+  EXPECT_EQ(d, 0.0);
+
+  // Removes tombstone base objects of the loaded frozen body.
+  ASSERT_TRUE(snap.Remove(5).ok());
+  EXPECT_EQ(snap.size(), 150u);
+  const TermSet& kw5 = ds.object(5).keywords;
+  ASSERT_FALSE(kw5.empty());
+  d = 0.0;
+  EXPECT_NE(snap.KeywordNn(ds.object(5).location, kw5[0], &d), 5u);
+
+  // Refreeze folds the delta and rebuilds a full (pointer + frozen) tree.
+  ASSERT_TRUE(snap.Refreeze().ok());
+  EXPECT_EQ(snap.delta_size(), 0u);
+  EXPECT_TRUE(snap.frozen());
+  snap.CheckInvariants();
+  d = 0.0;
+  EXPECT_EQ(snap.KeywordNn(ds.object(160).location, kw[0], &d), 160u);
+  EXPECT_EQ(d, 0.0);
+  EXPECT_NE(snap.KeywordNn(ds.object(5).location, kw5[0], &d), 5u);
 }
 
 class SnapshotRejectionTest : public SnapshotRoundTripTest {

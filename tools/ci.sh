@@ -2,10 +2,14 @@
 # CI matrix for the coskq tree: {Release, ThreadSanitizer, ASan+UBSan} x the
 # fast test tier (`ctest -L fast`). The Release job also runs the slow tier.
 #
-# The TSan job is the enforcement mechanism for the BatchEngine contract
-# that concurrent solves over one immutable CoskqContext are race-free: it
-# re-runs engine_batch_test with COSKQ_TEST_THREADS=8 so every batch
-# assertion doubles as an 8-worker race probe.
+# The TSan job is the enforcement mechanism for two concurrency contracts:
+# the BatchEngine contract that concurrent solves over one immutable
+# CoskqContext are race-free (engine_batch_test re-run with
+# COSKQ_TEST_THREADS=8 so every batch assertion doubles as an 8-worker race
+# probe), and the live-update contract that a background Refreeze() epoch
+# swap is invisible to in-flight readers (index_refreeze_race_test run
+# explicitly so the writer/refreezer/query-storm interleaving is always
+# probed under TSan, not just in the plain fast tier).
 #
 # The fast tier includes the serving layer (server_codec_test and the
 # server_loopback_test, which binds a real epoll server on localhost), so
@@ -20,9 +24,12 @@
 # COSKQ_PERF_WARN_ONLY=1 to report regressions without failing (the escape
 # hatch for noisy shared runners). The job then builds an index snapshot
 # once with `coskq_cli index build`, records cold-start (rebuild) vs
-# warm-start (snapshot load) times, and reuses the snapshot for a 10-second
-# coskq_load soak against a live `coskq_cli serve --index-snapshot`
-# instance (saturation + graceful SIGTERM drain must both hold).
+# warm-start (snapshot load) times, and reuses the snapshot for two
+# 10-second coskq_load soaks against a live `coskq_cli serve
+# --index-snapshot` instance: a read-only one (saturation + graceful
+# SIGTERM drain must both hold) and a mixed read/write one
+# (--enable-mutations + --mutate-fraction 0.05, with background refreezes
+# folding the delta mid-soak).
 #
 # Usage: tools/ci.sh [job...]
 #   jobs: release tsan asan perf  (default: release tsan asan)
@@ -72,6 +79,11 @@ for job in "${JOBS[@]}"; do
       run_fast_tests build-ci-tsan
       COSKQ_TEST_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
           ./build-ci-tsan/tests/engine_batch_test
+      # Live updates: mutations + RefreezeAsync racing a saturating query
+      # batch. This is the binary the delta/refreeze lock order was written
+      # for; run it explicitly so a labels change can never drop it.
+      TSAN_OPTIONS="halt_on_error=1" \
+          ./build-ci-tsan/tests/index_refreeze_race_test
       ;;
     asan)
       echo "== CI job: AddressSanitizer+UBSan, fast tier =="
@@ -110,6 +122,13 @@ for job in "${JOBS[@]}"; do
       # committed BENCH_*.json baseline was recorded at, and bench_compare
       # fails the job on any directional metric >25% worse. The escape hatch
       # for noisy shared runners is COSKQ_PERF_WARN_ONLY=1.
+      #
+      # Since the live-update layer landed, the read-path benches
+      # (BENCH_hotpath, BENCH_irtree_layout, BENCH_simd) double as the
+      # empty-delta tax gate: every frozen traversal now passes through the
+      # delta-merge wrappers, and these baselines were recorded before that
+      # layer existed, so a delta check that costs pure reads >25% fails
+      # here.
       COMPARE_FLAGS=(--threshold 25)
       if [ "${COSKQ_PERF_WARN_ONLY:-0}" != "0" ]; then
         COMPARE_FLAGS+=(--warn-only)
@@ -180,6 +199,22 @@ for job in "${JOBS[@]}"; do
       kill -TERM "$SERVE_PID"
       wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
       cat "$SOAK_DIR/soak.log"
+
+      echo "== perf: 10-second mixed read/write soak (protocol v3 MUTATE) =="
+      # Same snapshot, but the server accepts MUTATE and folds the delta in
+      # the background every 2048 mutations. 5% of the offered load is
+      # inserts/removes; the soak passes only if every acked write stays
+      # acked (no transport errors), queries keep flowing around the epoch
+      # swaps, and SIGTERM still drains cleanly with refreezes in flight.
+      start_and_stop_server "$SOAK_DIR/soak_rw.log" \
+          --index-snapshot "$SOAK_DIR/soak.cqix" --enable-mutations \
+          --refreeze-threshold 2048
+      ./build-ci-perf/tools/coskq_load 127.0.0.1 "$(cat "$SOAK_DIR/port")" \
+          "$SOAK_DIR/soak.txt" --qps 200 --duration-s 10 --connections 4 \
+          --deadline-ms 50 --seed 12 --mutate-fraction 0.05
+      kill -TERM "$SERVE_PID"
+      wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
+      cat "$SOAK_DIR/soak_rw.log"
       ;;
     *)
       echo "unknown CI job '$job' (expected release, tsan, asan, or perf)" >&2

@@ -15,11 +15,17 @@
 //       runs the pre-mask baseline hot path (A/B comparison).
 //   serve <dataset.txt> [--port P] [--workers N] [--queue-cap Q]
 //         [--max-deadline-ms D] [--port-file PATH] [--index-snapshot PATH]
+//         [--enable-mutations] [--refreeze-threshold T]
+//         [--mutation-capacity C]
 //       Loads the dataset, builds the IR-tree (or mmap-loads a prebuilt
 //       snapshot; see `index build`), and serves the CoSKQ wire protocol
-//       (QUERY/STATS/PING) on 127.0.0.1:P (P = 0 binds an ephemeral port;
-//       --port-file writes the bound port for scripts). Drains gracefully
-//       on SIGTERM/SIGINT and prints the final stats.
+//       (QUERY/STATS/PING, plus MUTATE with --enable-mutations) on
+//       127.0.0.1:P (P = 0 binds an ephemeral port; --port-file writes the
+//       bound port for scripts). Live mutations go into the index's delta
+//       and a background refreeze folds them into a fresh frozen body once
+//       the delta reaches T pending entries (--refreeze-threshold, 0 = never;
+//       --mutation-capacity caps lifetime inserts). Drains gracefully on
+//       SIGTERM/SIGINT and prints the final stats.
 //   index build <dataset.txt> <out.cqix> [--max-entries M]
 //       Builds the IR-tree once and writes the frozen flat representation
 //       as a versioned snapshot, so `batch`/`serve --index-snapshot` can
@@ -71,6 +77,8 @@ int Usage() {
                "[--queue-cap Q]\n"
                "            [--max-deadline-ms D] [--port-file PATH] "
                "[--index-snapshot PATH]\n"
+               "            [--enable-mutations] [--refreeze-threshold T] "
+               "[--mutation-capacity C]\n"
                "  coskq_cli index build <dataset.txt> <out.cqix> "
                "[--max-entries M]\n"
                "  coskq_cli index inspect <snapshot.cqix>\n"
@@ -307,6 +315,11 @@ int RunServe(const std::vector<std::string>& args) {
   std::string port_file;
   std::string snapshot_path;
   for (size_t i = 1; i < args.size();) {
+    if (args[i] == "--enable-mutations") {
+      options.enable_mutations = true;
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       return Usage();
     }
@@ -334,6 +347,16 @@ int RunServe(const std::vector<std::string>& args) {
       port_file = args[i + 1];
     } else if (args[i] == "--index-snapshot") {
       snapshot_path = args[i + 1];
+    } else if (args[i] == "--refreeze-threshold") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.refreeze_threshold = value;
+    } else if (args[i] == "--mutation-capacity") {
+      if (!ParseUint64(args[i + 1], &value) || value == 0) {
+        return Usage();
+      }
+      options.mutation_capacity = value;
     } else {
       return Usage();
     }
@@ -357,7 +380,13 @@ int RunServe(const std::vector<std::string>& args) {
   options.index_from_snapshot = from_snapshot;
   options.index_prepare_ms = prepare_ms;
   options.index_nodes = index->NodeCount();
+  // Checksum before enabling mutations: the digest names the base corpus the
+  // index was built over (live appends deliberately do not change it).
   options.index_checksum = dataset.ContentChecksum();
+  if (options.enable_mutations) {
+    options.mutable_dataset = &dataset;
+    options.mutable_index = index.get();
+  }
 
   CoskqServer server(context, options);
   const Status status = server.Start();

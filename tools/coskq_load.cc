@@ -10,7 +10,7 @@
 //       [--qps Q] [--duration-s D] [--connections C] [--keywords K]
 //       [--solver exact|appro|cao-exact|cao-appro1|cao-appro2|brute-force]
 //       [--cost maxsum|dia] [--deadline-ms D] [--deadline-jitter-ms J]
-//       [--seed S]
+//       [--seed S] [--mutate-fraction F]
 //
 // The dataset file is the one the server loaded; it is read only to
 // reproduce the vocabulary so generated queries carry real keywords. Each
@@ -18,9 +18,16 @@
 // 0 = none). Prints achieved throughput, the response mix, and a
 // log-scaled latency histogram with p50/p95/p99.
 //
+// --mutate-fraction F turns fraction F of the scheduled slots into MUTATE
+// requests (requires a server started with --enable-mutations): each lane
+// alternates between inserting fresh objects (at query-generator locations
+// with real vocabulary keywords) and removing ids it inserted earlier, so a
+// mixed read/write soak exercises the delta-merge query paths and the
+// background refreeze under live traffic.
+//
 // Exit status: 0 when every request got an in-band protocol response
-// (RESULT / OVERLOADED / ERROR); 1 on transport failures or when nothing
-// succeeded at all.
+// (RESULT / OVERLOADED / ERROR / MUTATE_REPLY); 1 on transport failures or
+// when nothing succeeded at all.
 
 #include <algorithm>
 #include <atomic>
@@ -55,7 +62,14 @@ struct LoadConfig {
   double deadline_ms = 0.0;
   double deadline_jitter_ms = 0.0;
   uint64_t seed = 1;
+  /// Fraction of scheduled slots sent as MUTATE instead of QUERY.
+  double mutate_fraction = 0.0;
 };
+
+/// Sample.kind value for an acked mutation (past the QueryReply kinds).
+constexpr int kMutateKind = 3;
+/// Sample.kind value for an in-band mutation rejection.
+constexpr int kMutateErrorKind = 4;
 
 /// Per-request record; kind -1 marks a transport failure.
 struct Sample {
@@ -71,7 +85,8 @@ int Usage() {
       "[--duration-s D]\n"
       "       [--connections C] [--keywords K] [--solver KIND] "
       "[--cost maxsum|dia]\n"
-      "       [--deadline-ms D] [--deadline-jitter-ms J] [--seed S]\n");
+      "       [--deadline-ms D] [--deadline-jitter-ms J] [--seed S]\n"
+      "       [--mutate-fraction F]\n");
   return 2;
 }
 
@@ -167,6 +182,13 @@ int RunLoad(const LoadConfig& config) {
     }
     requests.push_back(std::move(request));
   }
+  // Mark the mutate slots up front so the mix is deterministic for a seed.
+  std::vector<uint8_t> mutate_slot(total, 0);
+  if (config.mutate_fraction > 0.0) {
+    for (size_t i = 0; i < total; ++i) {
+      mutate_slot[i] = rng.UniformDouble(0.0, 1.0) < config.mutate_fraction;
+    }
+  }
 
   // Thread t sends requests t, t+C, t+2C, ... each at its scheduled time.
   std::vector<Sample> samples(total);
@@ -181,6 +203,11 @@ int RunLoad(const LoadConfig& config) {
         transport_errors.fetch_add(1);
         return;
       }
+      // Lane-local mutation state: removes only target ids this lane
+      // inserted, so every well-formed MUTATE is expected to succeed.
+      Rng lane_rng(config.seed * 7919 + static_cast<uint64_t>(t) + 1);
+      QueryGenerator lane_gen(&dataset);
+      std::vector<uint32_t> lane_inserted;
       for (size_t i = static_cast<size_t>(t); i < total;
            i += static_cast<size_t>(config.connections)) {
         const auto scheduled =
@@ -189,6 +216,48 @@ int RunLoad(const LoadConfig& config) {
                         std::chrono::duration<double>(
                             static_cast<double>(i) / config.qps));
         std::this_thread::sleep_until(scheduled);
+        if (mutate_slot[i] != 0) {
+          MutateRequest mutation;
+          const bool remove = !lane_inserted.empty() &&
+                              lane_rng.UniformDouble(0.0, 1.0) < 0.5;
+          if (remove) {
+            const size_t pick = static_cast<size_t>(lane_rng.UniformDouble(
+                0.0, static_cast<double>(lane_inserted.size())));
+            const size_t slot = std::min(pick, lane_inserted.size() - 1);
+            mutation.op = MutateRequest::Op::kRemove;
+            mutation.object_id = lane_inserted[slot];
+            lane_inserted.erase(lane_inserted.begin() +
+                                static_cast<long>(slot));
+          } else {
+            const CoskqQuery q =
+                lane_gen.Generate(config.keywords, &lane_rng);
+            mutation.op = MutateRequest::Op::kInsert;
+            mutation.x = q.location.x;
+            mutation.y = q.location.y;
+            for (TermId term : q.keywords) {
+              mutation.keywords.push_back(
+                  dataset.vocabulary().TermString(term));
+            }
+          }
+          WallTimer timer;
+          StatusOr<MutateReply> reply = client.Mutate(mutation);
+          samples[i].latency_ms = timer.ElapsedMillis();
+          if (reply.ok()) {
+            samples[i].kind = kMutateKind;
+            if (mutation.op == MutateRequest::Op::kInsert) {
+              lane_inserted.push_back(reply->object_id);
+            }
+          } else if (reply.status().code() == StatusCode::kIoError ||
+                     reply.status().code() == StatusCode::kCorruption) {
+            transport_errors.fetch_add(1);
+            return;  // The connection is unusable; stop this lane.
+          } else {
+            // In-band rejection (mutations disabled, capacity, ...): count
+            // it and keep the lane running.
+            samples[i].kind = kMutateErrorKind;
+          }
+          continue;
+        }
         WallTimer timer;
         StatusOr<QueryReply> reply = client.Query(requests[i]);
         samples[i].latency_ms = timer.ElapsedMillis();
@@ -216,6 +285,8 @@ int RunLoad(const LoadConfig& config) {
   size_t infeasible = 0;
   size_t overloaded = 0;
   size_t errors = 0;
+  size_t mutations_ok = 0;
+  size_t mutations_rejected = 0;
   std::vector<double> ok_latencies;
   ok_latencies.reserve(total);
   for (const Sample& s : samples) {
@@ -235,6 +306,12 @@ int RunLoad(const LoadConfig& config) {
       case static_cast<int>(QueryReply::Kind::kError):
         ++errors;
         break;
+      case kMutateKind:
+        ++mutations_ok;
+        break;
+      case kMutateErrorKind:
+        ++mutations_rejected;
+        break;
       default:
         break;  // Transport failure or never sent; counted separately.
     }
@@ -246,9 +323,13 @@ int RunLoad(const LoadConfig& config) {
   std::printf(
       "answered %zu (%s/s): results=%zu (truncated=%zu infeasible=%zu) "
       "overloaded=%zu errors=%zu transport_errors=%zu\n",
-      ok + overloaded + errors,
+      ok + overloaded + errors + mutations_ok + mutations_rejected,
       FormatDouble(static_cast<double>(ok) / wall_s, 1).c_str(), ok,
       truncated, infeasible, overloaded, errors, transport_errors.load());
+  if (mutations_ok + mutations_rejected > 0) {
+    std::printf("mutations applied=%zu rejected=%zu\n", mutations_ok,
+                mutations_rejected);
+  }
   if (!ok_latencies.empty()) {
     std::printf("latency p50=%s p95=%s p99=%s max=%s\n",
                 FormatMillis(Percentile(ok_latencies, 50.0)).c_str(),
@@ -259,7 +340,7 @@ int RunLoad(const LoadConfig& config) {
                     .c_str());
     PrintHistogram(ok_latencies);
   }
-  return (transport_errors.load() == 0 && ok > 0) ? 0 : 1;
+  return (transport_errors.load() == 0 && ok + mutations_ok > 0) ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -321,6 +402,11 @@ int Main(int argc, char** argv) {
       }
     } else if (args[i] == "--seed") {
       if (!ParseUint64(args[i + 1], &config.seed)) {
+        return Usage();
+      }
+    } else if (args[i] == "--mutate-fraction") {
+      if (!ParseDouble(args[i + 1], &config.mutate_fraction) ||
+          config.mutate_fraction < 0.0 || config.mutate_fraction > 1.0) {
         return Usage();
       }
     } else {
