@@ -1,5 +1,8 @@
 #include "data/augment.h"
 
+#include <fstream>
+#include <limits>
+
 #include "data/term_set.h"
 #include "util/logging.h"
 
@@ -39,6 +42,41 @@ void AugmentToSize(Dataset* dataset, size_t target_count, Rng* rng) {
     dataset->AddObjectWithTerms(dataset->object(loc_src).location,
                                 dataset->object(doc_src).keywords);
   }
+}
+
+Status StreamAugmentedToFile(const Dataset& dataset, size_t target_count,
+                             Rng* rng, const std::string& path) {
+  const size_t base = dataset.NumObjects();
+  COSKQ_CHECK_GT(base, 0u);
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  // Same precision as SaveToFile: coordinates round-trip bit-exact.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  const auto write_line = [&](const Point& location, const TermSet& terms) {
+    out << location.x << ' ' << location.y;
+    for (TermId t : terms) {
+      out << ' ' << dataset.vocabulary().TermString(t);
+    }
+    out << '\n';
+  };
+  for (size_t i = 0; i < base; ++i) {
+    const SpatialObject& obj = dataset.object(static_cast<ObjectId>(i));
+    write_line(obj.location, obj.keywords);
+  }
+  // Exactly AugmentToSize's sampling: location and keyword donors drawn
+  // uniformly from the base objects, one rng pair per appended object.
+  for (size_t i = base; i < target_count; ++i) {
+    const ObjectId loc_src = static_cast<ObjectId>(rng->UniformUint64(base));
+    const ObjectId doc_src = static_cast<ObjectId>(rng->UniformUint64(base));
+    write_line(dataset.object(loc_src).location,
+               dataset.object(doc_src).keywords);
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace coskq

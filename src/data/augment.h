@@ -3,8 +3,11 @@
 
 #include <stddef.h>
 
+#include <string>
+
 #include "data/dataset.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace coskq {
 
@@ -21,6 +24,18 @@ void AugmentAverageKeywords(Dataset* dataset, double target_avg, Rng* rng);
 /// spatial distribution) and whose keyword set is copied from a uniformly
 /// random existing object, exactly as the scalability experiment grows GN.
 void AugmentToSize(Dataset* dataset, size_t target_count, Rng* rng);
+
+/// Streams the AugmentToSize growth of `dataset` to `target_count` objects
+/// straight to `path` in the Dataset::SaveToFile text format, without ever
+/// materializing the grown dataset: generation memory stays O(|dataset|)
+/// regardless of target_count, which is what lets the scalability bench
+/// write its 2M-10M object files. Byte-equivalent to growing a copy of
+/// `dataset` with AugmentToSize (same rng state) and calling SaveToFile —
+/// AugmentToSize samples location and keyword-set donors uniformly from the
+/// base objects only, so the appended lines depend on nothing but the base
+/// dataset and the rng.
+Status StreamAugmentedToFile(const Dataset& dataset, size_t target_count,
+                             Rng* rng, const std::string& path);
 
 }  // namespace coskq
 

@@ -77,9 +77,34 @@ bool TermSpanContains(const TermId* terms, size_t count, TermId t) {
 }
 
 bool TermSpanIntersects(const TermId* terms, size_t count, const TermSet& b) {
+  // Asymmetric inputs — a handful of query terms against a node summary
+  // that can span hundreds of thousands of ids — make the classic linear
+  // merge O(count): it walks (and on an mmap-cold index, pages in) the
+  // whole span. Probe with narrowing binary searches instead: b is sorted,
+  // so each lower_bound restarts where the previous one landed, giving
+  // O(|b| log count) touches of the span. Fall back to the merge walk when
+  // the sides are comparable (both small in practice: leaf documents).
+  const size_t b_size = b.size();
+  if (b_size == 0 || count == 0) {
+    return false;
+  }
+  if (count / 8 > b_size) {
+    const TermId* lo = terms;
+    const TermId* end = terms + count;
+    for (TermId t : b) {
+      lo = std::lower_bound(lo, end, t);
+      if (lo == end) {
+        return false;
+      }
+      if (*lo == t) {
+        return true;
+      }
+    }
+    return false;
+  }
   size_t i = 0;
   size_t j = 0;
-  while (i < count && j < b.size()) {
+  while (i < count && j < b_size) {
     if (terms[i] < b[j]) {
       ++i;
     } else if (b[j] < terms[i]) {

@@ -10,6 +10,7 @@
 #include "index/irtree_node.h"
 #include "index/kernels.h"
 #include "index/quadratic_split.h"
+#include "index/residency.h"
 #include "index/search_scratch.h"
 #include "index/term_signature.h"
 #include "util/logging.h"
@@ -68,6 +69,11 @@ void IrTree::GuardAcquire() const {
   {
     std::lock_guard<std::mutex> lock(delta_mutex_);
     slot->delta = delta_;
+  }
+  if (frozen_ != nullptr) {
+    // Budget-capped out-of-core trees trim themselves back under budget on
+    // a sparse subsample of outermost guard acquires; no-op otherwise.
+    frozen_->MaybeEnforceBudget();
   }
 }
 
@@ -1020,7 +1026,7 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
   if (tree->UseFrozen(delta)) {
     const FrozenView& v = tree->frozen_->view;
     impl_->fv = &v;
-    const FrozenNodeRecord& root = v.nodes[0];
+    const FrozenNodeRecord& root = v.node(0);
     const bool root_relevant =
         impl_->masked
             ? (root.sig & impl_->sub_sig) != 0 &&
@@ -1032,7 +1038,7 @@ IrTree::RelevantStream::RelevantStream(const IrTree* tree, const Point& origin,
     if (root_relevant) {
       // Same arithmetic as Rect::MinDistance on the (non-empty) root MBR.
       impl_->queue.push(Impl::QueueEntry{
-          Rect(v.min_x[0], v.min_y[0], v.max_x[0], v.max_y[0])
+          Rect(v.min_x(0), v.min_y(0), v.max_x(0), v.max_y(0))
               .MinDistance(origin),
           &root, kInvalidObjectId, PrefetchHint(root)});
     }
@@ -1159,7 +1165,7 @@ IrTree::RelevantStream::Impl::NextFromTree() {
         const uint32_t first = node.first_child;
         const uint32_t last = first + node.entry_count;
         for (uint32_t c = first; c < last; ++c) {
-          const FrozenNodeRecord& child = v.nodes[c];
+          const FrozenNodeRecord& child = v.node(c);
           bool relevant;
           if (masked) {
             uint64_t node_mask = 0;
@@ -1175,7 +1181,7 @@ IrTree::RelevantStream::Impl::NextFromTree() {
                                           this->query_terms);
           }
           if (relevant) {
-            const Rect mbr(v.min_x[c], v.min_y[c], v.max_x[c], v.max_y[c]);
+            const Rect mbr(v.min_x(c), v.min_y(c), v.max_x(c), v.max_y(c));
             const double d = masked && from_origin
                                  ? scratch->NodeMinDistance(child.id, mbr)
                                  : mbr.MinDistance(this->origin);
@@ -1289,6 +1295,35 @@ size_t IrTree::NodeCount() const {
   Counter counter;
   counter.Run(root_.get());
   return counter.count;
+}
+
+IndexMemoryStats IrTree::MemoryStats() const {
+  ReadGuard guard(this);
+  IndexMemoryStats stats;
+  stats.process_resident_bytes = internal_index::ProcessResidentBytes();
+  const internal_index::FaultCounters faults =
+      internal_index::ProcessFaultCounters();
+  stats.major_faults = faults.major;
+  stats.minor_faults = faults.minor;
+  if (frozen_ == nullptr) {
+    return stats;
+  }
+  stats.layout = frozen_->layout;
+  stats.cold = frozen_->view.cold;
+  stats.body_bytes = frozen_->body_bytes;
+  stats.memory_budget_bytes = frozen_->memory_budget_bytes;
+  stats.budget_trims =
+      frozen_->budget_trims.load(std::memory_order_relaxed);
+  if (frozen_->mapped != nullptr) {
+    // Budget-capped trees keep a fresh reading as a side effect of
+    // enforcement; re-walking mincore here would duplicate that work.
+    stats.body_resident_bytes =
+        frozen_->memory_budget_bytes != 0
+            ? frozen_->budget_resident_bytes.load(std::memory_order_relaxed)
+            : internal_index::MappingResidentBytes(frozen_->body,
+                                                  frozen_->body_bytes);
+  }
+  return stats;
 }
 
 void IrTree::CheckInvariants() const {

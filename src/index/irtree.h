@@ -20,6 +20,7 @@
 #include "geo/point.h"
 #include "geo/rect.h"
 #include "index/delta_tree.h"
+#include "index/frozen_layout.h"
 #include "util/status.h"
 
 namespace coskq {
@@ -27,9 +28,33 @@ namespace coskq {
 class SearchScratch;
 
 namespace internal_index {
-struct FrozenStore;
 class SnapshotAccess;
 }  // namespace internal_index
+
+/// Paging / residency statistics of the frozen body (DESIGN.md §14). For a
+/// heap-built (non-mmap) tree only the process-wide fields are meaningful.
+struct IndexMemoryStats {
+  /// Layout of the frozen body ("bfs" until Freeze() ran).
+  FrozenLayout layout = FrozenLayout::kBfs;
+  /// True for a cold (non-populated) snapshot mapping.
+  bool cold = false;
+  /// Frozen body size in bytes (0 until frozen).
+  uint64_t body_bytes = 0;
+  /// Resident bytes of the mapped body (mincore; 0 for heap bodies). For
+  /// budget-capped trees this is the last reading the budget enforcement
+  /// took, refreshed on its sampling cadence; otherwise sampled on call.
+  uint64_t body_resident_bytes = 0;
+  /// Memory budget (0 = uncapped) and how many times the enforcement
+  /// trimmed the body back under it.
+  uint64_t memory_budget_bytes = 0;
+  uint64_t budget_trims = 0;
+  /// Process-wide counters: resident set (/proc/self/statm) and cumulative
+  /// page faults (getrusage) — major faults are the disk reads cold
+  /// traversals are judged by.
+  uint64_t process_resident_bytes = 0;
+  uint64_t major_faults = 0;
+  uint64_t minor_faults = 0;
+};
 
 /// The IR-tree (Cong et al., VLDB 2009): an R-tree whose every node carries
 /// a summary of the keywords present in its subtree, enabling
@@ -69,6 +94,11 @@ class IrTree {
   struct Options {
     /// Maximum fan-out per node.
     int max_entries = 32;
+    /// Physical layout Freeze() emits for the frozen body (and thus for
+    /// snapshots saved from this tree). Refreeze() inherits it, and
+    /// snapshot-loaded trees adopt the layout recorded in the file so a
+    /// later refreeze preserves it. Query results are layout-independent.
+    FrozenLayout frozen_layout = FrozenLayout::kBfs;
   };
 
   /// Builds the tree over all objects of `dataset` with STR bulk loading.
@@ -293,6 +323,11 @@ class IrTree {
   uint64_t refreezes_completed() const {
     return refreezes_completed_.load(std::memory_order_relaxed);
   }
+
+  /// Paging / residency statistics (see IndexMemoryStats). Cheap except for
+  /// the mincore body walk on uncapped mmap-loaded trees; safe concurrently
+  /// with queries.
+  IndexMemoryStats MemoryStats() const;
 
   /// Validates structural invariants: MBR containment, term-summary
   /// soundness (node terms = union of children), uniform leaf depth, object

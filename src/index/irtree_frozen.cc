@@ -32,6 +32,7 @@
 #include "index/irtree.h"
 #include "index/irtree_node.h"
 #include "index/kernels.h"
+#include "index/residency.h"
 #include "index/search_scratch.h"
 #include "index/term_signature.h"
 #include "util/logging.h"
@@ -39,12 +40,39 @@
 namespace coskq {
 
 using internal_index::ActiveKernels;
+using internal_index::BodyLayout;
 using internal_index::FrozenNodeRecord;
 using internal_index::FrozenStore;
 using internal_index::FrozenView;
 using internal_index::KernelOps;
+using internal_index::kGroupBytes;
+using internal_index::kGroupMask;
+using internal_index::kGroupShift;
+using internal_index::kGroupSlots;
 using internal_index::PrefetchHint;
 using internal_index::PrefetchNextPop;
+
+const char* FrozenLayoutName(FrozenLayout layout) {
+  switch (layout) {
+    case FrozenLayout::kBfs:
+      return "bfs";
+    case FrozenLayout::kLevelGrouped:
+      return "level-grouped";
+  }
+  return "unknown";
+}
+
+bool FrozenLayoutFromName(const std::string& name, FrozenLayout* out) {
+  if (name == "bfs") {
+    *out = FrozenLayout::kBfs;
+    return true;
+  }
+  if (name == "level-grouped" || name == "lg") {
+    *out = FrozenLayout::kLevelGrouped;
+    return true;
+  }
+  return false;
+}
 
 namespace internal_index {
 
@@ -52,42 +80,57 @@ namespace {
 
 constexpr size_t Align8(size_t n) { return (n + 7) & ~size_t{7}; }
 
-/// Byte offsets of every section inside the frozen body buffer. The layout
-/// is shared verbatim with the snapshot file body (snapshot.cc), each
-/// section 8-byte aligned so an mmap'd body can be read in place.
-struct BodyLayout {
-  size_t nodes;
-  size_t min_x, min_y, max_x, max_y;
-  size_t terms;
-  size_t leaf_ids, leaf_x, leaf_y, leaf_sigs;
-  size_t leaf_term_begin, leaf_term_count;
-  size_t total;
-
-  BodyLayout(uint32_t num_nodes, uint32_t num_leaf_entries,
-             uint32_t num_terms) {
-    size_t off = 0;
-    const auto section = [&off](size_t bytes) {
-      const size_t begin = off;
-      off += Align8(bytes);
-      return begin;
-    };
-    nodes = section(size_t{num_nodes} * sizeof(FrozenNodeRecord));
-    min_x = section(size_t{num_nodes} * sizeof(double));
-    min_y = section(size_t{num_nodes} * sizeof(double));
-    max_x = section(size_t{num_nodes} * sizeof(double));
-    max_y = section(size_t{num_nodes} * sizeof(double));
-    terms = section(size_t{num_terms} * sizeof(TermId));
-    leaf_ids = section(size_t{num_leaf_entries} * sizeof(ObjectId));
-    leaf_x = section(size_t{num_leaf_entries} * sizeof(double));
-    leaf_y = section(size_t{num_leaf_entries} * sizeof(double));
-    leaf_sigs = section(size_t{num_leaf_entries} * sizeof(uint64_t));
-    leaf_term_begin = section(size_t{num_leaf_entries} * sizeof(uint32_t));
-    leaf_term_count = section(size_t{num_leaf_entries} * sizeof(uint32_t));
-    total = off;
-  }
-};
-
 }  // namespace
+
+BodyLayout BodyLayout::Make(FrozenLayout layout, uint32_t num_nodes,
+                            uint32_t num_leaf_entries, uint32_t num_terms) {
+  BodyLayout lay;
+  lay.layout = layout;
+  size_t off = 0;
+  const auto section = [&off](size_t bytes) {
+    const size_t begin = off;
+    off += Align8(bytes);
+    return begin;
+  };
+  if (layout == FrozenLayout::kBfs) {
+    // The snapshot-v1 byte layout, expressed as lane descriptors: each lane
+    // a flat section, stride = one group's worth of elements, so
+    // off + (slot>>6)*stride + (slot&63)*elt == off + slot*elt exactly.
+    lay.rec_off = section(size_t{num_nodes} * sizeof(FrozenNodeRecord));
+    lay.rec_stride = kGroupSlots * sizeof(FrozenNodeRecord);
+    lay.min_x_off = section(size_t{num_nodes} * sizeof(double));
+    lay.min_y_off = section(size_t{num_nodes} * sizeof(double));
+    lay.max_x_off = section(size_t{num_nodes} * sizeof(double));
+    lay.max_y_off = section(size_t{num_nodes} * sizeof(double));
+    lay.mbr_stride = kGroupSlots * sizeof(double);
+  } else {
+    // Level-grouped: the node region is a sequence of 4096-byte groups,
+    // each holding 64 records followed by their four MBR lanes. The tail
+    // group is zero-padded to full size so the body is deterministic.
+    const size_t groups =
+        (size_t{num_nodes} + kGroupSlots - 1) / kGroupSlots;
+    lay.rec_off = 0;
+    lay.rec_stride = kGroupBytes;
+    lay.min_x_off = kGroupSlots * sizeof(FrozenNodeRecord);
+    lay.min_y_off = lay.min_x_off + kGroupSlots * sizeof(double);
+    lay.max_x_off = lay.min_y_off + kGroupSlots * sizeof(double);
+    lay.max_y_off = lay.max_x_off + kGroupSlots * sizeof(double);
+    lay.mbr_stride = kGroupBytes;
+    off = groups * kGroupBytes;
+  }
+  lay.node_region_bytes = off;
+  lay.terms_off = section(size_t{num_terms} * sizeof(TermId));
+  lay.leaf_ids_off = section(size_t{num_leaf_entries} * sizeof(ObjectId));
+  lay.leaf_x_off = section(size_t{num_leaf_entries} * sizeof(double));
+  lay.leaf_y_off = section(size_t{num_leaf_entries} * sizeof(double));
+  lay.leaf_sigs_off = section(size_t{num_leaf_entries} * sizeof(uint64_t));
+  lay.leaf_term_begin_off =
+      section(size_t{num_leaf_entries} * sizeof(uint32_t));
+  lay.leaf_term_count_off =
+      section(size_t{num_leaf_entries} * sizeof(uint32_t));
+  lay.total_bytes = off;
+  return lay;
+}
 
 FrozenStore::~FrozenStore() {
   if (mapped != nullptr) {
@@ -95,35 +138,79 @@ FrozenStore::~FrozenStore() {
   }
 }
 
-size_t FrozenStore::BodyBytes(uint32_t num_nodes, uint32_t num_leaf_entries,
-                              uint32_t num_terms) {
-  return BodyLayout(num_nodes, num_leaf_entries, num_terms).total;
+size_t FrozenStore::BodyBytes(FrozenLayout layout, uint32_t num_nodes,
+                              uint32_t num_leaf_entries, uint32_t num_terms) {
+  return BodyLayout::Make(layout, num_nodes, num_leaf_entries, num_terms)
+      .total_bytes;
 }
 
-void FrozenStore::BindView(const uint8_t* body, uint32_t num_nodes,
-                           uint32_t num_leaf_entries, uint32_t num_terms,
-                           uint32_t height) {
-  COSKQ_CHECK_EQ(reinterpret_cast<uintptr_t>(body) % 8, 0u)
+void FrozenStore::BindView(FrozenLayout lay_kind, const uint8_t* body_ptr,
+                           uint32_t num_nodes, uint32_t num_leaf_entries,
+                           uint32_t num_terms, uint32_t height) {
+  COSKQ_CHECK_EQ(reinterpret_cast<uintptr_t>(body_ptr) % 8, 0u)
       << "frozen body must be 8-byte aligned";
-  const BodyLayout lay(num_nodes, num_leaf_entries, num_terms);
-  view.nodes = reinterpret_cast<const FrozenNodeRecord*>(body + lay.nodes);
-  view.min_x = reinterpret_cast<const double*>(body + lay.min_x);
-  view.min_y = reinterpret_cast<const double*>(body + lay.min_y);
-  view.max_x = reinterpret_cast<const double*>(body + lay.max_x);
-  view.max_y = reinterpret_cast<const double*>(body + lay.max_y);
-  view.terms = reinterpret_cast<const TermId*>(body + lay.terms);
-  view.leaf_ids = reinterpret_cast<const ObjectId*>(body + lay.leaf_ids);
-  view.leaf_x = reinterpret_cast<const double*>(body + lay.leaf_x);
-  view.leaf_y = reinterpret_cast<const double*>(body + lay.leaf_y);
-  view.leaf_sigs = reinterpret_cast<const uint64_t*>(body + lay.leaf_sigs);
+  const BodyLayout lay =
+      BodyLayout::Make(lay_kind, num_nodes, num_leaf_entries, num_terms);
+  layout = lay_kind;
+  body = body_ptr;
+  body_bytes = lay.total_bytes;
+  view.body = body_ptr;
+  view.rec_off = lay.rec_off;
+  view.rec_stride = lay.rec_stride;
+  view.min_x_off = lay.min_x_off;
+  view.min_y_off = lay.min_y_off;
+  view.max_x_off = lay.max_x_off;
+  view.max_y_off = lay.max_y_off;
+  view.mbr_stride = lay.mbr_stride;
+  view.terms = reinterpret_cast<const TermId*>(body_ptr + lay.terms_off);
+  view.leaf_ids =
+      reinterpret_cast<const ObjectId*>(body_ptr + lay.leaf_ids_off);
+  view.leaf_x = reinterpret_cast<const double*>(body_ptr + lay.leaf_x_off);
+  view.leaf_y = reinterpret_cast<const double*>(body_ptr + lay.leaf_y_off);
+  view.leaf_sigs =
+      reinterpret_cast<const uint64_t*>(body_ptr + lay.leaf_sigs_off);
   view.leaf_term_begin =
-      reinterpret_cast<const uint32_t*>(body + lay.leaf_term_begin);
+      reinterpret_cast<const uint32_t*>(body_ptr + lay.leaf_term_begin_off);
   view.leaf_term_count =
-      reinterpret_cast<const uint32_t*>(body + lay.leaf_term_count);
+      reinterpret_cast<const uint32_t*>(body_ptr + lay.leaf_term_count_off);
   view.num_nodes = num_nodes;
   view.num_leaf_entries = num_leaf_entries;
   view.num_terms = num_terms;
   view.height = height;
+  view.layout = lay_kind;
+}
+
+void FrozenStore::MaybeEnforceBudget() {
+  if (memory_budget_bytes == 0 || mapped == nullptr || body == nullptr) {
+    return;
+  }
+  // Sampling residency costs a mincore walk over the body; do it on a
+  // sparse subsample of guard acquires and let one thread at a time trim.
+  constexpr uint32_t kBudgetCheckPeriod = 64;
+  if (budget_ticker_.fetch_add(1, std::memory_order_relaxed) %
+          kBudgetCheckPeriod !=
+      0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(trim_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return;
+  }
+  const uint64_t resident = MappingResidentBytes(body, body_bytes);
+  budget_resident_bytes.store(resident, std::memory_order_relaxed);
+  if (resident <= memory_budget_bytes) {
+    return;
+  }
+  // Over budget: give the tail of the body back to the kernel, protecting a
+  // prefix of the node region (the upper levels every traversal re-reads)
+  // up to half the budget. Purely advisory — dropped pages refault from the
+  // read-only snapshot file, so results are unaffected.
+  const BodyLayout lay = BodyLayout::Make(
+      layout, view.num_nodes, view.num_leaf_entries, view.num_terms);
+  const size_t keep =
+      std::min<size_t>(lay.node_region_bytes, memory_budget_bytes / 2);
+  AdviseDontNeed(body + keep, body_bytes - keep);
+  budget_trims.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace internal_index
@@ -144,23 +231,26 @@ inline void ScanChildSquaredDistances(const KernelOps& kernels,
                                       const FrozenView& v, uint32_t first,
                                       uint32_t count, const Point& p,
                                       double* out) {
-  kernels.child_squared_distances(v.min_x + first, v.min_y + first,
-                                  v.max_x + first, v.max_y + first, count,
-                                  p.x, p.y, out);
+  // [first, first + count) must lie within one slot group (see
+  // FrozenView::span): that is the contiguity unit of the SoA lanes under
+  // both layouts.
+  kernels.child_squared_distances(v.min_x_ptr(first), v.min_y_ptr(first),
+                                  v.max_x_ptr(first), v.max_y_ptr(first),
+                                  count, p.x, p.y, out);
 }
 
 /// MINDIST from `p` to the MBR of the node at `slot` (same arithmetic).
 inline double NodeMinDist(const FrozenView& v, uint32_t slot, const Point& p) {
   const double dx =
-      std::max(std::max(v.min_x[slot] - p.x, 0.0), p.x - v.max_x[slot]);
+      std::max(std::max(v.min_x(slot) - p.x, 0.0), p.x - v.max_x(slot));
   const double dy =
-      std::max(std::max(v.min_y[slot] - p.y, 0.0), p.y - v.max_y[slot]);
+      std::max(std::max(v.min_y(slot) - p.y, 0.0), p.y - v.max_y(slot));
   return std::sqrt(dx * dx + dy * dy);
 }
 
-/// Chunk size of the stack buffer the child-distance scans fill; fan-outs
-/// larger than this are processed in order, one chunk at a time.
-constexpr uint32_t kScanChunk = 64;
+/// Stack buffer size of the child-distance scans. Chunks come from
+/// FrozenView::span, which never exceeds one slot group.
+constexpr uint32_t kScanChunk = kGroupSlots;
 
 }  // namespace
 
@@ -207,28 +297,39 @@ void IrTree::Freeze() {
   const uint32_t num_leaf_entries = static_cast<uint32_t>(leaf_total);
   const uint32_t num_terms = static_cast<uint32_t>(term_total);
 
+  const FrozenLayout layout = options_.frozen_layout;
   auto store = std::make_unique<FrozenStore>();
-  // Zero-filled so section padding bytes are deterministic: snapshots of the
-  // same tree are byte-for-byte identical.
+  // Zero-filled so section padding bytes (and the level-grouped tail group)
+  // are deterministic: snapshots of the same tree are byte-for-byte
+  // identical.
   store->owned.assign(
-      FrozenStore::BodyBytes(num_nodes, num_leaf_entries, num_terms), 0);
+      FrozenStore::BodyBytes(layout, num_nodes, num_leaf_entries, num_terms),
+      0);
   uint8_t* body = store->owned.data();
-  const internal_index::BodyLayout lay(num_nodes, num_leaf_entries,
-                                       num_terms);
-  auto* nodes = reinterpret_cast<FrozenNodeRecord*>(body + lay.nodes);
-  auto* min_x = reinterpret_cast<double*>(body + lay.min_x);
-  auto* min_y = reinterpret_cast<double*>(body + lay.min_y);
-  auto* max_x = reinterpret_cast<double*>(body + lay.max_x);
-  auto* max_y = reinterpret_cast<double*>(body + lay.max_y);
-  auto* terms = reinterpret_cast<TermId*>(body + lay.terms);
-  auto* leaf_ids = reinterpret_cast<ObjectId*>(body + lay.leaf_ids);
-  auto* leaf_x = reinterpret_cast<double*>(body + lay.leaf_x);
-  auto* leaf_y = reinterpret_cast<double*>(body + lay.leaf_y);
-  auto* leaf_sigs = reinterpret_cast<uint64_t*>(body + lay.leaf_sigs);
+  const BodyLayout lay =
+      BodyLayout::Make(layout, num_nodes, num_leaf_entries, num_terms);
+  // Mutable mirrors of the FrozenView lane accessors.
+  const auto rec_at = [&](uint32_t slot) -> FrozenNodeRecord* {
+    return reinterpret_cast<FrozenNodeRecord*>(
+        body + lay.rec_off +
+        static_cast<size_t>(slot >> kGroupShift) * lay.rec_stride +
+        static_cast<size_t>(slot & kGroupMask) * sizeof(FrozenNodeRecord));
+  };
+  const auto lane_at = [&](size_t lane_off, uint32_t slot) -> double* {
+    return reinterpret_cast<double*>(
+        body + lane_off +
+        static_cast<size_t>(slot >> kGroupShift) * lay.mbr_stride +
+        static_cast<size_t>(slot & kGroupMask) * sizeof(double));
+  };
+  auto* terms = reinterpret_cast<TermId*>(body + lay.terms_off);
+  auto* leaf_ids = reinterpret_cast<ObjectId*>(body + lay.leaf_ids_off);
+  auto* leaf_x = reinterpret_cast<double*>(body + lay.leaf_x_off);
+  auto* leaf_y = reinterpret_cast<double*>(body + lay.leaf_y_off);
+  auto* leaf_sigs = reinterpret_cast<uint64_t*>(body + lay.leaf_sigs_off);
   auto* leaf_term_begin =
-      reinterpret_cast<uint32_t*>(body + lay.leaf_term_begin);
+      reinterpret_cast<uint32_t*>(body + lay.leaf_term_begin_off);
   auto* leaf_term_count =
-      reinterpret_cast<uint32_t*>(body + lay.leaf_term_count);
+      reinterpret_cast<uint32_t*>(body + lay.leaf_term_count_off);
 
   uint32_t next_child = 1;
   uint32_t next_term = 0;
@@ -242,10 +343,10 @@ void IrTree::Freeze() {
     rec.term_count = static_cast<uint32_t>(n->terms.size());
     std::copy(n->terms.begin(), n->terms.end(), terms + next_term);
     next_term += rec.term_count;
-    min_x[slot] = n->mbr.min_x;
-    min_y[slot] = n->mbr.min_y;
-    max_x[slot] = n->mbr.max_x;
-    max_y[slot] = n->mbr.max_y;
+    *lane_at(lay.min_x_off, slot) = n->mbr.min_x;
+    *lane_at(lay.min_y_off, slot) = n->mbr.min_y;
+    *lane_at(lay.max_x_off, slot) = n->mbr.max_x;
+    *lane_at(lay.max_y_off, slot) = n->mbr.max_y;
     if (n->is_leaf) {
       rec.flags = 1;
       rec.entry_begin = next_leaf;
@@ -269,13 +370,13 @@ void IrTree::Freeze() {
       rec.entry_count = static_cast<uint16_t>(n->children.size());
       next_child += static_cast<uint32_t>(n->children.size());
     }
-    nodes[slot] = rec;
+    *rec_at(slot) = rec;
   }
   COSKQ_CHECK_EQ(next_child, num_nodes);
   COSKQ_CHECK_EQ(next_term, num_terms);
   COSKQ_CHECK_EQ(next_leaf, num_leaf_entries);
 
-  store->BindView(body, num_nodes, num_leaf_entries, num_terms,
+  store->BindView(layout, body, num_nodes, num_leaf_entries, num_terms,
                   static_cast<uint32_t>(Height()));
   frozen_ = std::move(store);
   RebuildFrozenLive();
@@ -449,9 +550,9 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
                       std::greater<QueueEntry>>
       queue;
   if (size_ > 0 &&
-      TermSpanContains(v.node_terms(v.nodes[0]), v.nodes[0].term_count, t)) {
-    queue.push(QueueEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId,
-                          PrefetchHint(v.nodes[0])});
+      TermSpanContains(v.node_terms(v.node(0)), v.node(0).term_count, t)) {
+    queue.push(QueueEntry{NodeMinDist(v, 0, p), v.node_ptr(0),
+                          kInvalidObjectId, PrefetchHint(v.node(0))});
   }
   double dist_buf[kScanChunk];
   while (!queue.empty()) {
@@ -488,16 +589,20 @@ ObjectId IrTree::FrozenKeywordNn(const Point& p, TermId t, double* distance,
     } else {
       const uint32_t first = node.first_child;
       const uint32_t count = node.entry_count;
-      for (uint32_t c0 = 0; c0 < count; c0 += kScanChunk) {
-        const uint32_t n = std::min(kScanChunk, count - c0);
+      // Group-aligned chunks: each chunk is contiguous in every lane under
+      // both layouts, and chunk boundaries don't affect push order (chunks
+      // and survivors both ascend in slot order).
+      for (uint32_t c0 = 0; c0 < count;) {
+        const uint32_t n = v.span(first + c0, count - c0);
         ScanChildSquaredDistances(kernels, v, first + c0, n, p, dist_buf);
         for (uint32_t i = 0; i < n; ++i) {
-          const FrozenNodeRecord& child = v.nodes[first + c0 + i];
+          const FrozenNodeRecord& child = v.node(first + c0 + i);
           if (TermSpanContains(v.node_terms(child), child.term_count, t)) {
             queue.push(QueueEntry{std::sqrt(dist_buf[i]), &child,
                                   kInvalidObjectId, PrefetchHint(child)});
           }
         }
+        c0 += n;
       }
     }
   }
@@ -530,12 +635,12 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
   // QueryDistance memo when anchored at the query origin, exactly like the
   // pointer path (same calls, same hit/miss counters).
   const bool from_origin = p == scratch->origin();
-  if (size_ > 0 && (v.nodes[0].sig & kw_sig) != 0 &&
-      (scratch->NodeMask(v.nodes[0].id, v.node_terms(v.nodes[0]),
-                         v.nodes[0].term_count) &
+  if (size_ > 0 && (v.node(0).sig & kw_sig) != 0 &&
+      (scratch->NodeMask(v.node(0).id, v.node_terms(v.node(0)),
+                         v.node(0).term_count) &
        bit) != 0) {
-    push(HeapEntry{NodeMinDist(v, 0, p), &v.nodes[0], kInvalidObjectId,
-                   PrefetchHint(v.nodes[0])});
+    push(HeapEntry{NodeMinDist(v, 0, p), v.node_ptr(0), kInvalidObjectId,
+                   PrefetchHint(v.node(0))});
   }
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), std::greater<HeapEntry>());
@@ -604,18 +709,25 @@ ObjectId IrTree::FrozenKeywordNnMasked(const Point& p, TermId t, int slot,
       if (sdist.size() < count) {
         sdist.resize(count);
       }
-      const uint32_t n = kernels.child_scan_sig(
-          v.min_x + first, v.min_y + first, v.max_x + first, v.max_y + first,
-          v.nodes + first, count, p.x, p.y, kw_sig, sidx.data(),
-          sdist.data());
-      for (uint32_t k = 0; k < n; ++k) {
-        const FrozenNodeRecord& child = v.nodes[first + sidx[k]];
-        if ((scratch->NodeMask(child.id, v.node_terms(child),
-                               child.term_count) &
-             bit) != 0) {
-          push(HeapEntry{std::sqrt(sdist[k]), &child, kInvalidObjectId,
-                         PrefetchHint(child)});
+      // Group-aligned chunks keep every kernel input contiguous under both
+      // layouts; survivors still ascend in slot order across chunks.
+      for (uint32_t c0 = 0; c0 < count;) {
+        const uint32_t chunk = v.span(first + c0, count - c0);
+        const uint32_t n = kernels.child_scan_sig(
+            v.min_x_ptr(first + c0), v.min_y_ptr(first + c0),
+            v.max_x_ptr(first + c0), v.max_y_ptr(first + c0),
+            v.node_ptr(first + c0), chunk, p.x, p.y, kw_sig, sidx.data(),
+            sdist.data());
+        for (uint32_t k = 0; k < n; ++k) {
+          const FrozenNodeRecord& child = v.node(first + c0 + sidx[k]);
+          if ((scratch->NodeMask(child.id, v.node_terms(child),
+                                 child.term_count) &
+               bit) != 0) {
+            push(HeapEntry{std::sqrt(sdist[k]), &child, kInvalidObjectId,
+                           PrefetchHint(child)});
+          }
         }
+        c0 += chunk;
       }
     }
   }
@@ -643,9 +755,9 @@ void IrTree::FrozenRangeRelevant(const Circle& circle,
     std::vector<uint32_t>* visit_log;
 
     void Run(uint32_t slot) {
-      const FrozenNodeRecord& node = v.nodes[slot];
-      const Rect mbr{v.min_x[slot], v.min_y[slot], v.max_x[slot],
-                     v.max_y[slot]};
+      const FrozenNodeRecord& node = v.node(slot);
+      const Rect mbr{v.min_x(slot), v.min_y(slot), v.max_x(slot),
+                     v.max_y(slot)};
       if (!circle.Intersects(mbr) ||
           !TermSpanIntersects(v.node_terms(node), node.term_count,
                               query_terms)) {
@@ -704,9 +816,9 @@ void IrTree::FrozenRangeRelevantMasked(const Circle& circle,
     std::vector<uint32_t>* visit_log;
 
     void Run(uint32_t slot) {
-      const FrozenNodeRecord& node = v.nodes[slot];
-      const Rect mbr{v.min_x[slot], v.min_y[slot], v.max_x[slot],
-                     v.max_y[slot]};
+      const FrozenNodeRecord& node = v.node(slot);
+      const Rect mbr{v.min_x(slot), v.min_y(slot), v.max_x(slot),
+                     v.max_y(slot)};
       // Same short-circuit order as the pointer path: geometry, signature,
       // then the cached mask when warm, else the exact early-exit merge
       // with no cache fill.
@@ -787,7 +899,7 @@ void IrTree::CheckFrozenInvariants() const {
   int leaf_depth = -1;
   size_t object_count = 0;
   for (uint32_t slot = 0; slot < v.num_nodes; ++slot) {
-    const FrozenNodeRecord& node = v.nodes[slot];
+    const FrozenNodeRecord& node = v.node(slot);
     COSKQ_CHECK_LT(node.id, v.num_nodes);
     COSKQ_CHECK(!id_seen[node.id]) << "duplicate preorder id";
     id_seen[node.id] = true;
@@ -831,7 +943,7 @@ void IrTree::CheckFrozenInvariants() const {
   std::vector<Rect> expected_mbr(v.num_nodes);
   std::vector<TermSet> expected_terms(v.num_nodes);
   for (uint32_t i = v.num_nodes; i-- > 0;) {
-    const FrozenNodeRecord& node = v.nodes[i];
+    const FrozenNodeRecord& node = v.node(i);
     Rect mbr;
     TermSet terms;
     if (node.is_leaf()) {
@@ -857,7 +969,7 @@ void IrTree::CheckFrozenInvariants() const {
         TermSetMergeInto(&terms, expected_terms[c]);
       }
     }
-    COSKQ_CHECK(mbr == Rect(v.min_x[i], v.min_y[i], v.max_x[i], v.max_y[i]))
+    COSKQ_CHECK(mbr == Rect(v.min_x(i), v.min_y(i), v.max_x(i), v.max_y(i)))
         << "frozen MBR mismatch";
     COSKQ_CHECK_EQ(terms.size(), static_cast<size_t>(node.term_count));
     COSKQ_CHECK(
@@ -874,7 +986,7 @@ void IrTree::CheckFrozenInvariants() const {
       const FrozenView& v;
       uint32_t next_leaf_entry = 0;
       void Run(const Node* node, uint32_t slot) {
-        const FrozenNodeRecord& rec = v.nodes[slot];
+        const FrozenNodeRecord& rec = v.node(slot);
         COSKQ_CHECK_EQ(rec.id, node->id);
         COSKQ_CHECK_EQ(rec.is_leaf(), node->is_leaf);
         COSKQ_CHECK_EQ(static_cast<size_t>(rec.entry_count),

@@ -13,6 +13,8 @@
 
 #include "index/kernels.h"
 
+#include "index/residency.h"
+
 #include <stdlib.h>
 #include <string.h>
 
@@ -445,6 +447,23 @@ std::vector<std::string> SupportedKernelNames() {
   }
 #endif
   return names;
+}
+
+void ColdPrefetch(const void* p, size_t len) {
+  // Keyed by first page of the range; heap-pop prefetch ranges are at most
+  // a group (one page, maybe straddling two), so one key is a good proxy.
+  // +1 biases keys away from 0 so the zero-initialised ring is "empty".
+  constexpr size_t kRing = 16;
+  static thread_local uintptr_t ring[kRing] = {};
+  static thread_local uint32_t ring_pos = 0;
+  const uintptr_t key = reinterpret_cast<uintptr_t>(p) / 4096 + 1;
+  for (uintptr_t r : ring) {
+    if (r == key) {
+      return;
+    }
+  }
+  ring[ring_pos++ % kRing] = key;
+  AdviseWillNeed(p, len);
 }
 
 }  // namespace internal_index

@@ -116,27 +116,55 @@ inline uint32_t PrefetchHint(const FrozenNodeRecord& rec) {
                        : rec.first_child;
 }
 
+/// Page-granular prefetch for cold (non-populated) mappings: asks the
+/// kernel to start reading the page(s) holding [p, p + len) ahead of the
+/// fault. A small thread-local ring of recently advised pages swallows
+/// duplicate madvise syscalls — on the level-grouped layout a child block's
+/// record AND MBR lanes share one page, so one advise covers them all.
+void ColdPrefetch(const void* p, size_t len);
+
 /// Issues prefetches for the heap entry that will pop next: its node
 /// record, plus the stripe the hint names (child MBR columns for internal
-/// nodes, the signature/location columns for leaves). Purely advisory —
+/// nodes, the signature/location columns for leaves). On a warm body these
+/// are cache-line software prefetches; on a cold mmap they become
+/// page-granular madvise(MADV_WILLNEED) hints, since a cache-line prefetch
+/// cannot start the disk read a fault would need. Purely advisory —
 /// traversal behavior and results are unaffected.
 inline void PrefetchNextPop(const FrozenView& v, const void* node,
                             uint32_t hint) {
   if (node == nullptr) {
     return;
   }
-  PrefetchForRead(node);
   const uint32_t base = hint & ~kPrefetchLeafFlag;
-  if ((hint & kPrefetchLeafFlag) != 0) {
+  const bool leaf = (hint & kPrefetchLeafFlag) != 0;
+  if (v.cold) {
+    ColdPrefetch(node, sizeof(FrozenNodeRecord));
+    if (leaf) {
+      ColdPrefetch(v.leaf_sigs + base, kGroupSlots * sizeof(uint64_t));
+      ColdPrefetch(v.leaf_x + base, kGroupSlots * sizeof(double));
+      ColdPrefetch(v.leaf_y + base, kGroupSlots * sizeof(double));
+    } else {
+      // The dedup ring collapses these to a single syscall when the lanes
+      // share the child block's page (level-grouped layout).
+      ColdPrefetch(v.node_ptr(base), sizeof(FrozenNodeRecord));
+      ColdPrefetch(v.min_x_ptr(base), sizeof(double));
+      ColdPrefetch(v.min_y_ptr(base), sizeof(double));
+      ColdPrefetch(v.max_x_ptr(base), sizeof(double));
+      ColdPrefetch(v.max_y_ptr(base), sizeof(double));
+    }
+    return;
+  }
+  PrefetchForRead(node);
+  if (leaf) {
     PrefetchForRead(v.leaf_sigs + base);
     PrefetchForRead(v.leaf_x + base);
     PrefetchForRead(v.leaf_y + base);
   } else {
-    PrefetchForRead(v.nodes + base);
-    PrefetchForRead(v.min_x + base);
-    PrefetchForRead(v.min_y + base);
-    PrefetchForRead(v.max_x + base);
-    PrefetchForRead(v.max_y + base);
+    PrefetchForRead(v.node_ptr(base));
+    PrefetchForRead(v.min_x_ptr(base));
+    PrefetchForRead(v.min_y_ptr(base));
+    PrefetchForRead(v.max_x_ptr(base));
+    PrefetchForRead(v.max_y_ptr(base));
   }
 }
 

@@ -1,0 +1,109 @@
+#include "index/residency.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace coskq {
+namespace internal_index {
+namespace {
+
+size_t QueryPageBytes() {
+  long page = sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<size_t>(page) : 4096u;
+}
+
+// Rounds [p, p + len) out to its page-aligned hull and applies `advice`.
+void AdviseHull(const void* p, size_t len, int advice) {
+  if (p == nullptr || len == 0) return;
+  const size_t page = PageBytes();
+  uintptr_t begin = reinterpret_cast<uintptr_t>(p);
+  uintptr_t end = begin + len;
+  begin &= ~(static_cast<uintptr_t>(page) - 1);
+  end = (end + page - 1) & ~(static_cast<uintptr_t>(page) - 1);
+  // madvise takes a non-const pointer but MADV_* read hints do not mutate.
+  (void)madvise(reinterpret_cast<void*>(begin), end - begin, advice);
+}
+
+}  // namespace
+
+size_t PageBytes() {
+  static const size_t kPage = QueryPageBytes();
+  return kPage;
+}
+
+FaultCounters ProcessFaultCounters() {
+  FaultCounters out;
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    out.major = static_cast<uint64_t>(ru.ru_majflt);
+    out.minor = static_cast<uint64_t>(ru.ru_minflt);
+  }
+  return out;
+}
+
+uint64_t ProcessResidentBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int parsed = std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  return static_cast<uint64_t>(resident_pages) * PageBytes();
+}
+
+uint64_t MappingResidentBytes(const void* base, size_t len) {
+  if (base == nullptr || len == 0) return 0;
+  const size_t page = PageBytes();
+  const size_t num_pages = (len + page - 1) / page;
+  // Bounded scratch: walk the mapping 4096 pages (16 MiB of body) at a time
+  // so huge bodies don't need a proportional status-vector allocation.
+  static thread_local unsigned char vec[4096];
+  const size_t chunk = sizeof(vec);
+  uint64_t resident = 0;
+  const uint8_t* p = static_cast<const uint8_t*>(base);
+  for (size_t i = 0; i < num_pages; i += chunk) {
+    const size_t n = (num_pages - i) < chunk ? (num_pages - i) : chunk;
+    if (mincore(const_cast<uint8_t*>(p) + i * page, n * page, vec) != 0) {
+      return 0;
+    }
+    for (size_t j = 0; j < n; ++j) resident += (vec[j] & 1u);
+  }
+  return resident * page;
+}
+
+void AdviseRandom(const void* p, size_t len) {
+  AdviseHull(p, len, MADV_RANDOM);
+}
+
+void AdviseWillNeed(const void* p, size_t len) {
+  AdviseHull(p, len, MADV_WILLNEED);
+}
+
+void AdviseDontNeed(const void* p, size_t len) {
+  AdviseHull(p, len, MADV_DONTNEED);
+}
+
+Status DropFileCache(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("DropFileCache: open failed for " + path + ": " +
+                           strerror(errno));
+  }
+  const int rc = posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  close(fd);
+  if (rc != 0) {
+    return Status::IoError("DropFileCache: posix_fadvise failed for " + path +
+                           ": " + strerror(rc));
+  }
+  return Status::OK();
+}
+
+}  // namespace internal_index
+}  // namespace coskq

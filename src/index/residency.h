@@ -1,0 +1,58 @@
+#ifndef COSKQ_INDEX_RESIDENCY_H_
+#define COSKQ_INDEX_RESIDENCY_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <string>
+
+#include "util/status.h"
+
+namespace coskq {
+namespace internal_index {
+
+/// Page-cache / resident-set instrumentation and advice for the out-of-core
+/// frozen index (DESIGN.md §14). Everything here is best-effort: on
+/// platforms or filesystems where a syscall is unavailable or fails, the
+/// advice calls are no-ops and the counters return 0 — cold-mode loading
+/// must degrade to plain (correct) mmap behavior, never fail.
+
+/// Page size used for range rounding. Queried once from sysconf; falls back
+/// to 4096 when unavailable (the snapshot format's own page-group size).
+size_t PageBytes();
+
+/// Process page-fault counters from getrusage(RUSAGE_SELF): `major` faults
+/// required I/O (the number a cold mmap traversal is judged by), `minor`
+/// were satisfied from the page cache.
+struct FaultCounters {
+  uint64_t major = 0;
+  uint64_t minor = 0;
+};
+FaultCounters ProcessFaultCounters();
+
+/// Process resident-set size in bytes from /proc/self/statm (0 when
+/// unreadable).
+uint64_t ProcessResidentBytes();
+
+/// Resident bytes of one mapping, counted page-by-page via mincore (0 on
+/// error). O(len / page); callers rate-limit.
+uint64_t MappingResidentBytes(const void* base, size_t len);
+
+/// madvise wrappers over the page-aligned hull of [p, p + len). Advisory;
+/// errors ignored.
+void AdviseRandom(const void* p, size_t len);
+void AdviseWillNeed(const void* p, size_t len);
+void AdviseDontNeed(const void* p, size_t len);
+
+/// Asks the kernel to drop the page cache for `path`
+/// (posix_fadvise(POSIX_FADV_DONTNEED) over the whole file, after an
+/// fdatasync-free best-effort flush of nothing — the file is read-only
+/// here). Used by the cold-start benches so "cold" rounds actually touch
+/// the disk instead of the page cache, and by cold snapshot loads so the
+/// checksum verification pass does not pre-warm the mapping.
+Status DropFileCache(const std::string& path);
+
+}  // namespace internal_index
+}  // namespace coskq
+
+#endif  // COSKQ_INDEX_RESIDENCY_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "index/frozen_layout.h"
+#include "index/residency.h"
 #include "util/logging.h"
 
 namespace coskq {
@@ -50,7 +51,9 @@ constexpr uint16_t kEndianMarker = 0x0102;
 
 /// On-disk header; memcpy'd verbatim. The layout has no padding (verified
 /// below) and the endian marker lets a reader with the opposite byte order
-/// reject the file instead of misparsing it.
+/// reject the file instead of misparsing it. The first 48 bytes are exactly
+/// the v1 header; v2 appended `layout` and `reserved` and pads the header
+/// region to 4096 bytes so the body starts page-aligned in the file.
 struct SnapshotHeader {
   uint32_t magic;
   uint16_t version;
@@ -63,14 +66,34 @@ struct SnapshotHeader {
   uint32_t num_terms;
   uint32_t height;
   uint64_t body_bytes;
+  // --- v2 fields (absent in v1 files; defaulted on read). ---
+  uint32_t layout;
+  uint32_t reserved;
 };
-static_assert(sizeof(SnapshotHeader) == 48,
+static_assert(sizeof(SnapshotHeader) == 56,
               "snapshot header layout is part of the format");
 static_assert(std::is_trivially_copyable<SnapshotHeader>::value,
               "snapshot header must be memcpy-safe");
 
-constexpr size_t kHeaderBytes = sizeof(SnapshotHeader);
+/// Bytes of the common (v1) header prefix, and the header *region* sizes —
+/// the file offset where the body starts — per version.
+constexpr size_t kV1HeaderBytes = 48;
+constexpr size_t kV2HeaderRegionBytes = 4096;
 constexpr size_t kTrailerBytes = sizeof(uint64_t);
+
+constexpr uint64_t HeaderRegionBytes(uint16_t version) {
+  return version == 1 ? kV1HeaderBytes : kV2HeaderRegionBytes;
+}
+
+/// Rejects layout ids this build does not know (forward files, corruption).
+Status CheckLayoutId(uint32_t layout, const std::string& path) {
+  if (layout != static_cast<uint32_t>(FrozenLayout::kBfs) &&
+      layout != static_cast<uint32_t>(FrozenLayout::kLevelGrouped)) {
+    return Status::InvalidArgument("unknown frozen layout id " +
+                                   std::to_string(layout) + ": " + path);
+  }
+  return Status::OK();
+}
 
 constexpr uint64_t kFnvOffset = 14695981039346656037ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
@@ -118,6 +141,11 @@ class Checksummer {
 /// reports a Status instead of aborting.
 Status ValidateStructure(const FrozenView& v, uint32_t num_objects,
                          uint32_t max_entries) {
+  const Status layout_ok =
+      CheckLayoutId(static_cast<uint32_t>(v.layout), "snapshot body");
+  if (!layout_ok.ok()) {
+    return layout_ok;
+  }
   if (v.num_nodes == 0) {
     return Status::Corruption("snapshot has no nodes");
   }
@@ -125,7 +153,7 @@ Status ValidateStructure(const FrozenView& v, uint32_t num_objects,
   uint64_t expected_leaf_entry = 0;
   std::vector<bool> id_seen(v.num_nodes, false);
   for (uint32_t slot = 0; slot < v.num_nodes; ++slot) {
-    const FrozenNodeRecord& node = v.nodes[slot];
+    const FrozenNodeRecord& node = v.node(slot);
     if (node.id >= v.num_nodes || id_seen[node.id]) {
       return Status::Corruption("snapshot node ids are not a permutation");
     }
@@ -191,11 +219,8 @@ Status SaveSnapshot(IrTree* tree, const std::string& path) {
   tree->Freeze();
   const FrozenStore* store = SnapshotAccess::store(*tree);
   const FrozenView& v = store->view;
-  // The first section (node records) starts at body offset 0, so the view's
-  // node pointer is the body base for both owned and mmap'd stores.
-  const uint8_t* body = reinterpret_cast<const uint8_t*>(v.nodes);
-  const uint64_t body_bytes =
-      FrozenStore::BodyBytes(v.num_nodes, v.num_leaf_entries, v.num_terms);
+  const uint8_t* body = store->body;
+  const uint64_t body_bytes = store->body_bytes;
 
   SnapshotHeader header{};
   header.magic = kSnapshotMagic;
@@ -210,9 +235,15 @@ Status SaveSnapshot(IrTree* tree, const std::string& path) {
   header.num_terms = v.num_terms;
   header.height = v.height;
   header.body_bytes = body_bytes;
+  header.layout = static_cast<uint32_t>(store->layout);
+
+  // The whole zero-padded header region participates in the checksum, so a
+  // flipped padding byte is still caught.
+  std::vector<uint8_t> region(kV2HeaderRegionBytes, 0);
+  memcpy(region.data(), &header, sizeof(header));
 
   Checksummer hasher;
-  hasher.Update(reinterpret_cast<const uint8_t*>(&header), kHeaderBytes);
+  hasher.Update(region.data(), region.size());
   hasher.Update(body, body_bytes);
   const uint64_t checksum = hasher.Finish();
 
@@ -220,7 +251,8 @@ Status SaveSnapshot(IrTree* tree, const std::string& path) {
   if (!out) {
     return Status::IoError("cannot open for writing: " + path);
   }
-  out.write(reinterpret_cast<const char*>(&header), kHeaderBytes);
+  out.write(reinterpret_cast<const char*>(region.data()),
+            static_cast<std::streamsize>(region.size()));
   out.write(reinterpret_cast<const char*>(body),
             static_cast<std::streamsize>(body_bytes));
   out.write(reinterpret_cast<const char*>(&checksum), kTrailerBytes);
@@ -247,12 +279,14 @@ Status ReadAndCheckFile(const std::string& path, int fd, bool verify_checksum,
     return Status::IoError("cannot stat: " + path);
   }
   const uint64_t file_size = static_cast<uint64_t>(st.st_size);
-  if (file_size < kHeaderBytes) {
+  if (file_size < kV1HeaderBytes) {
     return Status::Corruption("snapshot truncated (no full header): " + path);
   }
-  SnapshotHeader header;
-  ssize_t n = pread(fd, &header, kHeaderBytes, 0);
-  if (n != static_cast<ssize_t>(kHeaderBytes)) {
+  // Read the 48-byte v1 prefix first; it carries everything needed to
+  // decide how much more header there is.
+  SnapshotHeader header{};
+  ssize_t n = pread(fd, &header, kV1HeaderBytes, 0);
+  if (n != static_cast<ssize_t>(kV1HeaderBytes)) {
     return Status::IoError("cannot read header: " + path);
   }
   if (header.magic != kSnapshotMagic) {
@@ -263,25 +297,46 @@ Status ReadAndCheckFile(const std::string& path, int fd, bool verify_checksum,
     return Status::Corruption(
         "snapshot byte order does not match this host: " + path);
   }
-  if (header.version != kSnapshotVersion) {
+  if (header.version != 1 && header.version != kSnapshotVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot version " + std::to_string(header.version) +
-        " (expected " + std::to_string(kSnapshotVersion) + "): " + path);
+        " (expected 1.." + std::to_string(kSnapshotVersion) + "): " + path);
+  }
+  const uint64_t header_region = HeaderRegionBytes(header.version);
+  if (header.version >= 2) {
+    if (file_size < header_region) {
+      return Status::Corruption("snapshot truncated (no full header): " +
+                                path);
+    }
+    n = pread(fd, reinterpret_cast<uint8_t*>(&header) + kV1HeaderBytes,
+              sizeof(SnapshotHeader) - kV1HeaderBytes,
+              static_cast<off_t>(kV1HeaderBytes));
+    if (n != static_cast<ssize_t>(sizeof(SnapshotHeader) - kV1HeaderBytes)) {
+      return Status::IoError("cannot read header: " + path);
+    }
+    const Status layout_ok = CheckLayoutId(header.layout, path);
+    if (!layout_ok.ok()) {
+      return layout_ok;
+    }
+  } else {
+    header.layout = static_cast<uint32_t>(FrozenLayout::kBfs);
+    header.reserved = 0;
   }
   const uint64_t expected_body = FrozenStore::BodyBytes(
-      header.num_nodes, header.num_leaf_entries, header.num_terms);
+      static_cast<FrozenLayout>(header.layout), header.num_nodes,
+      header.num_leaf_entries, header.num_terms);
   if (header.body_bytes != expected_body) {
     return Status::Corruption("snapshot body size inconsistent with counts: " +
                               path);
   }
-  if (file_size != kHeaderBytes + header.body_bytes + kTrailerBytes) {
+  if (file_size != header_region + header.body_bytes + kTrailerBytes) {
     return Status::Corruption("snapshot truncated or oversized: " + path);
   }
   if (verify_checksum) {
     Checksummer hasher;
     std::vector<uint8_t> buf(1 << 20);
     uint64_t off = 0;
-    const uint64_t covered = kHeaderBytes + header.body_bytes;
+    const uint64_t covered = header_region + header.body_bytes;
     while (off < covered) {
       const size_t want =
           static_cast<size_t>(std::min<uint64_t>(buf.size(), covered - off));
@@ -312,6 +367,8 @@ Status ReadAndCheckFile(const std::string& path, int fd, bool verify_checksum,
     info->height = header.height;
     info->body_bytes = header.body_bytes;
     info->file_bytes = file_size;
+    info->layout = static_cast<FrozenLayout>(header.layout);
+    info->header_bytes = header_region;
   }
   if (header_out != nullptr) {
     *header_out = header;
@@ -341,15 +398,27 @@ StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
 
 StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
                                                const std::string& path) {
+  return LoadSnapshot(dataset, path, SnapshotLoadOptions());
+}
+
+StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(
+    const Dataset* dataset, const std::string& path,
+    const SnapshotLoadOptions& load_options) {
   COSKQ_CHECK(dataset != nullptr);
+  const bool cold =
+      load_options.cold || load_options.memory_budget_bytes != 0;
   Fd fd;
   fd.fd = open(path.c_str(), O_RDONLY);
   if (fd.fd < 0) {
     return Status::IoError("cannot open: " + path);
   }
+  // Cold mode verifies the checksum with streamed reads here — touching the
+  // mapping would prefault exactly the pages cold mode exists to avoid.
+  // Warm mode defers verification to the (populated) mapping below, so the
+  // file is read once, not twice.
   SnapshotHeader header;
   uint64_t file_size = 0;
-  Status status = ReadAndCheckFile(path, fd.fd, /*verify_checksum=*/false,
+  Status status = ReadAndCheckFile(path, fd.fd, /*verify_checksum=*/cold,
                                    nullptr, &header, &file_size);
   if (!status.ok()) {
     return status;
@@ -363,20 +432,22 @@ StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
   if (header.max_entries < 4) {
     return Status::Corruption("snapshot max_entries out of range: " + path);
   }
+  const FrozenLayout layout = static_cast<FrozenLayout>(header.layout);
+  const uint64_t header_region = HeaderRegionBytes(header.version);
+  const uint64_t covered = header_region + header.body_bytes;
 
   auto store = std::make_unique<FrozenStore>();
   const uint8_t* body = nullptr;
-  const uint64_t covered = kHeaderBytes + header.body_bytes;
-  Checksummer hasher;
-  uint64_t trailer = 0;
   // Prefer a read-only mapping: zero-copy load, pages shared across
-  // processes serving the same snapshot. The checksum is verified over the
-  // mapping itself, so the file is never read twice; MAP_POPULATE prefaults
-  // the pages in one syscall instead of one fault per page during that
-  // verification pass.
+  // processes serving the same snapshot. Warm mode prefaults the whole file
+  // with MAP_POPULATE (one syscall instead of one fault per page during
+  // checksum verification); cold mode maps without it, so pages fault in on
+  // demand as traversals touch them.
   int map_flags = MAP_PRIVATE;
 #ifdef MAP_POPULATE
-  map_flags |= MAP_POPULATE;
+  if (!cold) {
+    map_flags |= MAP_POPULATE;
+  }
 #endif
   void* mapped = mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
                       map_flags, fd.fd, 0);
@@ -384,30 +455,56 @@ StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
     store->mapped = mapped;
     store->mapped_size = static_cast<size_t>(file_size);
     const uint8_t* base = static_cast<const uint8_t*>(mapped);
-    hasher.Update(base, static_cast<size_t>(covered));
-    memcpy(&trailer, base + covered, kTrailerBytes);
-    body = base + kHeaderBytes;
+    body = base + header_region;
+    if (cold) {
+      internal_index::AdviseRandom(body, header.body_bytes);
+    } else {
+      Checksummer hasher;
+      hasher.Update(base, static_cast<size_t>(covered));
+      uint64_t trailer = 0;
+      memcpy(&trailer, base + covered, kTrailerBytes);
+      if (trailer != hasher.Finish()) {
+        return Status::Corruption("snapshot checksum mismatch: " + path);
+      }
+    }
   } else {
-    // Fallback for filesystems without mmap: one contiguous read.
+    // Fallback for filesystems without mmap: one contiguous read (cold mode
+    // degenerates to a fully resident heap body — correct, just not
+    // out-of-core).
     store->owned.resize(static_cast<size_t>(header.body_bytes));
     ssize_t n = pread(fd.fd, store->owned.data(), store->owned.size(),
-                      static_cast<off_t>(kHeaderBytes));
+                      static_cast<off_t>(header_region));
     if (n != static_cast<ssize_t>(store->owned.size())) {
       return Status::IoError("cannot read body: " + path);
     }
-    hasher.Update(reinterpret_cast<const uint8_t*>(&header), kHeaderBytes);
-    hasher.Update(store->owned.data(), store->owned.size());
-    n = pread(fd.fd, &trailer, kTrailerBytes, static_cast<off_t>(covered));
-    if (n != static_cast<ssize_t>(kTrailerBytes)) {
-      return Status::IoError("cannot read trailer: " + path);
+    if (!cold) {
+      // Cold mode already stream-verified above; warm mode verifies here.
+      std::vector<uint8_t> region(static_cast<size_t>(header_region));
+      n = pread(fd.fd, region.data(), region.size(), 0);
+      if (n != static_cast<ssize_t>(region.size())) {
+        return Status::IoError("cannot read header: " + path);
+      }
+      Checksummer hasher;
+      hasher.Update(region.data(), region.size());
+      hasher.Update(store->owned.data(), store->owned.size());
+      uint64_t trailer = 0;
+      n = pread(fd.fd, &trailer, kTrailerBytes, static_cast<off_t>(covered));
+      if (n != static_cast<ssize_t>(kTrailerBytes)) {
+        return Status::IoError("cannot read trailer: " + path);
+      }
+      if (trailer != hasher.Finish()) {
+        return Status::Corruption("snapshot checksum mismatch: " + path);
+      }
     }
     body = store->owned.data();
   }
-  if (trailer != hasher.Finish()) {
-    return Status::Corruption("snapshot checksum mismatch: " + path);
-  }
-  store->BindView(body, header.num_nodes, header.num_leaf_entries,
+  store->BindView(layout, body, header.num_nodes, header.num_leaf_entries,
                   header.num_terms, header.height);
+  const bool cold_mapped = cold && store->mapped != nullptr;
+  if (cold_mapped) {
+    store->view.cold = true;
+    store->memory_budget_bytes = load_options.memory_budget_bytes;
+  }
 
   status = ValidateStructure(store->view, header.num_objects,
                              header.max_entries);
@@ -417,7 +514,21 @@ StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
 
   IrTree::Options options;
   options.max_entries = static_cast<int>(header.max_entries);
-  return SnapshotAccess::MakeFrozenOnly(dataset, options, std::move(store));
+  // The loaded tree adopts the snapshot's layout so Refreeze() preserves it.
+  options.frozen_layout = layout;
+  const uint8_t* body_ptr = body;
+  const uint64_t body_bytes = header.body_bytes;
+  auto tree =
+      SnapshotAccess::MakeFrozenOnly(dataset, options, std::move(store));
+  if (cold_mapped && load_options.drop_page_cache) {
+    // Validation and tree construction touched node records and leaf
+    // stripes; undo that warming so the first query batch really starts
+    // from disk. madvise drops this process's mapped pages, fadvise asks
+    // the kernel to drop the backing page cache. Both best effort.
+    internal_index::AdviseDontNeed(body_ptr, static_cast<size_t>(body_bytes));
+    (void)internal_index::DropFileCache(path);
+  }
+  return tree;
 }
 
 }  // namespace coskq

@@ -17,20 +17,27 @@ namespace coskq {
 /// prebuilt index instead of re-running STR bulk load on every start.
 ///
 /// File layout (all integers little-endian):
-///   [48-byte header]  magic "CQIX", version, endian marker 0x0102, dataset
+///   [header region]   magic "CQIX", version, endian marker 0x0102, dataset
 ///                     checksum, object count, max_entries, array counts,
-///                     height, body size
+///                     height, body size, and (v2+) the body layout id.
+///                     v1 wrote the bare 48-byte header; v2 writes a 56-byte
+///                     header zero-padded to a 4096-byte region so the body
+///                     starts page-aligned in the file — and therefore
+///                     page-aligned in a mapping, which the level-grouped
+///                     layout's page groups rely on.
 ///   [body]            the frozen arrays, byte-for-byte the FrozenStore body
 ///                     buffer (every section 8-byte aligned, so the body can
 ///                     be traversed in place from an mmap)
-///   [8-byte trailer]  FNV-1a checksum of header + body
+///   [8-byte trailer]  FNV-1a checksum of header region + body
 ///
 /// A snapshot is bound to the exact dataset it was built from: LoadSnapshot
-/// recomputes Dataset::ContentChecksum() and refuses a mismatch. Any change
-/// to the header, the FrozenNodeRecord layout, or the body section order
-/// requires bumping kSnapshotVersion.
+/// recomputes Dataset::ContentChecksum() and refuses a mismatch. v1 files
+/// keep loading (their layout is implicitly bfs); an unknown layout id in a
+/// v2 header is rejected with a Status. Any change to the header, the
+/// FrozenNodeRecord layout, or the body section order requires bumping
+/// kSnapshotVersion.
 inline constexpr uint32_t kSnapshotMagic = 0x58495143u;  // "CQIX"
-inline constexpr uint16_t kSnapshotVersion = 1;
+inline constexpr uint16_t kSnapshotVersion = 2;
 
 /// Header fields of a snapshot file, as returned by ReadSnapshotInfo
 /// (`coskq_cli index inspect`).
@@ -45,6 +52,27 @@ struct SnapshotInfo {
   uint32_t height = 0;
   uint64_t body_bytes = 0;
   uint64_t file_bytes = 0;
+  /// Physical node-region layout of the body (v1 files report kBfs).
+  FrozenLayout layout = FrozenLayout::kBfs;
+  /// Size of the header region preceding the body (48 for v1, 4096 for v2).
+  uint64_t header_bytes = 0;
+};
+
+/// How LoadSnapshot maps the file (DESIGN.md §14).
+struct SnapshotLoadOptions {
+  /// Cold / out-of-core mode: skip MAP_POPULATE (pages fault in on demand),
+  /// madvise(MADV_RANDOM) the body (traversals are not sequential), verify
+  /// the checksum by streamed reads instead of touching the mapping, and
+  /// switch traversal prefetch to page-granular madvise hints.
+  bool cold = false;
+  /// With `cold`: soft cap on the body's resident bytes, enforced by
+  /// periodic mincore sampling + madvise(MADV_DONTNEED) tail trims (see
+  /// FrozenStore::MaybeEnforceBudget). 0 = uncapped. Implies cold.
+  uint64_t memory_budget_bytes = 0;
+  /// Ask the kernel to drop the snapshot's page cache after checksum
+  /// verification (posix_fadvise DONTNEED), so the first traversal really
+  /// reads the disk — what the cold benchmarks need. Best effort.
+  bool drop_page_cache = false;
 };
 
 /// Writes `tree`'s frozen representation to `path`, freezing first if
@@ -56,9 +84,13 @@ Status SaveSnapshot(IrTree* tree, const std::string& path);
 /// outlive the tree). The file is mapped read-only when possible (falling
 /// back to a single read), so loading is O(validation) instead of
 /// O(rebuild). Fails with a Status — never crashes — on truncated, corrupt,
-/// wrong-version, or wrong-dataset files.
+/// wrong-version, unknown-layout, or wrong-dataset files. The loaded tree
+/// adopts the snapshot's frozen layout, so a later Refreeze() preserves it.
 StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(const Dataset* dataset,
                                                const std::string& path);
+StatusOr<std::unique_ptr<IrTree>> LoadSnapshot(
+    const Dataset* dataset, const std::string& path,
+    const SnapshotLoadOptions& load_options);
 
 /// Reads and validates a snapshot's header and checksum without a dataset
 /// (the dataset-checksum *match* is not checked; everything else is).

@@ -372,6 +372,14 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.delta_size);
   w.PutU64(reply.mutations_applied);
   w.PutU64(reply.refreezes_completed);
+  w.PutU8(reply.index_layout);
+  w.PutU8(reply.index_cold);
+  w.PutU64(reply.body_bytes);
+  w.PutU64(reply.body_resident_bytes);
+  w.PutU64(reply.memory_budget_bytes);
+  w.PutU64(reply.budget_trims);
+  w.PutU64(reply.major_faults);
+  w.PutU64(reply.minor_faults);
   return payload;
 }
 
@@ -393,7 +401,13 @@ bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
          r.GetU64(&out->index_nodes) && r.GetU64(&out->index_checksum) &&
          r.GetU64(&out->index_epoch) && r.GetU64(&out->delta_size) &&
          r.GetU64(&out->mutations_applied) &&
-         r.GetU64(&out->refreezes_completed) && r.AtEnd();
+         r.GetU64(&out->refreezes_completed) &&
+         r.GetU8(&out->index_layout) && out->index_layout <= 1 &&
+         r.GetU8(&out->index_cold) && out->index_cold <= 1 &&
+         r.GetU64(&out->body_bytes) && r.GetU64(&out->body_resident_bytes) &&
+         r.GetU64(&out->memory_budget_bytes) &&
+         r.GetU64(&out->budget_trims) && r.GetU64(&out->major_faults) &&
+         r.GetU64(&out->minor_faults) && r.AtEnd();
 }
 
 std::string StatsReply::ToString() const {
@@ -427,6 +441,17 @@ std::string StatsReply::ToString() const {
          " mutations=" + std::to_string(mutations_applied) +
          " refreezes=" + std::to_string(refreezes_completed) + "}";
   }
+  s += std::string(" mem{layout=") +
+       (index_layout == 1 ? "level-grouped" : "bfs") +
+       (index_cold != 0 ? " cold" : " warm") +
+       " body=" + std::to_string(body_bytes) +
+       " resident=" + std::to_string(body_resident_bytes);
+  if (memory_budget_bytes > 0) {
+    s += " budget=" + std::to_string(memory_budget_bytes) +
+         " trims=" + std::to_string(budget_trims);
+  }
+  s += " majflt=" + std::to_string(major_faults) +
+       " minflt=" + std::to_string(minor_faults) + "}";
   return s;
 }
 

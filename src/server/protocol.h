@@ -32,8 +32,10 @@ inline constexpr uint16_t kProtocolMagic = 0x4351;
 /// Version 2 extended StatsReply with index-provenance fields (snapshot vs
 /// rebuild, prepare time, node count, dataset checksum). Version 3 added the
 /// MUTATE verb (live index updates) and the live-update StatsReply fields
-/// (index epoch, delta size, mutation/refreeze counters).
-inline constexpr uint8_t kProtocolVersion = 3;
+/// (index epoch, delta size, mutation/refreeze counters). Version 4 added
+/// the out-of-core StatsReply fields (frozen body layout, cold mapping,
+/// residency/budget counters, page faults).
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload. A QUERY is a handful of keywords and a
 /// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
@@ -206,6 +208,23 @@ struct StatsReply {
   uint64_t mutations_applied = 0;
   /// Total background refreezes completed since startup.
   uint64_t refreezes_completed = 0;
+
+  // Out-of-core counters (protocol v4; see IndexMemoryStats). Zero/bfs for
+  // warm in-memory serving.
+  /// FrozenLayout id of the serving body (0 = bfs, 1 = level-grouped).
+  uint8_t index_layout = 0;
+  /// 1 when the snapshot mapping is cold (pages fault in on demand).
+  uint8_t index_cold = 0;
+  /// Frozen body size and its resident subset, in bytes.
+  uint64_t body_bytes = 0;
+  uint64_t body_resident_bytes = 0;
+  /// Memory budget (0 = uncapped) and trim count (see MaybeEnforceBudget).
+  uint64_t memory_budget_bytes = 0;
+  uint64_t budget_trims = 0;
+  /// Cumulative process page faults (getrusage): major faults are the disk
+  /// reads cold serving is judged by.
+  uint64_t major_faults = 0;
+  uint64_t minor_faults = 0;
 
   /// One-line human rendering for logs and the load generator.
   std::string ToString() const;

@@ -281,6 +281,17 @@ ServerStatsSnapshot CoskqServer::stats() const {
     snap.mutations_applied = options_.mutable_index->mutations_applied();
     snap.refreezes_completed = options_.mutable_index->refreezes_completed();
   }
+  if (context_.index != nullptr) {
+    const IndexMemoryStats mem = context_.index->MemoryStats();
+    snap.index_layout = static_cast<uint8_t>(mem.layout);
+    snap.index_cold = mem.cold ? 1 : 0;
+    snap.body_bytes = mem.body_bytes;
+    snap.body_resident_bytes = mem.body_resident_bytes;
+    snap.memory_budget_bytes = mem.memory_budget_bytes;
+    snap.budget_trims = mem.budget_trims;
+    snap.major_faults = mem.major_faults;
+    snap.minor_faults = mem.minor_faults;
+  }
   return snap;
 }
 

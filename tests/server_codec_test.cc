@@ -261,12 +261,38 @@ TEST(PayloadCodecTest, StatsRoundTrip) {
   stats.p50_ms = 1.0;
   stats.p95_ms = 4.0;
   stats.p99_ms = 9.0;
+  stats.index_layout = 1;
+  stats.index_cold = 1;
+  stats.body_bytes = 1 << 24;
+  stats.body_resident_bytes = 1 << 20;
+  stats.memory_budget_bytes = 1 << 22;
+  stats.budget_trims = 4;
+  stats.major_faults = 123;
+  stats.minor_faults = 456;
   StatsReply decoded;
   ASSERT_TRUE(DecodeStatsReply(EncodeStatsReply(stats), &decoded));
   EXPECT_EQ(decoded.connections_accepted, 10u);
   EXPECT_EQ(decoded.queries_shed, 80u);
   EXPECT_EQ(decoded.queue_depth, 7u);
   EXPECT_EQ(decoded.p99_ms, 9.0);
+  EXPECT_EQ(decoded.index_layout, 1u);
+  EXPECT_EQ(decoded.index_cold, 1u);
+  EXPECT_EQ(decoded.body_bytes, uint64_t{1} << 24);
+  EXPECT_EQ(decoded.body_resident_bytes, uint64_t{1} << 20);
+  EXPECT_EQ(decoded.memory_budget_bytes, uint64_t{1} << 22);
+  EXPECT_EQ(decoded.budget_trims, 4u);
+  EXPECT_EQ(decoded.major_faults, 123u);
+  EXPECT_EQ(decoded.minor_faults, 456u);
+
+  // Out-of-range layout/cold bytes are rejected, not misparsed.
+  std::string wire = EncodeStatsReply(stats);
+  const size_t layout_off = wire.size() - (2 + 6 * 8);
+  std::string bad = wire;
+  bad[layout_off] = 2;
+  EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
+  bad = wire;
+  bad[layout_off + 1] = 2;
+  EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
 }
 
 // --------------------------------------------------------------------------

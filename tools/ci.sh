@@ -18,9 +18,13 @@
 #
 # The perf job is opt-in (not part of the default matrix): it builds
 # Release, runs the A/B benchmarks (hot path, dataset suite, frozen IR-tree
-# layout) at the same scale the committed BENCH_*.json baselines were
-# recorded at, and gates on tools/bench_compare.py: any directional metric
-# more than 25% worse than its committed baseline fails the job. Set
+# layout, out-of-core scalability) at the same scale the committed
+# BENCH_*.json baselines were recorded at, and gates on
+# tools/bench_compare.py: any directional metric more than 25% worse than
+# its committed baseline fails the job. It also smoke-tests the
+# bounded-memory contract: a budget-capped cold-mmap batch must finish
+# under a hard `ulimit -v` cap and report the DESIGN.md §14 paging
+# counters. Set
 # COSKQ_PERF_WARN_ONLY=1 to report regressions without failing (the escape
 # hatch for noisy shared runners). The job then builds an index snapshot
 # once with `coskq_cli index build`, records cold-start (rebuild) vs
@@ -150,6 +154,35 @@ for job in "${JOBS[@]}"; do
       run_gated_bench bench_irtree_layout BENCH_irtree_layout.json 100
       run_gated_bench bench_simd BENCH_simd.json 100
       run_gated_bench bench_datasets BENCH_datasets.json 20
+      # Out-of-core scalability (DESIGN.md §14). Two growth points at CI
+      # scale keep the job bounded; cell identity embeds the object count,
+      # so these small runs are "new, no baseline" against the committed
+      # paper-scale BENCH_scalability.json rather than false regressions.
+      # A full-scale re-run (COSKQ_BENCH_SCALE=1 COSKQ_BENCH_SIZES=2000000)
+      # compares cell-for-cell against the committed baseline.
+      COSKQ_BENCH_SIZES="${COSKQ_BENCH_SIZES:-2000000,4000000}" \
+          run_gated_bench bench_scalability BENCH_scalability.json 20
+
+      echo "== perf: out-of-core smoke under a hard address-space cap =="
+      # A budget-capped cold-mmap batch must complete inside a 256 MiB
+      # ulimit -v sandbox (the cap counts the mmap itself, so it must
+      # exceed the snapshot file size — here ~7 MB — by the process's
+      # baseline needs) and must report the §14 paging counters. This is
+      # the bounded-memory contract a paper-scale deployment relies on.
+      OOC_DIR=build-ci-perf/ooc
+      mkdir -p "$OOC_DIR"
+      ./build-ci-perf/tools/coskq_cli generate 100000 "$OOC_DIR/ooc.txt" \
+          --seed 9 > /dev/null
+      ./build-ci-perf/tools/coskq_cli index build "$OOC_DIR/ooc.txt" \
+          "$OOC_DIR/ooc.cqix" --layout level-grouped > /dev/null
+      ( ulimit -v 262144
+        ./build-ci-perf/tools/coskq_cli batch "$OOC_DIR/ooc.txt" \
+            maxsum-appro 50 6 --index-snapshot "$OOC_DIR/ooc.cqix" --cold \
+            --drop-page-cache --memory-budget 2097152 ) \
+          | tee "$OOC_DIR/ooc.log"
+      grep -q "index memory: layout=level-grouped cold" "$OOC_DIR/ooc.log"
+      grep -q "major_faults=" "$OOC_DIR/ooc.log"
+      grep -q "budget=2,097,152" "$OOC_DIR/ooc.log"
 
       echo "== perf: snapshot build + cold-start vs warm-start =="
       SOAK_DIR=build-ci-perf/soak

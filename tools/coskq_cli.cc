@@ -2,17 +2,29 @@
 //
 // Subcommands:
 //   generate <preset|objects> <out.txt> [--scale S] [--seed N]
+//            [--augment-to N]
 //       Writes a synthetic dataset ("hotel"/"gn"/"web" presets at the given
-//       scale, or a plain object count) in the text format.
+//       scale, or a plain object count) in the text format. --augment-to
+//       grows the generated base to N objects the way the paper's
+//       scalability experiment grows GN (location and keyword donors drawn
+//       from the base), stream-written so memory stays bounded by the base
+//       size even at 10M objects.
 //   query <dataset.txt> <solver> <x> <y> <kw> [kw...]
 //       Loads a dataset, builds the IR-tree, runs one query, prints the set.
 //   batch <dataset.txt> <solver> <queries> <keywords>
 //         [--threads N] [--seed S] [--deadline-ms D] [--no-masks]
+//         [--index-snapshot PATH] [--cold] [--memory-budget BYTES]
+//         [--drop-page-cache]
 //       Generates a random query batch the paper's way and executes it on
 //       the parallel BatchEngine (N worker threads; 0 or omitted = all
 //       hardware threads), printing the aggregate latency stats (p50/p95/
 //       p99), throughput, and the distance-memo hit counters. --no-masks
-//       runs the pre-mask baseline hot path (A/B comparison).
+//       runs the pre-mask baseline hot path (A/B comparison). With
+//       --index-snapshot, --cold maps the snapshot out-of-core (pages fault
+//       in on demand), --memory-budget caps the body's resident bytes
+//       (implies --cold), --drop-page-cache evicts the file cache first so
+//       the run starts from disk; the residency/page-fault counters are
+//       printed after the batch.
 //   serve <dataset.txt> [--port P] [--workers N] [--queue-cap Q]
 //         [--max-deadline-ms D] [--port-file PATH] [--index-snapshot PATH]
 //         [--enable-mutations] [--refreeze-threshold T]
@@ -27,11 +39,15 @@
 //       --mutation-capacity caps lifetime inserts). Drains gracefully on
 //       SIGTERM/SIGINT and prints the final stats.
 //   index build <dataset.txt> <out.cqix> [--max-entries M]
+//         [--layout <bfs|level-grouped>]
 //       Builds the IR-tree once and writes the frozen flat representation
 //       as a versioned snapshot, so `batch`/`serve --index-snapshot` can
-//       skip the build on every start.
+//       skip the build on every start. --layout level-grouped emits the
+//       page-local body layout (fewest pages per parent expansion; the
+//       right choice for cold/out-of-core serving).
 //   index inspect <snapshot.cqix>
-//       Validates a snapshot (header, checksum) and prints its fields.
+//       Validates a snapshot (header, checksum) and prints its fields,
+//       including the body layout and a per-section byte/page breakdown.
 //   solvers
 //       Lists the solver registry names.
 //
@@ -48,10 +64,12 @@
 #include <vector>
 
 #include "core/solvers.h"
+#include "data/augment.h"
 #include "data/dataset.h"
 #include "data/query_gen.h"
 #include "data/synthetic.h"
 #include "engine/batch_engine.h"
+#include "index/frozen_layout.h"
 #include "index/irtree.h"
 #include "index/snapshot.h"
 #include "server/server.h"
@@ -66,13 +84,14 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  coskq_cli generate <hotel|gn|web|COUNT> <out.txt> "
-               "[--scale S] [--seed N]\n"
+               "[--scale S] [--seed N] [--augment-to N]\n"
                "  coskq_cli query <dataset.txt> <solver> <x> <y> <kw...>\n"
                "  coskq_cli batch <dataset.txt> <solver> <queries> "
                "<keywords>\n"
                "            [--threads N] [--seed S] [--deadline-ms D] "
                "[--no-masks]\n"
-               "            [--index-snapshot PATH]\n"
+               "            [--index-snapshot PATH] [--cold] "
+               "[--memory-budget BYTES] [--drop-page-cache]\n"
                "  coskq_cli serve <dataset.txt> [--port P] [--workers N] "
                "[--queue-cap Q]\n"
                "            [--max-deadline-ms D] [--port-file PATH] "
@@ -80,7 +99,7 @@ int Usage() {
                "            [--enable-mutations] [--refreeze-threshold T] "
                "[--mutation-capacity C]\n"
                "  coskq_cli index build <dataset.txt> <out.cqix> "
-               "[--max-entries M]\n"
+               "[--max-entries M] [--layout <bfs|level-grouped>]\n"
                "  coskq_cli index inspect <snapshot.cqix>\n"
                "  coskq_cli solvers\n");
   return 2;
@@ -92,11 +111,16 @@ int RunGenerate(const std::vector<std::string>& args) {
   }
   double scale = 0.01;
   uint64_t seed = 1;
+  uint64_t augment_to = 0;
   for (size_t i = 2; i + 1 < args.size(); i += 2) {
     if (args[i] == "--scale") {
       ParseDouble(args[i + 1], &scale);
     } else if (args[i] == "--seed") {
       ParseUint64(args[i + 1], &seed);
+    } else if (args[i] == "--augment-to") {
+      if (!ParseUint64(args[i + 1], &augment_to)) {
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -118,15 +142,26 @@ int RunGenerate(const std::vector<std::string>& args) {
   }
   Rng rng(seed);
   const Dataset dataset = GenerateSynthetic(spec, &rng);
-  const Status status = dataset.SaveToFile(args[1]);
+  Status status;
+  size_t written = dataset.NumObjects();
+  if (augment_to > dataset.NumObjects()) {
+    status = StreamAugmentedToFile(dataset, augment_to, &rng, args[1]);
+    written = augment_to;
+  } else {
+    status = dataset.SaveToFile(args[1]);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s objects (%s unique words) to %s\n",
-              FormatWithCommas(dataset.NumObjects()).c_str(),
+  std::string base_note;
+  if (augment_to > dataset.NumObjects()) {
+    base_note = ", base " + FormatWithCommas(dataset.NumObjects());
+  }
+  std::printf("wrote %s objects (%s unique words%s) to %s\n",
+              FormatWithCommas(written).c_str(),
               FormatWithCommas(dataset.vocabulary().size()).c_str(),
-              args[1].c_str());
+              base_note.c_str(), args[1].c_str());
   return 0;
 }
 
@@ -190,10 +225,12 @@ int RunQuery(const std::vector<std::string>& args) {
 }
 
 /// Builds the IR-tree in-process (then freezes it) or loads it from a
-/// snapshot when `snapshot_path` is non-empty. Prints the prepare timing and
+/// snapshot when `snapshot_path` is non-empty (honouring `load_options` —
+/// cold/out-of-core mapping, memory budget). Prints the prepare timing and
 /// reports it (plus provenance) through the out-parameters.
 std::unique_ptr<IrTree> PrepareIndex(const Dataset& dataset,
                                      const std::string& snapshot_path,
+                                     const SnapshotLoadOptions& load_options,
                                      double* prepare_ms, bool* from_snapshot) {
   WallTimer timer;
   std::unique_ptr<IrTree> index;
@@ -203,7 +240,7 @@ std::unique_ptr<IrTree> PrepareIndex(const Dataset& dataset,
     *from_snapshot = false;
   } else {
     StatusOr<std::unique_ptr<IrTree>> loaded =
-        LoadSnapshot(&dataset, snapshot_path);
+        LoadSnapshot(&dataset, snapshot_path, load_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    loaded.status().ToString().c_str());
@@ -217,6 +254,26 @@ std::unique_ptr<IrTree> PrepareIndex(const Dataset& dataset,
               FormatWithCommas(dataset.NumObjects()).c_str(),
               *from_snapshot ? "snapshot-loaded" : "built", *prepare_ms);
   return index;
+}
+
+/// Prints the out-of-core counters after a batch (what the CI smoke greps
+/// for: page-fault counters must be present on budget-capped runs).
+void PrintMemoryStats(const IrTree& index) {
+  const IndexMemoryStats mem = index.MemoryStats();
+  std::printf(
+      "index memory: layout=%s %s body=%s resident=%s major_faults=%llu "
+      "minor_faults=%llu",
+      FrozenLayoutName(mem.layout), mem.cold ? "cold" : "warm",
+      FormatWithCommas(mem.body_bytes).c_str(),
+      FormatWithCommas(mem.body_resident_bytes).c_str(),
+      static_cast<unsigned long long>(mem.major_faults),
+      static_cast<unsigned long long>(mem.minor_faults));
+  if (mem.memory_budget_bytes > 0) {
+    std::printf(" budget=%s trims=%llu",
+                FormatWithCommas(mem.memory_budget_bytes).c_str(),
+                static_cast<unsigned long long>(mem.budget_trims));
+  }
+  std::printf("\n");
 }
 
 int RunBatch(const std::vector<std::string>& args) {
@@ -234,9 +291,20 @@ int RunBatch(const std::vector<std::string>& args) {
   double deadline_ms = 0.0;
   bool use_query_masks = true;
   std::string snapshot_path;
+  SnapshotLoadOptions load_options;
   for (size_t i = 4; i < args.size();) {
     if (args[i] == "--no-masks") {
       use_query_masks = false;
+      ++i;
+      continue;
+    }
+    if (args[i] == "--cold") {
+      load_options.cold = true;
+      ++i;
+      continue;
+    }
+    if (args[i] == "--drop-page-cache") {
+      load_options.drop_page_cache = true;
       ++i;
       continue;
     }
@@ -257,10 +325,22 @@ int RunBatch(const std::vector<std::string>& args) {
       }
     } else if (args[i] == "--index-snapshot") {
       snapshot_path = args[i + 1];
+    } else if (args[i] == "--memory-budget") {
+      if (!ParseUint64(args[i + 1], &load_options.memory_budget_bytes)) {
+        return Usage();
+      }
     } else {
       return Usage();
     }
     i += 2;
+  }
+  if ((load_options.cold || load_options.memory_budget_bytes != 0 ||
+       load_options.drop_page_cache) &&
+      snapshot_path.empty()) {
+    std::fprintf(stderr,
+                 "--cold/--memory-budget/--drop-page-cache require "
+                 "--index-snapshot\n");
+    return Usage();
   }
 
   StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
@@ -271,8 +351,8 @@ int RunBatch(const std::vector<std::string>& args) {
   Dataset dataset = std::move(loaded).value();
   double prepare_ms = 0.0;
   bool from_snapshot = false;
-  std::unique_ptr<IrTree> index =
-      PrepareIndex(dataset, snapshot_path, &prepare_ms, &from_snapshot);
+  std::unique_ptr<IrTree> index = PrepareIndex(
+      dataset, snapshot_path, load_options, &prepare_ms, &from_snapshot);
   if (index == nullptr) {
     return 1;
   }
@@ -303,6 +383,7 @@ int RunBatch(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(num_keywords),
               static_cast<unsigned long long>(seed));
   std::printf("%s\n", outcome.stats.ToString().c_str());
+  PrintMemoryStats(*index);
   return 0;
 }
 
@@ -372,7 +453,8 @@ int RunServe(const std::vector<std::string>& args) {
   double prepare_ms = 0.0;
   bool from_snapshot = false;
   std::unique_ptr<IrTree> index =
-      PrepareIndex(dataset, snapshot_path, &prepare_ms, &from_snapshot);
+      PrepareIndex(dataset, snapshot_path, SnapshotLoadOptions(),
+                   &prepare_ms, &from_snapshot);
   if (index == nullptr) {
     return 1;
   }
@@ -423,6 +505,12 @@ int RunIndexBuild(const std::vector<std::string>& args) {
         return Usage();
       }
       tree_options.max_entries = static_cast<int>(value);
+    } else if (args[i] == "--layout") {
+      if (!FrozenLayoutFromName(args[i + 1], &tree_options.frozen_layout)) {
+        std::fprintf(stderr, "unknown layout '%s' (bfs, level-grouped)\n",
+                     args[i + 1].c_str());
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -450,11 +538,11 @@ int RunIndexBuild(const std::vector<std::string>& args) {
   }
   std::printf(
       "built IR-tree over %s objects in %.1f ms; wrote %s bytes to %s "
-      "in %.1f ms (%s nodes, height %u)\n",
+      "in %.1f ms (%s nodes, height %u, layout %s)\n",
       FormatWithCommas(dataset.NumObjects()).c_str(), build_ms,
       FormatWithCommas(info->file_bytes).c_str(), args[1].c_str(),
       save_timer.ElapsedMillis(), FormatWithCommas(info->num_nodes).c_str(),
-      info->height);
+      info->height, FrozenLayoutName(info->layout));
   return 0;
 }
 
@@ -483,10 +571,40 @@ int RunIndexInspect(const std::vector<std::string>& args) {
   std::printf("  term arena       %s ids\n",
               FormatWithCommas(info->num_terms).c_str());
   std::printf("  height           %u\n", info->height);
-  std::printf("  body bytes       %s\n",
-              FormatWithCommas(info->body_bytes).c_str());
+  std::printf("  layout           %s\n", FrozenLayoutName(info->layout));
+  std::printf("  header bytes     %s\n",
+              FormatWithCommas(info->header_bytes).c_str());
+  constexpr uint64_t kPage = 4096;
+  const auto pages = [](uint64_t bytes) { return (bytes + kPage - 1) / kPage; };
+  std::printf("  body bytes       %s (%s pages)\n",
+              FormatWithCommas(info->body_bytes).c_str(),
+              FormatWithCommas(pages(info->body_bytes)).c_str());
   std::printf("  file bytes       %s\n",
               FormatWithCommas(info->file_bytes).c_str());
+
+  // Per-section breakdown, recomputed from the header counts exactly as the
+  // loader lays the body out.
+  using internal_index::BodyLayout;
+  const BodyLayout lay = BodyLayout::Make(
+      info->layout, info->num_nodes, info->num_leaf_entries, info->num_terms);
+  const auto section = [&](const char* name, uint64_t begin, uint64_t end) {
+    std::printf("    %-15s %12s bytes %8s pages\n", name,
+                FormatWithCommas(end - begin).c_str(),
+                FormatWithCommas(pages(end - begin)).c_str());
+  };
+  std::printf("  body sections (%s node region):\n",
+              info->layout == FrozenLayout::kLevelGrouped
+                  ? "page-group interleaved"
+                  : "per-lane");
+  section("node region", 0, lay.node_region_bytes);
+  section("term arena", lay.terms_off, lay.leaf_ids_off);
+  section("leaf ids", lay.leaf_ids_off, lay.leaf_x_off);
+  section("leaf x", lay.leaf_x_off, lay.leaf_y_off);
+  section("leaf y", lay.leaf_y_off, lay.leaf_sigs_off);
+  section("leaf sigs", lay.leaf_sigs_off, lay.leaf_term_begin_off);
+  section("leaf term begin", lay.leaf_term_begin_off,
+          lay.leaf_term_count_off);
+  section("leaf term count", lay.leaf_term_count_off, lay.total_bytes);
   return 0;
 }
 
