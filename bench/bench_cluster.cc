@@ -1,0 +1,500 @@
+// C1 — Scatter-gather cluster benchmark (DESIGN.md §15).
+//
+// Stands up the full serving cluster in one process — BuildShardedCluster
+// over a spatially clustered dataset, four shard servers reloaded from the
+// build artifacts, a ClusterRouter fronting them — next to a single
+// CoskqServer over the whole dataset, and replays the same wire workload
+// through both. The workload is the one the shard lower bounds were built
+// for: keyword vocabularies correlated with the spatial clusters, so the
+// manifest Bloom signatures can rule shards out, plus cross-cluster
+// "shared"-keyword exact queries where only the MINDIST bound from the
+// approximate probe can prune.
+//
+// Reports per-query p50/p95 and throughput for the routed and the single
+// paths, and the router's prune accounting (fan-out, keyword prunes,
+// distance prunes, probes, prune rate). Routed answers are verified
+// bit-identical to a direct BatchEngine run over the whole dataset — any
+// divergence aborts. The run FAILS (exit 1) unless both prune mechanisms
+// fired: a cluster whose lower bounds never prune is just fan-out tax.
+//
+// Writes BENCH_cluster.json for tools/bench_compare.py.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/json_writer.h"
+#include "benchlib/table.h"
+#include "cluster/manifest.h"
+#include "cluster/partitioner.h"
+#include "cluster/router.h"
+#include "engine/batch_engine.h"
+#include "index/irtree.h"
+#include "index/snapshot.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace coskq {
+namespace {
+
+constexpr uint32_t kShards = 4;
+constexpr size_t kTimingRounds = 3;
+constexpr size_t kLocalTermsPerCluster = 12;
+constexpr size_t kSharedTerms = 6;
+
+std::string LocalTerm(uint32_t cluster, size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%u-w%02zu", cluster, i);
+  return buf;
+}
+
+std::string SharedTerm(size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shared-w%zu", i);
+  return buf;
+}
+
+struct ClusterGeometry {
+  Point centers[kShards] = {{0.2, 0.2}, {0.8, 0.2}, {0.2, 0.8}, {0.8, 0.8}};
+  double sigma = 0.06;
+};
+
+/// A dataset whose keyword vocabulary is correlated with its spatial
+/// clusters: each object lives near one of four cluster centers and speaks
+/// mostly that cluster's local vocabulary, with every cluster also carrying
+/// the small shared vocabulary. STR tiling at K=4 recovers the clusters, so
+/// shard Bloom signatures separate the local vocabularies.
+Dataset MakeClusteredDataset(size_t num_objects, Rng* rng) {
+  const ClusterGeometry geo;
+  Dataset dataset;
+  for (size_t i = 0; i < num_objects; ++i) {
+    const uint32_t cluster = static_cast<uint32_t>(i % kShards);
+    Point p;
+    p.x = std::min(0.99,
+                   std::max(0.01, geo.centers[cluster].x +
+                                      geo.sigma * rng->Gaussian()));
+    p.y = std::min(0.99,
+                   std::max(0.01, geo.centers[cluster].y +
+                                      geo.sigma * rng->Gaussian()));
+    std::vector<std::string> words;
+    const size_t locals = 2 + rng->UniformUint64(3);
+    for (size_t k = 0; k < locals; ++k) {
+      words.push_back(
+          LocalTerm(cluster, rng->UniformUint64(kLocalTermsPerCluster)));
+    }
+    if (rng->Bernoulli(0.5)) {
+      words.push_back(SharedTerm(rng->UniformUint64(kSharedTerms)));
+    }
+    dataset.AddObject(p, words);
+  }
+  return dataset;
+}
+
+struct WireQuery {
+  QueryRequest request;
+  CoskqQuery query;  // same query in direct-BatchEngine form
+};
+
+WireQuery MakeWireQuery(const Dataset& dataset, const Point& location,
+                        SolverKind solver,
+                        const std::vector<std::string>& words) {
+  WireQuery wq;
+  wq.request.x = location.x;
+  wq.request.y = location.y;
+  wq.request.cost_type = CostType::kMaxSum;
+  wq.request.solver = solver;
+  wq.request.keywords = words;
+  wq.query.location = location;
+  for (const std::string& word : words) {
+    const TermId t = dataset.vocabulary().Find(word);
+    if (t != Vocabulary::kInvalidTermId) {
+      wq.query.keywords.push_back(t);
+    }
+  }
+  std::sort(wq.query.keywords.begin(), wq.query.keywords.end());
+  return wq;
+}
+
+/// The three workload groups, `per_group` queries each:
+///   local-exact   owner-driven exact near one cluster, that cluster's
+///                 vocabulary — keyword prune clears the other shards;
+///   local-appro   same shape through the approximate solver — the
+///                 harvest-without-probe path;
+///   shared-exact  shared vocabulary (present in every shard) near one
+///                 cluster — only the probe's MINDIST bound can prune.
+std::vector<WireQuery> MakeWorkload(const Dataset& dataset, size_t per_group,
+                                    Rng* rng) {
+  const ClusterGeometry geo;
+  std::vector<WireQuery> out;
+  for (size_t group = 0; group < 3; ++group) {
+    for (size_t i = 0; i < per_group; ++i) {
+      const uint32_t cluster = static_cast<uint32_t>(rng->UniformUint64(kShards));
+      Point p;
+      p.x = std::min(0.99, std::max(0.01, geo.centers[cluster].x +
+                                              geo.sigma * rng->Gaussian()));
+      p.y = std::min(0.99, std::max(0.01, geo.centers[cluster].y +
+                                              geo.sigma * rng->Gaussian()));
+      std::vector<std::string> words;
+      if (group == 2) {
+        const size_t a = rng->UniformUint64(kSharedTerms);
+        const size_t b = (a + 1 + rng->UniformUint64(kSharedTerms - 1)) %
+                         kSharedTerms;
+        words = {SharedTerm(a), SharedTerm(b)};
+      } else {
+        const size_t a = rng->UniformUint64(kLocalTermsPerCluster);
+        const size_t b =
+            (a + 1 + rng->UniformUint64(kLocalTermsPerCluster - 1)) %
+            kLocalTermsPerCluster;
+        words = {LocalTerm(cluster, a), LocalTerm(cluster, b)};
+      }
+      const SolverKind solver =
+          (group == 1) ? SolverKind::kAppro : SolverKind::kExact;
+      out.push_back(MakeWireQuery(dataset, p, solver, words));
+    }
+  }
+  return out;
+}
+
+/// Direct single-process reference answers (BatchEngine, one thread) in
+/// workload order — the identity baseline both wire paths must match.
+std::vector<CoskqResult> ReferenceAnswers(const CoskqContext& context,
+                                          const std::vector<WireQuery>& work) {
+  std::vector<CoskqResult> out(work.size());
+  for (SolverKind kind : {SolverKind::kExact, SolverKind::kAppro}) {
+    std::vector<size_t> where;
+    std::vector<CoskqQuery> queries;
+    for (size_t i = 0; i < work.size(); ++i) {
+      if (work[i].request.solver == kind) {
+        where.push_back(i);
+        queries.push_back(work[i].query);
+      }
+    }
+    BatchOptions options;
+    options.solver_name = SolverRegistryName(kind, CostType::kMaxSum);
+    options.num_threads = 1;
+    const BatchOutcome outcome = BatchEngine(context, options).Run(queries);
+    if (!outcome.status.ok()) {
+      std::fprintf(stderr, "FATAL: reference batch: %s\n",
+                   outcome.status.ToString().c_str());
+      std::exit(1);
+    }
+    for (size_t j = 0; j < where.size(); ++j) {
+      out[where[j]] = outcome.results[j];
+    }
+  }
+  return out;
+}
+
+bool SameAnswer(const QueryReply& reply, const CoskqResult& want) {
+  if (reply.kind != QueryReply::Kind::kResult) {
+    return false;
+  }
+  if ((reply.result.outcome == QueryOutcome::kInfeasible) == want.feasible) {
+    return false;
+  }
+  if (!want.feasible) {
+    return true;
+  }
+  return reply.result.set == want.set &&
+         std::memcmp(&reply.result.cost, &want.cost, sizeof(double)) == 0;
+}
+
+/// One timing round of `work` through `client`: per-query wall samples plus
+/// the batch wall. With `reference` non-null every reply is identity-checked.
+struct RoundResult {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double batch_wall_ms = 0.0;
+  bool identical = true;
+};
+
+RoundResult RunRound(CoskqClient* client, const std::vector<WireQuery>& work,
+                     const std::vector<CoskqResult>* reference) {
+  RoundResult round;
+  std::vector<double> samples;
+  samples.reserve(work.size());
+  WallTimer batch;
+  for (size_t i = 0; i < work.size(); ++i) {
+    WallTimer timer;
+    StatusOr<QueryReply> reply = client->Query(work[i].request);
+    samples.push_back(timer.ElapsedMillis());
+    if (!reply.ok()) {
+      std::fprintf(stderr, "FATAL: wire query %zu: %s\n", i,
+                   reply.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (reference != nullptr && !SameAnswer(*reply, (*reference)[i])) {
+      round.identical = false;
+    }
+  }
+  round.batch_wall_ms = batch.ElapsedMillis();
+  std::sort(samples.begin(), samples.end());
+  round.p50_ms = samples[samples.size() / 2];
+  round.p95_ms = samples[(samples.size() * 95) / 100];
+  return round;
+}
+
+struct SideCell {
+  RoundSamples p50;
+  RoundSamples p95;
+  RoundSamples wall;
+  bool identical = true;
+};
+
+void EmitSideCell(JsonWriter* json, const std::string& op,
+                  const std::string& dataset, size_t queries,
+                  const SideCell& cell) {
+  const double best_s = cell.wall.best() / 1000.0;
+  const double median_s = cell.wall.median() / 1000.0;
+  json->BeginObject();
+  json->Key("op").Value(op);
+  json->Key("solver").Value("mixed-maxsum");
+  json->Key("dataset").Value(dataset);
+  json->Key("threads").Value(1);
+  json->Key("query_p50_ms").Value(cell.p50.best());
+  json->Key("query_p50_median_ms").Value(cell.p50.median());
+  json->Key("query_p95_ms").Value(cell.p95.best());
+  json->Key("query_p95_median_ms").Value(cell.p95.median());
+  json->Key("qps").Value(best_s > 0.0 ? static_cast<double>(queries) / best_s
+                                      : 0.0);
+  json->Key("median_qps")
+      .Value(median_s > 0.0 ? static_cast<double>(queries) / median_s : 0.0);
+  json->Key("identical").Value(cell.identical);
+  json->EndObject();
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const size_t num_objects = std::max<size_t>(
+      600, static_cast<size_t>(60000.0 * config.scale));
+  std::printf("== C1: scatter-gather cluster, K=%u shards ==\n", kShards);
+  std::printf("config: %s, objects=%s\n", config.ToString().c_str(),
+              FormatWithCommas(num_objects).c_str());
+
+  Rng rng(config.seed);
+  Dataset dataset = MakeClusteredDataset(num_objects, &rng);
+  IrTree tree(&dataset);
+  const CoskqContext context{&dataset, &tree};
+
+  // Build the cluster artifacts and bring up the two serving topologies.
+  const std::string dir = "/tmp/coskq_bench_cluster";
+  (void)mkdir(dir.c_str(), 0755);
+  BuildClusterOptions build;
+  build.num_shards = kShards;
+  StatusOr<ClusterManifest> manifest =
+      BuildShardedCluster(dataset, dir, build);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "FATAL: BuildShardedCluster: %s\n",
+                 manifest.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::unique_ptr<Dataset>> shard_datasets;
+  std::vector<std::unique_ptr<IrTree>> shard_trees;
+  std::vector<std::unique_ptr<CoskqServer>> shard_servers;
+  RouterOptions router_options;
+  for (const ShardManifestEntry& shard : manifest->shards) {
+    auto ds = std::make_unique<Dataset>();
+    StatusOr<Dataset> loaded =
+        Dataset::LoadFromFile(dir + "/" + shard.dataset_file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "FATAL: shard dataset load: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    *ds = std::move(*loaded);
+    StatusOr<std::unique_ptr<IrTree>> shard_tree =
+        LoadSnapshot(ds.get(), dir + "/" + shard.snapshot_file);
+    if (!shard_tree.ok()) {
+      std::fprintf(stderr, "FATAL: shard snapshot load: %s\n",
+                   shard_tree.status().ToString().c_str());
+      std::exit(1);
+    }
+    ServerOptions options;
+    options.port = 0;
+    options.index_from_snapshot = true;
+    auto server = std::make_unique<CoskqServer>(
+        CoskqContext{ds.get(), shard_tree->get()}, options);
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "FATAL: shard server start failed\n");
+      std::exit(1);
+    }
+    router_options.shards.push_back(ShardAddress{"127.0.0.1", server->port()});
+    shard_datasets.push_back(std::move(ds));
+    shard_trees.push_back(std::move(*shard_tree));
+    shard_servers.push_back(std::move(server));
+  }
+  router_options.client_options.connect_timeout_ms = 2000;
+  router_options.client_options.io_timeout_ms = 10000;
+  ClusterRouter router(*manifest, router_options);
+  if (!router.Start().ok()) {
+    std::fprintf(stderr, "FATAL: router start failed\n");
+    std::exit(1);
+  }
+
+  ServerOptions single_options;
+  single_options.port = 0;
+  CoskqServer single(context, single_options);
+  if (!single.Start().ok()) {
+    std::fprintf(stderr, "FATAL: single server start failed\n");
+    std::exit(1);
+  }
+
+  // Workload + identity reference.
+  const std::vector<WireQuery> work =
+      MakeWorkload(dataset, config.queries, &rng);
+  const std::vector<CoskqResult> reference = ReferenceAnswers(context, work);
+
+  CoskqClient route_client;
+  CoskqClient single_client;
+  if (!route_client.Connect("127.0.0.1", router.port()).ok() ||
+      !single_client.Connect("127.0.0.1", single.port()).ok()) {
+    std::fprintf(stderr, "FATAL: client connect failed\n");
+    std::exit(1);
+  }
+
+  SideCell route_cell;
+  SideCell single_cell;
+  for (size_t r = 0; r < kTimingRounds; ++r) {
+    // Identity is checked every round; it is cheap against the precomputed
+    // reference and each round's replies must keep matching.
+    const RoundResult routed = RunRound(&route_client, work, &reference);
+    route_cell.p50.Add(routed.p50_ms);
+    route_cell.p95.Add(routed.p95_ms);
+    route_cell.wall.Add(routed.batch_wall_ms);
+    route_cell.identical = route_cell.identical && routed.identical;
+    const RoundResult direct = RunRound(&single_client, work, &reference);
+    single_cell.p50.Add(direct.p50_ms);
+    single_cell.p95.Add(direct.p95_ms);
+    single_cell.wall.Add(direct.batch_wall_ms);
+    single_cell.identical = single_cell.identical && direct.identical;
+  }
+
+  StatusOr<StatsReply> stats = route_client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "FATAL: router STATS: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  route_client.Close();
+  single_client.Close();
+  router.Shutdown();
+  router.Wait();
+  single.Shutdown();
+  single.Wait();
+  for (auto& server : shard_servers) {
+    server->Shutdown();
+    server->Wait();
+  }
+
+  const uint64_t fanout_slots = stats->shards_harvested +
+                                stats->shards_pruned_keyword +
+                                stats->shards_pruned_distance;
+  const uint64_t pruned =
+      stats->shards_pruned_keyword + stats->shards_pruned_distance;
+  const double prune_rate =
+      fanout_slots > 0
+          ? static_cast<double>(pruned) / static_cast<double>(fanout_slots)
+          : 0.0;
+
+  const std::string dataset_id =
+      "clustered4-" + std::to_string(num_objects);
+  TablePrinter table({"Path", "p50 med", "p95 med", "QPS med", "Identical"});
+  auto qps_of = [&](const SideCell& cell) {
+    const double s = cell.wall.median() / 1000.0;
+    return s > 0.0 ? static_cast<double>(work.size()) / s : 0.0;
+  };
+  char buf[64];
+  auto fmt = [&](double v, const char* suffix) {
+    std::snprintf(buf, sizeof(buf), "%.3f%s", v, suffix);
+    return std::string(buf);
+  };
+  table.AddRow({"route", fmt(route_cell.p50.median(), " ms"),
+                fmt(route_cell.p95.median(), " ms"),
+                fmt(qps_of(route_cell), ""),
+                route_cell.identical ? "yes" : "NO"});
+  table.AddRow({"single", fmt(single_cell.p50.median(), " ms"),
+                fmt(single_cell.p95.median(), " ms"),
+                fmt(qps_of(single_cell), ""),
+                single_cell.identical ? "yes" : "NO"});
+  table.Print();
+  std::printf(
+      "prune: slots=%llu harvested=%llu keyword=%llu distance=%llu "
+      "probes=%llu rate=%.3f\n",
+      static_cast<unsigned long long>(fanout_slots),
+      static_cast<unsigned long long>(stats->shards_harvested),
+      static_cast<unsigned long long>(stats->shards_pruned_keyword),
+      static_cast<unsigned long long>(stats->shards_pruned_distance),
+      static_cast<unsigned long long>(stats->probe_queries), prune_rate);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("bench_cluster/scatter_gather");
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(static_cast<uint64_t>(work.size()));
+  json.Key("objects").Value(static_cast<uint64_t>(num_objects));
+  json.Key("shards").Value(static_cast<uint64_t>(kShards));
+  json.Key("seed").Value(config.seed);
+  json.Key("timing_rounds").Value(static_cast<uint64_t>(kTimingRounds));
+  json.Key("cells").BeginArray();
+  EmitSideCell(&json, "route", dataset_id, work.size(), route_cell);
+  EmitSideCell(&json, "single", dataset_id, work.size(), single_cell);
+  json.BeginObject();
+  json.Key("op").Value("prune");
+  json.Key("solver").Value("mixed-maxsum");
+  json.Key("dataset").Value(dataset_id);
+  json.Key("fanout_slots").Value(fanout_slots);
+  json.Key("shards_harvested").Value(stats->shards_harvested);
+  json.Key("shards_pruned_keyword").Value(stats->shards_pruned_keyword);
+  json.Key("shards_pruned_distance").Value(stats->shards_pruned_distance);
+  json.Key("probe_queries").Value(stats->probe_queries);
+  json.Key("prune_rate").Value(prune_rate);
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  const Status written =
+      WriteTextFile("BENCH_cluster.json", json.TakeString());
+  if (!written.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", written.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote BENCH_cluster.json\n");
+
+  if (!route_cell.identical || !single_cell.identical) {
+    std::fprintf(stderr,
+                 "FATAL: wire answers diverged from the direct run\n");
+    std::exit(1);
+  }
+  if (stats->shards_pruned_keyword == 0 ||
+      stats->shards_pruned_distance == 0) {
+    std::fprintf(stderr,
+                 "FATAL: shard lower bounds never pruned (keyword=%llu "
+                 "distance=%llu) — the clustered workload must exercise "
+                 "both mechanisms\n",
+                 static_cast<unsigned long long>(stats->shards_pruned_keyword),
+                 static_cast<unsigned long long>(
+                     stats->shards_pruned_distance));
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,171 @@
+#ifndef COSKQ_CLUSTER_ROUTER_H_
+#define COSKQ_CLUSTER_ROUTER_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <chrono>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/manifest.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace coskq {
+
+/// Address of one shard server; index in RouterOptions::shards is the
+/// manifest shard id it serves.
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  /// Listen address of the router itself (same default posture as
+  /// ServerOptions: loopback unless deployment decides otherwise).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 binds an ephemeral port (read back via port()).
+  uint16_t port = 0;
+  /// One address per manifest shard, in shard-id order. Start() rejects a
+  /// count mismatch.
+  std::vector<ShardAddress> shards;
+  /// Connection robustness for the router->shard clients.
+  ClientOptions client_options;
+  /// Distance-owner shard pruning: probe the most-promising shard with an
+  /// approximate query, use its feasible cost as an upper bound, and skip
+  /// shards whose MINDIST exceeds it. Applied only to the owner-driven
+  /// exact solver — an approximate algorithm's answer may legitimately use
+  /// objects an optimal-cost bound would exclude, and the Cao exact /
+  /// brute-force searches break equal-cost ties by enumeration order, so
+  /// removing even provably-suboptimal candidates could flip their answer
+  /// set. Every other solver kind harvests all keyword-possible shards.
+  bool enable_distance_prune = true;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 1024;
+};
+
+/// The scatter-gather CoSKQ router: a protocol-v5 server that answers QUERY
+/// from a cluster of shard servers instead of a local index, bit-identical
+/// to a single server over the whole dataset.
+///
+/// Per QUERY it (1) prunes shards that cannot contribute — keyword pruning
+/// via the manifest Bloom signatures (sound for every solver: a missed
+/// signature means zero relevant objects there) and, for the owner-driven
+/// exact solver, distance pruning via a MINDIST lower bound against an
+/// upper-bound cost obtained from one approximate probe query (the distance
+/// owner-driven bound of the paper, lifted to shard granularity); (2)
+/// harvests the surviving shards' relevant objects with RELEVANT; (3)
+/// re-solves centrally over the harvested union with the requested solver.
+/// Identity holds because keyword pruning never removes a query-relevant
+/// object, the harvest — with manifest-ordered keywords and ascending-id
+/// candidate numbering — reconstructs the relevant sub-universe with an
+/// order-isomorphic id space, and distance pruning is restricted to the one
+/// solver family whose answer is stable under removal of candidates beyond
+/// the optimal cost radius (see IsDistancePrunableSolverKind in router.cc).
+///
+/// Threading: one blocking accept thread plus one thread per client
+/// connection; each connection thread owns its own lazily-connected shard
+/// clients, so connections never contend on a socket. PING/STATS/QUERY are
+/// all answered on the connection's thread (routing is the work; there is no
+/// separate worker pool to shed into). MUTATE is answered with Unimplemented
+/// — mutations go to the shard servers directly, and a refreeze/repartition
+/// cuts a new manifest version.
+class ClusterRouter {
+ public:
+  ClusterRouter(const ClusterManifest& manifest, const RouterOptions& options);
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  Status Start();
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests shutdown and returns; pair with Wait(). Idempotent.
+  void Shutdown();
+  /// Async-signal-safe shutdown request (an atomic store plus shutdown(2)
+  /// on the listen socket; the accept thread does the rest in thread
+  /// context).
+  void RequestShutdownFromSignal();
+  /// Blocks until the accept thread and every connection thread exit.
+  void Wait();
+
+  /// Router stats snapshot (what the STATS verb serves).
+  StatsReply stats() const;
+
+  /// Installs SIGTERM/SIGINT handlers draining `router`; nullptr
+  /// uninstalls. At most one router per process owns the handlers.
+  static void InstallSignalHandlers(ClusterRouter* router);
+
+ private:
+  struct ConnState {
+    int fd = -1;
+    std::thread thread;
+    /// This connection's shard clients, connected on first use.
+    std::vector<std::unique_ptr<CoskqClient>> clients;
+  };
+
+  /// Per-shard observability: harvest fan-out count and a latency ring.
+  struct ShardWindow {
+    uint64_t fanout = 0;
+    std::vector<double> window;
+    size_t pos = 0;
+  };
+
+  void AcceptMain();
+  void ConnMain(ConnState* conn);
+  /// Full routed answer for one QUERY frame; returns the encoded response
+  /// frame(s) and records routing stats.
+  std::string RouteQuery(ConnState* conn, const Frame& frame);
+  /// Connects conn's client for `shard` if needed; nullptr on failure
+  /// (with the error in *error).
+  CoskqClient* ShardClient(ConnState* conn, uint32_t shard, Status* error);
+  void RecordRouteLatency(double ms);
+  void RecordShardHarvest(uint32_t shard, double ms);
+
+  ClusterManifest manifest_;
+  RouterOptions options_;
+  /// word -> global TermId (manifest vocabulary order).
+  std::unordered_map<std::string, uint32_t> vocab_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread accept_thread_;
+  std::mutex wait_mutex_;
+
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<ConnState>> conns_;
+
+  mutable std::mutex stats_mutex_;
+  uint64_t connections_accepted_ = 0;
+  uint64_t connections_active_ = 0;
+  uint64_t queries_received_ = 0;
+  uint64_t queries_executed_ = 0;
+  uint64_t queries_infeasible_ = 0;
+  uint64_t queries_truncated_ = 0;
+  uint64_t queries_errored_ = 0;
+  uint64_t shards_harvested_ = 0;
+  uint64_t shards_pruned_keyword_ = 0;
+  uint64_t shards_pruned_distance_ = 0;
+  uint64_t probe_queries_ = 0;
+  RunningStat latency_ms_;
+  std::vector<double> latency_window_;
+  size_t latency_window_pos_ = 0;
+  std::vector<ShardWindow> shard_windows_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CLUSTER_ROUTER_H_

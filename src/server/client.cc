@@ -1,13 +1,18 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 namespace coskq {
 
@@ -17,32 +22,125 @@ Status ErrnoStatus(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
 }
 
+/// Connect failures worth retrying: the peer is briefly absent (a shard
+/// restarting), not permanently misaddressed.
+bool IsTransientConnectErrno(int err) {
+  return err == ECONNREFUSED || err == ETIMEDOUT || err == ENETUNREACH ||
+         err == EHOSTUNREACH || err == EAGAIN || err == ECONNRESET;
+}
+
+timeval TimevalFromMillis(double ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) {
+    tv.tv_usec = 1000;  // SO_*TIMEO of zero means "no timeout"; keep 1ms.
+  }
+  return tv;
+}
+
 }  // namespace
 
 CoskqClient::~CoskqClient() { Close(); }
 
 Status CoskqClient::Connect(const std::string& host, uint16_t port) {
+  return Connect(host, port, ClientOptions());
+}
+
+Status CoskqClient::Connect(const std::string& host, uint16_t port,
+                            const ClientOptions& options) {
   Close();
-  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    return ErrnoStatus("socket");
-  }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    Close();
     return Status::InvalidArgument("bad address: " + host);
   }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status =
-        ErrnoStatus("connect " + host + ":" + std::to_string(port));
+
+  const int attempts = options.max_connect_attempts > 0
+                           ? options.max_connect_attempts
+                           : 1;
+  double backoff_ms = options.retry_backoff_ms;
+  Status last = Status::IoError("connect: no attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0.0) {
+      // Exponential backoff between attempts: a restarting shard gets a
+      // widening grace instead of a tight reconnect hammer.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms *= 2.0;
+    }
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      return ErrnoStatus("socket");
+    }
+    bool transient = false;
+    if (options.connect_timeout_ms > 0.0) {
+      // Bounded connect: non-blocking connect, then poll for writability.
+      const int flags = fcntl(fd_, F_GETFL, 0);
+      fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+      const int rc =
+          connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS) {
+        transient = IsTransientConnectErrno(errno);
+        last = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+      } else {
+        bool connected = rc == 0;
+        if (!connected) {
+          pollfd pfd{fd_, POLLOUT, 0};
+          const int timeout =
+              static_cast<int>(std::ceil(options.connect_timeout_ms));
+          const int ready = poll(&pfd, 1, timeout < 1 ? 1 : timeout);
+          int sock_err = 0;
+          socklen_t len = sizeof(sock_err);
+          if (ready > 0 &&
+              getsockopt(fd_, SOL_SOCKET, SO_ERROR, &sock_err, &len) == 0 &&
+              sock_err == 0) {
+            connected = true;
+          } else if (ready == 0) {
+            transient = true;
+            last = Status::IoError("connect " + host + ":" +
+                                   std::to_string(port) + ": timed out");
+          } else {
+            errno = sock_err != 0 ? sock_err : errno;
+            transient = IsTransientConnectErrno(errno);
+            last =
+                ErrnoStatus("connect " + host + ":" + std::to_string(port));
+          }
+        }
+        if (connected) {
+          fcntl(fd_, F_SETFL, flags);
+        }
+        if (connected) {
+          break;
+        }
+      }
+    } else {
+      if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        break;
+      }
+      transient = IsTransientConnectErrno(errno);
+      last = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    }
     Close();
-    return status;
+    if (!transient) {
+      return last;
+    }
   }
+  if (fd_ < 0) {
+    return last;
+  }
+
   const int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.io_timeout_ms > 0.0) {
+    const timeval tv = TimevalFromMillis(options.io_timeout_ms);
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   reader_ = FrameReader();
   return Status::OK();
 }
@@ -66,6 +164,9 @@ Status CoskqClient::SendFrame(Verb verb, uint32_t request_id,
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("write timed out");
       }
       return ErrnoStatus("write");
     }
@@ -95,6 +196,9 @@ StatusOr<Frame> CoskqClient::ReceiveFrame() {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("read timed out");
       }
       return ErrnoStatus("read");
     }
@@ -200,6 +304,39 @@ StatusOr<MutateReply> CoskqClient::Mutate(const MutateRequest& request) {
     return Status::Corruption("malformed MUTATE payload");
   }
   return reply;
+}
+
+StatusOr<std::vector<RelevantEntry>> CoskqClient::Relevant(
+    const RelevantRequest& request) {
+  const uint32_t id = next_request_id_++;
+  COSKQ_RETURN_IF_ERROR(
+      SendFrame(Verb::kRelevant, id, EncodeRelevantRequest(request)));
+  std::vector<RelevantEntry> entries;
+  while (true) {
+    StatusOr<Frame> frame = ReceiveMatching(id);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    if (frame->verb == Verb::kError) {
+      ErrorReply err;
+      if (!DecodeErrorReply(frame->payload, &err)) {
+        return Status::Corruption("malformed ERROR payload");
+      }
+      return Status(err.code, std::move(err.message));
+    }
+    if (frame->verb != Verb::kRelevantReply) {
+      return Status::Corruption("expected RELEVANT reply");
+    }
+    RelevantReply chunk;
+    if (!DecodeRelevantReply(frame->payload, &chunk)) {
+      return Status::Corruption("malformed RELEVANT_REPLY payload");
+    }
+    entries.insert(entries.end(), chunk.objects.begin(), chunk.objects.end());
+    if (chunk.more == 0) {
+      break;
+    }
+  }
+  return entries;
 }
 
 Status CoskqClient::Ping() {

@@ -26,6 +26,23 @@ struct QueryReply {
   ErrorReply error;
 };
 
+/// Connection robustness knobs. The defaults reproduce the historical
+/// behavior (blocking connect, no I/O deadline, a single attempt); the
+/// cluster router and coskq_load opt into timeouts and bounded retry so a
+/// shard restart shows up as a short reconnect instead of a hang.
+struct ClientOptions {
+  /// Per-attempt connect timeout; 0 = the OS default (blocking connect).
+  double connect_timeout_ms = 0.0;
+  /// Per-syscall send/receive deadline on the connected socket; 0 = none.
+  /// A request that trips it surfaces as an IoError mentioning "timed out".
+  double io_timeout_ms = 0.0;
+  /// Total connect attempts. Only *transient* failures are retried
+  /// (refused, unreachable, timed out); a bad address fails immediately.
+  int max_connect_attempts = 1;
+  /// Sleep before the first retry; doubles after every failed attempt.
+  double retry_backoff_ms = 50.0;
+};
+
 /// Blocking TCP client for the CoSKQ wire protocol. Used by the tests and
 /// the coskq_load generator; deliberately minimal — one socket, synchronous
 /// round-trips, plus a raw Send/Receive pair for pipelined use.
@@ -39,8 +56,11 @@ class CoskqClient {
   CoskqClient(const CoskqClient&) = delete;
   CoskqClient& operator=(const CoskqClient&) = delete;
 
-  /// Connects to host:port (IPv4 dotted quad).
+  /// Connects to host:port (IPv4 dotted quad). The two-argument form keeps
+  /// the historical blocking single-attempt behavior.
   Status Connect(const std::string& host, uint16_t port);
+  Status Connect(const std::string& host, uint16_t port,
+                 const ClientOptions& options);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
@@ -57,6 +77,11 @@ class CoskqClient {
   /// disabled, unknown keyword, unknown object id, capacity exhausted)
   /// surface as the server's Status, transport failures as IoError.
   StatusOr<MutateReply> Mutate(const MutateRequest& request);
+  /// One RELEVANT harvest (protocol v5): sends the keywords and collects
+  /// the chunked reply stream into a single entry list (ascending object
+  /// id). An in-band ERROR surfaces as the server's Status.
+  StatusOr<std::vector<RelevantEntry>> Relevant(
+      const RelevantRequest& request);
 
   /// Pipelining primitives: send without waiting, then collect responses.
   /// Returns the request id assigned to the frame.

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -118,12 +119,14 @@ bool IsKnownVerb(uint8_t v) {
     case Verb::kStats:
     case Verb::kPing:
     case Verb::kMutate:
+    case Verb::kRelevant:
     case Verb::kResult:
     case Verb::kStatsReply:
     case Verb::kPong:
     case Verb::kOverloaded:
     case Verb::kError:
     case Verb::kMutateReply:
+    case Verb::kRelevantReply:
       return true;
   }
   return false;
@@ -346,6 +349,74 @@ bool DecodeMutateReply(const std::string& payload, MutateReply* out) {
          r.GetU64(&out->epoch) && r.AtEnd();
 }
 
+std::string EncodeRelevantRequest(const RelevantRequest& request) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU16(static_cast<uint16_t>(request.keywords.size()));
+  for (const std::string& kw : request.keywords) {
+    w.PutString(kw);
+  }
+  return payload;
+}
+
+bool DecodeRelevantRequest(const std::string& payload, RelevantRequest* out) {
+  WireReader r(payload);
+  uint16_t num_keywords = 0;
+  if (!r.GetU16(&num_keywords) || num_keywords == 0 ||
+      num_keywords > kMaxRelevantKeywords) {
+    return false;
+  }
+  out->keywords.clear();
+  out->keywords.reserve(num_keywords);
+  for (uint16_t i = 0; i < num_keywords; ++i) {
+    std::string kw;
+    if (!r.GetString(&kw)) {
+      return false;
+    }
+    out->keywords.push_back(std::move(kw));
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeRelevantReply(const RelevantReply& reply) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.PutU8(reply.more);
+  w.PutU32(static_cast<uint32_t>(reply.objects.size()));
+  for (const RelevantEntry& e : reply.objects) {
+    w.PutU32(e.object_id);
+    w.PutDouble(e.x);
+    w.PutDouble(e.y);
+    w.PutU64(e.keyword_mask);
+  }
+  return payload;
+}
+
+bool DecodeRelevantReply(const std::string& payload, RelevantReply* out) {
+  WireReader r(payload);
+  uint32_t count = 0;
+  if (!r.GetU8(&out->more) || out->more > 1 || !r.GetU32(&count)) {
+    return false;
+  }
+  // Each entry is 28 payload bytes, so `count` is bounded by the frame cap;
+  // checking before the reserve keeps a hostile length from over-allocating.
+  constexpr size_t kEntryBytes = 28;
+  if (count > kMaxPayloadBytes / kEntryBytes) {
+    return false;
+  }
+  out->objects.clear();
+  out->objects.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RelevantEntry e;
+    if (!r.GetU32(&e.object_id) || !r.GetDouble(&e.x) || !r.GetDouble(&e.y) ||
+        !r.GetU64(&e.keyword_mask)) {
+      return false;
+    }
+    out->objects.push_back(e);
+  }
+  return r.AtEnd();
+}
+
 std::string EncodeStatsReply(const StatsReply& reply) {
   std::string payload;
   WireWriter w(&payload);
@@ -380,34 +451,70 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.budget_trims);
   w.PutU64(reply.major_faults);
   w.PutU64(reply.minor_faults);
+  w.PutU8(reply.is_router);
+  w.PutU32(reply.cluster_shards);
+  w.PutU64(reply.manifest_checksum);
+  w.PutU64(reply.cluster_dataset_checksum);
+  w.PutU64(reply.cluster_objects);
+  w.PutU64(reply.shards_harvested);
+  w.PutU64(reply.shards_pruned_keyword);
+  w.PutU64(reply.shards_pruned_distance);
+  w.PutU64(reply.probe_queries);
+  w.PutU32(static_cast<uint32_t>(reply.shard_stats.size()));
+  for (const StatsReply::ShardStats& s : reply.shard_stats) {
+    w.PutU32(s.shard_id);
+    w.PutU64(s.fanout);
+    w.PutDouble(s.p50_ms);
+    w.PutDouble(s.p95_ms);
+  }
   return payload;
 }
 
 bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
   WireReader r(payload);
-  return r.GetU64(&out->connections_accepted) &&
-         r.GetU64(&out->connections_active) &&
-         r.GetU64(&out->queries_received) &&
-         r.GetU64(&out->queries_executed) && r.GetU64(&out->queries_shed) &&
-         r.GetU64(&out->queries_truncated) &&
-         r.GetU64(&out->queries_infeasible) &&
-         r.GetU64(&out->queries_errored) && r.GetU64(&out->queries_active) &&
-         r.GetU64(&out->queue_depth) && r.GetDouble(&out->uptime_s) &&
-         r.GetDouble(&out->mean_ms) && r.GetDouble(&out->p50_ms) &&
-         r.GetDouble(&out->p95_ms) && r.GetDouble(&out->p99_ms) &&
-         r.GetU8(&out->index_from_snapshot) &&
-         out->index_from_snapshot <= 1 &&
-         r.GetDouble(&out->index_prepare_ms) &&
-         r.GetU64(&out->index_nodes) && r.GetU64(&out->index_checksum) &&
-         r.GetU64(&out->index_epoch) && r.GetU64(&out->delta_size) &&
-         r.GetU64(&out->mutations_applied) &&
-         r.GetU64(&out->refreezes_completed) &&
-         r.GetU8(&out->index_layout) && out->index_layout <= 1 &&
-         r.GetU8(&out->index_cold) && out->index_cold <= 1 &&
-         r.GetU64(&out->body_bytes) && r.GetU64(&out->body_resident_bytes) &&
-         r.GetU64(&out->memory_budget_bytes) &&
-         r.GetU64(&out->budget_trims) && r.GetU64(&out->major_faults) &&
-         r.GetU64(&out->minor_faults) && r.AtEnd();
+  uint32_t num_shards = 0;
+  const bool fixed_ok =
+      r.GetU64(&out->connections_accepted) &&
+      r.GetU64(&out->connections_active) &&
+      r.GetU64(&out->queries_received) &&
+      r.GetU64(&out->queries_executed) && r.GetU64(&out->queries_shed) &&
+      r.GetU64(&out->queries_truncated) &&
+      r.GetU64(&out->queries_infeasible) &&
+      r.GetU64(&out->queries_errored) && r.GetU64(&out->queries_active) &&
+      r.GetU64(&out->queue_depth) && r.GetDouble(&out->uptime_s) &&
+      r.GetDouble(&out->mean_ms) && r.GetDouble(&out->p50_ms) &&
+      r.GetDouble(&out->p95_ms) && r.GetDouble(&out->p99_ms) &&
+      r.GetU8(&out->index_from_snapshot) && out->index_from_snapshot <= 1 &&
+      r.GetDouble(&out->index_prepare_ms) && r.GetU64(&out->index_nodes) &&
+      r.GetU64(&out->index_checksum) && r.GetU64(&out->index_epoch) &&
+      r.GetU64(&out->delta_size) && r.GetU64(&out->mutations_applied) &&
+      r.GetU64(&out->refreezes_completed) && r.GetU8(&out->index_layout) &&
+      out->index_layout <= 1 && r.GetU8(&out->index_cold) &&
+      out->index_cold <= 1 && r.GetU64(&out->body_bytes) &&
+      r.GetU64(&out->body_resident_bytes) &&
+      r.GetU64(&out->memory_budget_bytes) && r.GetU64(&out->budget_trims) &&
+      r.GetU64(&out->major_faults) && r.GetU64(&out->minor_faults) &&
+      r.GetU8(&out->is_router) && out->is_router <= 1 &&
+      r.GetU32(&out->cluster_shards) && r.GetU64(&out->manifest_checksum) &&
+      r.GetU64(&out->cluster_dataset_checksum) &&
+      r.GetU64(&out->cluster_objects) && r.GetU64(&out->shards_harvested) &&
+      r.GetU64(&out->shards_pruned_keyword) &&
+      r.GetU64(&out->shards_pruned_distance) &&
+      r.GetU64(&out->probe_queries) && r.GetU32(&num_shards);
+  if (!fixed_ok || num_shards > kMaxShardStats) {
+    return false;
+  }
+  out->shard_stats.clear();
+  out->shard_stats.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    StatsReply::ShardStats s;
+    if (!r.GetU32(&s.shard_id) || !r.GetU64(&s.fanout) ||
+        !r.GetDouble(&s.p50_ms) || !r.GetDouble(&s.p95_ms)) {
+      return false;
+    }
+    out->shard_stats.push_back(s);
+  }
+  return r.AtEnd();
 }
 
 std::string StatsReply::ToString() const {
@@ -452,6 +559,30 @@ std::string StatsReply::ToString() const {
   }
   s += " majflt=" + std::to_string(major_faults) +
        " minflt=" + std::to_string(minor_faults) + "}";
+  if (is_router != 0) {
+    const uint64_t considered =
+        shards_harvested + shards_pruned_keyword + shards_pruned_distance;
+    s += " cluster{shards=" + std::to_string(cluster_shards) +
+         " harvested=" + std::to_string(shards_harvested) +
+         " pruned_kw=" + std::to_string(shards_pruned_keyword) +
+         " pruned_dist=" + std::to_string(shards_pruned_distance) +
+         " probes=" + std::to_string(probe_queries);
+    if (considered > 0) {
+      const double rate =
+          static_cast<double>(shards_pruned_keyword +
+                              shards_pruned_distance) /
+          static_cast<double>(considered);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " prune_rate=%.3f", rate);
+      s += buf;
+    }
+    for (const ShardStats& sh : shard_stats) {
+      s += " shard" + std::to_string(sh.shard_id) + "{fanout=" +
+           std::to_string(sh.fanout) + " p50=" + FormatMillis(sh.p50_ms) +
+           " p95=" + FormatMillis(sh.p95_ms) + "}";
+    }
+    s += "}";
+  }
   return s;
 }
 

@@ -34,8 +34,11 @@ inline constexpr uint16_t kProtocolMagic = 0x4351;
 /// MUTATE verb (live index updates) and the live-update StatsReply fields
 /// (index epoch, delta size, mutation/refreeze counters). Version 4 added
 /// the out-of-core StatsReply fields (frozen body layout, cold mapping,
-/// residency/budget counters, page faults).
-inline constexpr uint8_t kProtocolVersion = 4;
+/// residency/budget counters, page faults). Version 5 added the cluster
+/// layer: the RELEVANT verb (per-shard candidate harvest, chunked replies)
+/// and the router StatsReply fields (shard manifest identity, fan-out and
+/// prune counters, per-shard latency).
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload. A QUERY is a handful of keywords and a
 /// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
@@ -49,12 +52,14 @@ enum class Verb : uint8_t {
   kStats = 2,
   kPing = 3,
   kMutate = 4,
+  kRelevant = 5,
   kResult = 17,
   kStatsReply = 18,
   kPong = 19,
   kOverloaded = 20,
   kError = 21,
   kMutateReply = 22,
+  kRelevantReply = 23,
 };
 
 /// True iff `v` holds a defined Verb enumerator.
@@ -133,6 +138,45 @@ struct MutateReply {
   /// Index epoch at reply time (bumped by every background refreeze swap).
   uint64_t epoch = 0;
 };
+
+/// Keyword-position masks in a RELEVANT reply are a single uint64, so a
+/// harvest request carries at most this many keywords. (Far above any paper
+/// query; the router rejects larger keyword sets before fanning out.)
+inline constexpr size_t kMaxRelevantKeywords = 64;
+
+/// RELEVANT payload (protocol v5): asks a shard server for every object
+/// whose keyword set intersects `keywords`. This is the router's candidate
+/// harvest — the scatter half of scatter-gather. Keywords are strings (the
+/// shard owns its own interning); a keyword unknown to the shard simply
+/// matches nothing, it is not an error (shards hold vocabulary subsets).
+/// The keyword order is the mask-bit order of the reply entries, so the
+/// router sends them in a canonical order (ascending global term id).
+struct RelevantRequest {
+  std::vector<std::string> keywords;
+};
+
+/// One harvested object in a RELEVANT_REPLY chunk.
+struct RelevantEntry {
+  /// Shard-local object id (the router maps it to a global id through the
+  /// manifest).
+  uint32_t object_id = 0;
+  double x = 0.0;
+  double y = 0.0;
+  /// Bit i set iff the object contains keywords[i] of the request.
+  uint64_t keyword_mask = 0;
+};
+
+/// RELEVANT_REPLY payload. A harvest larger than one frame is streamed as
+/// multiple chunks with the same request id; every chunk but the last sets
+/// `more`. Entries are in ascending object-id order across the whole stream.
+struct RelevantReply {
+  uint8_t more = 0;
+  std::vector<RelevantEntry> objects;
+};
+
+/// Entries per RELEVANT_REPLY chunk: 8192 entries x 28 bytes is ~229 KiB,
+/// comfortably under kMaxPayloadBytes while keeping chunk count low.
+inline constexpr size_t kRelevantChunkEntries = 8192;
 
 /// Solver outcome reported in a RESULT payload.
 enum class QueryOutcome : uint8_t {
@@ -226,9 +270,45 @@ struct StatsReply {
   uint64_t major_faults = 0;
   uint64_t minor_faults = 0;
 
+  // Cluster routing (protocol v5; all-zero on a plain shard/single server).
+  /// Per-shard observability reported by a router.
+  struct ShardStats {
+    uint32_t shard_id = 0;
+    /// RELEVANT harvests sent to this shard.
+    uint64_t fanout = 0;
+    /// Harvest round-trip latency percentiles over the recent window.
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+  };
+  /// 1 when this STATS comes from a scatter-gather router.
+  uint8_t is_router = 0;
+  /// Shard count of the serving manifest.
+  uint32_t cluster_shards = 0;
+  /// Manifest identity: the manifest file's own content checksum plus the
+  /// full-dataset checksum and object count it was cut from — enough for a
+  /// client to pin exactly which partition it is talking to.
+  uint64_t manifest_checksum = 0;
+  uint64_t cluster_dataset_checksum = 0;
+  uint64_t cluster_objects = 0;
+  /// Total RELEVANT harvests actually sent (post-pruning fan-out).
+  uint64_t shards_harvested = 0;
+  /// Shards skipped because no query keyword hit their Bloom signature.
+  uint64_t shards_pruned_keyword = 0;
+  /// Shards skipped by the distance-owner lower bound (MINDIST > best-cost
+  /// upper bound from the probe query).
+  uint64_t shards_pruned_distance = 0;
+  /// Upper-bound probe queries sent to the most-promising shard.
+  uint64_t probe_queries = 0;
+  std::vector<ShardStats> shard_stats;
+
   /// One-line human rendering for logs and the load generator.
   std::string ToString() const;
 };
+
+/// Upper bound on StatsReply::shard_stats accepted by the decoder (a router
+/// serving more shards than this is not a deployment this protocol targets;
+/// the bound keeps a hostile payload from forcing a huge allocation).
+inline constexpr size_t kMaxShardStats = 65536;
 
 /// Payload encoders. Deterministic byte-for-byte for identical inputs.
 std::string EncodeQueryRequest(const QueryRequest& request);
@@ -238,6 +318,8 @@ std::string EncodeErrorReply(const ErrorReply& reply);
 std::string EncodeStatsReply(const StatsReply& reply);
 std::string EncodeMutateRequest(const MutateRequest& request);
 std::string EncodeMutateReply(const MutateReply& reply);
+std::string EncodeRelevantRequest(const RelevantRequest& request);
+std::string EncodeRelevantReply(const RelevantReply& reply);
 
 /// Payload decoders: false on truncated, oversized, or otherwise malformed
 /// payloads (never aborts — wire bytes are untrusted input).
@@ -248,6 +330,8 @@ bool DecodeErrorReply(const std::string& payload, ErrorReply* out);
 bool DecodeStatsReply(const std::string& payload, StatsReply* out);
 bool DecodeMutateRequest(const std::string& payload, MutateRequest* out);
 bool DecodeMutateReply(const std::string& payload, MutateReply* out);
+bool DecodeRelevantRequest(const std::string& payload, RelevantRequest* out);
+bool DecodeRelevantReply(const std::string& payload, RelevantReply* out);
 
 }  // namespace coskq
 

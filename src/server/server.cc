@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -544,6 +545,9 @@ void CoskqServer::DispatchFrame(uint64_t conn_id, const Frame& frame) {
     case Verb::kMutate:
       HandleMutate(conn_id, frame);
       return;
+    case Verb::kRelevant:
+      HandleRelevant(conn_id, frame);
+      return;
     default:
       break;
   }
@@ -622,6 +626,71 @@ void CoskqServer::HandleQuery(uint64_t conn_id, const Frame& frame) {
 
   // Admission: bounded queue or an immediate OVERLOADED — the accept loop
   // never blocks on the solvers.
+  size_t depth = 0;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = queue_.size();
+    if (depth < options_.queue_capacity && !queue_closed_) {
+      queue_.push_back(std::move(job));
+      admitted = true;
+      ++depth;
+    }
+  }
+  if (admitted) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++queries_active_;
+    }
+    auto it = connections_.find(conn_id);
+    if (it != connections_.end()) {
+      ++it->second->in_flight;
+    }
+    queue_cv_.notify_one();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++queries_shed_;
+  }
+  OverloadedReply reply{options_.retry_after_ms,
+                        static_cast<uint32_t>(depth)};
+  SendFrame(conn_id, Verb::kOverloaded, frame.request_id,
+            EncodeOverloadedReply(reply));
+}
+
+void CoskqServer::HandleRelevant(uint64_t conn_id, const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++queries_received_;
+  }
+  Job job;
+  RelevantRequest request;
+  if (!DecodeRelevantRequest(frame.payload, &request)) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++queries_errored_;
+    ErrorReply err{StatusCode::kInvalidArgument,
+                   "malformed RELEVANT payload"};
+    SendFrame(conn_id, Verb::kError, frame.request_id,
+              EncodeErrorReply(err));
+    return;
+  }
+  if (draining_) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++queries_errored_;
+    ErrorReply err{StatusCode::kInternal, "server draining"};
+    SendFrame(conn_id, Verb::kError, frame.request_id,
+              EncodeErrorReply(err));
+    return;
+  }
+  // A keyword unknown to this shard simply matches nothing — shards hold
+  // vocabulary subsets, so unlike a QUERY this is not an infeasibility.
+  job.kind = Job::Kind::kRelevant;
+  job.conn_id = conn_id;
+  job.request_id = frame.request_id;
+  job.relevant_keywords = std::move(request.keywords);
+  job.arrival = Clock::now();
+
   size_t depth = 0;
   bool admitted = false;
   {
@@ -891,6 +960,21 @@ void CoskqServer::WorkerMain() {
           options_.test_solve_delay_ms));
     }
 
+    if (job.kind == Job::Kind::kRelevant) {
+      Completion completion;
+      completion.conn_id = job.conn_id;
+      completion.kind = Completion::Kind::kExecuted;
+      completion.frame = RunRelevant(job);
+      completion.latency_ms = MillisBetween(job.arrival, Clock::now());
+      {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        completions_.push_back(std::move(completion));
+      }
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+      continue;
+    }
+
     // One-query batch through the BatchEngine execution path: same solver
     // construction, deadline propagation, and option validation as an
     // offline batch run, so wire answers are bit-identical to in-process
@@ -938,6 +1022,99 @@ void CoskqServer::WorkerMain() {
     const uint64_t one = 1;
     [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
   }
+}
+
+const InvertedIndex* CoskqServer::RelevantPostings() {
+  // With live mutations the dataset's raw object storage carries
+  // unpublished placeholder slots and a concurrent appender; postings built
+  // from it would race. The harvest then scans the published range instead.
+  if (options_.enable_mutations) {
+    return nullptr;
+  }
+  std::call_once(postings_once_, [this] {
+    postings_ = std::make_unique<InvertedIndex>(*context_.dataset);
+  });
+  return postings_.get();
+}
+
+std::string CoskqServer::RunRelevant(const Job& job) {
+  const Dataset& dataset = *context_.dataset;
+  // Resolve the requester's keywords; position in the request is the mask
+  // bit, so unknown-to-this-shard keywords just leave their bit unset.
+  std::vector<std::pair<TermId, int>> bits;
+  bits.reserve(job.relevant_keywords.size());
+  for (size_t i = 0; i < job.relevant_keywords.size(); ++i) {
+    const TermId t = dataset.vocabulary().Find(job.relevant_keywords[i]);
+    if (t != Vocabulary::kInvalidTermId) {
+      bits.emplace_back(t, static_cast<int>(i));
+    }
+  }
+
+  std::vector<RelevantEntry> entries;
+  const InvertedIndex* postings = RelevantPostings();
+  if (postings != nullptr) {
+    // Merge the posting lists: O(matches), and ids come out sorted.
+    std::unordered_map<uint32_t, uint64_t> masks;
+    for (const auto& [t, bit] : bits) {
+      for (const ObjectId id : postings->Postings(t)) {
+        masks[static_cast<uint32_t>(id)] |= uint64_t{1} << bit;
+      }
+    }
+    entries.reserve(masks.size());
+    for (const auto& [id, mask] : masks) {
+      RelevantEntry e;
+      e.object_id = id;
+      const SpatialObject& obj = dataset.object(id);
+      e.x = obj.location.x;
+      e.y = obj.location.y;
+      e.keyword_mask = mask;
+      entries.push_back(e);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const RelevantEntry& a, const RelevantEntry& b) {
+                return a.object_id < b.object_id;
+              });
+  } else {
+    // Mutation-enabled fallback: scan the published range through the
+    // release-acquire accessors (never the raw vector), so a racing append
+    // is either fully visible or not at all.
+    const size_t n = dataset.NumObjects();
+    for (size_t id = 0; id < n; ++id) {
+      const SpatialObject& obj = dataset.object(id);
+      uint64_t mask = 0;
+      for (const auto& [t, bit] : bits) {
+        if (TermSetContains(obj.keywords, t)) {
+          mask |= uint64_t{1} << bit;
+        }
+      }
+      if (mask != 0) {
+        RelevantEntry e;
+        e.object_id = static_cast<uint32_t>(id);
+        e.x = obj.location.x;
+        e.y = obj.location.y;
+        e.keyword_mask = mask;
+        entries.push_back(e);
+      }
+    }
+  }
+
+  // Stream the harvest as chunks under the frame payload cap; every chunk
+  // carries the request id, the last one clears `more`. The chunks are
+  // concatenated into one completion so the event loop writes them in order.
+  std::string frames;
+  size_t offset = 0;
+  do {
+    RelevantReply chunk;
+    const size_t take =
+        std::min(kRelevantChunkEntries, entries.size() - offset);
+    chunk.objects.assign(entries.begin() + offset,
+                         entries.begin() + offset + take);
+    offset += take;
+    chunk.more = offset < entries.size() ? 1 : 0;
+    frames += EncodeFrame(Verb::kRelevantReply, job.request_id,
+                          EncodeRelevantReply(chunk));
+  } while (offset < entries.size());
+  return frames;
 }
 
 }  // namespace coskq

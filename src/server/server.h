@@ -16,6 +16,7 @@
 
 #include "core/solver.h"
 #include "data/query.h"
+#include "index/inverted_index.h"
 #include "server/codec.h"
 #include "server/protocol.h"
 #include "util/stats.h"
@@ -157,13 +158,20 @@ class CoskqServer {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// One admitted query on its way to a worker.
+  /// One admitted request on its way to a worker: a QUERY solve or a
+  /// RELEVANT candidate harvest (protocol v5; the scatter half of the
+  /// cluster router's scatter-gather).
   struct Job {
+    enum class Kind { kQuery, kRelevant };
+    Kind kind = Kind::kQuery;
     uint64_t conn_id = 0;
     uint32_t request_id = 0;
+    // kQuery fields.
     CoskqQuery query;
     std::string solver_name;
     double deadline_ms = 0.0;
+    // kRelevant field: keywords in the requester's mask-bit order.
+    std::vector<std::string> relevant_keywords;
     Clock::time_point arrival;
   };
 
@@ -199,6 +207,15 @@ class CoskqServer {
   void HandleWritable(uint64_t conn_id);
   void DispatchFrame(uint64_t conn_id, const Frame& frame);
   void HandleQuery(uint64_t conn_id, const Frame& frame);
+  /// Admits a RELEVANT harvest through the same bounded queue as queries.
+  void HandleRelevant(uint64_t conn_id, const Frame& frame);
+  /// Worker-side harvest: every object whose keyword set intersects the
+  /// request keywords, streamed as chunked RELEVANT_REPLY frames.
+  std::string RunRelevant(const Job& job);
+  /// Lazily builds the posting lists RunRelevant answers from (read-only
+  /// servers only; with live mutations the harvest scans the published
+  /// object range instead, so it never races an append).
+  const InvertedIndex* RelevantPostings();
   /// Applies one MUTATE frame inline on the event-loop thread (the sole
   /// mutator) and acks only after the index update is visible, so a QUERY
   /// issued after the reply observes the mutation.
@@ -217,6 +234,11 @@ class CoskqServer {
   ServerOptions options_;
   int resolved_workers_ = 1;
   uint16_t port_ = 0;
+
+  /// Postings for RELEVANT harvests, built once on first use (workers race
+  /// through the once-flag; never built when mutations are enabled).
+  std::once_flag postings_once_;
+  std::unique_ptr<InvertedIndex> postings_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

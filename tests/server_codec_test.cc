@@ -284,15 +284,99 @@ TEST(PayloadCodecTest, StatsRoundTrip) {
   EXPECT_EQ(decoded.major_faults, 123u);
   EXPECT_EQ(decoded.minor_faults, 456u);
 
-  // Out-of-range layout/cold bytes are rejected, not misparsed.
+  // Out-of-range layout/cold bytes are rejected, not misparsed. With empty
+  // shard_stats the cluster tail is is_router(1) + shards(4) + 7 u64 +
+  // count(4) = 65 bytes; the layout byte sits just before cold + the six
+  // v4 u64 counters + that tail.
   std::string wire = EncodeStatsReply(stats);
-  const size_t layout_off = wire.size() - (2 + 6 * 8);
+  const size_t layout_off = wire.size() - (2 + 6 * 8 + 65);
   std::string bad = wire;
   bad[layout_off] = 2;
   EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
   bad = wire;
   bad[layout_off + 1] = 2;
   EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
+}
+
+TEST(PayloadCodecTest, StatsClusterFieldsRoundTrip) {
+  StatsReply stats;
+  stats.is_router = 1;
+  stats.cluster_shards = 4;
+  stats.manifest_checksum = 0x1122334455667788ull;
+  stats.cluster_dataset_checksum = 0x99aabbccddeeff00ull;
+  stats.cluster_objects = 123456;
+  stats.shards_harvested = 400;
+  stats.shards_pruned_keyword = 30;
+  stats.shards_pruned_distance = 70;
+  stats.probe_queries = 50;
+  stats.shard_stats.push_back({0, 120, 0.5, 1.5});
+  stats.shard_stats.push_back({3, 280, 0.25, 2.0});
+  StatsReply decoded;
+  ASSERT_TRUE(DecodeStatsReply(EncodeStatsReply(stats), &decoded));
+  EXPECT_EQ(decoded.is_router, 1u);
+  EXPECT_EQ(decoded.cluster_shards, 4u);
+  EXPECT_EQ(decoded.manifest_checksum, 0x1122334455667788ull);
+  EXPECT_EQ(decoded.cluster_dataset_checksum, 0x99aabbccddeeff00ull);
+  EXPECT_EQ(decoded.cluster_objects, 123456u);
+  EXPECT_EQ(decoded.shards_harvested, 400u);
+  EXPECT_EQ(decoded.shards_pruned_keyword, 30u);
+  EXPECT_EQ(decoded.shards_pruned_distance, 70u);
+  EXPECT_EQ(decoded.probe_queries, 50u);
+  ASSERT_EQ(decoded.shard_stats.size(), 2u);
+  EXPECT_EQ(decoded.shard_stats[0].shard_id, 0u);
+  EXPECT_EQ(decoded.shard_stats[0].fanout, 120u);
+  EXPECT_EQ(decoded.shard_stats[0].p50_ms, 0.5);
+  EXPECT_EQ(decoded.shard_stats[1].shard_id, 3u);
+  EXPECT_EQ(decoded.shard_stats[1].fanout, 280u);
+  EXPECT_EQ(decoded.shard_stats[1].p95_ms, 2.0);
+  // The routed rendering includes the cluster block and a prune rate.
+  EXPECT_NE(stats.ToString().find("prune_rate"), std::string::npos);
+
+  // An is_router byte past 1 is rejected, not misparsed. With two shard
+  // entries the bytes after it are shards(4) + 7 u64 + count(4) + 2 * 28.
+  std::string wire = EncodeStatsReply(stats);
+  wire[wire.size() - (4 + 7 * 8 + 4 + 2 * 28) - 1] = 2;
+  EXPECT_FALSE(DecodeStatsReply(wire, &decoded));
+}
+
+TEST(PayloadCodecTest, RelevantRequestRoundTrip) {
+  RelevantRequest request;
+  request.keywords = {"cafe", "museum", "park", "zoo"};
+  RelevantRequest decoded;
+  ASSERT_TRUE(
+      DecodeRelevantRequest(EncodeRelevantRequest(request), &decoded));
+  EXPECT_EQ(decoded.keywords, request.keywords);
+
+  // Zero keywords and keyword counts past the mask width are rejected.
+  RelevantRequest empty;
+  EXPECT_FALSE(DecodeRelevantRequest(EncodeRelevantRequest(empty), &decoded));
+  RelevantRequest wide;
+  for (size_t i = 0; i <= kMaxRelevantKeywords; ++i) {
+    wide.keywords.push_back("kw" + std::to_string(i));
+  }
+  EXPECT_FALSE(DecodeRelevantRequest(EncodeRelevantRequest(wide), &decoded));
+}
+
+TEST(PayloadCodecTest, RelevantReplyRoundTrip) {
+  RelevantReply reply;
+  reply.more = 1;
+  reply.objects.push_back({7, 0.25, -1.5, 0b101});
+  reply.objects.push_back({9, 2.0, 3.0, 0b11});
+  RelevantReply decoded;
+  ASSERT_TRUE(DecodeRelevantReply(EncodeRelevantReply(reply), &decoded));
+  EXPECT_EQ(decoded.more, 1u);
+  ASSERT_EQ(decoded.objects.size(), 2u);
+  EXPECT_EQ(decoded.objects[0].object_id, 7u);
+  EXPECT_EQ(decoded.objects[0].x, 0.25);
+  EXPECT_EQ(decoded.objects[0].y, -1.5);
+  EXPECT_EQ(decoded.objects[0].keyword_mask, 0b101u);
+  EXPECT_EQ(decoded.objects[1].object_id, 9u);
+  EXPECT_EQ(decoded.objects[1].keyword_mask, 0b11u);
+
+  // A more byte past 1 is rejected (byte 0 of the payload).
+  std::string wire = EncodeRelevantReply(reply);
+  wire[0] = 2;
+  EXPECT_FALSE(DecodeRelevantReply(wire, &decoded));
 }
 
 // --------------------------------------------------------------------------
@@ -321,6 +405,17 @@ TEST(PayloadCodecTest, TruncationSweeps) {
   ExpectAllPrefixesRejected(
       EncodeErrorReply({StatusCode::kInternal, "message"}), DecodeErrorReply);
   ExpectAllPrefixesRejected(EncodeStatsReply(StatsReply{}), DecodeStatsReply);
+  RelevantRequest relevant;
+  relevant.keywords = {"cafe", "museum"};
+  ExpectAllPrefixesRejected(EncodeRelevantRequest(relevant),
+                            DecodeRelevantRequest);
+  RelevantReply reply;
+  reply.objects.push_back({7, 0.25, -1.5, 0b101});
+  ExpectAllPrefixesRejected(EncodeRelevantReply(reply), DecodeRelevantReply);
+  StatsReply routed;
+  routed.is_router = 1;
+  routed.shard_stats.push_back({0, 12, 0.5, 1.5});
+  ExpectAllPrefixesRejected(EncodeStatsReply(routed), DecodeStatsReply);
 }
 
 TEST(PayloadCodecTest, TrailingJunkRejected) {

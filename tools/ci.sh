@@ -12,9 +12,18 @@
 # probed under TSan, not just in the plain fast tier).
 #
 # The fast tier includes the serving layer (server_codec_test and the
-# server_loopback_test, which binds a real epoll server on localhost), so
-# both sanitizer jobs exercise the event loop, the wire codecs, and the
-# worker handoff on every build.
+# server_loopback_test, which binds a real epoll server on localhost) and
+# the cluster layer (cluster_partition_test and cluster_router_diff_test,
+# which stands up a real 4-shard cluster behind a ClusterRouter and asserts
+# routed answers bit-identical to the single-dataset run for every solver
+# family), so both sanitizer jobs exercise the event loop, the wire codecs,
+# the scatter-gather path, and the worker handoff on every build. The TSan
+# job additionally re-runs cluster_router_diff_test explicitly — the router
+# is thread-per-connection with per-connection shard clients, and that
+# interleaving must stay probed even if test labels change. The release job
+# adds a subprocess-level 3-shard smoke: `coskq_cli shard build` + three
+# `serve` processes + `route`, soaked with coskq_load and drained with
+# SIGTERM.
 #
 # The perf job is opt-in (not part of the default matrix): it builds
 # Release, runs the A/B benchmarks (hot path, dataset suite, frozen IR-tree
@@ -74,6 +83,56 @@ for job in "${JOBS[@]}"; do
       echo "== release: fast tier re-run with COSKQ_KERNEL=scalar =="
       COSKQ_KERNEL=scalar ctest --test-dir build-ci-release \
           --output-on-failure -L fast -j "$NPROC"
+
+      echo "== release: 3-shard cluster subprocess smoke =="
+      # The real deployment shape, one binary per process: shard build,
+      # three shard servers from the artifacts, a router over their port
+      # files, a short saturating load, and a SIGTERM drain that must
+      # report the cluster fan-out counters. (Bit-identity itself is
+      # asserted by cluster_router_diff_test in the fast tier above.)
+      CL_DIR=build-ci-release/cluster-smoke
+      rm -rf "$CL_DIR" && mkdir -p "$CL_DIR"
+      ./build-ci-release/tools/coskq_cli generate 3000 "$CL_DIR/data.txt" \
+          --seed 13 > /dev/null
+      ./build-ci-release/tools/coskq_cli shard build "$CL_DIR/data.txt" \
+          "$CL_DIR/shards" --shards 3
+      SHARD_PIDS=()
+      for s in 0 1 2; do
+        ./build-ci-release/tools/coskq_cli serve \
+            "$CL_DIR/shards/shard_000$s.txt" --port 0 --workers 2 \
+            --index-snapshot "$CL_DIR/shards/shard_000$s.cqix" \
+            --port-file "$CL_DIR/port$s" > "$CL_DIR/shard$s.log" &
+        SHARD_PIDS+=($!)
+      done
+      for s in 0 1 2; do
+        for _ in $(seq 1 100); do
+          [ -s "$CL_DIR/port$s" ] && break
+          sleep 0.1
+        done
+        [ -s "$CL_DIR/port$s" ] || { echo "shard $s never bound"; exit 1; }
+      done
+      ./build-ci-release/tools/coskq_cli route "$CL_DIR/shards/cluster.cqmf" \
+          --port 0 --port-file "$CL_DIR/router-port" \
+          --shard "$(cat "$CL_DIR/port0")" \
+          --shard "$(cat "$CL_DIR/port1")" \
+          --shard "$(cat "$CL_DIR/port2")" > "$CL_DIR/router.log" &
+      ROUTE_PID=$!
+      for _ in $(seq 1 100); do
+        [ -s "$CL_DIR/router-port" ] && break
+        sleep 0.1
+      done
+      [ -s "$CL_DIR/router-port" ] || { echo "router never bound"; exit 1; }
+      ./build-ci-release/tools/coskq_load 127.0.0.1 \
+          "$(cat "$CL_DIR/router-port")" "$CL_DIR/data.txt" --qps 100 \
+          --duration-s 3 --connections 2 --seed 17
+      kill -TERM "$ROUTE_PID"
+      wait "$ROUTE_PID"  # Non-zero (drain failure/crash) fails the job.
+      for pid in "${SHARD_PIDS[@]}"; do
+        kill -TERM "$pid"
+        wait "$pid"
+      done
+      grep -q "cluster{" "$CL_DIR/router.log"
+      grep -q "shard2{" "$CL_DIR/router.log"
       ;;
     tsan)
       echo "== CI job: ThreadSanitizer, fast tier + 8-thread batch =="
@@ -88,6 +147,11 @@ for job in "${JOBS[@]}"; do
       # for; run it explicitly so a labels change can never drop it.
       TSAN_OPTIONS="halt_on_error=1" \
           ./build-ci-tsan/tests/index_refreeze_race_test
+      # The cluster router: thread-per-connection scatter-gather over
+      # per-connection shard clients, plus the bit-identity acceptance
+      # sweep. Run explicitly so a labels change can never drop it.
+      TSAN_OPTIONS="halt_on_error=1" \
+          ./build-ci-tsan/tests/cluster_router_diff_test
       ;;
     asan)
       echo "== CI job: AddressSanitizer+UBSan, fast tier =="
@@ -162,6 +226,10 @@ for job in "${JOBS[@]}"; do
       # compares cell-for-cell against the committed baseline.
       COSKQ_BENCH_SIZES="${COSKQ_BENCH_SIZES:-2000000,4000000}" \
           run_gated_bench bench_scalability BENCH_scalability.json 20
+      # Scatter-gather cluster (DESIGN.md §15): router vs single server,
+      # with the bench itself enforcing bit-identity and a non-zero prune
+      # rate from both shard lower bounds before it writes the report.
+      run_gated_bench bench_cluster BENCH_cluster.json 20
 
       echo "== perf: out-of-core smoke under a hard address-space cap =="
       # A budget-capped cold-mmap batch must complete inside a 256 MiB
@@ -232,6 +300,54 @@ for job in "${JOBS[@]}"; do
       kill -TERM "$SERVE_PID"
       wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
       cat "$SOAK_DIR/soak.log"
+
+      echo "== perf: 10-second coskq_load soak against the cluster router =="
+      # The same saturating soak shape, but through the scatter-gather
+      # path: 3 shard servers + router, offered load above capacity, and a
+      # SIGTERM drain that must exit clean with the cluster counters in the
+      # drain line. The router sheds nothing itself (routing happens on the
+      # connection thread), so this probes shard-client backpressure.
+      CLS_DIR=build-ci-perf/cluster-soak
+      rm -rf "$CLS_DIR" && mkdir -p "$CLS_DIR"
+      ./build-ci-perf/tools/coskq_cli shard build "$SOAK_DIR/soak.txt" \
+          "$CLS_DIR/shards" --shards 3
+      CLS_PIDS=()
+      for s in 0 1 2; do
+        ./build-ci-perf/tools/coskq_cli serve \
+            "$CLS_DIR/shards/shard_000$s.txt" --port 0 --workers 2 \
+            --index-snapshot "$CLS_DIR/shards/shard_000$s.cqix" \
+            --port-file "$CLS_DIR/port$s" > "$CLS_DIR/shard$s.log" &
+        CLS_PIDS+=($!)
+      done
+      for s in 0 1 2; do
+        for _ in $(seq 1 100); do
+          [ -s "$CLS_DIR/port$s" ] && break
+          sleep 0.1
+        done
+        [ -s "$CLS_DIR/port$s" ] || { echo "shard $s never bound"; exit 1; }
+      done
+      ./build-ci-perf/tools/coskq_cli route "$CLS_DIR/shards/cluster.cqmf" \
+          --port 0 --port-file "$CLS_DIR/router-port" \
+          --shard "$(cat "$CLS_DIR/port0")" \
+          --shard "$(cat "$CLS_DIR/port1")" \
+          --shard "$(cat "$CLS_DIR/port2")" > "$CLS_DIR/router.log" &
+      ROUTE_PID=$!
+      for _ in $(seq 1 100); do
+        [ -s "$CLS_DIR/router-port" ] && break
+        sleep 0.1
+      done
+      [ -s "$CLS_DIR/router-port" ] || { echo "router never bound"; exit 1; }
+      ./build-ci-perf/tools/coskq_load 127.0.0.1 \
+          "$(cat "$CLS_DIR/router-port")" "$SOAK_DIR/soak.txt" --qps 150 \
+          --duration-s 10 --connections 4 --deadline-ms 100 --seed 19
+      kill -TERM "$ROUTE_PID"
+      wait "$ROUTE_PID"  # Non-zero (drain failure/crash) fails the job.
+      for pid in "${CLS_PIDS[@]}"; do
+        kill -TERM "$pid"
+        wait "$pid"
+      done
+      grep -q "cluster{" "$CLS_DIR/router.log"
+      cat "$CLS_DIR/router.log"
 
       echo "== perf: 10-second mixed read/write soak (protocol v3 MUTATE) =="
       # Same snapshot, but the server accepts MUTATE and folds the delta in

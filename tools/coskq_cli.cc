@@ -48,6 +48,23 @@
 //   index inspect <snapshot.cqix>
 //       Validates a snapshot (header, checksum) and prints its fields,
 //       including the body layout and a per-section byte/page breakdown.
+//   shard build <dataset.txt> <outdir> [--shards K] [--max-entries M]
+//         [--layout <bfs|level-grouped>]
+//       STR-partitions the dataset into K spatial shards, writes each
+//       shard's dataset file and frozen index snapshot into <outdir>, and
+//       writes the versioned cluster manifest (cluster.cqmf) binding them
+//       together (per-shard MBRs, keyword Bloom signatures, id maps,
+//       checksums). Each shard is then served by a plain `serve` process.
+//   route <manifest.cqmf> --shard HOST:PORT [--shard HOST:PORT ...]
+//         [--port P] [--port-file PATH] [--no-distance-prune]
+//         [--connect-timeout-ms T] [--io-timeout-ms T] [--connect-retries N]
+//       Serves the wire protocol as a scatter-gather router over the shard
+//       servers (one --shard per manifest shard, in shard-id order; a bare
+//       port means 127.0.0.1). Answers are bit-identical to a single server
+//       over the whole dataset; shards that cannot contribute are pruned by
+//       keyword signature and, for exact solvers, by the distance-owner
+//       MINDIST bound. Drains gracefully on SIGTERM/SIGINT and prints the
+//       final routing stats.
 //   solvers
 //       Lists the solver registry names.
 //
@@ -57,12 +74,20 @@
 //   coskq_cli batch /tmp/hotel.txt maxsum-appro 500 6 --threads 8
 //   coskq_cli index build /tmp/hotel.txt /tmp/hotel.cqix
 //   coskq_cli serve /tmp/hotel.txt --port 7311 --index-snapshot /tmp/hotel.cqix
+//   coskq_cli shard build /tmp/hotel.txt /tmp/cluster --shards 4
+//   coskq_cli route /tmp/cluster/cluster.cqmf --port 7310 --shard 7311
+//       --shard 7312 --shard 7313 --shard 7314
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cluster/manifest.h"
+#include "cluster/partitioner.h"
+#include "cluster/router.h"
 #include "core/solvers.h"
 #include "data/augment.h"
 #include "data/dataset.h"
@@ -101,8 +126,34 @@ int Usage() {
                "  coskq_cli index build <dataset.txt> <out.cqix> "
                "[--max-entries M] [--layout <bfs|level-grouped>]\n"
                "  coskq_cli index inspect <snapshot.cqix>\n"
+               "  coskq_cli shard build <dataset.txt> <outdir> [--shards K]\n"
+               "            [--max-entries M] [--layout <bfs|level-grouped>]\n"
+               "  coskq_cli route <manifest.cqmf> --shard HOST:PORT "
+               "[--shard HOST:PORT ...]\n"
+               "            [--port P] [--port-file PATH] "
+               "[--no-distance-prune]\n"
+               "            [--connect-timeout-ms T] [--io-timeout-ms T] "
+               "[--connect-retries N]\n"
                "  coskq_cli solvers\n");
   return 2;
+}
+
+// Writes "<port>\n" to `path` atomically (temp file + rename) so a watcher
+// polling the path never observes a partially written file.
+bool WritePortFileAtomic(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool wrote = std::fprintf(f, "%u\n", port) > 0;
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 int RunGenerate(const std::vector<std::string>& args) {
@@ -477,12 +528,9 @@ int RunServe(const std::vector<std::string>& args) {
     return 1;
   }
   CoskqServer::InstallSignalHandlers(&server);
-  if (!port_file.empty()) {
-    std::FILE* f = std::fopen(port_file.c_str(), "w");
-    if (f != nullptr) {
-      std::fprintf(f, "%u\n", server.port());
-      std::fclose(f);
-    }
+  if (!port_file.empty() && !WritePortFileAtomic(port_file, server.port())) {
+    std::fprintf(stderr, "warning: could not write port file %s\n",
+                 port_file.c_str());
   }
   std::printf("serving on %s:%u (workers=%d queue=%zu); SIGTERM drains\n",
               options.host.c_str(), server.port(), options.num_workers,
@@ -608,6 +656,176 @@ int RunIndexInspect(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunShardBuild(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Usage();
+  }
+  BuildClusterOptions options;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--shards") {
+      uint64_t value = 0;
+      if (!ParseUint64(args[i + 1], &value) || value == 0 || value > 65536) {
+        return Usage();
+      }
+      options.num_shards = static_cast<uint32_t>(value);
+    } else if (args[i] == "--max-entries") {
+      uint64_t value = 0;
+      if (!ParseUint64(args[i + 1], &value) || value < 4 || value > 65535) {
+        return Usage();
+      }
+      options.max_entries = static_cast<int>(value);
+    } else if (args[i] == "--layout") {
+      if (!FrozenLayoutFromName(args[i + 1], &options.layout)) {
+        std::fprintf(stderr, "unknown layout '%s' (bfs, level-grouped)\n",
+                     args[i + 1].c_str());
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  StatusOr<Dataset> loaded = Dataset::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset dataset = std::move(loaded).value();
+  mkdir(args[1].c_str(), 0755);  // best-effort; BuildShardedCluster reports
+  WallTimer timer;
+  StatusOr<ClusterManifest> built =
+      BuildShardedCluster(dataset, args[1], options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterManifest& manifest = built.value();
+  std::printf(
+      "sharded %s objects into %u shards in %.1f ms (manifest %s/%s, "
+      "checksum %016llx)\n",
+      FormatWithCommas(manifest.total_objects).c_str(), options.num_shards,
+      timer.ElapsedMillis(), args[1].c_str(), kManifestFileName,
+      static_cast<unsigned long long>(manifest.file_checksum));
+  for (const ShardManifestEntry& shard : manifest.shards) {
+    std::printf(
+        "  shard %u: %s objects, mbr [%.6g,%.6g]x[%.6g,%.6g], %s (%s bytes)\n",
+        shard.shard_id, FormatWithCommas(shard.num_objects).c_str(),
+        shard.mbr.min_x, shard.mbr.max_x, shard.mbr.min_y, shard.mbr.max_y,
+        shard.snapshot_file.c_str(),
+        FormatWithCommas(shard.snapshot_bytes).c_str());
+  }
+  return 0;
+}
+
+// "HOST:PORT" or bare "PORT" (host defaults to loopback).
+bool ParseShardAddress(const std::string& spec, ShardAddress* out) {
+  ShardAddress addr;
+  std::string port_text = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon == 0 || colon + 1 == spec.size()) {
+      return false;
+    }
+    addr.host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  uint64_t port = 0;
+  if (!ParseUint64(port_text, &port) || port == 0 || port > 65535) {
+    return false;
+  }
+  addr.port = static_cast<uint16_t>(port);
+  *out = addr;
+  return true;
+}
+
+int RunRoute(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Usage();
+  }
+  RouterOptions options;
+  std::string port_file;
+  size_t i = 1;
+  while (i < args.size()) {
+    if (args[i] == "--no-distance-prune") {
+      options.enable_distance_prune = false;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Usage();
+    }
+    uint64_t value = 0;
+    if (args[i] == "--shard") {
+      ShardAddress addr;
+      if (!ParseShardAddress(args[i + 1], &addr)) {
+        std::fprintf(stderr, "bad --shard '%s' (want HOST:PORT or PORT)\n",
+                     args[i + 1].c_str());
+        return Usage();
+      }
+      options.shards.push_back(addr);
+    } else if (args[i] == "--port") {
+      if (!ParseUint64(args[i + 1], &value) || value > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<uint16_t>(value);
+    } else if (args[i] == "--port-file") {
+      port_file = args[i + 1];
+    } else if (args[i] == "--connect-timeout-ms") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.client_options.connect_timeout_ms = static_cast<int>(value);
+    } else if (args[i] == "--io-timeout-ms") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.client_options.io_timeout_ms = static_cast<int>(value);
+    } else if (args[i] == "--connect-retries") {
+      if (!ParseUint64(args[i + 1], &value) || value == 0) {
+        return Usage();
+      }
+      options.client_options.max_connect_attempts = static_cast<int>(value);
+    } else {
+      return Usage();
+    }
+    i += 2;
+  }
+
+  StatusOr<ClusterManifest> loaded = ClusterManifest::LoadFromFile(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterManifest manifest = std::move(loaded).value();
+  if (options.shards.size() != manifest.shards.size()) {
+    std::fprintf(stderr,
+                 "error: manifest has %zu shards but %zu --shard flags given\n",
+                 manifest.shards.size(), options.shards.size());
+    return 1;
+  }
+
+  ClusterRouter router(manifest, options);
+  const Status status = router.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ClusterRouter::InstallSignalHandlers(&router);
+  if (!port_file.empty() && !WritePortFileAtomic(port_file, router.port())) {
+    std::fprintf(stderr, "warning: could not write port file %s\n",
+                 port_file.c_str());
+  }
+  std::printf(
+      "routing on %s:%u over %zu shards (%s objects, manifest %016llx); "
+      "SIGTERM drains\n",
+      options.host.c_str(), router.port(), manifest.shards.size(),
+      FormatWithCommas(manifest.total_objects).c_str(),
+      static_cast<unsigned long long>(manifest.file_checksum));
+  std::fflush(stdout);
+  router.Wait();
+  std::printf("drained: %s\n", router.stats().ToString().c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -639,6 +857,16 @@ int Run(int argc, char** argv) {
       return RunIndexInspect(rest);
     }
     return Usage();
+  }
+  if (command == "shard") {
+    if (args.empty() || args[0] != "build") {
+      return Usage();
+    }
+    return RunShardBuild(std::vector<std::string>(args.begin() + 1,
+                                                  args.end()));
+  }
+  if (command == "route") {
+    return RunRoute(args);
   }
   if (command == "solvers") {
     for (const std::string& name : AvailableSolverNames()) {

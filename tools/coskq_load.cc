@@ -199,7 +199,13 @@ int RunLoad(const LoadConfig& config) {
   for (int t = 0; t < config.connections; ++t) {
     threads.emplace_back([&, t] {
       CoskqClient client;
-      if (!client.Connect(config.host, config.port).ok()) {
+      // A server or router that is still binding its port is a transient
+      // condition, not a failed run: give connects a deadline and retry.
+      ClientOptions connect_options;
+      connect_options.connect_timeout_ms = 2000;
+      connect_options.max_connect_attempts = 3;
+      connect_options.retry_backoff_ms = 100;
+      if (!client.Connect(config.host, config.port, connect_options).ok()) {
         transport_errors.fetch_add(1);
         return;
       }
