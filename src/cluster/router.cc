@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <limits>
+#include <unordered_map>
 
 #include "core/solver.h"
 #include "data/dataset.h"
@@ -225,6 +227,11 @@ void ClusterRouter::AcceptMain() {
       close(fd);
       break;
     }
+    // Reap before the capacity check so conns_ counts live connections, not
+    // every connection ever accepted — otherwise client churn would wedge
+    // the router once cumulative accepts reach max_connections, with every
+    // dead entry leaking its thread and its per-connection shard sockets.
+    ReapFinishedConns();
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       if (conns_.size() >= options_.max_connections) {
@@ -345,9 +352,37 @@ void ClusterRouter::ConnMain(ConnState* conn) {
     close(conn->fd);
     conn->fd = -1;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  if (connections_active_ > 0) {
-    --connections_active_;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (connections_active_ > 0) {
+      --connections_active_;
+    }
+  }
+  // Published last: past this store the accept thread may join this thread
+  // and destroy *conn, so no member may be touched after it.
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void ClusterRouter::ReapFinishedConns() {
+  std::vector<std::unique_ptr<ConnState>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->finished.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the list lock; a finished thread is at most a few
+  // instructions from returning, so these joins do not block the accept
+  // loop behind slow queries.
+  for (auto& conn : dead) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
   }
 }
 
@@ -421,17 +456,31 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   }
   std::sort(keyed.begin(), keyed.end());
   keyed.erase(std::unique(keyed.begin(), keyed.end()), keyed.end());
-  if (keyed.size() > kMaxRelevantKeywords) {
-    return fail(StatusCode::kInvalidArgument,
-                "too many query keywords (limit " +
-                    std::to_string(kMaxRelevantKeywords) + ")");
-  }
   const size_t m = keyed.size();
-  RelevantRequest harvest;
-  harvest.keywords.reserve(m);
+  // A RELEVANT mask is one uint64, so keyword sets wider than
+  // kMaxRelevantKeywords are harvested in chunks (one RELEVANT per chunk,
+  // masks OR-ed per object) — the single server answers such queries, so
+  // the router must too for the bit-identity contract to hold.
+  const size_t num_chunks =
+      (m + kMaxRelevantKeywords - 1) / kMaxRelevantKeywords;
+  std::vector<std::string> all_keywords;
+  all_keywords.reserve(m);
   for (const auto& [gid, word] : keyed) {
-    harvest.keywords.push_back(word);
+    all_keywords.push_back(word);
   }
+
+  // The client's deadline is end-to-end, but routing itself takes time: the
+  // probe query and the per-shard harvests all spend wall-clock before the
+  // central solve starts. Hand each downstream solve only what is left of
+  // the budget (clamped at a small floor so an exhausted budget truncates
+  // promptly instead of passing a non-positive deadline).
+  const bool deadline_active =
+      std::isfinite(request.deadline_ms) && request.deadline_ms > 0.0;
+  const auto remaining_deadline_ms = [&] {
+    constexpr double kMinDeadlineMs = 1.0;
+    return std::max(kMinDeadlineMs, request.deadline_ms -
+                                        MillisBetween(arrival, Clock::now()));
+  };
 
   const Point q{request.x, request.y};
 
@@ -443,7 +492,7 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   for (uint32_t s = 0; s < manifest_.shards.size(); ++s) {
     const ShardSignature& sig = manifest_.shards[s].signature;
     bool possible = false;
-    for (const std::string& word : harvest.keywords) {
+    for (const std::string& word : all_keywords) {
       if (sig.MightContain(word)) {
         possible = true;
         break;
@@ -486,7 +535,7 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
     for (const uint32_t s : candidates_shards) {
       const ShardSignature& sig = manifest_.shards[s].signature;
       bool covers_all = true;
-      for (const std::string& word : harvest.keywords) {
+      for (const std::string& word : all_keywords) {
         if (!sig.MightContain(word)) {
           covers_all = false;
           break;
@@ -504,7 +553,10 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
       if (client != nullptr) {
         QueryRequest probe = request;
         probe.solver = SolverKind::kAppro;
-        probe.keywords = harvest.keywords;
+        probe.keywords = all_keywords;
+        if (deadline_active) {
+          probe.deadline_ms = remaining_deadline_ms();
+        }
         ++probes;
         StatusOr<QueryReply> reply = client->Query(probe);
         if (!reply.ok()) {
@@ -539,7 +591,9 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
     uint32_t global_id;
     double x;
     double y;
-    uint64_t mask;
+    /// Keyword-coverage bits in canonical order: canonical keyword j is bit
+    /// j % 64 of masks[j / 64] (one word per harvest chunk).
+    std::vector<uint64_t> masks;
   };
   std::vector<Candidate> candidates;
   for (const uint32_t s : candidates_shards) {
@@ -548,27 +602,50 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
     if (client == nullptr) {
       return fail(connect_error.code(), connect_error.message());
     }
+    const std::vector<uint32_t>& global_ids = manifest_.shards[s].global_ids;
+    // Shard-local id -> candidates index, for OR-merging the per-chunk
+    // masks of an object relevant in more than one chunk. Only needed (and
+    // only paid for) on multi-chunk keyword sets.
+    std::unordered_map<uint32_t, size_t> merged;
     const Clock::time_point sent = Clock::now();
-    StatusOr<std::vector<RelevantEntry>> harvested =
-        client->Relevant(harvest);
-    if (!harvested.ok()) {
-      conn->clients[s].reset();
-      return fail(harvested.status().code(),
-                  "shard " + std::to_string(s) +
-                      " harvest failed: " + harvested.status().message());
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      RelevantRequest harvest;
+      const size_t begin = chunk * kMaxRelevantKeywords;
+      const size_t end = std::min(m, begin + kMaxRelevantKeywords);
+      harvest.keywords.assign(all_keywords.begin() + begin,
+                              all_keywords.begin() + end);
+      StatusOr<std::vector<RelevantEntry>> harvested =
+          client->Relevant(harvest);
+      if (!harvested.ok()) {
+        conn->clients[s].reset();
+        return fail(harvested.status().code(),
+                    "shard " + std::to_string(s) +
+                        " harvest failed: " + harvested.status().message());
+      }
+      for (const RelevantEntry& e : *harvested) {
+        if (e.object_id >= global_ids.size()) {
+          return fail(StatusCode::kInternal,
+                      "shard " + std::to_string(s) +
+                          " returned out-of-range object id " +
+                          std::to_string(e.object_id));
+        }
+        size_t idx = candidates.size();
+        if (num_chunks == 1) {
+          candidates.push_back(Candidate{global_ids[e.object_id], e.x, e.y,
+                                         std::vector<uint64_t>(1, 0)});
+        } else {
+          const auto [it, inserted] = merged.try_emplace(e.object_id, idx);
+          if (inserted) {
+            candidates.push_back(
+                Candidate{global_ids[e.object_id], e.x, e.y,
+                          std::vector<uint64_t>(num_chunks, 0)});
+          }
+          idx = it->second;
+        }
+        candidates[idx].masks[chunk] |= e.keyword_mask;
+      }
     }
     RecordShardHarvest(s, MillisBetween(sent, Clock::now()));
-    const std::vector<uint32_t>& global_ids = manifest_.shards[s].global_ids;
-    for (const RelevantEntry& e : *harvested) {
-      if (e.object_id >= global_ids.size()) {
-        return fail(StatusCode::kInternal,
-                    "shard " + std::to_string(s) +
-                        " returned out-of-range object id " +
-                        std::to_string(e.object_id));
-      }
-      candidates.push_back(
-          Candidate{global_ids[e.object_id], e.x, e.y, e.keyword_mask});
-    }
   }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -608,8 +685,9 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   }
   for (const Candidate& c : candidates) {
     TermSet terms;
-    for (uint32_t j = 0; j < m; ++j) {
-      if ((c.mask >> j) & 1u) {
+    for (size_t j = 0; j < m; ++j) {
+      if ((c.masks[j / kMaxRelevantKeywords] >> (j % kMaxRelevantKeywords)) &
+          1u) {
         terms.push_back(static_cast<TermId>(j));
       }
     }
@@ -618,7 +696,7 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   CoskqQuery query;
   query.location = q;
   query.keywords.reserve(m);
-  for (uint32_t j = 0; j < m; ++j) {
+  for (size_t j = 0; j < m; ++j) {
     query.keywords.push_back(static_cast<TermId>(j));
   }
 
@@ -630,7 +708,8 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   batch_options.solver_name =
       SolverRegistryName(request.solver, request.cost_type);
   batch_options.num_threads = 1;
-  batch_options.deadline_ms = request.deadline_ms;
+  batch_options.deadline_ms =
+      deadline_active ? remaining_deadline_ms() : request.deadline_ms;
   const BatchEngine engine(context, batch_options);
   const BatchOutcome outcome = engine.Run({query});
 

@@ -112,6 +112,9 @@ class ClusterRouter {
     std::thread thread;
     /// This connection's shard clients, connected on first use.
     std::vector<std::unique_ptr<CoskqClient>> clients;
+    /// Set by ConnMain as its very last action; once true the accept thread
+    /// may join-and-destroy this entry (see ReapFinishedConns).
+    std::atomic<bool> finished{false};
   };
 
   /// Per-shard observability: harvest fan-out count and a latency ring.
@@ -123,6 +126,12 @@ class ClusterRouter {
 
   void AcceptMain();
   void ConnMain(ConnState* conn);
+  /// Joins and erases every finished connection, so conns_ only holds live
+  /// entries: the max_connections check counts concurrent clients (not every
+  /// connection ever accepted) and a finished connection's thread and shard
+  /// clients are released as soon as the next client arrives, not at
+  /// shutdown.
+  void ReapFinishedConns();
   /// Full routed answer for one QUERY frame; returns the encoded response
   /// frame(s) and records routing stats.
   std::string RouteQuery(ConnState* conn, const Frame& frame);

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -460,8 +461,18 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.shards_pruned_keyword);
   w.PutU64(reply.shards_pruned_distance);
   w.PutU64(reply.probe_queries);
-  w.PutU32(static_cast<uint32_t>(reply.shard_stats.size()));
-  for (const StatsReply::ShardStats& s : reply.shard_stats) {
+  // The fixed fields above are 292 bytes and each entry 28; the cap keeps
+  // the worst-case STATS payload inside one frame, so the encoder can never
+  // emit what a peer would reject as oversized. Past the cap the trailing
+  // shards' windows are dropped (the aggregate counters above still cover
+  // them).
+  static_assert(292 + kMaxShardStats * 28 <= kMaxPayloadBytes,
+                "worst-case STATS payload must fit one frame");
+  const size_t num_shards =
+      std::min(reply.shard_stats.size(), kMaxShardStats);
+  w.PutU32(static_cast<uint32_t>(num_shards));
+  for (size_t i = 0; i < num_shards; ++i) {
+    const StatsReply::ShardStats& s = reply.shard_stats[i];
     w.PutU32(s.shard_id);
     w.PutU64(s.fanout);
     w.PutDouble(s.p50_ms);

@@ -141,7 +141,9 @@ struct MutateReply {
 
 /// Keyword-position masks in a RELEVANT reply are a single uint64, so a
 /// harvest request carries at most this many keywords. (Far above any paper
-/// query; the router rejects larger keyword sets before fanning out.)
+/// query; the router splits a wider canonical keyword set into multiple
+/// RELEVANT harvests of this size and ORs the per-chunk masks, so QUERY
+/// itself has no keyword limit beyond the u16 wire count.)
 inline constexpr size_t kMaxRelevantKeywords = 64;
 
 /// RELEVANT payload (protocol v5): asks a shard server for every object
@@ -305,10 +307,14 @@ struct StatsReply {
   std::string ToString() const;
 };
 
-/// Upper bound on StatsReply::shard_stats accepted by the decoder (a router
-/// serving more shards than this is not a deployment this protocol targets;
-/// the bound keeps a hostile payload from forcing a huge allocation).
-inline constexpr size_t kMaxShardStats = 65536;
+/// Upper bound on StatsReply::shard_stats, enforced by encoder and decoder
+/// alike (a router serving more shards than this is not a deployment this
+/// protocol targets; the encoder truncates to the first kMaxShardStats
+/// entries). Sized so the worst-case STATS payload — the fixed fields plus
+/// 28 bytes per entry — stays under kMaxPayloadBytes (static_assert next to
+/// EncodeStatsReply), and so a hostile length cannot force a huge
+/// allocation.
+inline constexpr size_t kMaxShardStats = 32768;
 
 /// Payload encoders. Deterministic byte-for-byte for identical inputs.
 std::string EncodeQueryRequest(const QueryRequest& request);

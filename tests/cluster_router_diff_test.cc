@@ -30,6 +30,7 @@
 #include "cluster/partitioner.h"
 #include "cluster/router.h"
 #include "data/query_gen.h"
+#include "data/term_set.h"
 #include "engine/batch_engine.h"
 #include "index/irtree.h"
 #include "index/snapshot.h"
@@ -428,6 +429,162 @@ TEST_F(ClusterRouterDiffTest, ShutdownDrainsAndRefusesNewConnections) {
   ClientOptions options;
   options.connect_timeout_ms = 500;
   EXPECT_FALSE(late.Connect("127.0.0.1", router_->port(), options).ok());
+}
+
+// A canonical keyword set wider than one RELEVANT mask (> 64 distinct
+// keywords) must still be answered bit-identically: the router splits the
+// harvest into kMaxRelevantKeywords-sized chunks and ORs the per-chunk
+// masks per object. The single server answers such queries (its query-mask
+// fast path just deactivates past 64 keywords), so the router may not
+// reject them.
+TEST(ClusterRouterWideKeywordTest, ChunkedHarvestIsBitIdentical) {
+  Dataset dataset = test::MakeRandomDataset(200, 80, 6.0, 20130645);
+  IrTree index(&dataset);
+  CoskqContext context{&dataset, &index};
+
+  // Query over terms that actually occur, so the answer is a real group and
+  // not an inline infeasibility.
+  std::vector<bool> present(dataset.vocabulary().size(), false);
+  for (size_t id = 0; id < dataset.NumObjects(); ++id) {
+    for (TermId t : dataset.object(id).keywords) {
+      present[t] = true;
+    }
+  }
+  TermSet wide_terms;
+  for (TermId t = 0; t < static_cast<TermId>(present.size()) &&
+                     wide_terms.size() < kMaxRelevantKeywords + 8;
+       ++t) {
+    if (present[t]) {
+      wide_terms.push_back(t);
+    }
+  }
+  ASSERT_GT(wide_terms.size(), kMaxRelevantKeywords);
+
+  const std::string dir = ::testing::TempDir() + "/coskq_cluster_wide";
+  const std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  BuildClusterOptions build;
+  build.num_shards = 2;
+  StatusOr<ClusterManifest> built = BuildShardedCluster(dataset, dir, build);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  RouterOptions router_options;
+  std::vector<std::unique_ptr<Dataset>> shard_datasets;
+  std::vector<std::unique_ptr<IrTree>> shard_trees;
+  std::vector<std::unique_ptr<CoskqServer>> shard_servers;
+  for (const ShardManifestEntry& shard : built->shards) {
+    auto ds = std::make_unique<Dataset>();
+    StatusOr<Dataset> loaded =
+        Dataset::LoadFromFile(dir + "/" + shard.dataset_file);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    *ds = std::move(*loaded);
+    StatusOr<std::unique_ptr<IrTree>> tree =
+        LoadSnapshot(ds.get(), dir + "/" + shard.snapshot_file);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    ServerOptions options;
+    options.port = 0;
+    options.index_from_snapshot = true;
+    auto server = std::make_unique<CoskqServer>(
+        CoskqContext{ds.get(), tree->get()}, options);
+    ASSERT_TRUE(server->Start().ok());
+    router_options.shards.push_back(ShardAddress{"127.0.0.1", server->port()});
+    shard_datasets.push_back(std::move(ds));
+    shard_trees.push_back(std::move(*tree));
+    shard_servers.push_back(std::move(server));
+  }
+  ClusterRouter router(*built, router_options);
+  ASSERT_TRUE(router.Start().ok());
+  CoskqClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router.port()).ok());
+
+  for (CostType cost : {CostType::kMaxSum, CostType::kDia}) {
+    SCOPED_TRACE(static_cast<int>(cost));
+    CoskqQuery query;
+    query.location = Point{0.42, 0.58};
+    query.keywords = wide_terms;
+    NormalizeTermSet(&query.keywords);
+
+    QueryRequest request;
+    request.x = query.location.x;
+    request.y = query.location.y;
+    request.cost_type = cost;
+    request.solver = SolverKind::kAppro;
+    // Reversed order plus a duplicate: the router must canonicalize by
+    // global term id exactly as the single server's interning does.
+    for (size_t i = wide_terms.size(); i-- > 0;) {
+      request.keywords.push_back(
+          dataset.vocabulary().TermString(wide_terms[i]));
+    }
+    request.keywords.push_back(
+        dataset.vocabulary().TermString(wide_terms[0]));
+
+    BatchOptions batch_options;
+    batch_options.solver_name =
+        SolverRegistryName(SolverKind::kAppro, cost);
+    batch_options.num_threads = 1;
+    const BatchOutcome direct =
+        BatchEngine(context, batch_options).Run({query});
+    ASSERT_TRUE(direct.status.ok()) << direct.status.ToString();
+    const CoskqResult& want = direct.results[0];
+    ASSERT_TRUE(want.feasible);
+
+    StatusOr<QueryReply> reply = client.Query(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->kind, QueryReply::Kind::kResult);
+    EXPECT_EQ(reply->result.outcome, QueryOutcome::kExecuted);
+    EXPECT_EQ(reply->result.set, want.set);
+    EXPECT_EQ(std::memcmp(&reply->result.cost, &want.cost, sizeof(double)),
+              0)
+        << "router cost " << reply->result.cost << " vs direct "
+        << want.cost;
+  }
+
+  client.Close();
+  router.Shutdown();
+  router.Wait();
+  for (auto& server : shard_servers) {
+    server->Shutdown();
+    server->Wait();
+  }
+}
+
+// Client churn must never wedge the router: a finished connection is
+// reaped (thread joined, shard clients released) by the accept loop, so
+// max_connections bounds *concurrent* clients, not cumulative accepts.
+TEST(ClusterRouterChurnTest, FinishedConnectionsAreReapedNotCounted) {
+  // PING never touches a shard, so a dead shard address suffices.
+  ClusterManifest manifest;
+  manifest.shards.resize(1);
+  RouterOptions options;
+  options.shards.push_back(ShardAddress{"127.0.0.1", 1});
+  options.max_connections = 2;
+  ClusterRouter router(manifest, options);
+  ASSERT_TRUE(router.Start().ok());
+
+  // Far more sequential connections than the cap. Reaping happens on the
+  // next accept, so a connection racing a not-yet-finished predecessor may
+  // be turned away once — hence the bounded retry; without reaping every
+  // attempt past the cap fails forever.
+  for (int i = 0; i < 3 * 2 + 2; ++i) {
+    SCOPED_TRACE(i);
+    bool served = false;
+    for (int attempt = 0; attempt < 400 && !served; ++attempt) {
+      CoskqClient client;
+      ClientOptions copts;
+      copts.connect_timeout_ms = 1000;
+      copts.io_timeout_ms = 1000;
+      served = client.Connect("127.0.0.1", router.port(), copts).ok() &&
+               client.Ping().ok();
+      client.Close();
+      if (!served) {
+        usleep(5 * 1000);
+      }
+    }
+    ASSERT_TRUE(served);
+  }
+  EXPECT_GE(router.stats().connections_accepted, 8u);
+  router.Shutdown();
+  router.Wait();
 }
 
 // ---- Client robustness (the ClientOptions surface the router relies on).

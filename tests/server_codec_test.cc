@@ -339,6 +339,25 @@ TEST(PayloadCodecTest, StatsClusterFieldsRoundTrip) {
   EXPECT_FALSE(DecodeStatsReply(wire, &decoded));
 }
 
+// Encoder and decoder agree on kMaxShardStats, and the worst-case STATS
+// payload — every per-shard window populated — still fits the frame cap, so
+// a maximal router never emits a frame its peers reject as oversized.
+TEST(PayloadCodecTest, StatsShardWindowsCapFitsOneFrame) {
+  StatsReply stats;
+  stats.is_router = 1;
+  for (size_t i = 0; i < kMaxShardStats + 5; ++i) {
+    stats.shard_stats.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint64_t>(i), 0.5, 1.5});
+  }
+  const std::string wire = EncodeStatsReply(stats);
+  EXPECT_LE(wire.size(), kMaxPayloadBytes);
+  StatsReply decoded;
+  ASSERT_TRUE(DecodeStatsReply(wire, &decoded));
+  // Entries past the cap are dropped by the encoder, never sent oversized.
+  ASSERT_EQ(decoded.shard_stats.size(), kMaxShardStats);
+  EXPECT_EQ(decoded.shard_stats.back().shard_id, kMaxShardStats - 1);
+}
+
 TEST(PayloadCodecTest, RelevantRequestRoundTrip) {
   RelevantRequest request;
   request.keywords = {"cafe", "museum", "park", "zoo"};
