@@ -1,0 +1,434 @@
+// C2 — Result cache benchmark (DESIGN.md §16).
+//
+// Stands up two identical single CoskqServers over the same frozen index —
+// one with the sharded result cache (--result-cache-mb 64 in CLI terms),
+// one without — and replays the same production-shaped wire workload
+// through both: a finite pool of (hotspot location, Zipf-keyword set)
+// tuples sampled with Zipf(theta = 1.0) popularity, so a handful of hot
+// queries dominates the stream exactly the way skewed production traffic
+// does.
+//
+// Every reply from BOTH servers is verified bit-identical to a direct
+// BatchEngine reference solve — a cache hit that returns anything but the
+// uncached answer aborts the run. The run FAILS (exit 1) unless the cached
+// server's STATS shows a hit rate >= 50% and the cached path's median p50
+// is at least 3x faster than the uncached path: a result cache that cannot
+// beat re-solving under a workload this skewed is pure overhead.
+//
+// Writes BENCH_cache.json for tools/bench_compare.py.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/bench_config.h"
+#include "benchlib/harness.h"
+#include "benchlib/json_writer.h"
+#include "benchlib/table.h"
+#include "engine/batch_engine.h"
+#include "index/irtree.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace coskq {
+namespace {
+
+constexpr size_t kTimingRounds = 3;
+/// Distinct query tuples in the workload pool. Small enough that the
+/// stream revisits them heavily, large enough that the hit rate is earned
+/// by repetition, not by a trivial single-query loop.
+constexpr size_t kPoolSize = 64;
+constexpr size_t kVocabTerms = 200;
+constexpr size_t kQueryKeywords = 4;
+constexpr size_t kHotspotClusters = 4;
+constexpr double kHotspotFraction = 0.8;
+constexpr double kHotspotRadius = 0.02;
+constexpr double kZipfTheta = 1.0;
+
+std::string Term(size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%03zu", i);
+  return buf;
+}
+
+/// Uniform points with Zipf(0.8) keyword assignment, so the vocabulary has
+/// the frequency skew the workload's Zipf keyword draws lean on.
+Dataset MakeDataset(size_t num_objects, Rng* rng) {
+  Dataset dataset;
+  const ZipfSampler term_zipf(kVocabTerms, 0.8);
+  for (size_t i = 0; i < num_objects; ++i) {
+    Point p;
+    p.x = rng->UniformDouble(0.01, 0.99);
+    p.y = rng->UniformDouble(0.01, 0.99);
+    std::vector<std::string> words;
+    for (size_t k = 0; k < 3; ++k) {
+      const std::string w = Term(term_zipf.Sample(rng));
+      if (std::find(words.begin(), words.end(), w) == words.end()) {
+        words.push_back(w);
+      }
+    }
+    dataset.AddObject(p, words);
+  }
+  return dataset;
+}
+
+struct WireQuery {
+  QueryRequest request;
+  CoskqQuery query;  // same query in direct-BatchEngine form
+};
+
+/// The pool of distinct tuples: kHotspotFraction of the locations cluster
+/// inside kHotspotClusters spots of radius kHotspotRadius, keywords are
+/// distinct Zipf(kZipfTheta) draws over the frequency-ranked vocabulary.
+std::vector<WireQuery> MakePool(const Dataset& dataset, Rng* rng) {
+  const std::vector<TermId>& ranked = dataset.TermsByFrequencyDesc();
+  const ZipfSampler term_zipf(ranked.size(), kZipfTheta);
+  Point centers[kHotspotClusters];
+  for (size_t h = 0; h < kHotspotClusters; ++h) {
+    centers[h].x = rng->UniformDouble(0.05, 0.95);
+    centers[h].y = rng->UniformDouble(0.05, 0.95);
+  }
+  std::vector<WireQuery> pool;
+  pool.reserve(kPoolSize);
+  for (size_t s = 0; s < kPoolSize; ++s) {
+    WireQuery wq;
+    Point p;
+    if (rng->UniformDouble(0.0, 1.0) < kHotspotFraction) {
+      const Point& c = centers[s % kHotspotClusters];
+      p.x = std::min(0.99, std::max(0.01, c.x + rng->UniformDouble(
+                                              -kHotspotRadius,
+                                              kHotspotRadius)));
+      p.y = std::min(0.99, std::max(0.01, c.y + rng->UniformDouble(
+                                              -kHotspotRadius,
+                                              kHotspotRadius)));
+    } else {
+      p.x = rng->UniformDouble(0.01, 0.99);
+      p.y = rng->UniformDouble(0.01, 0.99);
+    }
+    const size_t want = std::min(kQueryKeywords, ranked.size());
+    std::vector<TermId> terms;
+    size_t attempts = 0;
+    while (terms.size() < want && attempts < 64 * want) {
+      ++attempts;
+      const TermId t = ranked[term_zipf.Sample(rng)];
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    for (size_t r = 0; terms.size() < want; ++r) {
+      const TermId t = ranked[r];
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    wq.request.x = p.x;
+    wq.request.y = p.y;
+    wq.request.cost_type = CostType::kMaxSum;
+    wq.request.solver = SolverKind::kExact;
+    for (TermId t : terms) {
+      wq.request.keywords.push_back(dataset.vocabulary().TermString(t));
+    }
+    wq.query.location = p;
+    wq.query.keywords = terms;
+    std::sort(wq.query.keywords.begin(), wq.query.keywords.end());
+    pool.push_back(std::move(wq));
+  }
+  return pool;
+}
+
+/// Direct single-process reference answers for the pool — the uncached
+/// solve every wire reply (hit or miss, either server) must match bitwise.
+std::vector<CoskqResult> ReferenceAnswers(const CoskqContext& context,
+                                          const std::vector<WireQuery>& pool) {
+  std::vector<CoskqQuery> queries;
+  queries.reserve(pool.size());
+  for (const WireQuery& wq : pool) {
+    queries.push_back(wq.query);
+  }
+  BatchOptions options;
+  options.solver_name =
+      SolverRegistryName(SolverKind::kExact, CostType::kMaxSum);
+  options.num_threads = 1;
+  const BatchOutcome outcome = BatchEngine(context, options).Run(queries);
+  if (!outcome.status.ok()) {
+    std::fprintf(stderr, "FATAL: reference batch: %s\n",
+                 outcome.status.ToString().c_str());
+    std::exit(1);
+  }
+  return outcome.results;
+}
+
+bool SameAnswer(const QueryReply& reply, const CoskqResult& want) {
+  if (reply.kind != QueryReply::Kind::kResult) {
+    return false;
+  }
+  if ((reply.result.outcome == QueryOutcome::kInfeasible) == want.feasible) {
+    return false;
+  }
+  if (!want.feasible) {
+    return true;
+  }
+  return reply.result.set == want.set &&
+         std::memcmp(&reply.result.cost, &want.cost, sizeof(double)) == 0;
+}
+
+struct RoundResult {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double batch_wall_ms = 0.0;
+  bool identical = true;
+};
+
+RoundResult RunRound(CoskqClient* client, const std::vector<WireQuery>& pool,
+                     const std::vector<size_t>& stream,
+                     const std::vector<CoskqResult>& reference) {
+  RoundResult round;
+  std::vector<double> samples;
+  samples.reserve(stream.size());
+  WallTimer batch;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const size_t pick = stream[i];
+    WallTimer timer;
+    StatusOr<QueryReply> reply = client->Query(pool[pick].request);
+    samples.push_back(timer.ElapsedMillis());
+    if (!reply.ok()) {
+      std::fprintf(stderr, "FATAL: wire query %zu: %s\n", i,
+                   reply.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!SameAnswer(*reply, reference[pick])) {
+      round.identical = false;
+    }
+  }
+  round.batch_wall_ms = batch.ElapsedMillis();
+  std::sort(samples.begin(), samples.end());
+  round.p50_ms = samples[samples.size() / 2];
+  round.p95_ms = samples[(samples.size() * 95) / 100];
+  return round;
+}
+
+struct SideCell {
+  RoundSamples p50;
+  RoundSamples p95;
+  RoundSamples wall;
+  bool identical = true;
+};
+
+void EmitSideCell(JsonWriter* json, const std::string& op,
+                  const std::string& dataset, size_t queries,
+                  const SideCell& cell) {
+  const double best_s = cell.wall.best() / 1000.0;
+  const double median_s = cell.wall.median() / 1000.0;
+  json->BeginObject();
+  json->Key("op").Value(op);
+  json->Key("solver").Value("exact-maxsum");
+  json->Key("dataset").Value(dataset);
+  json->Key("threads").Value(1);
+  json->Key("query_p50_ms").Value(cell.p50.best());
+  json->Key("query_p50_median_ms").Value(cell.p50.median());
+  json->Key("query_p95_ms").Value(cell.p95.best());
+  json->Key("query_p95_median_ms").Value(cell.p95.median());
+  json->Key("qps").Value(best_s > 0.0 ? static_cast<double>(queries) / best_s
+                                      : 0.0);
+  json->Key("median_qps")
+      .Value(median_s > 0.0 ? static_cast<double>(queries) / median_s : 0.0);
+  json->Key("identical").Value(cell.identical);
+  json->EndObject();
+}
+
+void Run() {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const size_t num_objects = std::max<size_t>(
+      2000, static_cast<size_t>(100000.0 * config.scale));
+  // The stream revisits the kPoolSize-tuple pool with Zipf popularity, so
+  // its length (not the pool size) is the request count per round.
+  const size_t stream_len = std::max<size_t>(240, config.queries * 12);
+  std::printf("== C2: result cache under Zipf(%.1f) + hotspot traffic ==\n",
+              kZipfTheta);
+  std::printf("config: %s, objects=%s, pool=%zu, stream=%zu\n",
+              config.ToString().c_str(),
+              FormatWithCommas(num_objects).c_str(), kPoolSize, stream_len);
+
+  Rng rng(config.seed);
+  Dataset dataset = MakeDataset(num_objects, &rng);
+  IrTree tree(&dataset);
+  const CoskqContext context{&dataset, &tree};
+
+  const std::vector<WireQuery> pool = MakePool(dataset, &rng);
+  const std::vector<CoskqResult> reference = ReferenceAnswers(context, pool);
+  const ZipfSampler pool_zipf(kPoolSize, kZipfTheta);
+  std::vector<size_t> stream;
+  stream.reserve(stream_len);
+  for (size_t i = 0; i < stream_len; ++i) {
+    stream.push_back(pool_zipf.Sample(&rng));
+  }
+
+  ServerOptions off_options;
+  off_options.port = 0;
+  CoskqServer off_server(context, off_options);
+  ServerOptions on_options;
+  on_options.port = 0;
+  on_options.result_cache_mb = 64;
+  CoskqServer on_server(context, on_options);
+  if (!off_server.Start().ok() || !on_server.Start().ok()) {
+    std::fprintf(stderr, "FATAL: server start failed\n");
+    std::exit(1);
+  }
+
+  CoskqClient off_client;
+  CoskqClient on_client;
+  if (!off_client.Connect("127.0.0.1", off_server.port()).ok() ||
+      !on_client.Connect("127.0.0.1", on_server.port()).ok()) {
+    std::fprintf(stderr, "FATAL: client connect failed\n");
+    std::exit(1);
+  }
+
+  SideCell off_cell;
+  SideCell on_cell;
+  for (size_t r = 0; r < kTimingRounds; ++r) {
+    // Identity is checked on every reply of every round: round 1 exercises
+    // the fill path, later rounds are nearly all hits — exactly the replies
+    // that must still match the uncached reference.
+    const RoundResult off = RunRound(&off_client, pool, stream, reference);
+    off_cell.p50.Add(off.p50_ms);
+    off_cell.p95.Add(off.p95_ms);
+    off_cell.wall.Add(off.batch_wall_ms);
+    off_cell.identical = off_cell.identical && off.identical;
+    const RoundResult on = RunRound(&on_client, pool, stream, reference);
+    on_cell.p50.Add(on.p50_ms);
+    on_cell.p95.Add(on.p95_ms);
+    on_cell.wall.Add(on.batch_wall_ms);
+    on_cell.identical = on_cell.identical && on.identical;
+  }
+
+  StatusOr<StatsReply> stats = on_client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "FATAL: cached server STATS: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  off_client.Close();
+  on_client.Close();
+  off_server.Shutdown();
+  off_server.Wait();
+  on_server.Shutdown();
+  on_server.Wait();
+
+  if (stats->cache_enabled == 0) {
+    std::fprintf(stderr,
+                 "FATAL: cached server reports no result cache — was "
+                 "COSKQ_RESULT_CACHE=off exported into the bench?\n");
+    std::exit(1);
+  }
+  const uint64_t lookups = stats->cache_hits + stats->cache_misses;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(stats->cache_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  const double speedup = on_cell.p50.best() > 0.0
+                             ? off_cell.p50.best() / on_cell.p50.best()
+                             : 0.0;
+  const double median_speedup =
+      on_cell.p50.median() > 0.0
+          ? off_cell.p50.median() / on_cell.p50.median()
+          : 0.0;
+
+  const std::string dataset_id = "zipf-hotspot-" + std::to_string(num_objects);
+  TablePrinter table({"Path", "p50 med", "p95 med", "QPS med", "Identical"});
+  auto qps_of = [&](const SideCell& cell) {
+    const double s = cell.wall.median() / 1000.0;
+    return s > 0.0 ? static_cast<double>(stream.size()) / s : 0.0;
+  };
+  char buf[64];
+  auto fmt = [&](double v, const char* suffix) {
+    std::snprintf(buf, sizeof(buf), "%.3f%s", v, suffix);
+    return std::string(buf);
+  };
+  table.AddRow({"cache-off", fmt(off_cell.p50.median(), " ms"),
+                fmt(off_cell.p95.median(), " ms"), fmt(qps_of(off_cell), ""),
+                off_cell.identical ? "yes" : "NO"});
+  table.AddRow({"cache-on", fmt(on_cell.p50.median(), " ms"),
+                fmt(on_cell.p95.median(), " ms"), fmt(qps_of(on_cell), ""),
+                on_cell.identical ? "yes" : "NO"});
+  table.Print();
+  std::printf(
+      "cache: hits=%llu misses=%llu evictions=%llu hit_rate=%.3f "
+      "resident=%llu p50_speedup(median)=%.2fx\n",
+      static_cast<unsigned long long>(stats->cache_hits),
+      static_cast<unsigned long long>(stats->cache_misses),
+      static_cast<unsigned long long>(stats->cache_evictions), hit_rate,
+      static_cast<unsigned long long>(stats->cache_resident_bytes),
+      median_speedup);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value("bench_cache/result_cache");
+  json.Key("scale").Value(config.scale);
+  json.Key("queries").Value(static_cast<uint64_t>(stream.size()));
+  json.Key("objects").Value(static_cast<uint64_t>(num_objects));
+  json.Key("pool").Value(static_cast<uint64_t>(kPoolSize));
+  json.Key("seed").Value(config.seed);
+  json.Key("timing_rounds").Value(static_cast<uint64_t>(kTimingRounds));
+  json.Key("cells").BeginArray();
+  EmitSideCell(&json, "cache-off", dataset_id, stream.size(), off_cell);
+  EmitSideCell(&json, "cache-on", dataset_id, stream.size(), on_cell);
+  json.BeginObject();
+  json.Key("op").Value("cache");
+  json.Key("solver").Value("exact-maxsum");
+  json.Key("dataset").Value(dataset_id);
+  json.Key("cache_hits").Value(stats->cache_hits);
+  json.Key("cache_misses").Value(stats->cache_misses);
+  json.Key("cache_evictions").Value(stats->cache_evictions);
+  json.Key("hit_rate").Value(hit_rate);
+  json.Key("speedup").Value(speedup);
+  json.Key("median_speedup").Value(median_speedup);
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+  const Status written = WriteTextFile("BENCH_cache.json", json.TakeString());
+  if (!written.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", written.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote BENCH_cache.json\n");
+
+  if (!off_cell.identical || !on_cell.identical) {
+    std::fprintf(stderr,
+                 "FATAL: a wire answer diverged from the uncached direct "
+                 "solve (cache-off identical=%d cache-on identical=%d)\n",
+                 off_cell.identical ? 1 : 0, on_cell.identical ? 1 : 0);
+    std::exit(1);
+  }
+  if (hit_rate < 0.5) {
+    std::fprintf(stderr,
+                 "FATAL: hit rate %.3f < 0.5 — the Zipf+hotspot stream must "
+                 "keep the cache hot\n",
+                 hit_rate);
+    std::exit(1);
+  }
+  if (median_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FATAL: cached p50 speedup %.2fx < 3x — the cache is not "
+                 "paying for itself\n",
+                 median_speedup);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace coskq
+
+int main() {
+  coskq::Run();
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace coskq {
+namespace {
+
+// 64-bit FNV-1a over raw bytes — the same digest family the snapshot and
+// manifest checksums use, cheap and stable across platforms.
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& options)
+    : budget_bytes_(std::max<size_t>(options.budget_bytes, kNumShards)),
+      shard_budget_bytes_(budget_bytes_ / kNumShards),
+      cell_bits_(std::min(52, std::max(0, options.cell_bits))) {}
+
+uint64_t ResultCache::CellOf(double x, double y, int cell_bits) {
+  const int kept = std::min(52, std::max(0, cell_bits));
+  const uint64_t drop = 52 - static_cast<uint64_t>(kept);
+  const uint64_t mask = drop >= 64 ? 0 : ~((1ull << drop) - 1);
+  uint64_t xb;
+  uint64_t yb;
+  std::memcpy(&xb, &x, sizeof(xb));
+  std::memcpy(&yb, &y, sizeof(yb));
+  xb &= mask;
+  yb &= mask;
+  uint64_t h = Fnv1a(&xb, sizeof(xb), kFnvOffset);
+  return Fnv1a(&yb, sizeof(yb), h);
+}
+
+size_t ResultCache::SlotKeyHash::operator()(const SlotKey& key) const {
+  uint64_t h = Fnv1a(&key.cell, sizeof(key.cell), kFnvOffset);
+  h = Fnv1a(key.keywords.data(), key.keywords.size() * sizeof(uint32_t), h);
+  const unsigned char tail[2] = {key.solver, key.cost_type};
+  return static_cast<size_t>(Fnv1a(tail, sizeof(tail), h));
+}
+
+size_t ResultCache::EntryBytes(const SlotKey& slot,
+                               const CachedAnswer& answer) {
+  // Approximate resident cost: list node + map node bookkeeping plus the
+  // two keyword vectors (one in the map key, one in the entry's slot copy)
+  // and the answer set. The constant covers node headers, hashes and the
+  // fixed fields; what matters is that it is monotone in payload size so
+  // the byte budget bounds true memory within a small constant factor.
+  return 160 + 2 * slot.keywords.size() * sizeof(uint32_t) +
+         answer.set.size() * sizeof(uint32_t);
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const SlotKey& slot,
+                                          size_t* hash_out) {
+  const size_t h = SlotKeyHash()(slot);
+  if (hash_out != nullptr) {
+    *hash_out = h;
+  }
+  // The map uses the low hash bits for buckets; pick the shard from the
+  // high bits so shard choice and in-shard placement stay independent.
+  return shards_[(h >> 57) % kNumShards];
+}
+
+bool ResultCache::Lookup(const ResultCacheKey& key, uint64_t epoch,
+                         uint64_t mutations, CachedAnswer* out) {
+  SlotKey slot{key.cell, key.keywords, key.solver, key.cost_type};
+  Shard& shard = ShardFor(slot, nullptr);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(slot);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  Entry& entry = *it->second;
+  if (entry.epoch != epoch || entry.mutations != mutations) {
+    // The index advanced since this answer was solved: drop it so the slot
+    // cannot serve a stale answer even if the stamp ever wrapped around.
+    shard.resident_bytes -= entry.bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    ++shard.invalidations;
+    ++shard.misses;
+    return false;
+  }
+  if (std::memcmp(&entry.x, &key.x, sizeof(double)) != 0 ||
+      std::memcmp(&entry.y, &key.y, sizeof(double)) != 0) {
+    // Same cell, different exact location: the slot stays (last writer
+    // wins on insert), but serving it would not be bit-identical.
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = entry.answer;
+  ++shard.hits;
+  return true;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key, uint64_t epoch,
+                         uint64_t mutations, const CachedAnswer& answer) {
+  SlotKey slot{key.cell, key.keywords, key.solver, key.cost_type};
+  const size_t bytes = EntryBytes(slot, answer);
+  if (bytes > shard_budget_bytes_) {
+    return;  // Larger than a whole shard: not admissible.
+  }
+  Shard& shard = ShardFor(slot, nullptr);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(slot);
+  if (it != shard.map.end()) {
+    shard.resident_bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{slot, key.x, key.y, epoch, mutations, answer,
+                             bytes});
+  shard.map.emplace(std::move(slot), shard.lru.begin());
+  shard.resident_bytes += bytes;
+  while (shard.resident_bytes > shard_budget_bytes_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.resident_bytes -= victim.bytes;
+    shard.map.erase(victim.slot);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+ResultCacheStats ResultCache::Snapshot() const {
+  ResultCacheStats stats;
+  stats.budget_bytes = budget_bytes_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.resident_bytes += shard.resident_bytes;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+bool ResultCache::ForceDisabledByEnv() {
+  const char* value = std::getenv("COSKQ_RESULT_CACHE");
+  if (value == nullptr) {
+    return false;
+  }
+  return std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0;
+}
+
+}  // namespace coskq

@@ -1,0 +1,172 @@
+#ifndef COSKQ_CACHE_RESULT_CACHE_H_
+#define COSKQ_CACHE_RESULT_CACHE_H_
+
+#include <stdint.h>
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace coskq {
+
+/// Statistics snapshot of a ResultCache (summed across shards). The fields
+/// mirror the protocol-v6 STATS tail one-to-one.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          // includes invalidation misses
+  uint64_t evictions = 0;       // LRU byte-budget evictions
+  uint64_t invalidations = 0;   // stale-stamp entries dropped at lookup
+  uint64_t resident_bytes = 0;  // approximate bytes held right now
+  uint64_t budget_bytes = 0;    // configured ceiling
+  uint64_t entries = 0;         // live entry count
+};
+
+/// The canonical form of a query for caching purposes (DESIGN.md §16).
+///
+///  * `cell`       — the quantized location cell. Quantization drops low
+///                   mantissa bits of each coordinate (cell_bits kept), so
+///                   nearby queries fall into the same cell and contend for
+///                   the same slot; coarser cells bound cache cardinality.
+///  * `keywords`   — the canonical keyword set: sorted, de-duplicated term
+///                   ids (single server: dataset TermIds after
+///                   NormalizeTermSet; router: global vocabulary ids). The
+///                   full set is compared on lookup, never just its hash.
+///  * `solver`/`cost_type` — raw SolverKind/CostType values; answers from
+///                   different solvers are never interchangeable.
+///
+/// A hit additionally requires the entry's exact query coordinates to match
+/// bit-for-bit (the cell is a slot address, not an equivalence class), so a
+/// cached answer is always bit-identical to re-solving the same request.
+struct ResultCacheKey {
+  uint64_t cell = 0;
+  std::vector<uint32_t> keywords;
+  uint8_t solver = 0;
+  uint8_t cost_type = 0;
+  double x = 0.0;  // exact-coordinate guard, not part of the slot identity
+  double y = 0.0;
+};
+
+/// The cached answer: exactly the bits the serving layers put into a
+/// QueryResult wire reply. Deadline-truncated solves are never inserted
+/// (their answer depends on the deadline, not just the query); infeasible
+/// answers are cached like any other.
+struct CachedAnswer {
+  uint8_t outcome = 0;  // QueryOutcome as encoded on the wire
+  double cost = 0.0;
+  double solve_ms = 0.0;  // original solve cost, echoed on hits
+  std::vector<uint32_t> set;
+};
+
+/// Sharded, bounded-memory, epoch-invalidated LRU cache for solved CoSKQ
+/// answers (DESIGN.md §16).
+///
+/// Concurrency: the key hash picks one of kNumShards shards; each shard has
+/// its own mutex, hash map and LRU list, so lookups/inserts on different
+/// shards never contend. No lock is ever held while another cache (or any
+/// other) lock is taken — the per-shard mutex is a leaf in the server's lock
+/// order.
+///
+/// Invalidation: every entry is stamped with the index epoch and the
+/// cumulative mutation count observed *before* its solve began. A lookup
+/// passes the current (epoch, mutations) pair; any entry whose stamp differs
+/// is dropped on the spot and reported as a miss (counted as an
+/// invalidation). Because the single server reads the stamp on the event-loop
+/// thread — the sole mutation applier — a query admitted after a MUTATE ack
+/// always carries the post-mutation stamp and can never hit a pre-mutation
+/// entry.
+class ResultCache {
+ public:
+  struct Options {
+    size_t budget_bytes = 64u << 20;
+    int cell_bits = 12;  // mantissa bits kept per coordinate, clamped [0,52]
+  };
+
+  explicit ResultCache(const Options& options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Quantizes a coordinate pair into a cell id by keeping `cell_bits` high
+  /// mantissa bits of each coordinate (sign/exponent always kept), then
+  /// mixing the two truncated bit patterns.
+  static uint64_t CellOf(double x, double y, int cell_bits);
+
+  /// Looks `key` up under the caller's current invalidation stamp. Returns
+  /// true and fills `out` on a fresh hit. A stale-stamp entry is erased and
+  /// counted as both an invalidation and a miss. A same-slot entry whose
+  /// exact coordinates differ is left in place and reported as a miss.
+  bool Lookup(const ResultCacheKey& key, uint64_t epoch, uint64_t mutations,
+              CachedAnswer* out);
+
+  /// Inserts (or replaces) the slot for `key`, stamped with the
+  /// (epoch, mutations) pair the caller read before solving, then evicts
+  /// from the shard's LRU tail until the shard is back under budget. An
+  /// answer larger than a whole shard's budget is not admitted.
+  void Insert(const ResultCacheKey& key, uint64_t epoch, uint64_t mutations,
+              const CachedAnswer& answer);
+
+  /// Counter + occupancy snapshot summed across shards.
+  ResultCacheStats Snapshot() const;
+
+  size_t budget_bytes() const { return budget_bytes_; }
+  int cell_bits() const { return cell_bits_; }
+
+  /// True when the COSKQ_RESULT_CACHE environment variable force-disables
+  /// caching ("off" or "0"), regardless of --result-cache-mb. Lets CI prove
+  /// the cache-off path stays green without rebuilding command lines.
+  static bool ForceDisabledByEnv();
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct SlotKey {
+    uint64_t cell;
+    std::vector<uint32_t> keywords;
+    uint8_t solver;
+    uint8_t cost_type;
+
+    bool operator==(const SlotKey& other) const {
+      return cell == other.cell && solver == other.solver &&
+             cost_type == other.cost_type && keywords == other.keywords;
+    }
+  };
+
+  struct SlotKeyHash {
+    size_t operator()(const SlotKey& key) const;
+  };
+
+  struct Entry {
+    SlotKey slot;
+    double x;
+    double y;
+    uint64_t epoch;
+    uint64_t mutations;
+    CachedAnswer answer;
+    size_t bytes;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<SlotKey, std::list<Entry>::iterator, SlotKeyHash> map;
+    size_t resident_bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  static size_t EntryBytes(const SlotKey& slot, const CachedAnswer& answer);
+  Shard& ShardFor(const SlotKey& slot, size_t* hash_out);
+
+  const size_t budget_bytes_;
+  const size_t shard_budget_bytes_;
+  const int cell_bits_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace coskq
+
+#endif  // COSKQ_CACHE_RESULT_CACHE_H_

@@ -90,7 +90,14 @@ void HandleRouterSignal(int /*signo*/) {
 
 ClusterRouter::ClusterRouter(const ClusterManifest& manifest,
                              const RouterOptions& options)
-    : manifest_(manifest), options_(options) {}
+    : manifest_(manifest), options_(options) {
+  if (options_.result_cache_mb > 0 && !ResultCache::ForceDisabledByEnv()) {
+    ResultCache::Options cache_options;
+    cache_options.budget_bytes = options_.result_cache_mb << 20;
+    cache_options.cell_bits = options_.cache_cell_bits;
+    result_cache_ = std::make_unique<ResultCache>(cache_options);
+  }
+}
 
 ClusterRouter::~ClusterRouter() {
   Shutdown();
@@ -456,6 +463,44 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   }
   std::sort(keyed.begin(), keyed.end());
   keyed.erase(std::unique(keyed.begin(), keyed.end()), keyed.end());
+
+  // Result cache (DESIGN.md §16): the sorted, de-duplicated global-id list
+  // above is exactly the canonical keyword form the cache keys on. The
+  // router serves one fixed manifest (MUTATE is Unimplemented), so its
+  // invalidation stamp is constant — entries live until evicted. A hit
+  // skips the probe, every shard harvest, and the central re-solve.
+  ResultCacheKey cache_key;
+  if (result_cache_ != nullptr) {
+    cache_key.cell = ResultCache::CellOf(request.x, request.y,
+                                         result_cache_->cell_bits());
+    cache_key.keywords.reserve(keyed.size());
+    for (const auto& [gid, word] : keyed) {
+      cache_key.keywords.push_back(gid);
+    }
+    cache_key.solver = static_cast<uint8_t>(request.solver);
+    cache_key.cost_type = static_cast<uint8_t>(request.cost_type);
+    cache_key.x = request.x;
+    cache_key.y = request.y;
+    CachedAnswer hit;
+    if (result_cache_->Lookup(cache_key, 0, 0, &hit)) {
+      QueryResult result;
+      result.outcome = static_cast<QueryOutcome>(hit.outcome);
+      result.cost = hit.cost;
+      result.solve_ms = hit.solve_ms;
+      result.set = std::move(hit.set);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++queries_executed_;
+        if (result.outcome == QueryOutcome::kInfeasible) {
+          ++queries_infeasible_;
+        }
+      }
+      RecordRouteLatency(MillisBetween(arrival, Clock::now()));
+      return EncodeFrame(Verb::kResult, frame.request_id,
+                         EncodeQueryResult(result));
+    }
+  }
+
   const size_t m = keyed.size();
   // A RELEVANT mask is one uint64, so keyword sets wider than
   // kMaxRelevantKeywords are harvested in chunks (one RELEVANT per chunk,
@@ -665,6 +710,12 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
     QueryResult result;
     result.outcome = QueryOutcome::kInfeasible;
     result.cost = std::numeric_limits<double>::infinity();
+    if (result_cache_ != nullptr) {
+      CachedAnswer answer;
+      answer.outcome = static_cast<uint8_t>(result.outcome);
+      answer.cost = result.cost;
+      result_cache_->Insert(cache_key, 0, 0, answer);
+    }
     RecordRouteLatency(MillisBetween(arrival, Clock::now()));
     return EncodeFrame(Verb::kResult, frame.request_id,
                        EncodeQueryResult(result));
@@ -741,6 +792,17 @@ std::string ClusterRouter::RouteQuery(ConnState* conn, const Frame& frame) {
   } else {
     result.outcome = QueryOutcome::kExecuted;
   }
+  // Truncated answers are deadline-dependent, not query-determined — never
+  // cached.
+  if (result_cache_ != nullptr &&
+      result.outcome != QueryOutcome::kDeadlineTruncated) {
+    CachedAnswer answer;
+    answer.outcome = static_cast<uint8_t>(result.outcome);
+    answer.cost = result.cost;
+    answer.solve_ms = result.solve_ms;
+    answer.set = result.set;
+    result_cache_->Insert(cache_key, 0, 0, answer);
+  }
   RecordRouteLatency(MillisBetween(arrival, Clock::now()));
   return EncodeFrame(Verb::kResult, frame.request_id,
                      EncodeQueryResult(result));
@@ -809,6 +871,17 @@ StatsReply ClusterRouter::stats() const {
       stats.p95_ms = Percentile(std::move(window), 95.0);
     }
     snap.shard_stats.push_back(stats);
+  }
+  if (result_cache_ != nullptr) {
+    const ResultCacheStats cache = result_cache_->Snapshot();
+    snap.cache_enabled = 1;
+    snap.cache_hits = cache.hits;
+    snap.cache_misses = cache.misses;
+    snap.cache_evictions = cache.evictions;
+    snap.cache_invalidations = cache.invalidations;
+    snap.cache_resident_bytes = cache.resident_bytes;
+    snap.cache_budget_bytes = cache.budget_bytes;
+    snap.cache_entries = cache.entries;
   }
   return snap;
 }

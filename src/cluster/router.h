@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "cluster/manifest.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -50,6 +51,18 @@ struct RouterOptions {
   bool enable_distance_prune = true;
   /// Connections beyond this are accepted and immediately closed.
   size_t max_connections = 1024;
+
+  // Result cache (protocol v6; DESIGN.md §16). A router hit skips the whole
+  // probe/harvest/re-solve fan-out — K network round trips saved per hit.
+  // The router is read-only over a fixed manifest (MUTATE is Unimplemented),
+  // so its invalidation stamp is constant; writes to the underlying shards
+  // require cutting a new manifest and restarting the router anyway.
+  /// Byte budget of the result cache in MiB. 0 disables caching; the
+  /// COSKQ_RESULT_CACHE=off environment variable force-disables it too.
+  size_t result_cache_mb = 0;
+  /// Mantissa bits kept per coordinate for the cache cell (see
+  /// ResultCache::CellOf).
+  int cache_cell_bits = 12;
 };
 
 /// The scatter-gather CoSKQ router: a protocol-v5 server that answers QUERY
@@ -146,6 +159,10 @@ class ClusterRouter {
   /// word -> global TermId (manifest vocabulary order).
   std::unordered_map<std::string, uint32_t> vocab_;
   uint16_t port_ = 0;
+
+  /// Result cache; null when disabled. Shared by all connection threads
+  /// (thread-safe internally via per-shard leaf mutexes).
+  std::unique_ptr<ResultCache> result_cache_;
 
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};

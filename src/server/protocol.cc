@@ -461,12 +461,13 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.shards_pruned_keyword);
   w.PutU64(reply.shards_pruned_distance);
   w.PutU64(reply.probe_queries);
-  // The fixed fields above are 292 bytes and each entry 28; the cap keeps
-  // the worst-case STATS payload inside one frame, so the encoder can never
+  // The fixed fields are 349 bytes (292 ahead of the shard array plus the
+  // 57-byte v6 cache tail behind it) and each entry 28; the cap keeps the
+  // worst-case STATS payload inside one frame, so the encoder can never
   // emit what a peer would reject as oversized. Past the cap the trailing
   // shards' windows are dropped (the aggregate counters above still cover
   // them).
-  static_assert(292 + kMaxShardStats * 28 <= kMaxPayloadBytes,
+  static_assert(292 + 57 + kMaxShardStats * 28 <= kMaxPayloadBytes,
                 "worst-case STATS payload must fit one frame");
   const size_t num_shards =
       std::min(reply.shard_stats.size(), kMaxShardStats);
@@ -478,6 +479,15 @@ std::string EncodeStatsReply(const StatsReply& reply) {
     w.PutDouble(s.p50_ms);
     w.PutDouble(s.p95_ms);
   }
+  // v6 result-cache tail.
+  w.PutU8(reply.cache_enabled);
+  w.PutU64(reply.cache_hits);
+  w.PutU64(reply.cache_misses);
+  w.PutU64(reply.cache_evictions);
+  w.PutU64(reply.cache_invalidations);
+  w.PutU64(reply.cache_resident_bytes);
+  w.PutU64(reply.cache_budget_bytes);
+  w.PutU64(reply.cache_entries);
   return payload;
 }
 
@@ -525,7 +535,14 @@ bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
     }
     out->shard_stats.push_back(s);
   }
-  return r.AtEnd();
+  const bool cache_ok =
+      r.GetU8(&out->cache_enabled) && out->cache_enabled <= 1 &&
+      r.GetU64(&out->cache_hits) && r.GetU64(&out->cache_misses) &&
+      r.GetU64(&out->cache_evictions) &&
+      r.GetU64(&out->cache_invalidations) &&
+      r.GetU64(&out->cache_resident_bytes) &&
+      r.GetU64(&out->cache_budget_bytes) && r.GetU64(&out->cache_entries);
+  return cache_ok && r.AtEnd();
 }
 
 std::string StatsReply::ToString() const {
@@ -591,6 +608,24 @@ std::string StatsReply::ToString() const {
       s += " shard" + std::to_string(sh.shard_id) + "{fanout=" +
            std::to_string(sh.fanout) + " p50=" + FormatMillis(sh.p50_ms) +
            " p95=" + FormatMillis(sh.p95_ms) + "}";
+    }
+    s += "}";
+  }
+  if (cache_enabled != 0) {
+    const uint64_t lookups = cache_hits + cache_misses;
+    s += " cache{hits=" + std::to_string(cache_hits) +
+         " misses=" + std::to_string(cache_misses) +
+         " evictions=" + std::to_string(cache_evictions) +
+         " invalidations=" + std::to_string(cache_invalidations) +
+         " entries=" + std::to_string(cache_entries) +
+         " resident=" + std::to_string(cache_resident_bytes) +
+         " budget=" + std::to_string(cache_budget_bytes);
+    if (lookups > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " hit_rate=%.3f",
+                    static_cast<double>(cache_hits) /
+                        static_cast<double>(lookups));
+      s += buf;
     }
     s += "}";
   }

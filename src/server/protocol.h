@@ -37,8 +37,10 @@ inline constexpr uint16_t kProtocolMagic = 0x4351;
 /// residency/budget counters, page faults). Version 5 added the cluster
 /// layer: the RELEVANT verb (per-shard candidate harvest, chunked replies)
 /// and the router StatsReply fields (shard manifest identity, fan-out and
-/// prune counters, per-shard latency).
-inline constexpr uint8_t kProtocolVersion = 5;
+/// prune counters, per-shard latency). Version 6 added the result-cache
+/// StatsReply tail (hit/miss/evict/invalidate counters, resident and budget
+/// bytes, entry count) behind the shard-stats array.
+inline constexpr uint8_t kProtocolVersion = 6;
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload. A QUERY is a handful of keywords and a
 /// RESULT a handful of object ids, so 1 MiB is generous; anything larger is
@@ -302,6 +304,24 @@ struct StatsReply {
   /// Upper-bound probe queries sent to the most-promising shard.
   uint64_t probe_queries = 0;
   std::vector<ShardStats> shard_stats;
+
+  // Result cache (protocol v6; encoded after the shard_stats array). All
+  // zero when no cache is configured.
+  /// 1 when a result cache is wired in front of this server/router.
+  uint8_t cache_enabled = 0;
+  /// Lookup outcomes since startup. Misses include invalidation misses; an
+  /// invalidation additionally counts an entry dropped for a stale epoch or
+  /// mutation stamp.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// LRU entries dropped to stay under the byte budget.
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  /// Current approximate occupancy, the configured ceiling, and the live
+  /// entry count.
+  uint64_t cache_resident_bytes = 0;
+  uint64_t cache_budget_bytes = 0;
+  uint64_t cache_entries = 0;
 
   /// One-line human rendering for logs and the load generator.
   std::string ToString() const;

@@ -72,6 +72,12 @@ CoskqServer::CoskqServer(const CoskqContext& context,
     const unsigned hw = std::thread::hardware_concurrency();
     resolved_workers_ = hw == 0 ? 1 : static_cast<int>(hw);
   }
+  if (options_.result_cache_mb > 0 && !ResultCache::ForceDisabledByEnv()) {
+    ResultCache::Options cache_options;
+    cache_options.budget_bytes = options_.result_cache_mb << 20;
+    cache_options.cell_bits = options_.cache_cell_bits;
+    result_cache_ = std::make_unique<ResultCache>(cache_options);
+  }
   latency_window_.reserve(kLatencyWindow);
 }
 
@@ -292,6 +298,17 @@ ServerStatsSnapshot CoskqServer::stats() const {
     snap.budget_trims = mem.budget_trims;
     snap.major_faults = mem.major_faults;
     snap.minor_faults = mem.minor_faults;
+  }
+  if (result_cache_ != nullptr) {
+    const ResultCacheStats cache = result_cache_->Snapshot();
+    snap.cache_enabled = 1;
+    snap.cache_hits = cache.hits;
+    snap.cache_misses = cache.misses;
+    snap.cache_evictions = cache.evictions;
+    snap.cache_invalidations = cache.invalidations;
+    snap.cache_resident_bytes = cache.resident_bytes;
+    snap.cache_budget_bytes = cache.budget_bytes;
+    snap.cache_entries = cache.entries;
   }
   return snap;
 }
@@ -623,6 +640,53 @@ void CoskqServer::HandleQuery(uint64_t conn_id, const Frame& frame) {
     job.deadline_ms = options_.max_deadline_ms;
   }
   job.arrival = Clock::now();
+
+  // Result cache (DESIGN.md §16). The key is the canonical query form; the
+  // invalidation stamps are read here on the event-loop thread — the sole
+  // MUTATE applier — so a query arriving after a MUTATE ack always carries
+  // the post-mutation stamp and can never hit a pre-mutation entry. A
+  // mutation landing while the solve is in flight leaves the inserted entry
+  // with an already-stale stamp, which the next lookup drops.
+  if (result_cache_ != nullptr && !job.solver_name.empty()) {
+    job.cache_key.cell =
+        ResultCache::CellOf(request.x, request.y, result_cache_->cell_bits());
+    job.cache_key.keywords.assign(job.query.keywords.begin(),
+                                  job.query.keywords.end());
+    job.cache_key.solver = static_cast<uint8_t>(request.solver);
+    job.cache_key.cost_type = static_cast<uint8_t>(request.cost_type);
+    job.cache_key.x = request.x;
+    job.cache_key.y = request.y;
+    const IrTree* stamp_index = options_.mutable_index != nullptr
+                                    ? options_.mutable_index
+                                    : context_.index;
+    job.cache_epoch = stamp_index->epoch();
+    job.cache_mutations = stamp_index->mutations_applied();
+    job.cacheable = true;
+    CachedAnswer hit;
+    if (result_cache_->Lookup(job.cache_key, job.cache_epoch,
+                              job.cache_mutations, &hit)) {
+      QueryResult result;
+      result.outcome = static_cast<QueryOutcome>(hit.outcome);
+      result.cost = hit.cost;
+      result.solve_ms = hit.solve_ms;
+      result.set = std::move(hit.set);
+      Completion done;
+      done.kind = result.outcome == QueryOutcome::kInfeasible
+                      ? Completion::Kind::kInfeasible
+                      : Completion::Kind::kExecuted;
+      done.latency_ms = MillisBetween(job.arrival, Clock::now());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        // The hit never entered the admission queue; offset the active-count
+        // decrement RecordCompletionLocked pairs with admission.
+        ++queries_active_;
+        RecordCompletionLocked(done);
+      }
+      SendFrame(conn_id, Verb::kResult, frame.request_id,
+                EncodeQueryResult(result));
+      return;
+    }
+  }
 
   // Admission: bounded queue or an immediate OVERLOADED — the accept loop
   // never blocks on the solvers.
@@ -1010,6 +1074,18 @@ void CoskqServer::WorkerMain() {
       } else {
         result.outcome = QueryOutcome::kExecuted;
         completion.kind = Completion::Kind::kExecuted;
+      }
+      // Cache the answer under the stamps read before the solve. Truncated
+      // answers are deadline-dependent, not query-determined — never cached.
+      if (result_cache_ != nullptr && job.cacheable &&
+          result.outcome != QueryOutcome::kDeadlineTruncated) {
+        CachedAnswer answer;
+        answer.outcome = static_cast<uint8_t>(result.outcome);
+        answer.cost = result.cost;
+        answer.solve_ms = result.solve_ms;
+        answer.set = result.set;
+        result_cache_->Insert(job.cache_key, job.cache_epoch,
+                              job.cache_mutations, answer);
       }
       completion.frame = EncodeFrame(Verb::kResult, job.request_id,
                                      EncodeQueryResult(result));

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "core/solver.h"
 #include "data/query.h"
 #include "index/inverted_index.h"
@@ -88,6 +89,17 @@ struct ServerOptions {
   /// Dataset::EnableConcurrentAppends). Inserts beyond it are rejected with
   /// an OutOfRange error.
   size_t mutation_capacity = 1 << 16;
+
+  // Result cache (protocol v6; DESIGN.md §16). Answers repeated queries
+  // without re-solving; entries are invalidated by epoch/mutation stamps,
+  // so cached answers stay consistent with acked MUTATEs.
+  /// Byte budget of the result cache in MiB. 0 disables caching. The
+  /// COSKQ_RESULT_CACHE=off environment variable force-disables it
+  /// regardless (see ResultCache::ForceDisabledByEnv).
+  size_t result_cache_mb = 0;
+  /// Location-quantization granularity: mantissa bits kept per coordinate
+  /// when forming the cache cell (see ResultCache::CellOf).
+  int cache_cell_bits = 12;
 };
 
 /// Point-in-time server statistics (the STATS verb serves the same snapshot
@@ -173,6 +185,15 @@ class CoskqServer {
     // kRelevant field: keywords in the requester's mask-bit order.
     std::vector<std::string> relevant_keywords;
     Clock::time_point arrival;
+    // Result-cache insert state (kQuery only; cache_key.keywords empty when
+    // caching is off for this request). The stamps were read on the
+    // event-loop thread *before* admission — i.e. before the solve — so a
+    // mutation landing mid-solve leaves the entry with an already-stale
+    // stamp instead of masquerading as fresh.
+    ResultCacheKey cache_key;
+    bool cacheable = false;
+    uint64_t cache_epoch = 0;
+    uint64_t cache_mutations = 0;
   };
 
   /// An encoded response frame on its way back to the loop.
@@ -234,6 +255,11 @@ class CoskqServer {
   ServerOptions options_;
   int resolved_workers_ = 1;
   uint16_t port_ = 0;
+
+  /// Result cache; null when disabled (options or environment). Thread-safe
+  /// internally (per-shard leaf mutexes), shared by the event loop (lookups)
+  /// and the workers (inserts).
+  std::unique_ptr<ResultCache> result_cache_;
 
   /// Postings for RELEVANT harvests, built once on first use (workers race
   /// through the once-flag; never built when mutations are enabled).

@@ -244,6 +244,19 @@ TEST(PayloadCodecTest, ErrorRoundTrip) {
   EXPECT_EQ(decoded.message, "bad deadline");
 }
 
+/// Every proper prefix of a valid encoding must decode to false — never
+/// crash, never accept. Shared by the round-trip tests and TruncationSweeps.
+template <typename T>
+void ExpectAllPrefixesRejected(const std::string& wire,
+                               bool (*decode)(const std::string&, T*)) {
+  for (size_t len = 0; len < wire.size(); ++len) {
+    T out;
+    EXPECT_FALSE(decode(wire.substr(0, len), &out))
+        << "accepted a " << len << "-byte prefix of a " << wire.size()
+        << "-byte payload";
+  }
+}
+
 TEST(PayloadCodecTest, StatsRoundTrip) {
   StatsReply stats;
   stats.connections_accepted = 10;
@@ -285,11 +298,11 @@ TEST(PayloadCodecTest, StatsRoundTrip) {
   EXPECT_EQ(decoded.minor_faults, 456u);
 
   // Out-of-range layout/cold bytes are rejected, not misparsed. With empty
-  // shard_stats the cluster tail is is_router(1) + shards(4) + 7 u64 +
-  // count(4) = 65 bytes; the layout byte sits just before cold + the six
-  // v4 u64 counters + that tail.
+  // shard_stats the bytes after the layout byte are cold(1) + the six v4
+  // u64 counters + the cluster tail — is_router(1) + shards(4) + 7 u64 +
+  // count(4) = 65 bytes — + the v6 cache tail (1 + 7 u64 = 57 bytes).
   std::string wire = EncodeStatsReply(stats);
-  const size_t layout_off = wire.size() - (2 + 6 * 8 + 65);
+  const size_t layout_off = wire.size() - (2 + 6 * 8 + 65 + 57);
   std::string bad = wire;
   bad[layout_off] = 2;
   EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
@@ -333,10 +346,49 @@ TEST(PayloadCodecTest, StatsClusterFieldsRoundTrip) {
   EXPECT_NE(stats.ToString().find("prune_rate"), std::string::npos);
 
   // An is_router byte past 1 is rejected, not misparsed. With two shard
-  // entries the bytes after it are shards(4) + 7 u64 + count(4) + 2 * 28.
+  // entries the bytes after it are shards(4) + 7 u64 + count(4) + 2 * 28 +
+  // the 57-byte v6 cache tail.
   std::string wire = EncodeStatsReply(stats);
-  wire[wire.size() - (4 + 7 * 8 + 4 + 2 * 28) - 1] = 2;
+  wire[wire.size() - (4 + 7 * 8 + 4 + 2 * 28 + 57) - 1] = 2;
   EXPECT_FALSE(DecodeStatsReply(wire, &decoded));
+}
+
+TEST(PayloadCodecTest, StatsCacheFieldsRoundTrip) {
+  StatsReply stats;
+  stats.cache_enabled = 1;
+  stats.cache_hits = 9000;
+  stats.cache_misses = 1000;
+  stats.cache_evictions = 42;
+  stats.cache_invalidations = 17;
+  stats.cache_resident_bytes = 5 << 20;
+  stats.cache_budget_bytes = 64 << 20;
+  stats.cache_entries = 12345;
+  StatsReply decoded;
+  ASSERT_TRUE(DecodeStatsReply(EncodeStatsReply(stats), &decoded));
+  EXPECT_EQ(decoded.cache_enabled, 1u);
+  EXPECT_EQ(decoded.cache_hits, 9000u);
+  EXPECT_EQ(decoded.cache_misses, 1000u);
+  EXPECT_EQ(decoded.cache_evictions, 42u);
+  EXPECT_EQ(decoded.cache_invalidations, 17u);
+  EXPECT_EQ(decoded.cache_resident_bytes, uint64_t{5} << 20);
+  EXPECT_EQ(decoded.cache_budget_bytes, uint64_t{64} << 20);
+  EXPECT_EQ(decoded.cache_entries, 12345u);
+  // The rendering gains a cache block with the derived hit rate; a
+  // cache-less reply never renders one.
+  EXPECT_NE(stats.ToString().find("cache{"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("hit_rate=0.900"), std::string::npos);
+  EXPECT_EQ(StatsReply{}.ToString().find("cache{"), std::string::npos);
+
+  // The v6 tail is the last 57 bytes; a cache_enabled byte past 1 is
+  // rejected, not misparsed, and every torn prefix of a cache-bearing reply
+  // is rejected too.
+  std::string wire = EncodeStatsReply(stats);
+  std::string bad = wire;
+  bad[bad.size() - 57] = 2;
+  EXPECT_FALSE(DecodeStatsReply(bad, &decoded));
+  ExpectAllPrefixesRejected(wire, DecodeStatsReply);
+  // Trailing junk past the cache tail is malformed.
+  EXPECT_FALSE(DecodeStatsReply(wire + '\0', &decoded));
 }
 
 // Encoder and decoder agree on kMaxShardStats, and the worst-case STATS
@@ -401,17 +453,6 @@ TEST(PayloadCodecTest, RelevantReplyRoundTrip) {
 // --------------------------------------------------------------------------
 // Payload codecs: malformed input. Every proper prefix of a valid encoding
 // must decode to false — never crash, never accept.
-
-template <typename T>
-void ExpectAllPrefixesRejected(const std::string& wire,
-                               bool (*decode)(const std::string&, T*)) {
-  for (size_t len = 0; len < wire.size(); ++len) {
-    T out;
-    EXPECT_FALSE(decode(wire.substr(0, len), &out))
-        << "accepted a " << len << "-byte prefix of a " << wire.size()
-        << "-byte payload";
-  }
-}
 
 TEST(PayloadCodecTest, TruncationSweeps) {
   ExpectAllPrefixesRejected(EncodeQueryRequest(MakeRequest()),

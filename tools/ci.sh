@@ -9,7 +9,10 @@
 # probe), and the live-update contract that a background Refreeze() epoch
 # swap is invisible to in-flight readers (index_refreeze_race_test run
 # explicitly so the writer/refreezer/query-storm interleaving is always
-# probed under TSan, not just in the plain fast tier).
+# probed under TSan, not just in the plain fast tier). It also re-runs
+# cache_invalidation_test with COSKQ_TEST_THREADS=8: the result-cache
+# storm races query/mutate lanes against background refreezes over the
+# sharded cache's per-shard leaf mutexes.
 #
 # The fast tier includes the serving layer (server_codec_test and the
 # server_loopback_test, which binds a real epoll server on localhost) and
@@ -42,7 +45,10 @@
 # --index-snapshot` instance: a read-only one (saturation + graceful
 # SIGTERM drain must both hold) and a mixed read/write one
 # (--enable-mutations + --mutate-fraction 0.05, with background refreezes
-# folding the delta mid-soak).
+# folding the delta mid-soak). The read-only server soak and the cluster
+# router soak both run with --result-cache-mb 64 under a --zipf-theta 1.0
+# production-shaped stream, and each gates on the server-side result cache
+# reporting a non-zero hit count through the v6 STATS tail.
 #
 # Usage: tools/ci.sh [job...]
 #   jobs: release tsan asan perf  (default: release tsan asan)
@@ -82,6 +88,13 @@ for job in "${JOBS[@]}"; do
       # frozen-vs-pointer differential suite) must still hold bit-exactly.
       echo "== release: fast tier re-run with COSKQ_KERNEL=scalar =="
       COSKQ_KERNEL=scalar ctest --test-dir build-ci-release \
+          --output-on-failure -L fast -j "$NPROC"
+      # The result cache must be a pure optimization too: with the cache
+      # force-disabled through its environment kill switch, every fast-tier
+      # answer (including cache_invalidation_test, whose freshness
+      # assertions hold trivially without a cache) must still pass.
+      echo "== release: fast tier re-run with COSKQ_RESULT_CACHE=off =="
+      COSKQ_RESULT_CACHE=off ctest --test-dir build-ci-release \
           --output-on-failure -L fast -j "$NPROC"
 
       echo "== release: 3-shard cluster subprocess smoke =="
@@ -152,6 +165,12 @@ for job in "${JOBS[@]}"; do
       # sweep. Run explicitly so a labels change can never drop it.
       TSAN_OPTIONS="halt_on_error=1" \
           ./build-ci-tsan/tests/cluster_router_diff_test
+      # The result cache storm: 8 lanes racing insert/probe/remove loops
+      # over the sharded cache while background refreezes advance the
+      # epoch underneath — the per-shard leaf mutexes and the stamp reads
+      # on the event-loop thread are what TSan is probing here.
+      COSKQ_TEST_THREADS=8 TSAN_OPTIONS="halt_on_error=1" \
+          ./build-ci-tsan/tests/cache_invalidation_test
       ;;
     asan)
       echo "== CI job: AddressSanitizer+UBSan, fast tier =="
@@ -230,6 +249,11 @@ for job in "${JOBS[@]}"; do
       # with the bench itself enforcing bit-identity and a non-zero prune
       # rate from both shard lower bounds before it writes the report.
       run_gated_bench bench_cluster BENCH_cluster.json 20
+      # Result cache (DESIGN.md §16): cache-on vs cache-off single server
+      # under Zipf(1.0)+hotspot traffic, with the bench itself enforcing
+      # bit-identity against the direct solve, a >=50% hit rate, and a >=3x
+      # cached p50 speedup before it writes the report.
+      run_gated_bench bench_cache BENCH_cache.json 20
 
       echo "== perf: out-of-core smoke under a hard address-space cap =="
       # A budget-capped cold-mmap batch must complete inside a 256 MiB
@@ -290,13 +314,18 @@ for job in "${JOBS[@]}"; do
 
       echo "== perf: 10-second coskq_load soak against a live server =="
       start_and_stop_server "$SOAK_DIR/soak.log" \
-          --index-snapshot "$SOAK_DIR/soak.cqix"
+          --index-snapshot "$SOAK_DIR/soak.cqix" --result-cache-mb 64
       # Offered load well above two workers' capacity: the soak passes only
       # if the server keeps answering (shedding OVERLOADED as needed) for
       # the whole window without a transport error or accept-loop stall.
+      # The Zipf(1.0) tuple pool makes the stream production-shaped, and
+      # the grep gates on the server-side cache actually absorbing repeats
+      # (coskq_load prints the STATS hit/miss delta for this run).
       ./build-ci-perf/tools/coskq_load 127.0.0.1 "$(cat "$SOAK_DIR/port")" \
           "$SOAK_DIR/soak.txt" --qps 200 --duration-s 10 --connections 4 \
-          --deadline-ms 50 --seed 11
+          --deadline-ms 50 --seed 11 --zipf-theta 1.0 \
+          | tee "$SOAK_DIR/load.log"
+      grep -Eq "server result cache: \+[1-9][0-9]* hits" "$SOAK_DIR/load.log"
       kill -TERM "$SERVE_PID"
       wait "$SERVE_PID"  # Non-zero (drain failure/crash) fails the job.
       cat "$SOAK_DIR/soak.log"
@@ -330,16 +359,22 @@ for job in "${JOBS[@]}"; do
           --port 0 --port-file "$CLS_DIR/router-port" \
           --shard "$(cat "$CLS_DIR/port0")" \
           --shard "$(cat "$CLS_DIR/port1")" \
-          --shard "$(cat "$CLS_DIR/port2")" > "$CLS_DIR/router.log" &
+          --shard "$(cat "$CLS_DIR/port2")" --result-cache-mb 64 \
+          > "$CLS_DIR/router.log" &
       ROUTE_PID=$!
       for _ in $(seq 1 100); do
         [ -s "$CLS_DIR/router-port" ] && break
         sleep 0.1
       done
       [ -s "$CLS_DIR/router-port" ] || { echo "router never bound"; exit 1; }
+      # Same Zipf-shaped stream through the scatter-gather path: a router
+      # cache hit skips the whole probe/harvest/re-solve fan-out, and the
+      # grep gates on that actually happening during the soak.
       ./build-ci-perf/tools/coskq_load 127.0.0.1 \
           "$(cat "$CLS_DIR/router-port")" "$SOAK_DIR/soak.txt" --qps 150 \
-          --duration-s 10 --connections 4 --deadline-ms 100 --seed 19
+          --duration-s 10 --connections 4 --deadline-ms 100 --seed 19 \
+          --zipf-theta 1.0 | tee "$CLS_DIR/load.log"
+      grep -Eq "server result cache: \+[1-9][0-9]* hits" "$CLS_DIR/load.log"
       kill -TERM "$ROUTE_PID"
       wait "$ROUTE_PID"  # Non-zero (drain failure/crash) fails the job.
       for pid in "${CLS_PIDS[@]}"; do

@@ -97,6 +97,7 @@
 #include "index/frozen_layout.h"
 #include "index/irtree.h"
 #include "index/snapshot.h"
+#include "server/client.h"
 #include "server/server.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -123,6 +124,7 @@ int Usage() {
                "[--index-snapshot PATH]\n"
                "            [--enable-mutations] [--refreeze-threshold T] "
                "[--mutation-capacity C]\n"
+               "            [--result-cache-mb MB] [--cache-cell-bits B]\n"
                "  coskq_cli index build <dataset.txt> <out.cqix> "
                "[--max-entries M] [--layout <bfs|level-grouped>]\n"
                "  coskq_cli index inspect <snapshot.cqix>\n"
@@ -134,6 +136,8 @@ int Usage() {
                "[--no-distance-prune]\n"
                "            [--connect-timeout-ms T] [--io-timeout-ms T] "
                "[--connect-retries N]\n"
+               "            [--result-cache-mb MB] [--cache-cell-bits B]\n"
+               "  coskq_cli stats <host> <port>\n"
                "  coskq_cli solvers\n");
   return 2;
 }
@@ -489,6 +493,16 @@ int RunServe(const std::vector<std::string>& args) {
         return Usage();
       }
       options.mutation_capacity = value;
+    } else if (args[i] == "--result-cache-mb") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.result_cache_mb = value;
+    } else if (args[i] == "--cache-cell-bits") {
+      if (!ParseUint64(args[i + 1], &value) || value > 52) {
+        return Usage();
+      }
+      options.cache_cell_bits = static_cast<int>(value);
     } else {
       return Usage();
     }
@@ -784,6 +798,16 @@ int RunRoute(const std::vector<std::string>& args) {
         return Usage();
       }
       options.client_options.max_connect_attempts = static_cast<int>(value);
+    } else if (args[i] == "--result-cache-mb") {
+      if (!ParseUint64(args[i + 1], &value)) {
+        return Usage();
+      }
+      options.result_cache_mb = value;
+    } else if (args[i] == "--cache-cell-bits") {
+      if (!ParseUint64(args[i + 1], &value) || value > 52) {
+        return Usage();
+      }
+      options.cache_cell_bits = static_cast<int>(value);
     } else {
       return Usage();
     }
@@ -823,6 +847,34 @@ int RunRoute(const std::vector<std::string>& args) {
   std::fflush(stdout);
   router.Wait();
   std::printf("drained: %s\n", router.stats().ToString().c_str());
+  return 0;
+}
+
+/// `coskq_cli stats HOST PORT`: one STATS round trip against a running
+/// server or router, rendered through StatsReply::ToString — the v6 cache
+/// block (hits/misses/evictions/invalidations/hit rate/resident bytes)
+/// included when the target has a result cache.
+int RunStats(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Usage();
+  }
+  uint64_t port = 0;
+  if (!ParseUint64(args[1], &port) || port == 0 || port > 65535) {
+    return Usage();
+  }
+  CoskqClient client;
+  const Status connected =
+      client.Connect(args[0], static_cast<uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  StatusOr<StatsReply> stats = client.Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", stats->ToString().c_str());
   return 0;
 }
 
@@ -867,6 +919,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "route") {
     return RunRoute(args);
+  }
+  if (command == "stats") {
+    return RunStats(args);
   }
   if (command == "solvers") {
     for (const std::string& name : AvailableSolverNames()) {

@@ -10,13 +10,33 @@
 //       [--qps Q] [--duration-s D] [--connections C] [--keywords K]
 //       [--solver exact|appro|cao-exact|cao-appro1|cao-appro2|brute-force]
 //       [--cost maxsum|dia] [--deadline-ms D] [--deadline-jitter-ms J]
-//       [--seed S] [--mutate-fraction F]
+//       [--seed S] [--mutate-fraction F] [--zipf-theta T]
+//       [--hotspot-fraction F] [--hotspot-radius R]
 //
 // The dataset file is the one the server loaded; it is read only to
 // reproduce the vocabulary so generated queries carry real keywords. Each
 // request draws its deadline uniformly from [D-J, D+J] (clamped at >= 0;
 // 0 = none). Prints achieved throughput, the response mix, and a
 // log-scaled latency histogram with p50/p95/p99.
+//
+// Production-shaped skew: when --zipf-theta or --hotspot-fraction is set,
+// requests are drawn from a finite pre-generated pool of complete
+// (location, keyword set) tuples instead of being fresh uniform queries —
+// production clients re-issue the same exact query, and the server's
+// result cache can only hit on exact repeats. --zipf-theta T > 0 shapes
+// both halves: each pool entry's keywords are drawn with a Zipf(T) sampler
+// over the frequency-ranked vocabulary (rank 0 = the most frequent term),
+// and each request picks its pool entry with the same Zipf so a handful of
+// hot tuples dominates the stream. --hotspot-fraction places that fraction
+// of the pool's locations inside a few hotspot clusters of radius
+// --hotspot-radius (a fraction of the dataset MBR's larger extent, default
+// 0.02); the rest are uniform over the MBR. A summary line reports the
+// stream's repeat rate — the fraction of QUERY slots whose exact
+// (location, keyword set, solver, cost) tuple already occurred — which is
+// the ceiling on any result-cache hit rate. The tool also snapshots server
+// STATS before and after the run and, when the server has a result cache
+// (protocol v6), prints the server-side hit/miss delta attributable to
+// this run.
 //
 // --mutate-fraction F turns fraction F of the scheduled slots into MUTATE
 // requests (requires a server started with --enable-mutations): each lane
@@ -33,12 +53,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "data/dataset.h"
 #include "data/query_gen.h"
+#include "geo/point.h"
+#include "geo/rect.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "util/random.h"
@@ -64,7 +89,20 @@ struct LoadConfig {
   uint64_t seed = 1;
   /// Fraction of scheduled slots sent as MUTATE instead of QUERY.
   double mutate_fraction = 0.0;
+  /// Zipf exponent for keyword ranks and site popularity; 0 = uniform
+  /// fresh queries (the historical behaviour).
+  double zipf_theta = 0.0;
+  /// Fraction of the location site pool placed inside hotspot clusters.
+  double hotspot_fraction = 0.0;
+  /// Hotspot cluster radius as a fraction of the MBR's larger extent.
+  double hotspot_radius = 0.02;
 };
+
+/// Site pool dimensions for skewed traffic. 4 clusters x a 256-entry pool
+/// keeps the tuple universe small enough that repeats occur within a short
+/// soak but large enough that a 64 MiB cache never evicts under it.
+constexpr size_t kHotspotClusters = 4;
+constexpr size_t kSitePool = 256;
 
 /// Sample.kind value for an acked mutation (past the QueryReply kinds).
 constexpr int kMutateKind = 3;
@@ -86,7 +124,9 @@ int Usage() {
       "       [--connections C] [--keywords K] [--solver KIND] "
       "[--cost maxsum|dia]\n"
       "       [--deadline-ms D] [--deadline-jitter-ms J] [--seed S]\n"
-      "       [--mutate-fraction F]\n");
+      "       [--mutate-fraction F] [--zipf-theta T] "
+      "[--hotspot-fraction F]\n"
+      "       [--hotspot-radius R]\n");
   return 2;
 }
 
@@ -161,13 +201,102 @@ int RunLoad(const LoadConfig& config) {
   }
   QueryGenerator gen(&dataset);
   Rng rng(config.seed);
+
+  // Skewed traffic: a finite pool of complete (location, keyword set)
+  // tuples is pre-drawn, and each request samples one — via Zipf(theta)
+  // popularity when --zipf-theta is set, uniformly otherwise. Binding the
+  // keywords to the site at pool construction is what makes whole tuples
+  // recur: production clients re-issue the same query, not a fresh random
+  // combination of a hot place and hot words. Uniform fresh queries when
+  // neither skew knob is set (the historical behaviour).
+  const bool skewed =
+      config.zipf_theta > 0.0 || config.hotspot_fraction > 0.0;
+  std::vector<QueryRequest> pool;
+  if (skewed) {
+    const Rect mbr = dataset.mbr();
+    const double extent =
+        std::max(mbr.max_x - mbr.min_x, mbr.max_y - mbr.min_y);
+    const double radius = config.hotspot_radius * extent;
+    Point centers[kHotspotClusters];
+    for (size_t h = 0; h < kHotspotClusters; ++h) {
+      centers[h].x = rng.UniformDouble(mbr.min_x, mbr.max_x);
+      centers[h].y = rng.UniformDouble(mbr.min_y, mbr.max_y);
+    }
+    const std::vector<TermId>& ranked_terms = dataset.TermsByFrequencyDesc();
+    std::unique_ptr<ZipfSampler> term_zipf;
+    if (config.zipf_theta > 0.0 && !ranked_terms.empty()) {
+      term_zipf = std::make_unique<ZipfSampler>(ranked_terms.size(),
+                                                config.zipf_theta);
+    }
+    pool.reserve(kSitePool);
+    for (size_t s = 0; s < kSitePool; ++s) {
+      QueryRequest entry;
+      if (rng.UniformDouble(0.0, 1.0) < config.hotspot_fraction) {
+        const Point& c = centers[s % kHotspotClusters];
+        entry.x = std::min(
+            mbr.max_x,
+            std::max(mbr.min_x, c.x + rng.UniformDouble(-radius, radius)));
+        entry.y = std::min(
+            mbr.max_y,
+            std::max(mbr.min_y, c.y + rng.UniformDouble(-radius, radius)));
+      } else {
+        entry.x = rng.UniformDouble(mbr.min_x, mbr.max_x);
+        entry.y = rng.UniformDouble(mbr.min_y, mbr.max_y);
+      }
+      std::vector<TermId> terms;
+      if (term_zipf != nullptr) {
+        // Draw distinct terms by frequency rank; the attempt cap falls back
+        // to filling from the top of the ranking so this always terminates.
+        const size_t want = std::min(config.keywords, ranked_terms.size());
+        size_t attempts = 0;
+        while (terms.size() < want && attempts < 64 * want) {
+          ++attempts;
+          const TermId t = ranked_terms[term_zipf->Sample(&rng)];
+          if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+            terms.push_back(t);
+          }
+        }
+        for (size_t r = 0; terms.size() < want; ++r) {
+          const TermId t = ranked_terms[r];
+          if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+            terms.push_back(t);
+          }
+        }
+      } else {
+        const CoskqQuery q = gen.Generate(config.keywords, &rng);
+        terms.assign(q.keywords.begin(), q.keywords.end());
+      }
+      entry.keywords.reserve(terms.size());
+      for (TermId t : terms) {
+        entry.keywords.push_back(dataset.vocabulary().TermString(t));
+      }
+      pool.push_back(std::move(entry));
+    }
+  }
+  std::unique_ptr<ZipfSampler> pool_zipf;
+  if (skewed && config.zipf_theta > 0.0) {
+    pool_zipf = std::make_unique<ZipfSampler>(kSitePool, config.zipf_theta);
+  }
+
   std::vector<QueryRequest> requests;
   requests.reserve(total);
   for (size_t i = 0; i < total; ++i) {
-    const CoskqQuery q = gen.Generate(config.keywords, &rng);
     QueryRequest request;
-    request.x = q.location.x;
-    request.y = q.location.y;
+    if (skewed) {
+      const size_t pick =
+          pool_zipf != nullptr
+              ? pool_zipf->Sample(&rng)
+              : static_cast<size_t>(rng.UniformUint64(pool.size() - 1));
+      request = pool[pick];
+    } else {
+      const CoskqQuery q = gen.Generate(config.keywords, &rng);
+      request.x = q.location.x;
+      request.y = q.location.y;
+      request.keywords.reserve(q.keywords.size());
+      for (TermId t : q.keywords) {
+        request.keywords.push_back(dataset.vocabulary().TermString(t));
+      }
+    }
     request.cost_type = config.cost;
     request.solver = config.solver;
     request.deadline_ms = config.deadline_ms;
@@ -175,10 +304,6 @@ int RunLoad(const LoadConfig& config) {
       request.deadline_ms = std::max(
           0.0, rng.UniformDouble(config.deadline_ms - config.deadline_jitter_ms,
                                  config.deadline_ms + config.deadline_jitter_ms));
-    }
-    request.keywords.reserve(q.keywords.size());
-    for (TermId t : q.keywords) {
-      request.keywords.push_back(dataset.vocabulary().TermString(t));
     }
     requests.push_back(std::move(request));
   }
@@ -189,6 +314,53 @@ int RunLoad(const LoadConfig& config) {
       mutate_slot[i] = rng.UniformDouble(0.0, 1.0) < config.mutate_fraction;
     }
   }
+
+  // Repeat-rate over the QUERY slots: the fraction whose exact
+  // (location, sorted keyword set) tuple already occurred. Solver and cost
+  // are constant per run, so the tuple is the full cache identity; the
+  // repeat rate is the ceiling on the server-side cache hit rate.
+  size_t query_slots = 0;
+  size_t repeated = 0;
+  {
+    std::unordered_set<std::string> seen;
+    for (size_t i = 0; i < total; ++i) {
+      if (mutate_slot[i] != 0) {
+        continue;
+      }
+      ++query_slots;
+      std::string key(16, '\0');
+      std::memcpy(&key[0], &requests[i].x, 8);
+      std::memcpy(&key[8], &requests[i].y, 8);
+      std::vector<std::string> words = requests[i].keywords;
+      std::sort(words.begin(), words.end());
+      for (const std::string& w : words) {
+        key.push_back('\n');
+        key.append(w);
+      }
+      if (!seen.insert(std::move(key)).second) {
+        ++repeated;
+      }
+    }
+  }
+
+  // Server-side cache accounting: snapshot STATS before and after so the
+  // printed hit/miss delta covers exactly this run (works against a single
+  // server and the cluster router alike). A failed snapshot degrades the
+  // report, never the run.
+  const auto fetch_stats = [&config]() -> StatusOr<StatsReply> {
+    CoskqClient client;
+    ClientOptions stat_options;
+    stat_options.connect_timeout_ms = 2000;
+    stat_options.max_connect_attempts = 3;
+    stat_options.retry_backoff_ms = 100;
+    const Status connected =
+        client.Connect(config.host, config.port, stat_options);
+    if (!connected.ok()) {
+      return connected;
+    }
+    return client.Stats();
+  };
+  const StatusOr<StatsReply> stats_before = fetch_stats();
 
   // Thread t sends requests t, t+C, t+2C, ... each at its scheduled time.
   std::vector<Sample> samples(total);
@@ -323,9 +495,21 @@ int RunLoad(const LoadConfig& config) {
     }
   }
 
+  const StatusOr<StatsReply> stats_after = fetch_stats();
+
   std::printf("offered %zu requests at %s qps over %s connections\n", total,
               FormatDouble(config.qps, 1).c_str(),
               FormatWithCommas(config.connections).c_str());
+  if (query_slots > 0) {
+    std::printf(
+        "stream repeat rate: %s%% (%zu of %zu query slots repeat an exact "
+        "earlier tuple; %zu distinct)\n",
+        FormatDouble(100.0 * static_cast<double>(repeated) /
+                         static_cast<double>(query_slots),
+                     1)
+            .c_str(),
+        repeated, query_slots, query_slots - repeated);
+  }
   std::printf(
       "answered %zu (%s/s): results=%zu (truncated=%zu infeasible=%zu) "
       "overloaded=%zu errors=%zu transport_errors=%zu\n",
@@ -345,6 +529,31 @@ int RunLoad(const LoadConfig& config) {
                                                ok_latencies.end()))
                     .c_str());
     PrintHistogram(ok_latencies);
+  }
+  if (stats_after.ok() && stats_after->cache_enabled != 0) {
+    // Delta against the pre-run snapshot isolates this run's traffic; if
+    // the before snapshot failed, fall back to the lifetime counters.
+    uint64_t hits = stats_after->cache_hits;
+    uint64_t misses = stats_after->cache_misses;
+    if (stats_before.ok() && stats_before->cache_enabled != 0) {
+      hits -= std::min(stats_before->cache_hits, hits);
+      misses -= std::min(stats_before->cache_misses, misses);
+    }
+    const uint64_t lookups = hits + misses;
+    std::printf(
+        "server result cache: +%llu hits / +%llu misses this run "
+        "(hit rate %s%%); %llu entries, %llu bytes resident\n",
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        FormatDouble(lookups == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(hits) /
+                                        static_cast<double>(lookups),
+                     1)
+            .c_str(),
+        static_cast<unsigned long long>(stats_after->cache_entries),
+        static_cast<unsigned long long>(stats_after->cache_resident_bytes));
+  } else if (stats_after.ok()) {
+    std::printf("server result cache: disabled\n");
   }
   return (transport_errors.load() == 0 && ok + mutations_ok > 0) ? 0 : 1;
 }
@@ -413,6 +622,21 @@ int Main(int argc, char** argv) {
     } else if (args[i] == "--mutate-fraction") {
       if (!ParseDouble(args[i + 1], &config.mutate_fraction) ||
           config.mutate_fraction < 0.0 || config.mutate_fraction > 1.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--zipf-theta") {
+      if (!ParseDouble(args[i + 1], &config.zipf_theta) ||
+          config.zipf_theta < 0.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--hotspot-fraction") {
+      if (!ParseDouble(args[i + 1], &config.hotspot_fraction) ||
+          config.hotspot_fraction < 0.0 || config.hotspot_fraction > 1.0) {
+        return Usage();
+      }
+    } else if (args[i] == "--hotspot-radius") {
+      if (!ParseDouble(args[i + 1], &config.hotspot_radius) ||
+          config.hotspot_radius <= 0.0 || config.hotspot_radius > 1.0) {
         return Usage();
       }
     } else {
